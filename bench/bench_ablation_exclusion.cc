@@ -1,0 +1,67 @@
+// Ablation: cost of frame-exclusion support (our extension of §4.7).
+//
+// Exclusion splits frames into up to three ranges. For count/rank/
+// percentile queries the per-range decomposition is free; for DISTINCT
+// aggregates a gap-walk correction re-discovers values whose only pre-gap
+// occurrence hides inside the exclusion hole — O(hole size) per row, i.e.
+// O(1) for EXCLUDE CURRENT ROW and O(peer group) for EXCLUDE GROUP/TIES.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "storage/tpch_gen.h"
+#include "window/executor.h"
+
+int main() {
+  using namespace hwf;
+
+  const size_t n = bench::Scaled(300000);
+  Table lineitem = GenerateLineitem(n, /*seed=*/61);
+  // Use l_quantity (50 distinct values) as the frame order so that
+  // EXCLUDE GROUP hits substantial peer groups, and l_partkey as the
+  // distinct-counted column.
+  const size_t quantity = lineitem.MustColumnIndex("l_quantity");
+  const size_t shipdate = lineitem.MustColumnIndex("l_shipdate");
+  const size_t partkey = lineitem.MustColumnIndex("l_partkey");
+
+  bench::PrintHeader(
+      "Ablation: exclusion-clause overhead, count(distinct l_partkey), n = " +
+      std::to_string(n));
+  std::printf("%-34s %12s %12s\n", "frame / exclusion", "time [s]",
+              "vs baseline");
+
+  double baseline = 0;
+  struct Config {
+    const char* name;
+    size_t order_col;
+    FrameExclusion exclusion;
+  };
+  const Config configs[] = {
+      {"sliding, EXCLUDE NO OTHERS", shipdate, FrameExclusion::kNoOthers},
+      {"sliding, EXCLUDE CURRENT ROW", shipdate, FrameExclusion::kCurrentRow},
+      {"sliding, EXCLUDE GROUP (dates)", shipdate, FrameExclusion::kGroup},
+      {"sliding, EXCLUDE TIES (dates)", shipdate, FrameExclusion::kTies},
+      {"sliding, EXCLUDE GROUP (quantity)", quantity,
+       FrameExclusion::kGroup},
+  };
+  for (const Config& config : configs) {
+    WindowSpec spec;
+    spec.order_by = {SortKey{config.order_col}};
+    spec.frame.begin = FrameBound::Preceding(4999);
+    spec.frame.end = FrameBound::Following(5000);
+    spec.frame.exclusion = config.exclusion;
+    WindowFunctionCall call;
+    call.kind = WindowFunctionKind::kCountDistinct;
+    call.argument = partkey;
+    double seconds;
+    bench::MeasureThroughput(lineitem, spec, call, {}, &seconds);
+    if (baseline == 0) baseline = seconds;
+    std::printf("%-34s %12.3f %11.2fx\n", config.name, seconds,
+                seconds / baseline);
+  }
+  std::printf(
+      "\nEXCLUDE CURRENT ROW costs a constant per row; GROUP/TIES cost\n"
+      "grows with the peer-group size (the l_quantity ordering has ~%zu\n"
+      "rows per peer group).\n",
+      n / 50);
+  return 0;
+}

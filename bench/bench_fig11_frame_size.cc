@@ -1,0 +1,92 @@
+// Figure 11: throughput of a framed median for increasing frame sizes.
+//
+//   median(l_extendedprice) over (order by l_shipdate
+//     rows between SIZE preceding and current row)
+//
+// Expected shape: the merge sort tree is flat (frame-size independent);
+// naive and incremental start competitive at tiny frames and collapse
+// quickly (paper crossovers at 130 / 700 rows); the order statistic tree
+// survives longer but loses once the frame approaches the 20 000-tuple
+// task size; a single-threaded incremental ("DuckDB-like", one task,
+// no thread pool) is shown for reference.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/tpch_gen.h"
+#include "window/executor.h"
+
+int main() {
+  using namespace hwf;
+
+  const size_t n = bench::Scaled(300000);
+  Table lineitem = GenerateLineitem(n, /*seed=*/3);
+  const size_t price = lineitem.MustColumnIndex("l_extendedprice");
+  const size_t shipdate = lineitem.MustColumnIndex("l_shipdate");
+
+  std::vector<int64_t> frame_sizes = {1,    4,     16,    64,     256,  1024,
+                                      4096, 16384, 65536, 262144};
+  bench::PrintHeader("Figure 11: framed median vs frame size, n = " +
+                     std::to_string(n));
+  std::printf("%-10s %18s %18s %18s %18s %18s   [M tuples/s]\n", "frame",
+              "merge sort tree", "order stat. tree", "incremental", "naive",
+              "incr. 1-thread");
+
+  WindowFunctionCall median;
+  median.kind = WindowFunctionKind::kMedian;
+  median.argument = price;
+
+  for (int64_t frame : frame_sizes) {
+    if (static_cast<size_t>(frame) > n) break;
+    WindowSpec spec;
+    spec.order_by = {SortKey{shipdate}};
+    spec.frame.begin = FrameBound::Preceding(frame - 1);
+
+    std::printf("%-10ld", frame);
+    const double quadratic_work =
+        static_cast<double>(n) * static_cast<double>(frame);
+
+    auto run = [&](WindowEngine engine, double cap) {
+      if (quadratic_work > cap) {
+        std::printf(" %18s", "-");
+        return;
+      }
+      WindowExecutorOptions options;
+      options.engine = engine;
+      std::printf(" %18.3f",
+                  bench::MeasureThroughput(lineitem, spec, median, options));
+      std::fflush(stdout);
+    };
+    run(WindowEngine::kMergeSortTree, 1e18);
+    run(WindowEngine::kOrderStatisticTree, 1e18);
+    run(WindowEngine::kIncremental, 2.5e9);
+    run(WindowEngine::kNaive, 1.5e9);
+    // Single-threaded, single-task incremental (no morsel rebuilds).
+    if (quadratic_work > 2.5e9) {
+      std::printf(" %18s", "-");
+    } else {
+      WindowExecutorOptions options;
+      options.engine = WindowEngine::kIncremental;
+      options.morsel_size = size_t{1} << 40;
+      ThreadPool single(0);
+      bench::Timer t;
+      StatusOr<Column> result =
+          EvaluateWindowFunction(lineitem, spec, median, options, single);
+      HWF_CHECK(result.ok());
+      std::printf(" %18.3f", static_cast<double>(n) / t.Seconds() / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  // SQL's default frame: UNBOUNDED PRECEDING .. CURRENT ROW — frame size
+  // grows to n; only the merge sort tree remains usable (§6.4).
+  {
+    WindowSpec spec;
+    spec.order_by = {SortKey{shipdate}};
+    WindowExecutorOptions options;
+    std::printf("%-10s %18.3f %18s %18s %18s %18s\n", "UNBOUNDED",
+                bench::MeasureThroughput(lineitem, spec, median, options),
+                "-", "-", "-", "-");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 12: throughput of a framed median for increasingly non-monotonic
+// window frames. The frame keeps a constant size of ~500 rows but its
+// *position* jumps pseudorandomly by up to ±m·499 rows, m in [0, 1]
+// (the paper's construction, reused from Wesley & Xu):
+//
+//   rows between m*mod(l_extendedprice*7703, 499) preceding
+//        and 500 - m*mod(l_extendedprice*7703, 499) following
+//
+// Expected shape: at m = 0 (monotonic) the incremental algorithm is
+// competitive; any non-monotonicity makes it fall behind the merge sort
+// tree and eventually behind even the naive algorithm, because every
+// frame move triggers near-complete state teardown/rebuild (§6.5). The
+// merge sort tree is unaffected: it never relies on frame overlap.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/tpch_gen.h"
+#include "window/executor.h"
+
+int main() {
+  using namespace hwf;
+
+  const size_t n = bench::Scaled(8000);
+  Table lineitem = GenerateLineitem(n, /*seed=*/4);
+  const size_t price = lineitem.MustColumnIndex("l_extendedprice");
+  const size_t shipdate = lineitem.MustColumnIndex("l_shipdate");
+
+  bench::PrintHeader(
+      "Figure 12: framed median vs non-monotonicity m, n = " +
+      std::to_string(n) + ", frame size 500");
+  std::printf("%-6s %18s %18s %18s   [M tuples/s]\n", "m", "merge sort tree",
+              "incremental", "naive");
+
+  WindowFunctionCall median;
+  median.kind = WindowFunctionKind::kMedian;
+  median.argument = price;
+
+  for (double m : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    // Materialize the per-row offset expressions as columns.
+    Table table = GenerateLineitem(n, /*seed=*/4);
+    Column begin_off(DataType::kInt64);
+    Column end_off(DataType::kInt64);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t cents = static_cast<int64_t>(
+          std::llround(table.column(price).GetDouble(i) * 100.0));
+      const int64_t jump =
+          static_cast<int64_t>(std::llround(m * ((cents * 7703) % 499)));
+      begin_off.AppendInt64(jump);
+      end_off.AppendInt64(500 - jump);
+    }
+    table.AddColumn("begin_off", std::move(begin_off));
+    table.AddColumn("end_off", std::move(end_off));
+
+    WindowSpec spec;
+    spec.order_by = {SortKey{shipdate}};
+    spec.frame.begin =
+        FrameBound::PrecedingColumn(table.MustColumnIndex("begin_off"));
+    spec.frame.end =
+        FrameBound::FollowingColumn(table.MustColumnIndex("end_off"));
+
+    std::printf("%-6.2f", m);
+    for (WindowEngine engine :
+         {WindowEngine::kMergeSortTree, WindowEngine::kIncremental,
+          WindowEngine::kNaive}) {
+      WindowExecutorOptions options;
+      options.engine = engine;
+      std::printf(" %18.3f",
+                  bench::MeasureThroughput(table, spec, median, options));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks of the merge sort tree primitives under
+// google-benchmark: build, CountLess and Select per tree size, plus the
+// preprocessing steps (Algorithm 1 and permutation arrays).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "mst/merge_sort_tree.h"
+#include "mst/permutation.h"
+#include "mst/prev_index.h"
+#include "parallel/thread_pool.h"
+
+namespace {
+
+using namespace hwf;
+
+std::vector<uint32_t> RandomKeys(size_t n) {
+  Pcg32 rng(n);
+  std::vector<uint32_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  return keys;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys = RandomKeys(n);
+  ThreadPool single(0);
+  for (auto _ : state) {
+    auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_TreeBuild)->Range(1 << 10, 1 << 20);
+
+void BM_CountLess(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys = RandomKeys(n);
+  ThreadPool single(0);
+  auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+  Pcg32 rng(7);
+  for (auto _ : state) {
+    const size_t i = rng.Bounded(static_cast<uint32_t>(n));
+    benchmark::DoNotOptimize(tree.CountLess(0, i + 1, keys[i]));
+  }
+}
+BENCHMARK(BM_CountLess)->Range(1 << 10, 1 << 20);
+
+void BM_Select(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  // A shuffled permutation, as the percentile path builds.
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(i);
+  Pcg32 shuffle(3);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(keys[i - 1], keys[shuffle.Bounded(static_cast<uint32_t>(i))]);
+  }
+  ThreadPool single(0);
+  auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+  Pcg32 rng(11);
+  for (auto _ : state) {
+    // Median within a random key window of ~n/8 elements.
+    const uint32_t lo = rng.Bounded(static_cast<uint32_t>(n - n / 8));
+    const uint32_t hi = lo + static_cast<uint32_t>(n / 8);
+    benchmark::DoNotOptimize(
+        tree.Select(lo, hi, static_cast<size_t>(n / 16)));
+  }
+}
+BENCHMARK(BM_Select)->Range(1 << 10, 1 << 20);
+
+void BM_PrevIndices(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(n);
+  std::vector<uint64_t> codes(n);
+  for (auto& c : codes) c = rng.Bounded(static_cast<uint32_t>(n / 30 + 1));
+  ThreadPool single(0);
+  for (auto _ : state) {
+    auto prev = ComputePrevIndices<uint32_t>(codes, single);
+    benchmark::DoNotOptimize(prev.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PrevIndices)->Range(1 << 12, 1 << 20);
+
+void BM_Permutation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys = RandomKeys(n);
+  ThreadPool single(0);
+  for (auto _ : state) {
+    auto perm = ComputePermutation<uint32_t>(
+        n, [&](size_t a, size_t b) { return keys[a] < keys[b]; }, single);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Permutation)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

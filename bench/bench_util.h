@@ -1,0 +1,65 @@
+#ifndef HWF_BENCH_BENCH_UTIL_H_
+#define HWF_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/macros.h"
+#include "storage/table.h"
+#include "window/executor.h"
+
+namespace hwf {
+namespace bench {
+
+/// Wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Global size multiplier: HWF_BENCH_SCALE=2 doubles every problem size,
+/// =0.25 shrinks for smoke runs. Default 1.
+inline double Scale() {
+  if (const char* env = std::getenv("HWF_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * Scale());
+}
+
+/// Times one full window evaluation; returns throughput in M tuples/s.
+inline double MeasureThroughput(const Table& table, const WindowSpec& spec,
+                                const WindowFunctionCall& call,
+                                const WindowExecutorOptions& options,
+                                double* seconds_out = nullptr) {
+  Timer timer;
+  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
+  const double seconds = timer.Seconds();
+  HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  if (seconds_out != nullptr) *seconds_out = seconds;
+  return static_cast<double>(table.num_rows()) / seconds / 1e6;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace hwf
+
+#endif  // HWF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Quickstart: a moving median — the query SQL:2011 forbids and this
+// library makes fast.
+//
+//   SELECT day, price,
+//          median(price) OVER (ORDER BY day
+//                              ROWS BETWEEN 6 PRECEDING AND CURRENT ROW)
+//   FROM prices;
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "storage/table.h"
+#include "window/executor.h"
+
+int main() {
+  using namespace hwf;
+
+  // A month of noisy prices.
+  Table prices;
+  {
+    Column day(DataType::kInt64);
+    Column price(DataType::kDouble);
+    const double raw[] = {100, 103, 99,  140, 101, 98,  102, 104, 97,  180,
+                          100, 99,  101, 103, 96,  102, 250, 98,  100, 101,
+                          99,  97,  102, 104, 100, 98,  103, 99,  101, 100};
+    for (int d = 0; d < 30; ++d) {
+      day.AppendInt64(d + 1);
+      price.AppendDouble(raw[d]);
+    }
+    prices.AddColumn("day", std::move(day));
+    prices.AddColumn("price", std::move(price));
+  }
+
+  // OVER (ORDER BY day ROWS BETWEEN 6 PRECEDING AND CURRENT ROW)
+  WindowSpec spec;
+  spec.order_by = {SortKey{prices.MustColumnIndex("day")}};
+  spec.frame.begin = FrameBound::Preceding(6);
+  spec.frame.end = FrameBound::CurrentRow();
+
+  // median(price) — a framed holistic aggregate, evaluated with a merge
+  // sort tree in O(n log n).
+  WindowFunctionCall median;
+  median.kind = WindowFunctionKind::kMedian;
+  median.argument = prices.MustColumnIndex("price");
+
+  StatusOr<Column> result = EvaluateWindowFunction(prices, spec, median);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("day  price   7-day moving median\n");
+  std::printf("---  ------  -------------------\n");
+  const Column& price = prices.column(1);
+  for (size_t i = 0; i < prices.num_rows(); ++i) {
+    std::printf("%3zu  %6.1f  %19.1f\n", i + 1, price.GetDouble(i),
+                result->GetDouble(i));
+  }
+  std::printf(
+      "\nNote how the median shrugs off the outliers (140, 180, 250)\n"
+      "that would drag a moving average around.\n");
+  return 0;
+}

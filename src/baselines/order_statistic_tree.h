@@ -1,0 +1,470 @@
+#ifndef HWF_BASELINES_ORDER_STATISTIC_TREE_H_
+#define HWF_BASELINES_ORDER_STATISTIC_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+/// A counted B-tree (Tatham [35]): a B-tree whose nodes carry subtree
+/// sizes, turning it into an order statistic tree [17] — the strongest
+/// serial competitor for framed percentiles and ranks (Table 1).
+///
+/// Supports multiset semantics (duplicate keys), O(log n) Insert / Erase /
+/// Kth / CountLess. Used by the kOrderStatisticTree window engine, which
+/// slides a window over the partition exactly like the incremental
+/// algorithms — and therefore shares their task-parallelism penalty: every
+/// morsel must first rebuild the tree for its starting frame (§3.2).
+template <typename Key, typename Less = std::less<Key>>
+class CountedBTree {
+ public:
+  explicit CountedBTree(Less less = Less()) : less_(less) {}
+
+  CountedBTree(const CountedBTree&) = delete;
+  CountedBTree& operator=(const CountedBTree&) = delete;
+  CountedBTree(CountedBTree&& other) noexcept
+      : less_(other.less_), root_(other.root_) {
+    other.root_ = nullptr;
+  }
+  CountedBTree& operator=(CountedBTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = other.root_;
+      less_ = other.less_;
+      other.root_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~CountedBTree() { Clear(); }
+
+  size_t size() const { return root_ == nullptr ? 0 : root_->subtree_size; }
+  bool empty() const { return size() == 0; }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      FreeNode(root_);
+      root_ = nullptr;
+    }
+  }
+
+  /// Inserts a key (duplicates allowed; they keep insertion order among
+  /// equals to the right).
+  void Insert(const Key& key);
+
+  /// Removes one occurrence of `key`. Returns false if absent.
+  bool Erase(const Key& key);
+
+  /// The k-th smallest key, 0-based. Requires k < size().
+  const Key& Kth(size_t k) const;
+
+  /// Number of keys strictly smaller than `key`.
+  size_t CountLess(const Key& key) const;
+
+  /// Test hook: verifies all B-tree invariants (key order, node fill,
+  /// subtree sizes, uniform leaf depth). Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  // Minimum degree t: nodes hold t-1 .. 2t-1 keys (root: 1 .. 2t-1).
+  static constexpr int kMinDegree = 16;
+  static constexpr int kMaxKeys = 2 * kMinDegree - 1;
+
+  struct Node {
+    int num_keys = 0;
+    bool leaf = true;
+    size_t subtree_size = 0;
+    Key keys[kMaxKeys];
+    Node* children[kMaxKeys + 1];
+  };
+
+  static void FreeNode(Node* node) {
+    if (!node->leaf) {
+      for (int i = 0; i <= node->num_keys; ++i) FreeNode(node->children[i]);
+    }
+    delete node;
+  }
+
+  bool Equal(const Key& a, const Key& b) const {
+    return !less_(a, b) && !less_(b, a);
+  }
+
+  /// Index of the first key in `node` that is >= key.
+  int LowerBound(const Node* node, const Key& key) const {
+    int lo = 0;
+    int hi = node->num_keys;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (less_(node->keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Index of the first key in `node` that is > key.
+  int UpperBound(const Node* node, const Key& key) const {
+    int lo = 0;
+    int hi = node->num_keys;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (less_(key, node->keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Splits the full child `child_index` of `parent`.
+  void SplitChild(Node* parent, int child_index);
+
+  /// Inserts into a non-full subtree.
+  void InsertNonFull(Node* node, const Key& key);
+
+  /// Removes one occurrence of `key` from the subtree; the node is
+  /// guaranteed to have > kMinDegree - 1 keys (or be the root).
+  bool EraseFrom(Node* node, const Key& key);
+
+  /// Ensures child `i` of `node` has >= kMinDegree keys by borrowing from a
+  /// sibling or merging; returns the (possibly changed) child index to
+  /// descend into.
+  int FillChild(Node* node, int i);
+
+  /// Merges children i and i+1 of `node` around separator key i. Both
+  /// children must hold kMinDegree - 1 keys. Returns i (the merged child).
+  int MergeChildren(Node* node, int i);
+
+  const Key& MaxKey(const Node* node) const {
+    while (!node->leaf) node = node->children[node->num_keys];
+    return node->keys[node->num_keys - 1];
+  }
+  const Key& MinKey(const Node* node) const {
+    while (!node->leaf) node = node->children[0];
+    return node->keys[0];
+  }
+
+  size_t CheckNode(const Node* node, bool is_root, int depth,
+                   int* leaf_depth) const;
+
+  Less less_;
+  Node* root_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------------
+
+template <typename Key, typename Less>
+void CountedBTree<Key, Less>::SplitChild(Node* parent, int child_index) {
+  Node* child = parent->children[child_index];
+  HWF_DCHECK(child->num_keys == kMaxKeys);
+  Node* right = new Node;
+  right->leaf = child->leaf;
+  right->num_keys = kMinDegree - 1;
+  for (int j = 0; j < kMinDegree - 1; ++j) {
+    right->keys[j] = child->keys[j + kMinDegree];
+  }
+  if (!child->leaf) {
+    for (int j = 0; j < kMinDegree; ++j) {
+      right->children[j] = child->children[j + kMinDegree];
+    }
+  }
+  child->num_keys = kMinDegree - 1;
+
+  // Recompute subtree sizes of the split halves.
+  auto recompute = [](Node* node) {
+    size_t total = static_cast<size_t>(node->num_keys);
+    if (!node->leaf) {
+      for (int j = 0; j <= node->num_keys; ++j) {
+        total += node->children[j]->subtree_size;
+      }
+    }
+    node->subtree_size = total;
+  };
+  recompute(child);
+  recompute(right);
+
+  for (int j = parent->num_keys; j > child_index; --j) {
+    parent->children[j + 1] = parent->children[j];
+    parent->keys[j] = parent->keys[j - 1];
+  }
+  parent->children[child_index + 1] = right;
+  parent->keys[child_index] = child->keys[kMinDegree - 1];
+  ++parent->num_keys;
+  // Parent subtree size is unchanged (the median key moved up, nothing was
+  // added or removed).
+}
+
+template <typename Key, typename Less>
+void CountedBTree<Key, Less>::InsertNonFull(Node* node, const Key& key) {
+  ++node->subtree_size;
+  if (node->leaf) {
+    int i = UpperBound(node, key);
+    for (int j = node->num_keys; j > i; --j) node->keys[j] = node->keys[j - 1];
+    node->keys[i] = key;
+    ++node->num_keys;
+    return;
+  }
+  int i = UpperBound(node, key);
+  if (node->children[i]->num_keys == kMaxKeys) {
+    // Undo the size bump before splitting (split recomputes child sizes
+    // from scratch), then redo the descent decision.
+    --node->subtree_size;
+    SplitChild(node, i);
+    if (less_(node->keys[i], key) || Equal(node->keys[i], key)) ++i;
+    ++node->subtree_size;
+  }
+  InsertNonFull(node->children[i], key);
+}
+
+template <typename Key, typename Less>
+void CountedBTree<Key, Less>::Insert(const Key& key) {
+  if (root_ == nullptr) {
+    root_ = new Node;
+    root_->leaf = true;
+  }
+  if (root_->num_keys == kMaxKeys) {
+    Node* new_root = new Node;
+    new_root->leaf = false;
+    new_root->num_keys = 0;
+    new_root->children[0] = root_;
+    new_root->subtree_size = root_->subtree_size;
+    root_ = new_root;
+    SplitChild(root_, 0);
+  }
+  InsertNonFull(root_, key);
+}
+
+template <typename Key, typename Less>
+int CountedBTree<Key, Less>::FillChild(Node* node, int i) {
+  Node* child = node->children[i];
+  if (child->num_keys >= kMinDegree) return i;
+
+  if (i > 0 && node->children[i - 1]->num_keys >= kMinDegree) {
+    // Borrow from the left sibling through the separator key.
+    Node* left = node->children[i - 1];
+    for (int j = child->num_keys; j > 0; --j) {
+      child->keys[j] = child->keys[j - 1];
+    }
+    if (!child->leaf) {
+      for (int j = child->num_keys + 1; j > 0; --j) {
+        child->children[j] = child->children[j - 1];
+      }
+      child->children[0] = left->children[left->num_keys];
+      const size_t moved = child->children[0]->subtree_size;
+      left->subtree_size -= moved;
+      child->subtree_size += moved;
+    }
+    child->keys[0] = node->keys[i - 1];
+    node->keys[i - 1] = left->keys[left->num_keys - 1];
+    --left->num_keys;
+    --left->subtree_size;
+    ++child->num_keys;
+    ++child->subtree_size;
+    return i;
+  }
+  if (i < node->num_keys && node->children[i + 1]->num_keys >= kMinDegree) {
+    // Borrow from the right sibling.
+    Node* right = node->children[i + 1];
+    child->keys[child->num_keys] = node->keys[i];
+    node->keys[i] = right->keys[0];
+    if (!child->leaf) {
+      child->children[child->num_keys + 1] = right->children[0];
+      const size_t moved = child->children[child->num_keys + 1]->subtree_size;
+      right->subtree_size -= moved;
+      child->subtree_size += moved;
+      for (int j = 0; j < right->num_keys; ++j) {
+        right->children[j] = right->children[j + 1];
+      }
+    }
+    for (int j = 0; j < right->num_keys - 1; ++j) {
+      right->keys[j] = right->keys[j + 1];
+    }
+    --right->num_keys;
+    --right->subtree_size;
+    ++child->num_keys;
+    ++child->subtree_size;
+    return i;
+  }
+
+  // Merge with a sibling (separator key moves down).
+  const int left_index = i < node->num_keys ? i : i - 1;
+  return MergeChildren(node, left_index);
+}
+
+template <typename Key, typename Less>
+int CountedBTree<Key, Less>::MergeChildren(Node* node, int i) {
+  Node* left = node->children[i];
+  Node* right = node->children[i + 1];
+  left->keys[left->num_keys] = node->keys[i];
+  for (int j = 0; j < right->num_keys; ++j) {
+    left->keys[left->num_keys + 1 + j] = right->keys[j];
+  }
+  if (!left->leaf) {
+    for (int j = 0; j <= right->num_keys; ++j) {
+      left->children[left->num_keys + 1 + j] = right->children[j];
+    }
+  }
+  left->num_keys += 1 + right->num_keys;
+  left->subtree_size += 1 + right->subtree_size;
+  for (int j = i; j < node->num_keys - 1; ++j) {
+    node->keys[j] = node->keys[j + 1];
+  }
+  for (int j = i + 1; j < node->num_keys; ++j) {
+    node->children[j] = node->children[j + 1];
+  }
+  --node->num_keys;
+  delete right;
+  return i;
+}
+
+template <typename Key, typename Less>
+bool CountedBTree<Key, Less>::EraseFrom(Node* node, const Key& key) {
+  const int i = LowerBound(node, key);
+  const bool found_here = i < node->num_keys && Equal(node->keys[i], key);
+
+  if (node->leaf) {
+    if (!found_here) return false;
+    for (int j = i; j < node->num_keys - 1; ++j) {
+      node->keys[j] = node->keys[j + 1];
+    }
+    --node->num_keys;
+    --node->subtree_size;
+    return true;
+  }
+
+  if (found_here) {
+    Node* left = node->children[i];
+    Node* right = node->children[i + 1];
+    if (left->num_keys >= kMinDegree) {
+      // Replace with the predecessor and delete it below.
+      const Key pred = MaxKey(left);
+      node->keys[i] = pred;
+      const int idx = FillChild(node, i);
+      const bool erased = EraseFrom(node->children[idx], pred);
+      HWF_DCHECK(erased);
+      (void)erased;
+      --node->subtree_size;
+      return true;
+    }
+    if (right->num_keys >= kMinDegree) {
+      const Key succ = MinKey(right);
+      node->keys[i] = succ;
+      const int idx = FillChild(node, i + 1);
+      const bool erased = EraseFrom(node->children[idx], succ);
+      HWF_DCHECK(erased);
+      (void)erased;
+      --node->subtree_size;
+      return true;
+    }
+    // Both neighbors minimal: merge around the key, then delete inside.
+    // (Must merge children i and i+1 specifically — FillChild could borrow
+    // from an uninvolved sibling, leaving the key in `node`.)
+    const int idx = MergeChildren(node, i);
+    const bool erased = EraseFrom(node->children[idx], key);
+    HWF_DCHECK(erased);
+    (void)erased;
+    --node->subtree_size;
+    return true;
+  }
+
+  // Key (if present) lives in child i.
+  const int idx = FillChild(node, i);
+  const bool erased = EraseFrom(node->children[idx], key);
+  if (erased) --node->subtree_size;
+  return erased;
+}
+
+template <typename Key, typename Less>
+bool CountedBTree<Key, Less>::Erase(const Key& key) {
+  if (root_ == nullptr) return false;
+  const bool erased = EraseFrom(root_, key);
+  if (root_->num_keys == 0) {
+    Node* old_root = root_;
+    root_ = root_->leaf ? nullptr : root_->children[0];
+    delete old_root;
+  }
+  return erased;
+}
+
+template <typename Key, typename Less>
+const Key& CountedBTree<Key, Less>::Kth(size_t k) const {
+  HWF_CHECK(root_ != nullptr && k < root_->subtree_size);
+  const Node* node = root_;
+  for (;;) {
+    if (node->leaf) {
+      return node->keys[k];
+    }
+    int i = 0;
+    for (;; ++i) {
+      const size_t child_size = node->children[i]->subtree_size;
+      if (k < child_size) {
+        node = node->children[i];
+        break;
+      }
+      k -= child_size;
+      HWF_DCHECK(i < node->num_keys);
+      if (k == 0) return node->keys[i];
+      --k;
+    }
+  }
+}
+
+template <typename Key, typename Less>
+size_t CountedBTree<Key, Less>::CountLess(const Key& key) const {
+  size_t count = 0;
+  const Node* node = root_;
+  while (node != nullptr) {
+    const int i = LowerBound(node, key);
+    count += static_cast<size_t>(i);
+    if (node->leaf) break;
+    for (int j = 0; j < i; ++j) {
+      count += node->children[j]->subtree_size;
+    }
+    node = node->children[i];
+  }
+  return count;
+}
+
+template <typename Key, typename Less>
+size_t CountedBTree<Key, Less>::CheckNode(const Node* node, bool is_root,
+                                          int depth, int* leaf_depth) const {
+  HWF_CHECK(node->num_keys >= (is_root ? 1 : kMinDegree - 1));
+  HWF_CHECK(node->num_keys <= kMaxKeys);
+  for (int j = 1; j < node->num_keys; ++j) {
+    HWF_CHECK(!less_(node->keys[j], node->keys[j - 1]));
+  }
+  size_t total = static_cast<size_t>(node->num_keys);
+  if (node->leaf) {
+    if (*leaf_depth < 0) *leaf_depth = depth;
+    HWF_CHECK(*leaf_depth == depth);
+  } else {
+    for (int j = 0; j <= node->num_keys; ++j) {
+      const Node* child = node->children[j];
+      if (j > 0) HWF_CHECK(!less_(MinKey(child), node->keys[j - 1]));
+      if (j < node->num_keys) HWF_CHECK(!less_(node->keys[j], MaxKey(child)));
+      total += CheckNode(child, false, depth + 1, leaf_depth);
+    }
+  }
+  HWF_CHECK(total == node->subtree_size);
+  return total;
+}
+
+template <typename Key, typename Less>
+void CountedBTree<Key, Less>::CheckInvariants() const {
+  if (root_ == nullptr) return;
+  int leaf_depth = -1;
+  CheckNode(root_, true, 0, &leaf_depth);
+}
+
+}  // namespace hwf
+
+#endif  // HWF_BASELINES_ORDER_STATISTIC_TREE_H_

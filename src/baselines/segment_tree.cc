@@ -1,0 +1,81 @@
+#include "baselines/segment_tree.h"
+
+namespace hwf {
+
+void SortedListSegmentTree::Cover(size_t lo, size_t hi,
+                                  std::vector<NodeRef>* out) const {
+  // Classic iterative canonical cover: at each level, shave off the
+  // unaligned boundary runs. Every emitted run [start, start + w) is
+  // aligned to its width w and thereby a fully sorted run of that level.
+  size_t level = 0;
+  size_t l = lo;
+  size_t r = hi;
+  while (l < r) {
+    const size_t w = size_t{1} << level;
+    HWF_DCHECK(level < levels_.size());
+    const std::vector<double>& data = levels_[level];
+    if (l & w) {
+      out->push_back(NodeRef{data.data() + l, data.data() + l + w});
+      l += w;
+    }
+    if (l >= r) break;
+    if (r & w) {
+      r -= w;
+      out->push_back(NodeRef{data.data() + r, data.data() + r + w});
+    }
+    ++level;
+  }
+}
+
+double SortedListSegmentTree::SelectKth(size_t lo, size_t hi, size_t k) const {
+  HWF_CHECK(lo < hi && hi <= n_ && k < hi - lo);
+  std::vector<NodeRef> runs;
+  Cover(lo, hi, &runs);
+
+  // Select the k-th smallest from the union of sorted runs by repeated
+  // pivoting: take the middle of the largest remaining window as pivot,
+  // count elements <pivot and <=pivot across all windows, and discard the
+  // impossible side. Each round halves the largest window.
+  for (;;) {
+    size_t total = 0;
+    size_t largest = 0;
+    size_t largest_size = 0;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const size_t size = static_cast<size_t>(runs[i].end - runs[i].begin);
+      total += size;
+      if (size > largest_size) {
+        largest_size = size;
+        largest = i;
+      }
+    }
+    HWF_DCHECK(k < total);
+    if (total == 1) {
+      return *runs[largest].begin;
+    }
+    const NodeRef& big = runs[largest];
+    const double pivot = big.begin[(big.end - big.begin) / 2];
+
+    size_t count_less = 0;
+    size_t count_leq = 0;
+    for (const NodeRef& run : runs) {
+      count_less += static_cast<size_t>(
+          std::lower_bound(run.begin, run.end, pivot) - run.begin);
+      count_leq += static_cast<size_t>(
+          std::upper_bound(run.begin, run.end, pivot) - run.begin);
+    }
+    if (k < count_less) {
+      for (NodeRef& run : runs) {
+        run.end = std::lower_bound(run.begin, run.end, pivot);
+      }
+    } else if (k < count_leq) {
+      return pivot;
+    } else {
+      k -= count_leq;
+      for (NodeRef& run : runs) {
+        run.begin = std::upper_bound(run.begin, run.end, pivot);
+      }
+    }
+  }
+}
+
+}  // namespace hwf

@@ -1,0 +1,154 @@
+#ifndef HWF_BASELINES_SEGMENT_TREE_H_
+#define HWF_BASELINES_SEGMENT_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+/// A static segment tree over aggregation states (Leis et al. [27]).
+///
+/// Build is O(n); any range aggregate is O(log n) by merging the canonical
+/// cover's node states. This is the production path for *distributive and
+/// algebraic* framed aggregates (SUM, MIN, MAX, AVG, ...) — the paper's
+/// merge sort tree is only needed for holistic ones. No inverse function is
+/// required, so MIN/MAX work and arbitrary frames (including non-monotonic
+/// ones) run in O(n log n) total.
+///
+/// `Ops` follows the aggregate_ops.h concept.
+template <typename Ops>
+class SegmentTree {
+ public:
+  using Input = typename Ops::Input;
+  using State = typename Ops::State;
+
+  SegmentTree() = default;
+
+  /// Builds the tree over per-position inputs.
+  static SegmentTree Build(std::span<const Input> inputs) {
+    SegmentTree tree;
+    const size_t n = inputs.size();
+    tree.n_ = n;
+    if (n == 0) return tree;
+    tree.nodes_.resize(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      tree.nodes_[n + i] = Ops::MakeState(inputs[i]);
+    }
+    for (size_t i = n - 1; i > 0; --i) {
+      State state = tree.nodes_[2 * i];
+      if (2 * i + 1 < 2 * n) Ops::Merge(state, tree.nodes_[2 * i + 1]);
+      tree.nodes_[i] = state;
+    }
+    return tree;
+  }
+
+  size_t size() const { return n_; }
+
+  /// Aggregate over positions [lo, hi); nullopt when the range is empty.
+  std::optional<State> Aggregate(size_t lo, size_t hi) const {
+    HWF_DCHECK(hi <= n_);
+    if (lo >= hi) return std::nullopt;
+    std::optional<State> left;
+    std::optional<State> right;
+    size_t l = lo + n_;
+    size_t r = hi + n_;
+    while (l < r) {
+      if (l & 1) {
+        if (left.has_value()) {
+          Ops::Merge(*left, nodes_[l]);
+        } else {
+          left = nodes_[l];
+        }
+        ++l;
+      }
+      if (r & 1) {
+        --r;
+        if (right.has_value()) {
+          State state = nodes_[r];
+          Ops::Merge(state, *right);
+          right = std::move(state);
+        } else {
+          right = nodes_[r];
+        }
+      }
+      l >>= 1;
+      r >>= 1;
+    }
+    if (!left.has_value()) return right;
+    if (right.has_value()) Ops::Merge(*left, *right);
+    return left;
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<State> nodes_;
+};
+
+/// A segment tree whose nodes store *sorted value lists* — the only
+/// previously-known parallelizable structure for framed percentiles
+/// (Arasu & Widom's base intervals [1]; Table 1's "segment tree" row).
+///
+/// Build is O(n log n) (each level is a merge of the level below); a
+/// percentile query covers the range with O(log n) nodes and then selects
+/// the k-th element of the union of their sorted lists. Selection costs
+/// O(log n) rounds of O(log n) per-list narrowing, so a query is
+/// O(log² n)–O(log³ n) — asymptotically worse than the merge sort tree's
+/// O(log n), which is the point of the comparison.
+class SortedListSegmentTree {
+ public:
+  SortedListSegmentTree() = default;
+
+  static SortedListSegmentTree Build(std::span<const double> values) {
+    SortedListSegmentTree tree;
+    tree.n_ = values.size();
+    if (tree.n_ == 0) return tree;
+    // levels_[0] = the raw values; level ℓ holds sorted runs of size 2^ℓ.
+    tree.levels_.emplace_back(values.begin(), values.end());
+    for (size_t width = 1; width < tree.n_; width *= 2) {
+      const std::vector<double>& prev = tree.levels_.back();
+      std::vector<double> next(tree.n_);
+      for (size_t lo = 0; lo < tree.n_; lo += 2 * width) {
+        const size_t mid = std::min(tree.n_, lo + width);
+        const size_t hi = std::min(tree.n_, lo + 2 * width);
+        std::merge(prev.begin() + lo, prev.begin() + mid, prev.begin() + mid,
+                   prev.begin() + hi, next.begin() + lo);
+      }
+      tree.levels_.push_back(std::move(next));
+    }
+    return tree;
+  }
+
+  size_t size() const { return n_; }
+
+  size_t MemoryUsageBytes() const {
+    size_t bytes = 0;
+    for (const auto& level : levels_) bytes += level.size() * sizeof(double);
+    return bytes;
+  }
+
+  /// The k-th smallest value (0-based) among positions [lo, hi).
+  /// Requires k < hi - lo.
+  double SelectKth(size_t lo, size_t hi, size_t k) const;
+
+ private:
+  struct NodeRef {
+    const double* begin;
+    const double* end;
+  };
+
+  /// Collects the canonical cover of [lo, hi) as sorted runs.
+  void Cover(size_t lo, size_t hi, std::vector<NodeRef>* out) const;
+
+  size_t n_ = 0;
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_BASELINES_SEGMENT_TREE_H_

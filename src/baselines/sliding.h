@@ -1,0 +1,68 @@
+#ifndef HWF_BASELINES_SLIDING_H_
+#define HWF_BASELINES_SLIDING_H_
+
+#include <cstddef>
+
+#include "mst/remap.h"
+#include "window/evaluator.h"
+
+namespace hwf {
+namespace internal_baselines {
+
+/// Drives an incremental aggregation state over consecutive frames.
+///
+/// Work is cut into morsels (tasks); every task starts from an EMPTY state
+/// and replays its first frame from scratch — exactly the task-based
+/// parallelization penalty the paper analyzes in §3.2: the larger the
+/// frame, the more work each task duplicates. Within a task, consecutive
+/// frames are diffed and the state is updated by Add/Remove calls; for
+/// non-monotonic frames the diff degenerates to remove-all/add-all, which
+/// reproduces the §6.5 behavior.
+///
+/// `MakeState()` creates a fresh state with methods:
+///   void Add(size_t filtered_pos);
+///   void Remove(size_t filtered_pos);
+/// `emit(i, state, frame_rows)` writes the result for partition position i.
+template <typename MakeState, typename Emit>
+void SlideFrames(const PartitionView& view, const IndexRemap& remap,
+                 MakeState&& make_state, Emit&& emit) {
+  ParallelFor(
+      0, view.size(),
+      [&](size_t morsel_lo, size_t morsel_hi) {
+        auto state = make_state();
+        RowRange cur{0, 0};
+        RowRange mapped[FrameRanges::kMaxRanges];
+        for (size_t i = morsel_lo; i < morsel_hi; ++i) {
+          const size_t num_ranges =
+              MapRangesToFiltered(view.frames[i], remap, mapped);
+          HWF_CHECK_MSG(num_ranges <= 1,
+                        "incremental engines do not support frame exclusion");
+          const RowRange next =
+              num_ranges == 1 ? mapped[0] : RowRange{cur.end, cur.end};
+          if (next.begin >= cur.end || next.end <= cur.begin) {
+            // Disjoint (or empty): full teardown and rebuild.
+            for (size_t j = cur.begin; j < cur.end; ++j) state.Remove(j);
+            for (size_t j = next.begin; j < next.end; ++j) state.Add(j);
+          } else {
+            if (next.begin < cur.begin) {
+              for (size_t j = next.begin; j < cur.begin; ++j) state.Add(j);
+            } else {
+              for (size_t j = cur.begin; j < next.begin; ++j) state.Remove(j);
+            }
+            if (next.end > cur.end) {
+              for (size_t j = cur.end; j < next.end; ++j) state.Add(j);
+            } else {
+              for (size_t j = next.end; j < cur.end; ++j) state.Remove(j);
+            }
+          }
+          cur = next;
+          emit(i, state, cur.size());
+        }
+      },
+      *view.pool, view.options->morsel_size);
+}
+
+}  // namespace internal_baselines
+}  // namespace hwf
+
+#endif  // HWF_BASELINES_SLIDING_H_

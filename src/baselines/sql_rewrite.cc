@@ -1,0 +1,97 @@
+#include "baselines/sql_rewrite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+namespace {
+
+/// Materializes the ROW_NUMBER() CTE: rank of each row under
+/// (order_column, row id).
+std::vector<size_t> ComputeRowNumbers(const Table& table,
+                                      size_t order_column) {
+  const Column& order = table.column(order_column);
+  const size_t n = table.num_rows();
+  std::vector<size_t> by_order(n);
+  std::iota(by_order.begin(), by_order.end(), 0);
+  std::sort(by_order.begin(), by_order.end(), [&](size_t a, size_t b) {
+    const int cmp = order.Compare(a, b);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  });
+  std::vector<size_t> rn(n);
+  for (size_t r = 0; r < n; ++r) rn[by_order[r]] = r;
+  return rn;
+}
+
+double DiscMedian(std::vector<double>* values) {
+  HWF_DCHECK(!values->empty());
+  std::sort(values->begin(), values->end());
+  const size_t total = values->size();
+  double pos = std::ceil(0.5 * static_cast<double>(total)) - 1;
+  size_t idx = pos <= 0 ? 0 : static_cast<size_t>(pos);
+  if (idx >= total) idx = total - 1;
+  return (*values)[idx];
+}
+
+}  // namespace
+
+Column CorrelatedSubqueryFramedMedian(const Table& table, size_t value_column,
+                                      size_t order_column,
+                                      int64_t preceding) {
+  const Column& value = table.column(value_column);
+  const size_t n = table.num_rows();
+  const std::vector<size_t> rn = ComputeRowNumbers(table, order_column);
+
+  Column result(DataType::kDouble, n);
+  std::vector<double> frame;
+  for (size_t outer = 0; outer < n; ++outer) {
+    // The correlated subquery re-scans lineitem_rn for every outer row.
+    const int64_t lo = static_cast<int64_t>(rn[outer]) - preceding;
+    const int64_t hi = static_cast<int64_t>(rn[outer]);
+    frame.clear();
+    for (size_t inner = 0; inner < n; ++inner) {
+      const int64_t r = static_cast<int64_t>(rn[inner]);
+      if (r >= lo && r <= hi) frame.push_back(value.GetNumeric(inner));
+    }
+    result.SetDouble(outer, DiscMedian(&frame));
+  }
+  return result;
+}
+
+Column SelfJoinFramedMedian(const Table& table, size_t value_column,
+                            size_t order_column, int64_t preceding) {
+  const Column& value = table.column(value_column);
+  const size_t n = table.num_rows();
+  const std::vector<size_t> rn = ComputeRowNumbers(table, order_column);
+
+  // Nested-loop join: emit (group = l1 row, l2 value) pairs. The grouped
+  // aggregation then consumes each group's materialized values. To keep
+  // memory bounded we process the join grouped by the outer side, as the
+  // group-aggregate operator above the join would after partitioning —
+  // the O(n²) join work is unchanged.
+  Column result(DataType::kDouble, n);
+  std::vector<double> group;
+  for (size_t outer = 0; outer < n; ++outer) {
+    const int64_t lo = static_cast<int64_t>(rn[outer]) - preceding;
+    const int64_t hi = static_cast<int64_t>(rn[outer]);
+    group.clear();
+    for (size_t inner = 0; inner < n; ++inner) {
+      const int64_t r = static_cast<int64_t>(rn[inner]);
+      // The join predicate l2.rn BETWEEN l1.rn - k AND l1.rn, evaluated
+      // per pair (this is what the nested-loop join does).
+      if (r >= lo && r <= hi) {
+        group.push_back(value.GetNumeric(inner));
+      }
+    }
+    result.SetDouble(outer, DiscMedian(&group));
+  }
+  return result;
+}
+
+}  // namespace hwf

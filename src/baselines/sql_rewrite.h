@@ -1,0 +1,38 @@
+#ifndef HWF_BASELINES_SQL_REWRITE_H_
+#define HWF_BASELINES_SQL_REWRITE_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace hwf {
+
+/// The "traditional SQL" formulations of a framed median from the paper's
+/// §6.2 (Fig. 9), executed as the plans the evaluated systems actually
+/// chose: O(n²) nested loops. Without native framed-percentile support, a
+/// user must express
+///
+///   percentile_disc(0.5 ORDER BY price)
+///     OVER (ORDER BY date ROWS BETWEEN k PRECEDING AND CURRENT ROW)
+///
+/// through a row-numbered CTE plus either a correlated subquery or a
+/// non-equi self-join — and every system (DuckDB, Hyper, PostgreSQL)
+/// evaluates the range predicate `l2.rn BETWEEN l1.rn - k AND l1.rn` as a
+/// nested-loop join. These functions reproduce those plans faithfully so
+/// that Fig. 9's comparison can be regenerated without the external
+/// systems (see DESIGN.md, Substitutions).
+
+/// The correlated-subquery plan: for every outer row, scan the whole CTE,
+/// keep rows inside the rn window, and aggregate the percentile.
+Column CorrelatedSubqueryFramedMedian(const Table& table, size_t value_column,
+                                      size_t order_column, int64_t preceding);
+
+/// The self-join plan: produce all join pairs (materialized per outer
+/// group, as a hash aggregate over the join output would), then sort each
+/// group's values and pick the percentile.
+Column SelfJoinFramedMedian(const Table& table, size_t value_column,
+                            size_t order_column, int64_t preceding);
+
+}  // namespace hwf
+
+#endif  // HWF_BASELINES_SQL_REWRITE_H_

@@ -1,0 +1,49 @@
+#ifndef HWF_COMMON_MACROS_H_
+#define HWF_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file macros.h
+/// Checked assertion macros used throughout the library.
+///
+/// `HWF_CHECK` is always active and terminates the process with a diagnostic
+/// on violation; it guards programming errors (invalid arguments, broken
+/// invariants). `HWF_DCHECK` compiles away in NDEBUG builds and is used on
+/// hot paths where the check would be measurable.
+
+#define HWF_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "HWF_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define HWF_CHECK_MSG(condition, msg)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "HWF_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #condition, msg);                  \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define HWF_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define HWF_DCHECK(condition) HWF_CHECK(condition)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HWF_LIKELY(x) __builtin_expect(!!(x), 1)
+#define HWF_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define HWF_LIKELY(x) (x)
+#define HWF_UNLIKELY(x) (x)
+#endif
+
+#endif  // HWF_COMMON_MACROS_H_

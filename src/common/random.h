@@ -1,0 +1,83 @@
+#ifndef HWF_COMMON_RANDOM_H_
+#define HWF_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace hwf {
+
+/// Deterministic PCG32 pseudo-random generator.
+///
+/// All data generators and randomized tests in this repository use this
+/// generator so that workloads are bit-reproducible across runs and
+/// platforms (std::mt19937 distributions are not portable across standard
+/// library implementations).
+class Pcg32 {
+ public:
+  /// Seeds the generator. The same (seed, stream) pair always produces the
+  /// same sequence.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Returns the next 32 random bits.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 32) | Next();
+  }
+
+  /// Returns a uniform integer in [0, bound). bound must be > 0.
+  uint32_t Bounded(uint32_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t product = static_cast<uint64_t>(Next()) * bound;
+    uint32_t low = static_cast<uint32_t>(product);
+    if (low < bound) {
+      uint32_t threshold = -bound % bound;
+      while (low < threshold) {
+        product = static_cast<uint64_t>(Next()) * bound;
+        low = static_cast<uint32_t>(product);
+      }
+    }
+    return static_cast<uint32_t>(product >> 32);
+  }
+
+  /// Returns a uniform int64 in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t range = static_cast<uint64_t>(hi - lo);
+    if (range == 0) return lo;
+    if (range < UINT32_MAX) {
+      return lo + static_cast<int64_t>(Bounded(static_cast<uint32_t>(range + 1)));
+    }
+    // Rejection sampling for 64-bit ranges.
+    uint64_t bound = range + 1;
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return lo + static_cast<int64_t>(r % bound);
+    }
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_COMMON_RANDOM_H_

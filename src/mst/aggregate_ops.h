@@ -1,0 +1,75 @@
+#ifndef HWF_MST_AGGREGATE_OPS_H_
+#define HWF_MST_AGGREGATE_OPS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hwf {
+
+/// Aggregate operation concepts for the annotated merge sort tree (§4.3).
+///
+/// An Ops type provides:
+///   using Input = ...;                       // per-row input value
+///   using State = ...;                       // aggregation state
+///   static State MakeState(Input);           // state of a single input
+///   static void Merge(State&, const State&); // combine two states
+///
+/// Only a merge function is required — no inverse ("retract") function, which
+/// is the key property that makes the approach applicable to arbitrary
+/// user-defined aggregates (§4.3). All states must be commutative and
+/// associative under Merge.
+
+/// SUM(DISTINCT x) over doubles.
+struct SumOps {
+  using Input = double;
+  using State = double;
+  static State MakeState(Input v) { return v; }
+  static void Merge(State& into, const State& other) { into += other; }
+};
+
+/// SUM(DISTINCT x) over 64-bit integers.
+struct SumInt64Ops {
+  using Input = int64_t;
+  using State = int64_t;
+  static State MakeState(Input v) { return v; }
+  static void Merge(State& into, const State& other) { into += other; }
+};
+
+/// MIN(DISTINCT x). (Identical result to plain framed MIN, provided for
+/// completeness of the DISTINCT surface.)
+struct MinOps {
+  using Input = double;
+  using State = double;
+  static State MakeState(Input v) { return v; }
+  static void Merge(State& into, const State& other) {
+    into = std::min(into, other);
+  }
+};
+
+/// MAX(DISTINCT x).
+struct MaxOps {
+  using Input = double;
+  using State = double;
+  static State MakeState(Input v) { return v; }
+  static void Merge(State& into, const State& other) {
+    into = std::max(into, other);
+  }
+};
+
+/// AVG(DISTINCT x): a decomposed algebraic aggregate (sum, count).
+struct AvgOps {
+  using Input = double;
+  struct State {
+    double sum;
+    int64_t count;
+  };
+  static State MakeState(Input v) { return {v, 1}; }
+  static void Merge(State& into, const State& other) {
+    into.sum += other.sum;
+    into.count += other.count;
+  }
+};
+
+}  // namespace hwf
+
+#endif  // HWF_MST_AGGREGATE_OPS_H_

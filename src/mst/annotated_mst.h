@@ -1,0 +1,118 @@
+#ifndef HWF_MST_ANNOTATED_MST_H_
+#define HWF_MST_ANNOTATED_MST_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "mst/merge_sort_tree.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// An aggregate-annotated merge sort tree (paper §4.3, Fig. 5).
+///
+/// Every element of every sorted run carries the running aggregate of its
+/// run prefix. A framed distinct aggregate then (1) covers the frame with
+/// sorted runs, (2) locates the frame's lower bound inside each run via the
+/// shared cascading machinery, and (3) merges the prefix aggregates at
+/// those boundaries — O(f·log n) per frame, no inverse function needed.
+///
+/// `Ops` follows the concept documented in aggregate_ops.h.
+template <typename Index, typename Ops>
+class AnnotatedMergeSortTree {
+ public:
+  using Input = typename Ops::Input;
+  using State = typename Ops::State;
+  using Options = MergeSortTreeOptions;
+
+  AnnotatedMergeSortTree() = default;
+
+  /// Builds the tree over `keys` with one aggregate `input` per key (both
+  /// consumed). Prefix states are computed level by level in parallel.
+  static AnnotatedMergeSortTree Build(std::vector<Index> keys,
+                                      std::vector<Input> inputs,
+                                      const Options& options = {},
+                                      ThreadPool& pool = ThreadPool::Default()) {
+    HWF_CHECK(keys.size() == inputs.size());
+    AnnotatedMergeSortTree result;
+    std::vector<std::vector<Input>> level_inputs;
+    result.tree_ = MergeSortTree<Index>::template BuildWithPayload<Input>(
+        std::move(keys), options, pool, &inputs, &level_inputs);
+    result.prefixes_.resize(level_inputs.size());
+    const size_t n = result.tree_.size();
+    for (size_t level = 0; level < level_inputs.size(); ++level) {
+      const std::vector<Input>& in = level_inputs[level];
+      std::vector<State>& pref = result.prefixes_[level];
+      pref.resize(n);
+      const size_t run_len = RunLen(options.fanout, level);
+      const size_t num_runs = run_len == 0 ? 1 : (n + run_len - 1) / run_len;
+      ParallelFor(
+          0, num_runs,
+          [&](size_t run_lo, size_t run_hi) {
+            for (size_t r = run_lo; r < run_hi; ++r) {
+              const size_t begin = r * run_len;
+              const size_t end = std::min(n, begin + run_len);
+              if (begin >= end) continue;
+              State acc = Ops::MakeState(in[begin]);
+              pref[begin] = acc;
+              for (size_t i = begin + 1; i < end; ++i) {
+                Ops::Merge(acc, Ops::MakeState(in[i]));
+                pref[i] = acc;
+              }
+            }
+          },
+          pool, /*morsel_size=*/1);
+    }
+    return result;
+  }
+
+  /// Number of entries.
+  size_t size() const { return tree_.size(); }
+
+  /// The underlying (un-annotated) tree, e.g. for CountLess queries.
+  const MergeSortTree<Index>& tree() const { return tree_; }
+
+  /// Merges the states of all entries at positions [pos_lo, pos_hi) whose
+  /// key is < threshold. Returns nullopt when no entry qualifies.
+  std::optional<State> AggregateLess(size_t pos_lo, size_t pos_hi,
+                                     Index threshold) const {
+    std::optional<State> result;
+    tree_.VisitCountCover(
+        pos_lo, pos_hi, threshold,
+        [&](size_t level, size_t run_begin, size_t count) {
+          const State& piece = prefixes_[level][run_begin + count - 1];
+          if (result.has_value()) {
+            Ops::Merge(*result, piece);
+          } else {
+            result = piece;
+          }
+        });
+    return result;
+  }
+
+  /// Bytes held by tree levels plus prefix annotations.
+  size_t MemoryUsageBytes() const {
+    size_t bytes = tree_.MemoryUsageBytes();
+    for (const std::vector<State>& pref : prefixes_) {
+      bytes += pref.capacity() * sizeof(State);
+    }
+    return bytes;
+  }
+
+ private:
+  static size_t RunLen(size_t fanout, size_t level) {
+    size_t len = 1;
+    for (size_t i = 0; i < level; ++i) len *= fanout;
+    return len;
+  }
+
+  MergeSortTree<Index> tree_;
+  std::vector<std::vector<State>> prefixes_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_MST_ANNOTATED_MST_H_

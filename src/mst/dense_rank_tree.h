@@ -1,0 +1,190 @@
+#ifndef HWF_MST_DENSE_RANK_TREE_H_
+#define HWF_MST_DENSE_RANK_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "mst/merge_sort_tree.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// The 3-dimensional range-counting structure for framed DENSE_RANK
+/// (paper §4.4): a range tree (Bentley [6, 7]) over the value dimension
+/// whose canonical nodes each carry a merge sort tree over the
+/// (position, previous-equal-occurrence) plane.
+///
+/// dense_rank(row) - 1 = |{distinct codes c < code(row) present in the
+/// frame}|. A code is "present" iff the frame contains its first in-frame
+/// occurrence: position ∈ [a, b) ∧ prevEq < a — a 2-d dominance count,
+/// restricted to codes < code(row) — the third dimension.
+///
+/// Layout: V = positions sorted by (code, position). Level ℓ groups V into
+/// aligned blocks of 2^ℓ entries, each re-sorted by position; a per-level
+/// merge sort tree over the prevEq keys answers the 2-d counts inside any
+/// block sub-range. A query decomposes the code-prefix [0, rank(code)) into
+/// O(log n) aligned blocks and runs one narrowed 2-d count per block —
+/// O(log² n) per row, O(n log² n) space, exactly the paper's bounds.
+template <typename Index>
+class DenseRankTree {
+ public:
+  using Options = MergeSortTreeOptions;
+
+  DenseRankTree() = default;
+
+  /// Builds the tree over per-position value codes (codes need not be
+  /// dense; only their order matters).
+  static DenseRankTree Build(std::span<const Index> codes,
+                             const Options& options = {},
+                             ThreadPool& pool = ThreadPool::Default()) {
+    DenseRankTree tree;
+    const size_t n = codes.size();
+    tree.n_ = n;
+    tree.codes_.assign(codes.begin(), codes.end());
+    if (n == 0) return tree;
+
+    // V: positions sorted by (code, position).
+    std::vector<Index> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<Index>(i);
+    std::sort(v.begin(), v.end(), [&](Index a, Index b) {
+      if (codes[a] != codes[b]) return codes[a] < codes[b];
+      return a < b;
+    });
+
+    // Previous occurrence of the same code, encoded +1 (0 = none). Within
+    // V, equal codes are adjacent and position-sorted.
+    std::vector<Index> prev_enc(n);
+    for (size_t j = 0; j < n; ++j) {
+      if (j > 0 && codes[v[j]] == codes[v[j - 1]]) {
+        prev_enc[v[j]] = static_cast<Index>(v[j - 1] + 1);
+      } else {
+        prev_enc[v[j]] = 0;
+      }
+    }
+
+    // sorted_code_[j] = code of V[j]; used to locate code-prefix bounds.
+    tree.sorted_codes_.resize(n);
+    for (size_t j = 0; j < n; ++j) tree.sorted_codes_[j] = codes[v[j]];
+
+    // Level 0: blocks of size 1 (V itself, trivially position-sorted).
+    Level level0;
+    level0.positions = std::move(v);
+    level0.keys.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      level0.keys[j] = prev_enc[level0.positions[j]];
+    }
+    level0.block_size = 1;
+    tree.levels_.push_back(std::move(level0));
+
+    // Higher levels: merge adjacent blocks by position.
+    for (size_t width = 1; width < n; width *= 2) {
+      const Level& prev_level = tree.levels_.back();
+      Level next;
+      next.block_size = 2 * width;
+      next.positions.resize(n);
+      next.keys.resize(n);
+      for (size_t lo = 0; lo < n; lo += 2 * width) {
+        const size_t mid = std::min(n, lo + width);
+        const size_t hi = std::min(n, lo + 2 * width);
+        std::merge(prev_level.positions.begin() + lo,
+                   prev_level.positions.begin() + mid,
+                   prev_level.positions.begin() + mid,
+                   prev_level.positions.begin() + hi,
+                   next.positions.begin() + lo);
+      }
+      for (size_t j = 0; j < n; ++j) {
+        next.keys[j] = prev_enc[next.positions[j]];
+      }
+      tree.levels_.push_back(std::move(next));
+    }
+
+    // One merge sort tree per level over the prevEq keys (in block-then-
+    // position order). Level 0 sub-ranges have length <= 1 and are handled
+    // by direct comparison, so no tree is needed there.
+    for (size_t level = 1; level < tree.levels_.size(); ++level) {
+      tree.levels_[level].tree = MergeSortTree<Index>::Build(
+          tree.levels_[level].keys, options, pool);
+    }
+    return tree;
+  }
+
+  size_t size() const { return n_; }
+
+  size_t MemoryUsageBytes() const {
+    size_t bytes = sorted_codes_.capacity() * sizeof(Index) +
+                   codes_.capacity() * sizeof(Index);
+    for (const Level& level : levels_) {
+      bytes += level.positions.capacity() * sizeof(Index);
+      bytes += level.keys.capacity() * sizeof(Index);
+      bytes += level.tree.MemoryUsageBytes();
+    }
+    return bytes;
+  }
+
+  /// Number of distinct codes < `code` with at least one occurrence at
+  /// positions [pos_lo, pos_hi).
+  size_t CountDistinctLess(size_t pos_lo, size_t pos_hi, Index code) const {
+    if (pos_lo >= pos_hi || n_ == 0) return 0;
+    // Code-prefix length: number of V entries with a smaller code.
+    const size_t prefix = static_cast<size_t>(
+        std::lower_bound(sorted_codes_.begin(), sorted_codes_.end(), code) -
+        sorted_codes_.begin());
+    if (prefix == 0) return 0;
+
+    const Index threshold = static_cast<Index>(pos_lo + 1);
+    size_t count = 0;
+    // Canonical cover of [0, prefix): shave aligned blocks from the right.
+    size_t l = 0;
+    size_t r = prefix;
+    size_t level = 0;
+    while (l < r) {
+      const size_t w = size_t{1} << level;
+      if (r & w) {
+        r -= w;
+        count += CountInBlock(level, r, r + w, pos_lo, pos_hi, threshold);
+      }
+      ++level;
+    }
+    return count;
+  }
+
+ private:
+  struct Level {
+    std::vector<Index> positions;  // Block-concatenated, position-sorted.
+    std::vector<Index> keys;       // prevEq (encoded) in the same order.
+    MergeSortTree<Index> tree;     // Empty for level 0.
+    size_t block_size = 1;
+  };
+
+  /// 2-d count inside one aligned block [block_lo, block_hi) of `level`:
+  /// entries with position in [pos_lo, pos_hi) and prevEq < threshold.
+  size_t CountInBlock(size_t level, size_t block_lo, size_t block_hi,
+                      size_t pos_lo, size_t pos_hi, Index threshold) const {
+    const Level& lvl = levels_[level];
+    const Index* positions = lvl.positions.data();
+    const Index* begin = positions + block_lo;
+    const Index* end = positions + block_hi;
+    const size_t sub_lo = static_cast<size_t>(
+        std::lower_bound(begin, end, static_cast<Index>(pos_lo)) - positions);
+    const size_t sub_hi = static_cast<size_t>(
+        std::lower_bound(begin, end, static_cast<Index>(pos_hi)) - positions);
+    if (sub_lo >= sub_hi) return 0;
+    if (level == 0) {
+      return lvl.keys[sub_lo] < threshold ? 1 : 0;
+    }
+    return lvl.tree.CountLess(sub_lo, sub_hi, threshold);
+  }
+
+  size_t n_ = 0;
+  std::vector<Index> codes_;
+  std::vector<Index> sorted_codes_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_MST_DENSE_RANK_TREE_H_

@@ -1,0 +1,644 @@
+#ifndef HWF_MST_MERGE_SORT_TREE_H_
+#define HWF_MST_MERGE_SORT_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// Tuning parameters of a merge sort tree (paper §5.1, §6.6).
+struct MergeSortTreeOptions {
+  /// Fanout f: each tree level merges `fanout` runs of the level below.
+  /// Larger fanouts shrink the tree height (and thus memory) exponentially
+  /// at the cost of more binary searches per level.
+  size_t fanout = 32;
+
+  /// Sampling interval k: only every k-th element of a level is annotated
+  /// with fractional-cascading pointers. Larger k reduces memory bandwidth
+  /// pressure; between samples the query re-searches a window of at most k
+  /// elements, which keeps per-level work O(1) for constant k.
+  size_t sampling = 32;
+
+  /// Disables fractional cascading entirely (every child run is located via
+  /// a full binary search). Only used by the ablation benchmark; turns the
+  /// O(n log n) query phase into O(n log² n) as discussed in §4.2.
+  bool use_cascading = true;
+};
+
+/// A half-open key interval [lo, hi) used in tree queries.
+template <typename Index>
+struct KeyRange {
+  Index lo;
+  Index hi;
+};
+
+namespace internal_mst {
+
+/// Merges `num_children` sorted child runs into `out`, breaking key ties by
+/// child index (which equals position order, making every level a stable
+/// sort of level 0). When `cascade_out` is non-null, the current child
+/// offsets are recorded every `sampling` output elements. When `Payload` is
+/// non-void-like (HasPayload), payload values travel with their keys.
+///
+/// To merge one CHUNK of a larger run in parallel (§5.2 upper-level
+/// strategy), pass the chunk's starting position within the run as
+/// `out_offset` and the per-child starting offsets (from MultiwaySelect)
+/// as `start_offsets`; `out`/`cascade_out` still point at the run start.
+template <typename Index, typename Payload, bool kHasPayload>
+void MergeRun(const Index* const* child_data, const size_t* child_lens,
+              size_t num_children, Index* out, size_t out_len,
+              Index* cascade_out, size_t sampling, size_t fanout,
+              const Payload* const* child_payload, Payload* out_payload,
+              size_t out_offset = 0, const size_t* start_offsets = nullptr) {
+  // (key, child) min-heap; pair comparison breaks ties on the child index.
+  using Entry = std::pair<Index, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<size_t> offsets(num_children, 0);
+  for (size_t c = 0; c < num_children; ++c) {
+    if (start_offsets != nullptr) offsets[c] = start_offsets[c];
+    if (offsets[c] < child_lens[c]) {
+      heap.push({child_data[c][offsets[c]], static_cast<uint32_t>(c)});
+    }
+  }
+  for (size_t o = out_offset; o < out_offset + out_len; ++o) {
+    if (cascade_out != nullptr && o % sampling == 0) {
+      Index* slot = cascade_out + (o / sampling) * fanout;
+      for (size_t c = 0; c < num_children; ++c) {
+        slot[c] = static_cast<Index>(offsets[c]);
+      }
+      for (size_t c = num_children; c < fanout; ++c) slot[c] = 0;
+    }
+    auto [key, child] = heap.top();
+    heap.pop();
+    out[o] = key;
+    if constexpr (kHasPayload) {
+      out_payload[o] = child_payload[child][offsets[child]];
+    }
+    size_t next = ++offsets[child];
+    if (next < child_lens[child]) {
+      heap.push({child_data[child][next], child});
+    }
+  }
+}
+
+/// Computes, for each child run, the input offset at which the k-th output
+/// element of the (tie-by-child-index) merge is produced — the balanced
+/// multiway merge split of Francis et al. [18] (§5.2). Exploits that keys
+/// are integers: binary search over the key domain, then distribute the
+/// elements equal to the split key to the children in index order.
+template <typename Index>
+void MultiwaySelect(const Index* const* child_data, const size_t* child_lens,
+                    size_t num_children, size_t k, size_t* offsets_out) {
+  auto count_less = [&](Index v) {
+    size_t count = 0;
+    for (size_t c = 0; c < num_children; ++c) {
+      count += static_cast<size_t>(
+          std::lower_bound(child_data[c], child_data[c] + child_lens[c], v) -
+          child_data[c]);
+    }
+    return count;
+  };
+  // Largest key v with count_less(v) <= k.
+  Index lo = 0;
+  Index hi = std::numeric_limits<Index>::max();
+  while (lo < hi) {
+    const Index mid = lo + (hi - lo) / 2 + 1;  // Round up: search for max.
+    if (count_less(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const Index split_key = lo;
+  size_t remaining = k;
+  for (size_t c = 0; c < num_children; ++c) {
+    offsets_out[c] = static_cast<size_t>(
+        std::lower_bound(child_data[c], child_data[c] + child_lens[c],
+                         split_key) -
+        child_data[c]);
+    remaining -= offsets_out[c];
+  }
+  // Distribute the elements equal to split_key in child-index order, the
+  // same order the tie-breaking merge emits them.
+  for (size_t c = 0; c < num_children && remaining > 0; ++c) {
+    const size_t eq = static_cast<size_t>(
+        std::upper_bound(child_data[c] + offsets_out[c],
+                         child_data[c] + child_lens[c], split_key) -
+        (child_data[c] + offsets_out[c]));
+    const size_t take = std::min(remaining, eq);
+    offsets_out[c] += take;
+    remaining -= take;
+  }
+  HWF_DCHECK(remaining == 0);
+}
+
+}  // namespace internal_mst
+
+/// The paper's merge sort tree (§4): a static index over an integer array
+/// that answers two-dimensional range queries.
+///
+/// Level 0 stores the input array in its original ("frame") order; level ℓ
+/// stores the same values as sorted runs of length fanout^ℓ, exactly the
+/// intermediate state of a bottom-up merge sort. Fractional-cascading
+/// pointers recorded during the merges let a query reuse one top-level
+/// binary search across all levels.
+///
+/// Two query shapes cover all framed holistic aggregates:
+///   - CountLess(pos_lo, pos_hi, t): how many entries within a position
+///     range have a key < t. Drives COUNT(DISTINCT), RANK, ROW_NUMBER,
+///     CUME_DIST etc. (§4.2, §4.4).
+///   - Select(key_ranges, i): the i-th position (left to right) whose key
+///     falls into the given key ranges. Drives percentiles, NTH_VALUE,
+///     LEAD/LAG (§4.5, §4.6).
+///
+/// Index is uint32_t or uint64_t; the caller picks the narrowest type that
+/// fits the partition size (§5.1). Keys must be <= max(Index).
+template <typename Index>
+class MergeSortTree {
+ public:
+  using Options = MergeSortTreeOptions;
+
+  MergeSortTree() = default;
+
+  /// Builds the tree over `keys` (consumed). O(n log n) time; the merge of
+  /// each output run is an independent task executed on `pool`.
+  static MergeSortTree Build(std::vector<Index> keys,
+                             const Options& options = {},
+                             ThreadPool& pool = ThreadPool::Default()) {
+    return BuildWithPayload<char>(std::move(keys), options, pool, nullptr,
+                                  nullptr);
+  }
+
+  /// Like Build, but additionally permutes `payload` (one value per key)
+  /// alongside the keys of every level: on return, (*level_payloads)[ℓ][i]
+  /// is the payload of key level ℓ position i. Used by the aggregate-
+  /// annotated tree (§4.3). `level_payloads` may be null.
+  template <typename Payload>
+  static MergeSortTree BuildWithPayload(
+      std::vector<Index> keys, const Options& options, ThreadPool& pool,
+      std::vector<Payload>* payload,
+      std::vector<std::vector<Payload>>* level_payloads);
+
+  /// Number of entries in the tree.
+  size_t size() const { return n_; }
+
+  /// The level-0 array (input order).
+  const std::vector<Index>& keys() const { return levels_.front().data; }
+
+  /// Bytes held by all levels including cascading pointers.
+  size_t MemoryUsageBytes() const;
+
+  /// Number of levels (including level 0).
+  size_t num_levels() const { return levels_.size(); }
+
+  /// Read-only access to a level's concatenated run data (tests/debugging).
+  const std::vector<Index>& level_data(size_t level) const {
+    HWF_CHECK(level < levels_.size());
+    return levels_[level].data;
+  }
+
+  /// Counts entries at positions [pos_lo, pos_hi) with key < threshold.
+  /// O(f·log n) with cascading, O(f·log² n) without.
+  size_t CountLess(size_t pos_lo, size_t pos_hi, Index threshold) const {
+    size_t count = 0;
+    VisitCountCover(pos_lo, pos_hi, threshold,
+                    [&count](size_t /*level*/, size_t /*run_begin*/,
+                             size_t count_in_run) { count += count_in_run; });
+    return count;
+  }
+
+  /// Counts entries at positions [pos_lo, pos_hi) with key in [klo, khi).
+  size_t CountInKeyRange(size_t pos_lo, size_t pos_hi, Index klo,
+                         Index khi) const {
+    if (klo >= khi) return 0;
+    return CountLess(pos_lo, pos_hi, khi) - CountLess(pos_lo, pos_hi, klo);
+  }
+
+  /// Visits the canonical cover of the CountLess query: calls
+  /// `visit(level, run_begin, count)` for every covered run piece, where
+  /// `count` entries at global positions [run_begin, run_begin + count)
+  /// within the run's sorted data have keys < threshold. Summing the counts
+  /// yields CountLess; the annotated tree uses the (level, run_begin,
+  /// count) triples to look up prefix aggregates.
+  template <typename Visitor>
+  void VisitCountCover(size_t pos_lo, size_t pos_hi, Index threshold,
+                       Visitor&& visit) const;
+
+  /// Counts entries (over all positions) whose key lies in any of `ranges`.
+  /// The ranges must be disjoint. O(log n) per range.
+  size_t CountKeysInRanges(std::span<const KeyRange<Index>> ranges) const;
+
+  /// Returns the position of the i-th entry (0-based, scanning positions
+  /// left to right) whose key lies in any of `ranges` (disjoint). Requires
+  /// i < CountKeysInRanges(ranges). O(f·log n) with cascading.
+  size_t Select(std::span<const KeyRange<Index>> ranges, size_t i) const;
+
+  /// Convenience: Select with a single key range.
+  size_t Select(Index key_lo, Index key_hi, size_t i) const {
+    KeyRange<Index> range{key_lo, key_hi};
+    return Select(std::span<const KeyRange<Index>>(&range, 1), i);
+  }
+
+ private:
+  struct Level {
+    /// All runs of this level, concatenated; size n.
+    std::vector<Index> data;
+    /// Cascading pointers: for every run, for sample s (output offset s·k),
+    /// `fanout` child offsets. Runs are strided by samples_per_full_run.
+    /// Empty for levels 0 and 1 and when cascading is disabled.
+    std::vector<Index> cascade;
+    /// Run length fanout^level (last run may be shorter).
+    size_t run_len = 1;
+    /// Cascade samples per full run: floor((run_len-1)/k) + 1.
+    size_t samples_per_full_run = 0;
+  };
+
+  /// Number of cascade samples for a run of `len` entries.
+  size_t SamplesForLen(size_t len) const {
+    return (len - 1) / opts_.sampling + 1;
+  }
+
+  /// Lower-bound position of `t` in the (single, fully sorted) top run.
+  size_t TopLowerBoundImpl(Index t) const {
+    const std::vector<Index>& top = levels_.back().data;
+    return static_cast<size_t>(
+        std::lower_bound(top.begin(), top.end(), t) - top.begin());
+  }
+
+  /// Given the lower-bound position `p` of `t` within the run of `level`
+  /// starting at `run_begin` (actual length `run_len_actual`), returns the
+  /// lower-bound position of `t` within child `child` of that run
+  /// (relative to the child run start). Uses the fractional-cascading
+  /// window when available, a full binary search otherwise.
+  size_t CascadeToChild(size_t level, size_t run_begin, size_t run_len_actual,
+                        size_t p, Index t, size_t child,
+                        size_t child_len) const;
+
+  /// Recursive worker for VisitCountCover. [lo, hi) is clamped to the run.
+  template <typename Visitor>
+  void VisitCountCoverInRun(size_t level, size_t run_begin,
+                            size_t run_len_actual, size_t p, Index t,
+                            size_t lo, size_t hi, Visitor& visit) const;
+
+  size_t n_ = 0;
+  Options opts_;
+  std::vector<Level> levels_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------------
+
+template <typename Index>
+template <typename Payload>
+MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
+    std::vector<Index> keys, const Options& options, ThreadPool& pool,
+    std::vector<Payload>* payload,
+    std::vector<std::vector<Payload>>* level_payloads) {
+  HWF_CHECK(options.fanout >= 2);
+  HWF_CHECK(options.sampling >= 1);
+  const bool has_payload = payload != nullptr;
+  HWF_CHECK(!has_payload || payload->size() == keys.size());
+  MergeSortTree tree;
+  tree.n_ = keys.size();
+  tree.opts_ = options;
+  tree.levels_.push_back(Level{std::move(keys), {}, 1, 0});
+  if (has_payload && level_payloads != nullptr) {
+    level_payloads->clear();
+    level_payloads->push_back(std::move(*payload));
+  }
+  const size_t n = tree.n_;
+  if (n <= 1) return tree;
+
+  const size_t f = options.fanout;
+  const size_t k = options.sampling;
+  size_t child_run_len = 1;
+  while (child_run_len < n) {
+    const size_t run_len = child_run_len * f;
+    const size_t level = tree.levels_.size();
+    const bool want_cascade = options.use_cascading && level >= 2;
+    Level out;
+    out.run_len = run_len;
+    out.data.resize(n);
+    std::vector<Payload> out_payload;
+    const Payload* src_payload_data = nullptr;
+    if (has_payload) {
+      out_payload.resize(n);
+      src_payload_data = (*level_payloads)[level - 1].data();
+    }
+    const size_t num_runs = (n + run_len - 1) / run_len;
+    if (want_cascade) {
+      out.samples_per_full_run = tree.SamplesForLen(std::min(run_len, n));
+      // The last (possibly short) run still reserves a full stride; the
+      // surplus slots are never read.
+      out.cascade.resize(num_runs * out.samples_per_full_run * f);
+    }
+    const Level& src = tree.levels_.back();
+    const size_t parallelism = static_cast<size_t>(pool.parallelism());
+    if (num_runs >= parallelism || pool.num_workers() == 0) {
+      // Lower levels: many independent runs — one task merges whole runs
+      // (§5.2 lower-level strategy).
+      ParallelFor(
+          0, num_runs,
+          [&](size_t run_lo, size_t run_hi) {
+            std::vector<const Index*> child_data(f);
+            std::vector<size_t> child_lens(f);
+            std::vector<const Payload*> child_payload(has_payload ? f : 0);
+            for (size_t r = run_lo; r < run_hi; ++r) {
+              const size_t begin = r * run_len;
+              const size_t end = std::min(n, begin + run_len);
+              size_t num_children = 0;
+              for (size_t c = 0; c < f; ++c) {
+                const size_t cb = begin + c * child_run_len;
+                if (cb >= end) break;
+                const size_t ce = std::min(end, cb + child_run_len);
+                child_data[num_children] = src.data.data() + cb;
+                child_lens[num_children] = ce - cb;
+                if (has_payload) {
+                  child_payload[num_children] = src_payload_data + cb;
+                }
+                ++num_children;
+              }
+              Index* cascade_out =
+                  want_cascade
+                      ? out.cascade.data() + r * out.samples_per_full_run * f
+                      : nullptr;
+              if (has_payload) {
+                internal_mst::MergeRun<Index, Payload, true>(
+                    child_data.data(), child_lens.data(), num_children,
+                    out.data.data() + begin, end - begin, cascade_out, k, f,
+                    child_payload.data(), out_payload.data() + begin);
+              } else if (child_run_len == 1 && cascade_out == nullptr) {
+                // Level 1 fast path: merging single elements == sorting.
+                std::copy(child_data[0], child_data[0] + (end - begin),
+                          out.data.data() + begin);
+                std::sort(out.data.data() + begin, out.data.data() + end);
+              } else {
+                internal_mst::MergeRun<Index, Payload, false>(
+                    child_data.data(), child_lens.data(), num_children,
+                    out.data.data() + begin, end - begin, cascade_out, k, f,
+                    nullptr, nullptr);
+              }
+            }
+          },
+          pool, /*morsel_size=*/1);
+    } else {
+      // Upper levels: fewer runs than workers — threads collaborate on
+      // each run by merging co-selected chunks (§5.2 upper-level
+      // strategy, balanced splits via MultiwaySelect).
+      for (size_t r = 0; r < num_runs; ++r) {
+        const size_t begin = r * run_len;
+        const size_t end = std::min(n, begin + run_len);
+        const size_t run_actual = end - begin;
+        std::vector<const Index*> child_data(f);
+        std::vector<size_t> child_lens(f);
+        std::vector<const Payload*> child_payload(has_payload ? f : 0);
+        size_t num_children = 0;
+        for (size_t c = 0; c < f; ++c) {
+          const size_t cb = begin + c * child_run_len;
+          if (cb >= end) break;
+          const size_t ce = std::min(end, cb + child_run_len);
+          child_data[num_children] = src.data.data() + cb;
+          child_lens[num_children] = ce - cb;
+          if (has_payload) child_payload[num_children] = src_payload_data + cb;
+          ++num_children;
+        }
+        Index* cascade_out =
+            want_cascade
+                ? out.cascade.data() + r * out.samples_per_full_run * f
+                : nullptr;
+        const size_t num_chunks =
+            std::min(parallelism, std::max<size_t>(1, run_actual / 4096));
+        std::vector<std::vector<size_t>> chunk_offsets(num_chunks);
+        TaskGroup group(pool);
+        for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+          const size_t k0 = run_actual * chunk / num_chunks;
+          const size_t k1 = run_actual * (chunk + 1) / num_chunks;
+          if (k0 >= k1) continue;
+          chunk_offsets[chunk].resize(num_children);
+          internal_mst::MultiwaySelect<Index>(child_data.data(),
+                                              child_lens.data(), num_children,
+                                              k0, chunk_offsets[chunk].data());
+          group.Run([&, chunk, k0, k1] {
+            if (has_payload) {
+              internal_mst::MergeRun<Index, Payload, true>(
+                  child_data.data(), child_lens.data(), num_children,
+                  out.data.data() + begin, k1 - k0, cascade_out, k, f,
+                  child_payload.data(), out_payload.data() + begin, k0,
+                  chunk_offsets[chunk].data());
+            } else {
+              internal_mst::MergeRun<Index, Payload, false>(
+                  child_data.data(), child_lens.data(), num_children,
+                  out.data.data() + begin, k1 - k0, cascade_out, k, f,
+                  nullptr, nullptr, k0, chunk_offsets[chunk].data());
+            }
+          });
+        }
+        group.Wait();
+      }
+    }
+    tree.levels_.push_back(std::move(out));
+    if (has_payload) {
+      level_payloads->push_back(std::move(out_payload));
+    }
+    child_run_len = run_len;
+  }
+  return tree;
+}
+
+template <typename Index>
+size_t MergeSortTree<Index>::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const Level& level : levels_) {
+    bytes += level.data.capacity() * sizeof(Index);
+    bytes += level.cascade.capacity() * sizeof(Index);
+  }
+  return bytes;
+}
+
+template <typename Index>
+size_t MergeSortTree<Index>::CascadeToChild(size_t level, size_t run_begin,
+                                            size_t run_len_actual, size_t p,
+                                            Index t, size_t child,
+                                            size_t child_len) const {
+  const Level& lvl = levels_[level];
+  const Level& child_lvl = levels_[level - 1];
+  const size_t child_begin = run_begin + child * child_lvl.run_len;
+  const Index* child_data = child_lvl.data.data() + child_begin;
+
+  size_t window_lo = 0;
+  size_t window_hi = child_len;
+  if (!lvl.cascade.empty()) {
+    const size_t k = opts_.sampling;
+    const size_t f = opts_.fanout;
+    const size_t run_index = run_begin / lvl.run_len;
+    const size_t num_samples = SamplesForLen(run_len_actual);
+    const size_t s = std::min(p / k, num_samples - 1);
+    const Index* base =
+        lvl.cascade.data() + (run_index * lvl.samples_per_full_run + s) * f;
+    window_lo = static_cast<size_t>(base[child]);
+    if (s + 1 < num_samples) {
+      window_hi = std::min<size_t>(static_cast<size_t>(base[f + child]),
+                                   child_len);
+    }
+  }
+  return window_lo + static_cast<size_t>(
+                         std::lower_bound(child_data + window_lo,
+                                          child_data + window_hi, t) -
+                         (child_data + window_lo));
+}
+
+template <typename Index>
+template <typename Visitor>
+void MergeSortTree<Index>::VisitCountCoverInRun(size_t level, size_t run_begin,
+                                                size_t run_len_actual,
+                                                size_t p, Index t, size_t lo,
+                                                size_t hi,
+                                                Visitor& visit) const {
+  HWF_DCHECK(lo >= run_begin && hi <= run_begin + run_len_actual);
+  if (lo >= hi) return;
+  if (lo == run_begin && hi == run_begin + run_len_actual) {
+    // The whole run qualifies: p is exactly the count of keys < t.
+    if (p > 0) visit(level, run_begin, p);
+    return;
+  }
+  HWF_DCHECK(level > 0);
+  const Level& child_lvl = levels_[level - 1];
+  const size_t child_run_len = child_lvl.run_len;
+  const size_t run_end = run_begin + run_len_actual;
+  // Only children overlapping [lo, hi) are inspected.
+  const size_t first_child = (lo - run_begin) / child_run_len;
+  const size_t last_child = (hi - 1 - run_begin) / child_run_len;
+  for (size_t c = first_child; c <= last_child; ++c) {
+    const size_t cb = run_begin + c * child_run_len;
+    const size_t ce = std::min(run_end, cb + child_run_len);
+    size_t pc;
+    if (level == 1) {
+      // Children are single elements: direct comparison.
+      pc = levels_[0].data[cb] < t ? 1 : 0;
+    } else {
+      pc = CascadeToChild(level, run_begin, run_len_actual, p, t, c, ce - cb);
+    }
+    if (cb >= lo && ce <= hi) {
+      if (pc > 0) visit(level - 1, cb, pc);
+    } else {
+      VisitCountCoverInRun(level - 1, cb, ce - cb, pc, t, std::max(lo, cb),
+                           std::min(hi, ce), visit);
+    }
+  }
+}
+
+template <typename Index>
+template <typename Visitor>
+void MergeSortTree<Index>::VisitCountCover(size_t pos_lo, size_t pos_hi,
+                                           Index threshold,
+                                           Visitor&& visit) const {
+  HWF_CHECK(pos_hi <= n_);
+  if (pos_lo >= pos_hi) return;
+  if (n_ == 1) {
+    if (levels_[0].data[0] < threshold) visit(size_t{0}, size_t{0}, size_t{1});
+    return;
+  }
+  const size_t top = levels_.size() - 1;
+  const size_t p = TopLowerBoundImpl(threshold);
+  VisitCountCoverInRun(top, 0, n_, p, threshold, pos_lo, pos_hi, visit);
+}
+
+template <typename Index>
+size_t MergeSortTree<Index>::CountKeysInRanges(
+    std::span<const KeyRange<Index>> ranges) const {
+  const std::vector<Index>& top = levels_.back().data;
+  size_t count = 0;
+  for (const KeyRange<Index>& range : ranges) {
+    if (range.lo >= range.hi) continue;
+    auto lo_it = std::lower_bound(top.begin(), top.end(), range.lo);
+    auto hi_it = std::lower_bound(lo_it, top.end(), range.hi);
+    count += static_cast<size_t>(hi_it - lo_it);
+  }
+  return count;
+}
+
+template <typename Index>
+size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
+                                    size_t i) const {
+  HWF_CHECK(n_ > 0);
+  if (n_ == 1) return 0;
+  // Cascaded lower-bound positions for every range boundary within the
+  // current run (2 per range).
+  constexpr size_t kMaxRanges = 8;
+  HWF_CHECK(ranges.size() <= kMaxRanges);
+  size_t pos_lo[kMaxRanges];
+  size_t pos_hi[kMaxRanges];
+
+  const std::vector<Index>& top_data = levels_.back().data;
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    pos_lo[r] = static_cast<size_t>(
+        std::lower_bound(top_data.begin(), top_data.end(), ranges[r].lo) -
+        top_data.begin());
+    pos_hi[r] = static_cast<size_t>(
+        std::lower_bound(top_data.begin(), top_data.end(), ranges[r].hi) -
+        top_data.begin());
+  }
+
+  size_t level = levels_.size() - 1;
+  size_t run_begin = 0;
+  size_t run_len_actual = n_;
+  while (level > 0) {
+    const Level& child_lvl = levels_[level - 1];
+    const size_t child_run_len = child_lvl.run_len;
+    const size_t run_end = run_begin + run_len_actual;
+    const size_t num_children =
+        (run_len_actual + child_run_len - 1) / child_run_len;
+    bool descended = false;
+    for (size_t c = 0; c < num_children; ++c) {
+      const size_t cb = run_begin + c * child_run_len;
+      const size_t ce = std::min(run_end, cb + child_run_len);
+      size_t child_lo[kMaxRanges];
+      size_t child_hi[kMaxRanges];
+      size_t count = 0;
+      for (size_t r = 0; r < ranges.size(); ++r) {
+        if (level == 1) {
+          const Index key = levels_[0].data[cb];
+          const bool in = key >= ranges[r].lo && key < ranges[r].hi;
+          child_lo[r] = 0;
+          child_hi[r] = in ? 1 : 0;
+        } else {
+          child_lo[r] = CascadeToChild(level, run_begin, run_len_actual,
+                                       pos_lo[r], ranges[r].lo, c, ce - cb);
+          child_hi[r] = CascadeToChild(level, run_begin, run_len_actual,
+                                       pos_hi[r], ranges[r].hi, c, ce - cb);
+        }
+        count += child_hi[r] - child_lo[r];
+      }
+      if (i < count) {
+        // Descend into this child.
+        for (size_t r = 0; r < ranges.size(); ++r) {
+          pos_lo[r] = child_lo[r];
+          pos_hi[r] = child_hi[r];
+        }
+        run_begin = cb;
+        run_len_actual = ce - cb;
+        --level;
+        descended = true;
+        break;
+      }
+      i -= count;
+    }
+    HWF_CHECK_MSG(descended, "MergeSortTree::Select: i out of range");
+  }
+  return run_begin;
+}
+
+}  // namespace hwf
+
+#endif  // HWF_MST_MERGE_SORT_TREE_H_

@@ -1,0 +1,89 @@
+#ifndef HWF_MST_PERMUTATION_H_
+#define HWF_MST_PERMUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_sort.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// Computes the permutation array of §4.5 (Fig. 6): perm[j] is the position
+/// (in frame order, 0..n) of the j-th smallest element under `less`, with
+/// ties broken by position. `less(a, b)` compares two positions by the
+/// window function's ORDER BY criterion.
+///
+/// The merge sort tree built over this array answers "i-th smallest within
+/// a frame" queries for percentiles and value functions.
+template <typename Index, typename Less>
+std::vector<Index> ComputePermutation(size_t n, Less less,
+                                      ThreadPool& pool = ThreadPool::Default()) {
+  std::vector<Index> perm(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) perm[i] = static_cast<Index>(i);
+      },
+      pool);
+  ParallelSort(
+      perm,
+      [&less](Index a, Index b) {
+        if (less(static_cast<size_t>(a), static_cast<size_t>(b))) return true;
+        if (less(static_cast<size_t>(b), static_cast<size_t>(a))) return false;
+        return a < b;  // Position tiebreak: strict total order.
+      },
+      pool);
+  return perm;
+}
+
+/// Computes dense value codes (paper Fig. 8): codes[i] is the 0-based dense
+/// rank of position i under `less`; equal values share a code. Used as the
+/// integer key domain for framed RANK / CUME_DIST (§4.4, §5.1).
+/// `*num_distinct` receives the number of distinct codes.
+template <typename Index, typename Less>
+std::vector<Index> ComputeDenseCodes(size_t n, Less less, size_t* num_distinct,
+                                     ThreadPool& pool = ThreadPool::Default()) {
+  std::vector<Index> perm = ComputePermutation<Index>(n, less, pool);
+  std::vector<Index> codes(n);
+  Index next_code = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (j > 0) {
+      const size_t prev = static_cast<size_t>(perm[j - 1]);
+      const size_t cur = static_cast<size_t>(perm[j]);
+      // New code whenever the value strictly increases.
+      if (less(prev, cur)) ++next_code;
+    }
+    codes[perm[j]] = next_code;
+  }
+  if (num_distinct != nullptr) {
+    *num_distinct = n == 0 ? 0 : static_cast<size_t>(next_code) + 1;
+  }
+  return codes;
+}
+
+/// Computes unique codes: codes[i] is the 0-based rank of position i under
+/// `less` with ties broken by position, i.e. the inverse of the permutation
+/// array. All codes are distinct, which is the disambiguation the paper
+/// uses for ROW_NUMBER (§4.4).
+template <typename Index, typename Less>
+std::vector<Index> ComputeUniqueCodes(size_t n, Less less,
+                                      ThreadPool& pool = ThreadPool::Default()) {
+  std::vector<Index> perm = ComputePermutation<Index>(n, less, pool);
+  std::vector<Index> codes(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          codes[perm[j]] = static_cast<Index>(j);
+        }
+      },
+      pool);
+  return codes;
+}
+
+}  // namespace hwf
+
+#endif  // HWF_MST_PERMUTATION_H_

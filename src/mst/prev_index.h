@@ -1,0 +1,106 @@
+#ifndef HWF_MST_PREV_INDEX_H_
+#define HWF_MST_PREV_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_sort.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// Computes the previous-occurrence index array (paper Algorithm 1).
+///
+/// `codes[i]` identifies the value of row i — a 64-bit hash or a dense code;
+/// equal codes mean equal values. The result is encoded for the integer-only
+/// tree representation (§5.1): entry 0 means "no previous occurrence" and
+/// entry j+1 means "previous occurrence at position j". With this encoding,
+/// the distinct-count condition "prevIdx < frame_begin or none" becomes a
+/// single comparison encoded < frame_begin + 1.
+///
+/// Implementation: annotate each code with its position, sort the pairs
+/// (which is a stable sort of the codes), and read each entry's predecessor
+/// in a linear scan — O(n log n), fully parallel.
+template <typename Index>
+std::vector<Index> ComputePrevIndices(std::span<const uint64_t> codes,
+                                      ThreadPool& pool = ThreadPool::Default()) {
+  const size_t n = codes.size();
+  std::vector<std::pair<uint64_t, Index>> sorted(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          sorted[i] = {codes[i], static_cast<Index>(i)};
+        }
+      },
+      pool);
+  // Lexicographic pair order == stable sort of the codes.
+  ParallelSort(
+      sorted,
+      [](const auto& a, const auto& b) { return a < b; },
+      pool);
+  std::vector<Index> prev(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (i > 0 && sorted[i].first == sorted[i - 1].first) {
+            prev[sorted[i].second] =
+                static_cast<Index>(sorted[i - 1].second + 1);
+          } else {
+            prev[sorted[i].second] = 0;
+          }
+        }
+      },
+      pool);
+  return prev;
+}
+
+/// Computes next-occurrence indices: result[i] = position of the next
+/// occurrence of codes[i], or n when there is none (un-encoded, since these
+/// are only walked directly and never stored in a tree).
+///
+/// Used by the frame-exclusion correction for DISTINCT aggregates: when an
+/// exclusion hole splits the frame, a value whose only pre-gap occurrence
+/// lies inside the hole must be re-discovered by walking its occurrence
+/// chain forward across the hole (see window/functions/distinct_aggregates).
+template <typename Index>
+std::vector<Index> ComputeNextIndices(std::span<const uint64_t> codes,
+                                      ThreadPool& pool = ThreadPool::Default()) {
+  const size_t n = codes.size();
+  std::vector<std::pair<uint64_t, Index>> sorted(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          sorted[i] = {codes[i], static_cast<Index>(i)};
+        }
+      },
+      pool);
+  ParallelSort(
+      sorted,
+      [](const auto& a, const auto& b) { return a < b; },
+      pool);
+  std::vector<Index> next(n);
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (i + 1 < n && sorted[i].first == sorted[i + 1].first) {
+            next[sorted[i].second] = sorted[i + 1].second;
+          } else {
+            next[sorted[i].second] = static_cast<Index>(n);
+          }
+        }
+      },
+      pool);
+  return next;
+}
+
+}  // namespace hwf
+
+#endif  // HWF_MST_PREV_INDEX_H_

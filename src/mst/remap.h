@@ -1,0 +1,81 @@
+#ifndef HWF_MST_REMAP_H_
+#define HWF_MST_REMAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+/// Index remapping between a partition and its filtered representation
+/// (paper §4.5 / §4.7): tuples excluded by IGNORE NULLS or a FILTER clause
+/// are never inserted into the merge sort tree; frame boundaries expressed
+/// in original positions are translated to tree positions and back.
+class IndexRemap {
+ public:
+  /// Builds the remap from an inclusion mask (nonzero = tuple survives).
+  static IndexRemap Build(std::span<const uint8_t> include) {
+    IndexRemap remap;
+    remap.prefix_.resize(include.size() + 1);
+    remap.prefix_[0] = 0;
+    for (size_t i = 0; i < include.size(); ++i) {
+      remap.prefix_[i + 1] = remap.prefix_[i] + (include[i] ? 1 : 0);
+      if (include[i]) remap.survivors_.push_back(i);
+    }
+    return remap;
+  }
+
+  /// Identity remap over n positions (no filtering); uses O(1) memory.
+  static IndexRemap Identity(size_t n) {
+    IndexRemap remap;
+    remap.identity_size_ = n;
+    remap.is_identity_ = true;
+    return remap;
+  }
+
+  bool is_identity() const { return is_identity_; }
+
+  /// Number of surviving tuples.
+  size_t num_surviving() const {
+    return is_identity_ ? identity_size_ : survivors_.size();
+  }
+
+  /// Number of original positions.
+  size_t num_original() const {
+    return is_identity_ ? identity_size_ : prefix_.size() - 1;
+  }
+
+  /// Number of surviving positions strictly before original position
+  /// `orig`; valid for orig in [0, n]. Maps an original frame boundary to a
+  /// filtered one.
+  size_t ToFiltered(size_t orig) const {
+    if (is_identity_) return orig;
+    HWF_DCHECK(orig < prefix_.size());
+    return prefix_[orig];
+  }
+
+  /// Original position of the `filtered`-th surviving tuple.
+  size_t ToOriginal(size_t filtered) const {
+    if (is_identity_) return filtered;
+    HWF_DCHECK(filtered < survivors_.size());
+    return survivors_[filtered];
+  }
+
+  /// Whether the original position survives the filter.
+  bool Included(size_t orig) const {
+    if (is_identity_) return true;
+    return prefix_[orig + 1] > prefix_[orig];
+  }
+
+ private:
+  std::vector<size_t> prefix_;
+  std::vector<size_t> survivors_;
+  size_t identity_size_ = 0;
+  bool is_identity_ = false;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_MST_REMAP_H_

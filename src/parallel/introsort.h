@@ -1,0 +1,160 @@
+#ifndef HWF_PARALLEL_INTROSORT_H_
+#define HWF_PARALLEL_INTROSORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+namespace hwf {
+
+/// Quicksort partitioning scheme used by Introsort.
+///
+/// The paper (§5.3) reports that 2-way partitioning deteriorates to O(n²)
+/// on duplicate-heavy inputs — which framed distinct counts produce, because
+/// most prevIdcs entries are 0 — and switched Hyper to 3-way partitioning.
+/// Both schemes are kept here so the ablation benchmark can demonstrate the
+/// effect; all library call sites use kThreeWay.
+enum class PartitionScheme {
+  kTwoWay,
+  kThreeWay,
+};
+
+namespace internal_sort {
+
+constexpr ptrdiff_t kInsertionSortThreshold = 24;
+
+template <typename Iter, typename Less>
+void InsertionSort(Iter begin, Iter end, Less less) {
+  for (Iter i = begin; i != end; ++i) {
+    auto value = std::move(*i);
+    Iter j = i;
+    while (j != begin && less(value, *(j - 1))) {
+      *j = std::move(*(j - 1));
+      --j;
+    }
+    *j = std::move(value);
+  }
+}
+
+template <typename Iter, typename Less>
+Iter MedianOfThree(Iter a, Iter b, Iter c, Less less) {
+  if (less(*a, *b)) {
+    if (less(*b, *c)) return b;
+    return less(*a, *c) ? c : a;
+  }
+  if (less(*a, *c)) return a;
+  return less(*b, *c) ? c : b;
+}
+
+/// Lomuto-style 2-way partition with a median-of-three pivot. All elements
+/// equal to the pivot land on one side, so runs of duplicates produce
+/// maximally unbalanced splits — the quadratic degradation the paper
+/// observed on framed distinct counts, where most prevIdcs entries are 0
+/// (§5.3). Inside Introsort the depth budget converts the O(n²) into a
+/// heapsort fallback, which is still several times slower than 3-way
+/// partitioning on such inputs (see bench_ablation_quicksort).
+template <typename Iter, typename Less>
+Iter PartitionTwoWay(Iter begin, Iter end, Less less) {
+  Iter mid = begin + (end - begin) / 2;
+  Iter pivot_it = MedianOfThree(begin, mid, end - 1, less);
+  std::iter_swap(pivot_it, end - 1);
+  auto& pivot = *(end - 1);
+  Iter store = begin;
+  for (Iter it = begin; it != end - 1; ++it) {
+    if (less(*it, pivot)) {
+      std::iter_swap(it, store);
+      ++store;
+    }
+  }
+  std::iter_swap(store, end - 1);
+  // The pivot's final position; the caller excludes it from both sides.
+  return store;
+}
+
+/// Dutch-national-flag 3-way partition. Returns [lt, gt): the range holding
+/// elements equal to the pivot, which needs no further sorting.
+template <typename Iter, typename Less>
+std::pair<Iter, Iter> PartitionThreeWay(Iter begin, Iter end, Less less) {
+  Iter mid = begin + (end - begin) / 2;
+  Iter pivot_it = MedianOfThree(begin, mid, end - 1, less);
+  auto pivot = *pivot_it;
+  Iter lt = begin;
+  Iter i = begin;
+  Iter gt = end;
+  while (i < gt) {
+    if (less(*i, pivot)) {
+      std::iter_swap(lt, i);
+      ++lt;
+      ++i;
+    } else if (less(pivot, *i)) {
+      --gt;
+      std::iter_swap(i, gt);
+    } else {
+      ++i;
+    }
+  }
+  return {lt, gt};
+}
+
+template <typename Iter, typename Less>
+void IntrosortImpl(Iter begin, Iter end, Less less, int depth_budget,
+                   PartitionScheme scheme) {
+  while (end - begin > kInsertionSortThreshold) {
+    if (depth_budget == 0) {
+      std::make_heap(begin, end, less);
+      std::sort_heap(begin, end, less);
+      return;
+    }
+    --depth_budget;
+    if (scheme == PartitionScheme::kThreeWay) {
+      auto [lt, gt] = PartitionThreeWay(begin, end, less);
+      // Recurse into the smaller side, loop on the larger one to bound
+      // stack depth.
+      if (lt - begin < end - gt) {
+        IntrosortImpl(begin, lt, less, depth_budget, scheme);
+        begin = gt;
+      } else {
+        IntrosortImpl(gt, end, less, depth_budget, scheme);
+        end = lt;
+      }
+    } else {
+      Iter pivot = PartitionTwoWay(begin, end, less);
+      // Exclude the pivot position itself: both sides strictly shrink.
+      if (pivot - begin < end - (pivot + 1)) {
+        IntrosortImpl(begin, pivot, less, depth_budget, scheme);
+        begin = pivot + 1;
+      } else {
+        IntrosortImpl(pivot + 1, end, less, depth_budget, scheme);
+        end = pivot;
+      }
+    }
+  }
+  InsertionSort(begin, end, less);
+}
+
+inline int Log2Floor(size_t n) {
+  int result = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+}  // namespace internal_sort
+
+/// Sorts [begin, end) with introsort: quicksort with a median-of-three
+/// pivot, falling back to heapsort past a depth budget of 2·log2(n) and to
+/// insertion sort for small ranges. `less` must induce a strict weak order.
+template <typename Iter, typename Less>
+void Introsort(Iter begin, Iter end, Less less,
+               PartitionScheme scheme = PartitionScheme::kThreeWay) {
+  if (end - begin <= 1) return;
+  int depth = 2 * internal_sort::Log2Floor(static_cast<size_t>(end - begin));
+  internal_sort::IntrosortImpl(begin, end, less, depth, scheme);
+}
+
+}  // namespace hwf
+
+#endif  // HWF_PARALLEL_INTROSORT_H_

@@ -1,0 +1,60 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 ThreadPool& pool, size_t morsel_size) {
+  HWF_CHECK(begin <= end);
+  HWF_CHECK(morsel_size > 0);
+  const size_t total = end - begin;
+  if (total == 0) return;
+  if (total <= morsel_size || pool.num_workers() == 0) {
+    // Serial fast path: either a single morsel or no helper threads. Note
+    // that even the serial path processes morsel-by-morsel so that
+    // task-granularity effects (e.g., state rebuilds in incremental
+    // baselines) are identical regardless of worker count.
+    for (size_t lo = begin; lo < end; lo += morsel_size) {
+      body(lo, std::min(end, lo + morsel_size));
+    }
+    return;
+  }
+
+  auto next = std::make_shared<std::atomic<size_t>>(begin);
+  auto runner = [next, end, morsel_size, &body] {
+    for (;;) {
+      size_t lo = next->fetch_add(morsel_size, std::memory_order_relaxed);
+      if (lo >= end) return;
+      body(lo, std::min(end, lo + morsel_size));
+    }
+  };
+
+  const size_t num_morsels = (total + morsel_size - 1) / morsel_size;
+  const int num_runners = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(pool.parallelism()), num_morsels));
+  TaskGroup group(pool);
+  for (int i = 0; i < num_runners - 1; ++i) {
+    group.Run(runner);
+  }
+  runner();  // The caller is the final runner.
+  group.Wait();
+}
+
+void ParallelForEach(size_t begin, size_t end,
+                     const std::function<void(size_t)>& body,
+                     ThreadPool& pool, size_t morsel_size) {
+  ParallelFor(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      pool, morsel_size);
+}
+
+}  // namespace hwf

@@ -1,0 +1,158 @@
+#ifndef HWF_PARALLEL_PARALLEL_SORT_H_
+#define HWF_PARALLEL_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/introsort.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace hwf {
+
+/// Computes the co-rank split for merging two sorted ranges.
+///
+/// Returns (i, j) with i + j = k such that a sequential merge — taking from
+/// `a` on ties — emits exactly merge(a[0..i), b[0..j)) as its first k
+/// outputs. This is the "merge path" split used to parallelize merging:
+/// every output chunk [k0, k1) can be produced independently from
+/// a[i0..i1) and b[j0..j1).
+template <typename T, typename Less>
+std::pair<size_t, size_t> CoRank(size_t k, const T* a, size_t na, const T* b,
+                                 size_t nb, Less less) {
+  HWF_DCHECK(k <= na + nb);
+  size_t lo = k > nb ? k - nb : 0;
+  size_t hi = std::min(k, na);
+  while (lo < hi) {
+    size_t i = lo + (hi - lo) / 2;
+    size_t j = k - i;
+    if (i < na && j > 0 && !less(b[j - 1], a[i])) {
+      // b[j-1] >= a[i]: a[i] must be among the first k outputs (ties take
+      // from a); i is too small.
+      lo = i + 1;
+    } else if (i > 0 && j < nb && less(b[j], a[i - 1])) {
+      // b[j] < a[i-1]: b[j] must precede a[i-1]; i is too big.
+      hi = i;
+    } else {
+      return {i, j};
+    }
+  }
+  return {lo, k - lo};
+}
+
+/// Sequentially merges sorted ranges a and b into out; ties take from a.
+template <typename T, typename Less>
+void MergeSequential(const T* a, size_t na, const T* b, size_t nb, T* out,
+                     Less less) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t o = 0;
+  while (i < na && j < nb) {
+    if (less(b[j], a[i])) {
+      out[o++] = b[j++];
+    } else {
+      out[o++] = a[i++];
+    }
+  }
+  while (i < na) out[o++] = a[i++];
+  while (j < nb) out[o++] = b[j++];
+}
+
+/// Merges two sorted ranges into `out` using pool parallelism.
+///
+/// The output is cut into chunks of `grain` elements; co-ranking locates the
+/// input split for every chunk, and chunks merge independently. The result
+/// is bit-identical to MergeSequential.
+template <typename T, typename Less>
+void MergeParallel(const T* a, size_t na, const T* b, size_t nb, T* out,
+                   Less less, ThreadPool& pool,
+                   size_t grain = kDefaultMorselSize) {
+  const size_t total = na + nb;
+  if (total <= grain || pool.num_workers() == 0) {
+    MergeSequential(a, na, b, nb, out, less);
+    return;
+  }
+  ParallelFor(
+      0, total,
+      [&](size_t k0, size_t k1) {
+        auto [i0, j0] = CoRank(k0, a, na, b, nb, less);
+        auto [i1, j1] = CoRank(k1, a, na, b, nb, less);
+        MergeSequential(a + i0, i1 - i0, b + j0, j1 - j0, out + k0, less);
+      },
+      pool, grain);
+}
+
+/// Sorts `data` in parallel: thread-local introsort runs followed by
+/// log(runs) rounds of parallel pairwise merging.
+///
+/// This mirrors the paper's preprocessing sort (§5.2): each task sorts a
+/// fixed-size run with introsort (3-way quicksort partitioning by default,
+/// see PartitionScheme), then sorted runs are combined with balanced
+/// parallel merges. `less` must be a strict weak order; for deterministic
+/// results across thread counts, make it a strict total order (e.g., break
+/// ties on a row id), which all library call sites do.
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>& data, Less less,
+                  ThreadPool& pool = ThreadPool::Default(),
+                  size_t run_size = kDefaultMorselSize,
+                  PartitionScheme scheme = PartitionScheme::kThreeWay) {
+  const size_t n = data.size();
+  HWF_CHECK(run_size > 0);
+  if (n <= run_size || pool.num_workers() == 0) {
+    Introsort(data.begin(), data.end(), less, scheme);
+    return;
+  }
+
+  // Phase 1: sort fixed-size runs in parallel.
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        Introsort(data.begin() + static_cast<ptrdiff_t>(lo),
+                  data.begin() + static_cast<ptrdiff_t>(hi), less, scheme);
+      },
+      pool, run_size);
+
+  // Phase 2: pairwise parallel merge rounds, ping-ponging between buffers.
+  std::vector<T> buffer(n);
+  T* src = data.data();
+  T* dst = buffer.data();
+  for (size_t width = run_size; width < n; width *= 2) {
+    const size_t num_pairs = (n + 2 * width - 1) / (2 * width);
+    if (num_pairs >= static_cast<size_t>(pool.parallelism())) {
+      // Many pairs: one task per pair, sequential merge inside.
+      ParallelFor(
+          0, num_pairs,
+          [&](size_t pair_lo, size_t pair_hi) {
+            for (size_t p = pair_lo; p < pair_hi; ++p) {
+              size_t lo = p * 2 * width;
+              size_t mid = std::min(n, lo + width);
+              size_t hi = std::min(n, lo + 2 * width);
+              MergeSequential(src + lo, mid - lo, src + mid, hi - mid,
+                              dst + lo, less);
+            }
+          },
+          pool, /*morsel_size=*/1);
+    } else {
+      // Few large pairs (upper merge rounds): parallelize inside each merge
+      // via co-ranked chunks so all threads stay busy.
+      for (size_t p = 0; p < num_pairs; ++p) {
+        size_t lo = p * 2 * width;
+        size_t mid = std::min(n, lo + width);
+        size_t hi = std::min(n, lo + 2 * width);
+        MergeParallel(src + lo, mid - lo, src + mid, hi - mid, dst + lo, less,
+                      pool, run_size);
+      }
+    }
+    std::swap(src, dst);
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+}  // namespace hwf
+
+#endif  // HWF_PARALLEL_PARALLEL_SORT_H_

@@ -1,0 +1,113 @@
+#include "parallel/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace hwf {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+  }
+  HWF_CHECK(num_threads >= 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("HWF_THREADS")) {
+      threads = std::atoi(env);
+      if (threads < 0) threads = 0;
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOnePending() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.Submit([this, task = std::move(task)] {
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  // Help drain the pool while our tasks are outstanding. This keeps the
+  // caller productive and avoids deadlock when the pool has no workers.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    if (!pool_.RunOnePending()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+      // A task may be running on a worker; wait briefly for completion or
+      // for new helpable work to appear.
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return pending_ == 0; });
+    }
+  }
+}
+
+}  // namespace hwf

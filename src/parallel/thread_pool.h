@@ -1,0 +1,90 @@
+#ifndef HWF_PARALLEL_THREAD_POOL_H_
+#define HWF_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwf {
+
+/// A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// The pool is the substrate for the task-based (morsel-driven) parallelism
+/// used throughout the library: higher layers split work into fixed-size
+/// tasks (default 20 000 tuples, following the paper's Hyper configuration)
+/// and submit them here. The calling thread of ParallelFor also participates
+/// in task execution, so a pool with zero workers degrades gracefully to
+/// serial execution.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` uses
+  /// std::thread::hardware_concurrency() - 1 (the caller thread acts as the
+  /// remaining worker in ParallelFor).
+  explicit ThreadPool(int num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Process-wide default pool. Worker count can be overridden with the
+  /// HWF_THREADS environment variable (useful for exercising multi-threaded
+  /// code paths on machines with few cores).
+  static ThreadPool& Default();
+
+  /// Number of worker threads (excluding the caller thread).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Effective parallelism for sizing task counts: workers + caller.
+  int parallelism() const { return num_workers() + 1; }
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Runs one pending task on the calling thread if any is queued.
+  /// Returns false when the queue was empty.
+  bool RunOnePending();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// Tracks a set of tasks submitted to a ThreadPool and joins them.
+///
+/// Wait() lets the calling thread execute pending pool tasks while waiting,
+/// which both avoids idle callers and makes nested usage deadlock-free.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { Wait(); }
+
+  /// Submits `task` to the pool and tracks its completion.
+  void Run(std::function<void()> task);
+
+  /// Blocks until every task submitted through Run has finished.
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_PARALLEL_THREAD_POOL_H_

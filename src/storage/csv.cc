@@ -1,0 +1,264 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace hwf {
+
+namespace {
+
+struct Cell {
+  std::string text;
+  bool quoted = false;  // Quoted empty fields are empty strings, not NULL.
+};
+
+/// Splits CSV content into records of cells. Handles quoted fields with
+/// doubled-quote escapes and embedded delimiters/newlines.
+StatusOr<std::vector<std::vector<Cell>>> Tokenize(const std::string& content,
+                                                  char delimiter) {
+  std::vector<std::vector<Cell>> records;
+  std::vector<Cell> record;
+  Cell cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    record.push_back(std::move(cell));
+    cell = Cell();
+    cell_started = false;
+  };
+  auto end_record = [&] {
+    end_cell();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell.text.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.text.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && !cell_started) {
+      in_quotes = true;
+      cell.quoted = true;
+      cell_started = true;
+    } else if (c == delimiter) {
+      end_cell();
+    } else if (c == '\n') {
+      // Swallow a preceding \r (CRLF).
+      if (!cell.text.empty() && cell.text.back() == '\r') {
+        cell.text.pop_back();
+      }
+      if (record.empty() && !cell_started && cell.text.empty()) {
+        continue;  // Blank line (e.g. trailing newline) — skipped.
+      }
+      end_record();
+    } else {
+      cell.text.push_back(c);
+      cell_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted field");
+  }
+  if (cell_started || !record.empty()) {
+    if (!cell.text.empty() && cell.text.back() == '\r') cell.text.pop_back();
+    end_record();
+  }
+  return records;
+}
+
+bool ParseInt(const std::string& text, int64_t* value) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* value) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& text, char delimiter) {
+  return text.find_first_of(std::string("\"\n\r") + delimiter) !=
+         std::string::npos;
+}
+
+}  // namespace
+
+StatusOr<Table> ParseCsv(const std::string& content, char delimiter) {
+  StatusOr<std::vector<std::vector<Cell>>> tokenized =
+      Tokenize(content, delimiter);
+  if (!tokenized.ok()) return tokenized.status();
+  const std::vector<std::vector<Cell>>& records = *tokenized;
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header record");
+  }
+  const std::vector<Cell>& header = records[0];
+  const size_t num_columns = header.size();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != num_columns) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(num_columns));
+    }
+  }
+
+  const size_t num_rows = records.size() - 1;
+  Table table;
+  for (size_t c = 0; c < num_columns; ++c) {
+    // Type inference over all non-NULL cells of the column.
+    bool all_int = true;
+    bool all_double = true;
+    bool any_value = false;
+    for (size_t r = 1; r <= num_rows; ++r) {
+      const Cell& cell = records[r][c];
+      if (cell.text.empty() && !cell.quoted) continue;  // NULL
+      any_value = true;
+      int64_t i;
+      double d;
+      if (!ParseInt(cell.text, &i)) all_int = false;
+      if (!ParseDouble(cell.text, &d)) all_double = false;
+      if (!all_double) break;
+    }
+    DataType type = DataType::kString;
+    if (any_value && all_int) {
+      type = DataType::kInt64;
+    } else if (any_value && all_double) {
+      type = DataType::kDouble;
+    }
+
+    Column column(type);
+    column.Reserve(num_rows);
+    for (size_t r = 1; r <= num_rows; ++r) {
+      const Cell& cell = records[r][c];
+      if (cell.text.empty() && !cell.quoted) {
+        column.AppendNull();
+        continue;
+      }
+      switch (type) {
+        case DataType::kInt64: {
+          int64_t value = 0;
+          ParseInt(cell.text, &value);
+          column.AppendInt64(value);
+          break;
+        }
+        case DataType::kDouble: {
+          double value = 0;
+          ParseDouble(cell.text, &value);
+          column.AppendDouble(value);
+          break;
+        }
+        case DataType::kString:
+          column.AppendString(cell.text);
+          break;
+      }
+    }
+    table.AddColumn(header[c].text, std::move(column));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, char delimiter) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t bytes;
+  while ((bytes = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, bytes);
+  }
+  std::fclose(file);
+  return ParseCsv(content, delimiter);
+}
+
+std::string ToCsv(const Table& table, char delimiter) {
+  std::string out;
+  auto append_field = [&](const std::string& text) {
+    if (NeedsQuoting(text, delimiter)) {
+      out.push_back('"');
+      for (char c : text) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += text;
+    }
+  };
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    append_field(table.column_name(c));
+  }
+  out.push_back('\n');
+
+  char buffer[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      const Column& column = table.column(c);
+      if (column.IsNull(r)) continue;  // NULL = empty field.
+      switch (column.type()) {
+        case DataType::kInt64:
+          std::snprintf(buffer, sizeof(buffer), "%lld",
+                        static_cast<long long>(column.GetInt64(r)));
+          out += buffer;
+          break;
+        case DataType::kDouble:
+          std::snprintf(buffer, sizeof(buffer), "%.17g", column.GetDouble(r));
+          out += buffer;
+          break;
+        case DataType::kString:
+          append_field(column.GetString(r));
+          break;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "' for writing: " + std::strerror(errno));
+  }
+  const std::string content = ToCsv(table, delimiter);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  if (written != content.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hwf

@@ -1,0 +1,33 @@
+#ifndef HWF_STORAGE_CSV_H_
+#define HWF_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+
+/// Parses CSV text into a Table.
+///
+/// The first record must be a header of column names. Fields may be quoted
+/// with double quotes; embedded quotes are escaped by doubling (RFC 4180).
+/// Empty unquoted fields are NULL. Column types are inferred from the
+/// data: kInt64 if every non-NULL value parses as an integer, kDouble if
+/// every non-NULL value is numeric, kString otherwise.
+StatusOr<Table> ParseCsv(const std::string& content, char delimiter = ',');
+
+/// Reads and parses a CSV file.
+StatusOr<Table> ReadCsvFile(const std::string& path, char delimiter = ',');
+
+/// Renders a table as CSV (header + rows). NULLs render as empty fields;
+/// strings are quoted when they contain the delimiter, quotes or newlines.
+std::string ToCsv(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace hwf
+
+#endif  // HWF_STORAGE_CSV_H_

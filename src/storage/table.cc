@@ -1,0 +1,27 @@
+#include "storage/table.h"
+
+namespace hwf {
+
+void Table::AddColumn(std::string name, Column column) {
+  if (!columns_.empty()) {
+    HWF_CHECK_MSG(column.size() == num_rows(),
+                  "all table columns must have the same length");
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(column));
+}
+
+StatusOr<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::InvalidArgument("no column named '" + name + "'");
+}
+
+size_t Table::MustColumnIndex(const std::string& name) const {
+  StatusOr<size_t> index = ColumnIndex(name);
+  HWF_CHECK_MSG(index.ok(), name.c_str());
+  return *index;
+}
+
+}  // namespace hwf

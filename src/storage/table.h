@@ -1,0 +1,48 @@
+#ifndef HWF_STORAGE_TABLE_H_
+#define HWF_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace hwf {
+
+/// A minimal named collection of equally-sized columns.
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column; all columns must have the same number of rows.
+  void AddColumn(std::string name, Column column);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+
+  const Column& column(size_t index) const {
+    HWF_CHECK(index < columns_.size());
+    return columns_[index];
+  }
+  const std::string& column_name(size_t index) const {
+    HWF_CHECK(index < names_.size());
+    return names_[index];
+  }
+
+  /// Index of the column with the given name, or an error.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Convenience lookup that aborts on a missing name (for examples/tests).
+  size_t MustColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_STORAGE_TABLE_H_

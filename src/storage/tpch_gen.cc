@@ -1,0 +1,163 @@
+#include "storage/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hwf {
+
+namespace {
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+const int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+int64_t DaysSinceEpoch(int year, int month, int day) {
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int y = 1970; y < year; ++y) days += IsLeap(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < 1970; ++y) days -= IsLeap(y) ? 366 : 365;
+  }
+  for (int m = 1; m < month; ++m) {
+    days += kDaysPerMonth[m - 1];
+    if (m == 2 && IsLeap(year)) ++days;
+  }
+  return days + day - 1;
+}
+
+std::string DayToString(int64_t days_since_epoch) {
+  int year = 1970;
+  int64_t remaining = days_since_epoch;
+  while (remaining < 0) {
+    --year;
+    remaining += IsLeap(year) ? 366 : 365;
+  }
+  for (;;) {
+    int64_t in_year = IsLeap(year) ? 366 : 365;
+    if (remaining < in_year) break;
+    remaining -= in_year;
+    ++year;
+  }
+  int month = 1;
+  for (; month <= 12; ++month) {
+    int64_t in_month = kDaysPerMonth[month - 1] + (month == 2 && IsLeap(year));
+    if (remaining < in_month) break;
+    remaining -= in_month;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month,
+                static_cast<int>(remaining) + 1);
+  return buffer;
+}
+
+Table GenerateLineitem(size_t rows, uint64_t seed) {
+  Pcg32 rng(seed);
+  const int64_t ship_lo = DaysSinceEpoch(1992, 1, 2);
+  const int64_t ship_hi = DaysSinceEpoch(1998, 12, 1);
+  // TPC-H has SF·200k parts for SF·6M lineitems: ~30 rows per part key.
+  const int64_t num_parts = std::max<int64_t>(1, static_cast<int64_t>(rows) / 30);
+
+  std::vector<int64_t> orderkey(rows);
+  std::vector<int64_t> partkey(rows);
+  std::vector<int64_t> quantity(rows);
+  std::vector<double> price(rows);
+  std::vector<int64_t> shipdate(rows);
+  std::vector<int64_t> receiptdate(rows);
+
+  int64_t current_order = 1;
+  int64_t lines_left = 1 + static_cast<int64_t>(rng.Bounded(7));
+  for (size_t i = 0; i < rows; ++i) {
+    if (lines_left == 0) {
+      ++current_order;
+      lines_left = 1 + static_cast<int64_t>(rng.Bounded(7));
+    }
+    --lines_left;
+    orderkey[i] = current_order;
+    partkey[i] = 1 + rng.Uniform(0, num_parts - 1);
+    quantity[i] = 1 + static_cast<int64_t>(rng.Bounded(50));
+    // dbgen: extendedprice = quantity * p_retailprice; retail price is
+    // roughly uniform in [900, 2100].
+    const double retail = 900.0 + rng.NextDouble() * 1200.0;
+    price[i] = std::round(static_cast<double>(quantity[i]) * retail * 100.0) /
+               100.0;
+    shipdate[i] = rng.Uniform(ship_lo, ship_hi);
+    receiptdate[i] = shipdate[i] + rng.Uniform(1, 30);
+  }
+
+  Table table;
+  table.AddColumn("l_orderkey", Column::FromInt64(std::move(orderkey)));
+  table.AddColumn("l_partkey", Column::FromInt64(std::move(partkey)));
+  table.AddColumn("l_quantity", Column::FromInt64(std::move(quantity)));
+  table.AddColumn("l_extendedprice", Column::FromDouble(std::move(price)));
+  table.AddColumn("l_shipdate", Column::FromInt64(std::move(shipdate)));
+  table.AddColumn("l_receiptdate", Column::FromInt64(std::move(receiptdate)));
+  return table;
+}
+
+Table GenerateOrders(size_t rows, uint64_t seed) {
+  Pcg32 rng(seed);
+  const int64_t date_lo = DaysSinceEpoch(1992, 1, 1);
+  const int64_t date_hi = DaysSinceEpoch(1998, 8, 2);
+  const int64_t num_customers =
+      std::max<int64_t>(1, static_cast<int64_t>(rows) / 10);
+
+  std::vector<int64_t> orderkey(rows);
+  std::vector<int64_t> custkey(rows);
+  std::vector<int64_t> orderdate(rows);
+  std::vector<double> totalprice(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    orderkey[i] = static_cast<int64_t>(i) + 1;
+    custkey[i] = 1 + rng.Uniform(0, num_customers - 1);
+    orderdate[i] = rng.Uniform(date_lo, date_hi);
+    totalprice[i] = 850.0 + rng.NextDouble() * 559150.0;
+  }
+
+  Table table;
+  table.AddColumn("o_orderkey", Column::FromInt64(std::move(orderkey)));
+  table.AddColumn("o_custkey", Column::FromInt64(std::move(custkey)));
+  table.AddColumn("o_orderdate", Column::FromInt64(std::move(orderdate)));
+  table.AddColumn("o_totalprice", Column::FromDouble(std::move(totalprice)));
+  return table;
+}
+
+Table GenerateTpccResults(size_t rows, uint64_t seed) {
+  static const char* kSystems[] = {
+      "Hyper",      "Umbra",     "DuckDB",    "Postgres",  "SQLite",
+      "Snowflake",  "Oracle",    "SQLServer", "MySQL",     "MariaDB",
+      "Greenplum",  "Vertica",   "MonetDB",   "ClickHouse", "Druid",
+      "Presto",     "Trino",     "Spark",     "Impala",    "Hive",
+      "Redshift",   "BigQuery",  "Synapse",   "Exasol",
+  };
+  constexpr size_t kNumSystems = sizeof(kSystems) / sizeof(kSystems[0]);
+
+  Pcg32 rng(seed);
+  std::vector<std::string> dbsystem(rows);
+  std::vector<double> tps(rows);
+  std::vector<int64_t> submission(rows);
+  int64_t date = DaysSinceEpoch(1992, 7, 1);
+  for (size_t i = 0; i < rows; ++i) {
+    dbsystem[i] = kSystems[rng.Bounded(kNumSystems)];
+    // Hardware improves over time: throughput drifts upward log-uniformly.
+    const double progress = static_cast<double>(i) / std::max<size_t>(rows, 1);
+    const double magnitude = 2.0 + 4.0 * progress + rng.NextDouble() * 1.5;
+    tps[i] = std::round(std::pow(10.0, magnitude) * 100.0) / 100.0;
+    submission[i] = date;
+    date += 1 + static_cast<int64_t>(rng.Bounded(45));
+  }
+
+  Table table;
+  table.AddColumn("dbsystem", Column::FromString(std::move(dbsystem)));
+  table.AddColumn("tps", Column::FromDouble(std::move(tps)));
+  table.AddColumn("submission_date", Column::FromInt64(std::move(submission)));
+  return table;
+}
+
+}  // namespace hwf

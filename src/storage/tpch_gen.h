@@ -1,0 +1,51 @@
+#ifndef HWF_STORAGE_TPCH_GEN_H_
+#define HWF_STORAGE_TPCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/table.h"
+
+namespace hwf {
+
+/// Synthetic TPC-H-shaped data (see DESIGN.md §4 "Substitutions").
+///
+/// The paper benchmarks against dbgen output; these generators reproduce
+/// the statistical properties the evaluated queries depend on — duplicate
+/// frequencies, key cardinalities, and date orderings — without shipping
+/// dbgen. All generators are deterministic in (rows, seed).
+
+/// Days between two calendar dates as used by the generators. Dates are
+/// stored as int64 days since 1970-01-01.
+int64_t DaysSinceEpoch(int year, int month, int day);
+
+/// Renders a day count as "YYYY-MM-DD" (proleptic Gregorian).
+std::string DayToString(int64_t days_since_epoch);
+
+/// Generates a lineitem-shaped table with `rows` rows. Columns:
+///   l_orderkey      int64   increasing, ~4 rows per order
+///   l_partkey       int64   uniform over a TPC-H-scaled key space
+///                           (rows / 30 distinct keys, like SF·200k keys
+///                           over SF·6M rows)
+///   l_quantity      int64   uniform 1..50
+///   l_extendedprice double  quantity-scaled price, ~[900, 105000]
+///   l_shipdate      int64   uniform days in [1992-01-02, 1998-12-01]
+///   l_receiptdate   int64   l_shipdate + uniform(1, 30)
+Table GenerateLineitem(size_t rows, uint64_t seed = 42);
+
+/// Generates an orders-shaped table with `rows` rows. Columns:
+///   o_orderkey   int64   increasing
+///   o_custkey    int64   uniform over rows/10 customers
+///   o_orderdate  int64   uniform days in [1992-01-01, 1998-08-02]
+///   o_totalprice double  ~[850, 560000]
+Table GenerateOrders(size_t rows, uint64_t seed = 43);
+
+/// Generates the tpcc_results table from the paper's §2.4 example:
+///   dbsystem         string  one of ~24 system names
+///   tps              double  log-uniform, drifting upward over time
+///   submission_date  int64   distinct days, increasing
+Table GenerateTpccResults(size_t rows, uint64_t seed = 44);
+
+}  // namespace hwf
+
+#endif  // HWF_STORAGE_TPCH_GEN_H_

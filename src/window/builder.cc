@@ -1,0 +1,165 @@
+#include "window/builder.h"
+
+namespace hwf {
+
+std::optional<size_t> WindowQueryBuilder::Resolve(const std::string& column,
+                                                  const char* what) {
+  StatusOr<size_t> index = table_->ColumnIndex(column);
+  if (!index.ok()) {
+    RecordError(Status::InvalidArgument(std::string(what) + ": " +
+                                        index.status().message()));
+    return std::nullopt;
+  }
+  return *index;
+}
+
+void WindowQueryBuilder::RecordError(const Status& status) {
+  if (error_.ok()) error_ = status;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::PartitionBy(const std::string& column) {
+  if (std::optional<size_t> index = Resolve(column, "PartitionBy")) {
+    spec_.partition_by.push_back(*index);
+  }
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::OrderBy(const std::string& column,
+                                                bool ascending,
+                                                bool nulls_first) {
+  if (std::optional<size_t> index = Resolve(column, "OrderBy")) {
+    spec_.order_by.push_back(SortKey{*index, ascending, nulls_first});
+  }
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::RowsBetween(FrameBound begin,
+                                                    FrameBound end) {
+  spec_.frame.mode = FrameMode::kRows;
+  spec_.frame.begin = begin;
+  spec_.frame.end = end;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::RangeBetween(FrameBound begin,
+                                                     FrameBound end) {
+  spec_.frame.mode = FrameMode::kRange;
+  spec_.frame.begin = begin;
+  spec_.frame.end = end;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::GroupsBetween(FrameBound begin,
+                                                      FrameBound end) {
+  spec_.frame.mode = FrameMode::kGroups;
+  spec_.frame.begin = begin;
+  spec_.frame.end = end;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::Exclude(FrameExclusion exclusion) {
+  spec_.frame.exclusion = exclusion;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::Call(WindowFunctionKind kind,
+                                             const std::string& argument,
+                                             const std::string& as) {
+  WindowFunctionCall call;
+  call.kind = kind;
+  if (!argument.empty()) {
+    if (std::optional<size_t> index = Resolve(argument, "Call argument")) {
+      call.argument = *index;
+    }
+  }
+  calls_.push_back(call);
+  result_names_.push_back(as.empty() ? WindowFunctionKindName(kind) : as);
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::FunctionOrderBy(
+    const std::string& column, bool ascending, bool nulls_first) {
+  if (calls_.empty()) {
+    RecordError(Status::InvalidArgument(
+        "FunctionOrderBy: no window function call added yet"));
+    return *this;
+  }
+  if (std::optional<size_t> index = Resolve(column, "FunctionOrderBy")) {
+    calls_.back().order_by.push_back(SortKey{*index, ascending, nulls_first});
+  }
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::Filter(const std::string& column) {
+  if (calls_.empty()) {
+    RecordError(
+        Status::InvalidArgument("Filter: no window function call added yet"));
+    return *this;
+  }
+  if (std::optional<size_t> index = Resolve(column, "Filter")) {
+    calls_.back().filter = *index;
+  }
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::IgnoreNulls() {
+  if (calls_.empty()) {
+    RecordError(Status::InvalidArgument(
+        "IgnoreNulls: no window function call added yet"));
+    return *this;
+  }
+  calls_.back().ignore_nulls = true;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::Param(int64_t param) {
+  if (calls_.empty()) {
+    RecordError(
+        Status::InvalidArgument("Param: no window function call added yet"));
+    return *this;
+  }
+  calls_.back().param = param;
+  return *this;
+}
+
+WindowQueryBuilder& WindowQueryBuilder::Fraction(double fraction) {
+  if (calls_.empty()) {
+    RecordError(Status::InvalidArgument(
+        "Fraction: no window function call added yet"));
+    return *this;
+  }
+  calls_.back().fraction = fraction;
+  return *this;
+}
+
+StatusOr<WindowSpec> WindowQueryBuilder::spec() const {
+  if (!error_.ok()) return error_;
+  return spec_;
+}
+
+StatusOr<std::vector<WindowFunctionCall>> WindowQueryBuilder::calls() const {
+  if (!error_.ok()) return error_;
+  return calls_;
+}
+
+StatusOr<std::vector<Column>> WindowQueryBuilder::RunColumns(
+    const WindowExecutorOptions& options, ThreadPool& pool) const {
+  if (!error_.ok()) return error_;
+  return EvaluateWindowFunctions(*table_, spec_, calls_, options, pool);
+}
+
+StatusOr<Table> WindowQueryBuilder::Run(const WindowExecutorOptions& options,
+                                        ThreadPool& pool) const {
+  StatusOr<std::vector<Column>> columns = RunColumns(options, pool);
+  if (!columns.ok()) return columns.status();
+  Table result;
+  for (size_t c = 0; c < table_->num_columns(); ++c) {
+    result.AddColumn(table_->column_name(c), table_->column(c));
+  }
+  for (size_t c = 0; c < columns->size(); ++c) {
+    result.AddColumn(result_names_[c], std::move((*columns)[c]));
+  }
+  return result;
+}
+
+}  // namespace hwf

@@ -1,0 +1,188 @@
+#ifndef HWF_WINDOW_BUILDER_H_
+#define HWF_WINDOW_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "window/executor.h"
+#include "window/spec.h"
+
+namespace hwf {
+
+/// Fluent, name-based construction and execution of window queries.
+///
+///   StatusOr<Table> result =
+///       WindowQueryBuilder(trades)
+///           .PartitionBy("region")
+///           .OrderBy("day")
+///           .RowsBetween(FrameBound::Preceding(6), FrameBound::CurrentRow())
+///           .Median("price", "weekly_median")
+///           .Rank("price_rank").FunctionOrderByDesc("price")
+///           .Run();
+///
+/// The OVER clause methods (PartitionBy/OrderBy/frames/Exclude) apply to
+/// the shared window; each function method appends one call, and the
+/// modifier methods (FunctionOrderBy, Filter, IgnoreNulls, Param,
+/// Fraction) configure the most recently added call. Run() evaluates all
+/// calls with one shared partitioning/sorting pass and returns the input
+/// table plus one result column per call.
+///
+/// Column-name resolution errors are captured and reported by Run(), so
+/// chains stay unconditional.
+class WindowQueryBuilder {
+ public:
+  explicit WindowQueryBuilder(const Table& table) : table_(&table) {}
+
+  // -- OVER clause ----------------------------------------------------------
+
+  WindowQueryBuilder& PartitionBy(const std::string& column);
+  WindowQueryBuilder& OrderBy(const std::string& column, bool ascending = true,
+                              bool nulls_first = false);
+  WindowQueryBuilder& OrderByDesc(const std::string& column) {
+    return OrderBy(column, /*ascending=*/false);
+  }
+  WindowQueryBuilder& RowsBetween(FrameBound begin, FrameBound end);
+  WindowQueryBuilder& RangeBetween(FrameBound begin, FrameBound end);
+  WindowQueryBuilder& GroupsBetween(FrameBound begin, FrameBound end);
+  WindowQueryBuilder& Exclude(FrameExclusion exclusion);
+
+  // -- Window function calls ------------------------------------------------
+
+  /// Generic form; `argument` may be empty for argument-less functions.
+  WindowQueryBuilder& Call(WindowFunctionKind kind, const std::string& argument,
+                           const std::string& as);
+
+  WindowQueryBuilder& CountStar(const std::string& as) {
+    return Call(WindowFunctionKind::kCountStar, "", as);
+  }
+  WindowQueryBuilder& Count(const std::string& argument,
+                            const std::string& as) {
+    return Call(WindowFunctionKind::kCount, argument, as);
+  }
+  WindowQueryBuilder& Sum(const std::string& argument, const std::string& as) {
+    return Call(WindowFunctionKind::kSum, argument, as);
+  }
+  WindowQueryBuilder& Min(const std::string& argument, const std::string& as) {
+    return Call(WindowFunctionKind::kMin, argument, as);
+  }
+  WindowQueryBuilder& Max(const std::string& argument, const std::string& as) {
+    return Call(WindowFunctionKind::kMax, argument, as);
+  }
+  WindowQueryBuilder& Avg(const std::string& argument, const std::string& as) {
+    return Call(WindowFunctionKind::kAvg, argument, as);
+  }
+  WindowQueryBuilder& CountDistinct(const std::string& argument,
+                                    const std::string& as) {
+    return Call(WindowFunctionKind::kCountDistinct, argument, as);
+  }
+  WindowQueryBuilder& SumDistinct(const std::string& argument,
+                                  const std::string& as) {
+    return Call(WindowFunctionKind::kSumDistinct, argument, as);
+  }
+  WindowQueryBuilder& Rank(const std::string& as) {
+    return Call(WindowFunctionKind::kRank, "", as);
+  }
+  WindowQueryBuilder& DenseRank(const std::string& as) {
+    return Call(WindowFunctionKind::kDenseRank, "", as);
+  }
+  WindowQueryBuilder& RowNumber(const std::string& as) {
+    return Call(WindowFunctionKind::kRowNumber, "", as);
+  }
+  WindowQueryBuilder& CumeDist(const std::string& as) {
+    return Call(WindowFunctionKind::kCumeDist, "", as);
+  }
+  WindowQueryBuilder& Ntile(int64_t buckets, const std::string& as) {
+    Call(WindowFunctionKind::kNtile, "", as);
+    return Param(buckets);
+  }
+  WindowQueryBuilder& Median(const std::string& argument,
+                             const std::string& as) {
+    return Call(WindowFunctionKind::kMedian, argument, as);
+  }
+  WindowQueryBuilder& PercentileDisc(double fraction,
+                                     const std::string& argument,
+                                     const std::string& as) {
+    Call(WindowFunctionKind::kPercentileDisc, argument, as);
+    return Fraction(fraction);
+  }
+  WindowQueryBuilder& PercentileCont(double fraction,
+                                     const std::string& argument,
+                                     const std::string& as) {
+    Call(WindowFunctionKind::kPercentileCont, argument, as);
+    return Fraction(fraction);
+  }
+  WindowQueryBuilder& FirstValue(const std::string& argument,
+                                 const std::string& as) {
+    return Call(WindowFunctionKind::kFirstValue, argument, as);
+  }
+  WindowQueryBuilder& LastValue(const std::string& argument,
+                                const std::string& as) {
+    return Call(WindowFunctionKind::kLastValue, argument, as);
+  }
+  WindowQueryBuilder& NthValue(int64_t n, const std::string& argument,
+                               const std::string& as) {
+    Call(WindowFunctionKind::kNthValue, argument, as);
+    return Param(n);
+  }
+  WindowQueryBuilder& Lead(const std::string& argument, int64_t offset,
+                           const std::string& as) {
+    Call(WindowFunctionKind::kLead, argument, as);
+    return Param(offset);
+  }
+  WindowQueryBuilder& Lag(const std::string& argument, int64_t offset,
+                          const std::string& as) {
+    Call(WindowFunctionKind::kLag, argument, as);
+    return Param(offset);
+  }
+  WindowQueryBuilder& Mode(const std::string& argument,
+                           const std::string& as) {
+    return Call(WindowFunctionKind::kMode, argument, as);
+  }
+
+  // -- Modifiers for the most recently added call ----------------------------
+
+  WindowQueryBuilder& FunctionOrderBy(const std::string& column,
+                                      bool ascending = true,
+                                      bool nulls_first = false);
+  WindowQueryBuilder& FunctionOrderByDesc(const std::string& column) {
+    return FunctionOrderBy(column, /*ascending=*/false);
+  }
+  WindowQueryBuilder& Filter(const std::string& column);
+  WindowQueryBuilder& IgnoreNulls();
+  WindowQueryBuilder& Param(int64_t param);
+  WindowQueryBuilder& Fraction(double fraction);
+
+  // -- Execution --------------------------------------------------------------
+
+  /// The assembled spec and calls (for advanced use); fails on any name
+  /// resolution error recorded during building.
+  StatusOr<WindowSpec> spec() const;
+  StatusOr<std::vector<WindowFunctionCall>> calls() const;
+
+  /// Evaluates all calls and returns the input table plus one result
+  /// column per call (named by each call's `as`).
+  StatusOr<Table> Run(const WindowExecutorOptions& options = {},
+                      ThreadPool& pool = ThreadPool::Default()) const;
+
+  /// Evaluates all calls and returns only the result columns.
+  StatusOr<std::vector<Column>> RunColumns(
+      const WindowExecutorOptions& options = {},
+      ThreadPool& pool = ThreadPool::Default()) const;
+
+ private:
+  std::optional<size_t> Resolve(const std::string& column, const char* what);
+  void RecordError(const Status& status);
+
+  const Table* table_;
+  WindowSpec spec_;
+  std::vector<WindowFunctionCall> calls_;
+  std::vector<std::string> result_names_;
+  Status error_;
+};
+
+}  // namespace hwf
+
+#endif  // HWF_WINDOW_BUILDER_H_

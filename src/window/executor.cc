@@ -1,0 +1,484 @@
+#include "window/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "parallel/parallel_sort.h"
+#include "window/evaluator.h"
+#include "window/functions/common.h"
+#include "window/frame.h"
+
+namespace hwf {
+
+namespace {
+
+/// Compares two rows on one key, including NULL placement.
+int CompareRowsByKey(const Table& table, size_t row_a, size_t row_b,
+                     const SortKey& key) {
+  const Column& column = table.column(key.column);
+  const bool null_a = column.IsNull(row_a);
+  const bool null_b = column.IsNull(row_b);
+  if (null_a || null_b) {
+    if (null_a && null_b) return 0;
+    const int null_cmp = null_a ? -1 : 1;    // NULL first...
+    return key.nulls_first ? null_cmp : -null_cmp;
+  }
+  int cmp = column.Compare(row_a, row_b);
+  return key.ascending ? cmp : -cmp;
+}
+
+DataType ArgType(const Table& table, const WindowFunctionCall& call) {
+  HWF_CHECK(call.argument.has_value());
+  return table.column(*call.argument).type();
+}
+
+DataType ResultType(const Table& table, const WindowFunctionCall& call) {
+  switch (call.kind) {
+    case WindowFunctionKind::kCountStar:
+    case WindowFunctionKind::kCount:
+    case WindowFunctionKind::kCountDistinct:
+    case WindowFunctionKind::kRank:
+    case WindowFunctionKind::kDenseRank:
+    case WindowFunctionKind::kRowNumber:
+    case WindowFunctionKind::kNtile:
+      return DataType::kInt64;
+    case WindowFunctionKind::kAvg:
+    case WindowFunctionKind::kAvgDistinct:
+    case WindowFunctionKind::kPercentRank:
+    case WindowFunctionKind::kCumeDist:
+    case WindowFunctionKind::kPercentileCont:
+      return DataType::kDouble;
+    case WindowFunctionKind::kSum:
+    case WindowFunctionKind::kSumDistinct:
+    case WindowFunctionKind::kMin:
+    case WindowFunctionKind::kMax:
+    case WindowFunctionKind::kMinDistinct:
+    case WindowFunctionKind::kMaxDistinct:
+    case WindowFunctionKind::kPercentileDisc:
+    case WindowFunctionKind::kMedian:
+    case WindowFunctionKind::kFirstValue:
+    case WindowFunctionKind::kLastValue:
+    case WindowFunctionKind::kNthValue:
+    case WindowFunctionKind::kLead:
+    case WindowFunctionKind::kLag:
+    case WindowFunctionKind::kMode:
+      return ArgType(table, call);
+  }
+  return DataType::kInt64;
+}
+
+Status DispatchMergeSortTree(const PartitionView& view,
+                             const WindowFunctionCall& call, Column* out) {
+  switch (call.kind) {
+    case WindowFunctionKind::kCountStar:
+    case WindowFunctionKind::kCount:
+    case WindowFunctionKind::kSum:
+    case WindowFunctionKind::kMin:
+    case WindowFunctionKind::kMax:
+    case WindowFunctionKind::kAvg:
+      return EvalDistributive(view, call, out);
+    case WindowFunctionKind::kCountDistinct:
+    case WindowFunctionKind::kSumDistinct:
+    case WindowFunctionKind::kAvgDistinct:
+    case WindowFunctionKind::kMinDistinct:
+    case WindowFunctionKind::kMaxDistinct:
+      return EvalDistinctAggregate(view, call, out);
+    case WindowFunctionKind::kRank:
+    case WindowFunctionKind::kRowNumber:
+    case WindowFunctionKind::kPercentRank:
+    case WindowFunctionKind::kCumeDist:
+    case WindowFunctionKind::kNtile:
+      return EvalRankFunction(view, call, out);
+    case WindowFunctionKind::kDenseRank:
+      return EvalDenseRank(view, call, out);
+    case WindowFunctionKind::kPercentileDisc:
+    case WindowFunctionKind::kPercentileCont:
+    case WindowFunctionKind::kMedian:
+      return EvalPercentile(view, call, out);
+    case WindowFunctionKind::kFirstValue:
+    case WindowFunctionKind::kLastValue:
+    case WindowFunctionKind::kNthValue:
+      return EvalValueFunction(view, call, out);
+    case WindowFunctionKind::kLead:
+    case WindowFunctionKind::kLag:
+      return EvalLeadLag(view, call, out);
+    case WindowFunctionKind::kMode:
+      return Status::NotImplemented(
+          "mode is not covered by the merge sort tree (paper §1); use "
+          "WindowEngine::kIncremental or kNaive");
+  }
+  return Status::Internal("unhandled window function kind");
+}
+
+Status DispatchEngine(const PartitionView& view,
+                      const WindowFunctionCall& call, Column* out) {
+  switch (view.options->engine) {
+    case WindowEngine::kMergeSortTree:
+      return DispatchMergeSortTree(view, call, out);
+    case WindowEngine::kNaive:
+      return EvalNaive(view, call, out);
+    case WindowEngine::kIncremental:
+      return EvalIncremental(view, call, out);
+    case WindowEngine::kOrderStatisticTree:
+      return EvalOrderStatisticTree(view, call, out);
+  }
+  return Status::Internal("unhandled window engine");
+}
+
+}  // namespace
+
+int CompareRowsBy(const Table& table, size_t row_a, size_t row_b,
+                  std::span<const SortKey> keys) {
+  for (const SortKey& key : keys) {
+    int cmp = CompareRowsByKey(table, row_a, row_b, key);
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+std::vector<SortKey> EffectiveOrder(const WindowSpec& spec,
+                                    const WindowFunctionCall& call) {
+  if (!call.order_by.empty()) return call.order_by;
+  switch (call.kind) {
+    case WindowFunctionKind::kPercentileDisc:
+    case WindowFunctionKind::kPercentileCont:
+    case WindowFunctionKind::kMedian:
+      // Percentiles order by their argument by default.
+      if (call.argument.has_value()) {
+        return {SortKey{*call.argument, true, false}};
+      }
+      break;
+    default:
+      break;
+  }
+  return spec.order_by;
+}
+
+IndexRemap BuildCallRemap(const PartitionView& view,
+                          const WindowFunctionCall& call,
+                          bool drop_null_args) {
+  const bool has_filter = call.filter.has_value();
+  const bool drop_nulls = drop_null_args && call.argument.has_value();
+  if (!has_filter && !drop_nulls) {
+    return IndexRemap::Identity(view.size());
+  }
+  std::vector<uint8_t> include(view.size(), 1);
+  const Column* filter_col = has_filter ? &view.col(*call.filter) : nullptr;
+  const Column* arg_col = drop_nulls ? &view.col(*call.argument) : nullptr;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const size_t row = view.rows[i];
+    if (filter_col != nullptr &&
+        (filter_col->IsNull(row) || filter_col->GetInt64(row) == 0)) {
+      include[i] = 0;
+    } else if (arg_col != nullptr && arg_col->IsNull(row)) {
+      include[i] = 0;
+    }
+  }
+  return IndexRemap::Build(include);
+}
+
+size_t MapRangesToFiltered(const FrameRanges& frames, const IndexRemap& remap,
+                           RowRange* out) {
+  size_t count = 0;
+  for (size_t r = 0; r < frames.count(); ++r) {
+    const size_t begin = remap.ToFiltered(frames[r].begin);
+    const size_t end = remap.ToFiltered(frames[r].end);
+    if (begin < end) out[count++] = RowRange{begin, end};
+  }
+  return count;
+}
+
+StatusOr<std::vector<Column>> EvaluateWindowFunctions(
+    const Table& table, const WindowSpec& spec,
+    std::span<const WindowFunctionCall> calls,
+    const WindowExecutorOptions& options, ThreadPool& pool) {
+  Status status = ValidateWindowSpec(table, spec);
+  if (!status.ok()) return status;
+  for (const WindowFunctionCall& call : calls) {
+    status = ValidateWindowCall(table, spec, call);
+    if (!status.ok()) return status;
+  }
+
+  const size_t n = table.num_rows();
+
+  // Phase 1: one global sort by (partition keys, order keys, row id).
+  // Partition keys use a fixed canonical order; the row-id tiebreak makes
+  // the sort a deterministic total order (and thereby reproducible across
+  // thread counts).
+  std::vector<SortKey> partition_keys;
+  partition_keys.reserve(spec.partition_by.size());
+  for (size_t column : spec.partition_by) {
+    partition_keys.push_back(SortKey{column, true, true});
+  }
+  std::vector<size_t> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = i;
+  // Fast path standing in for Hyper's generated comparators (§5.4): with
+  // no partitioning and a single numeric ORDER BY key, sort fixed-width
+  // encoded records instead of dispatching a generic comparator per
+  // comparison.
+  const bool encoded_sort =
+      spec.partition_by.empty() && spec.order_by.size() == 1 &&
+      table.column(spec.order_by[0].column).type() != DataType::kString;
+  if (encoded_sort) {
+    const SortKey& key = spec.order_by[0];
+    const Column& column = table.column(key.column);
+    const bool is_int = column.type() == DataType::kInt64;
+    struct SortRec {
+      uint8_t null_rank;
+      uint64_t key;
+      uint64_t row;
+      bool operator<(const SortRec& other) const {
+        if (null_rank != other.null_rank) return null_rank < other.null_rank;
+        if (key != other.key) return key < other.key;
+        return row < other.row;
+      }
+    };
+    std::vector<SortRec> records(n);
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            if (column.IsNull(i)) {
+              records[i] = {static_cast<uint8_t>(key.nulls_first ? 0 : 2), 0,
+                            i};
+            } else {
+              records[i] = {
+                  1,
+                  is_int ? internal_window::EncodeInt64Key(column.GetInt64(i),
+                                                           key.ascending)
+                         : internal_window::EncodeDoubleKey(
+                               column.GetDouble(i), key.ascending),
+                  i};
+            }
+          }
+        },
+        pool, options.morsel_size);
+    ParallelSort(
+        records, [](const SortRec& a, const SortRec& b) { return a < b; },
+        pool, options.morsel_size);
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            sorted[i] = static_cast<size_t>(records[i].row);
+          }
+        },
+        pool, options.morsel_size);
+  } else {
+    ParallelSort(
+        sorted,
+        [&](size_t a, size_t b) {
+          int cmp = CompareRowsBy(table, a, b, partition_keys);
+          if (cmp != 0) return cmp < 0;
+          cmp = CompareRowsBy(table, a, b, spec.order_by);
+          if (cmp != 0) return cmp < 0;
+          return a < b;
+        },
+        pool, options.morsel_size);
+  }
+
+  // Phase 2: partition boundaries (equal partition keys).
+  std::vector<size_t> partition_starts;
+  partition_starts.push_back(0);
+  for (size_t i = 1; i < n; ++i) {
+    if (CompareRowsBy(table, sorted[i - 1], sorted[i], partition_keys) != 0) {
+      partition_starts.push_back(i);
+    }
+  }
+  partition_starts.push_back(n);
+
+  // Result columns, all NULL until written.
+  std::vector<Column> results;
+  results.reserve(calls.size());
+  for (const WindowFunctionCall& call : calls) {
+    results.emplace_back(ResultType(table, call), n);
+  }
+
+  const FrameSpec& frame = spec.frame;
+  const bool needs_peers =
+      frame.exclusion == FrameExclusion::kGroup ||
+      frame.exclusion == FrameExclusion::kTies ||
+      frame.mode == FrameMode::kGroups ||
+      (frame.mode == FrameMode::kRange &&
+       frame.begin.kind != FrameBoundKind::kUnboundedPreceding) ||
+      (frame.mode == FrameMode::kRange &&
+       frame.end.kind != FrameBoundKind::kUnboundedFollowing);
+  const bool needs_range_keys =
+      frame.mode == FrameMode::kRange &&
+      (frame.begin.kind == FrameBoundKind::kPreceding ||
+       frame.begin.kind == FrameBoundKind::kFollowing ||
+       frame.end.kind == FrameBoundKind::kPreceding ||
+       frame.end.kind == FrameBoundKind::kFollowing);
+
+  // Phase 3: per partition — frame resolution, then function evaluation.
+  auto process_partition = [&](size_t p, ThreadPool& part_pool) -> Status {
+    const size_t part_begin = partition_starts[p];
+    const size_t part_end = partition_starts[p + 1];
+    const size_t part_n = part_end - part_begin;
+    std::span<const size_t> rows(sorted.data() + part_begin, part_n);
+
+    FrameResolver::Inputs inputs;
+    inputs.n = part_n;
+    inputs.frame = frame;
+
+    if (needs_peers) {
+      inputs.peer_start.resize(part_n);
+      inputs.peer_end.resize(part_n);
+      inputs.group_index.resize(part_n);
+      size_t group_begin = 0;
+      size_t group = 0;
+      for (size_t i = 1; i <= part_n; ++i) {
+        const bool boundary =
+            i == part_n ||
+            CompareRowsBy(table, rows[i - 1], rows[i], spec.order_by) != 0;
+        if (boundary) {
+          inputs.group_starts.push_back(group_begin);
+          for (size_t j = group_begin; j < i; ++j) {
+            inputs.peer_start[j] = group_begin;
+            inputs.peer_end[j] = i;
+            inputs.group_index[j] = group;
+          }
+          group_begin = i;
+          ++group;
+        }
+      }
+      inputs.group_starts.push_back(part_n);  // Sentinel.
+    }
+
+    if (needs_range_keys) {
+      const SortKey& key = spec.order_by[0];
+      const Column& column = table.column(key.column);
+      inputs.ascending = key.ascending;
+      inputs.range_keys.resize(part_n);
+      inputs.range_key_valid.resize(part_n);
+      size_t num_nulls = 0;
+      for (size_t i = 0; i < part_n; ++i) {
+        const size_t row = rows[i];
+        if (column.IsNull(row)) {
+          inputs.range_keys[i] = 0;
+          inputs.range_key_valid[i] = 0;
+          ++num_nulls;
+        } else {
+          inputs.range_keys[i] = column.GetNumeric(row);
+          inputs.range_key_valid[i] = 1;
+        }
+      }
+      if (key.nulls_first) {
+        inputs.nonnull_begin = num_nulls;
+        inputs.nonnull_end = part_n;
+      } else {
+        inputs.nonnull_begin = 0;
+        inputs.nonnull_end = part_n - num_nulls;
+      }
+    }
+
+    auto load_offsets = [&](const FrameBound& bound,
+                            std::vector<int64_t>* ints,
+                            std::vector<double>* doubles) {
+      if (!bound.offset_column.has_value()) return;
+      if (bound.kind != FrameBoundKind::kPreceding &&
+          bound.kind != FrameBoundKind::kFollowing) {
+        return;
+      }
+      const Column& column = table.column(*bound.offset_column);
+      if (frame.mode == FrameMode::kRange) {
+        doubles->resize(part_n);
+        for (size_t i = 0; i < part_n; ++i) {
+          (*doubles)[i] =
+              column.IsNull(rows[i]) ? 0.0 : column.GetNumeric(rows[i]);
+        }
+      } else {
+        ints->resize(part_n);
+        for (size_t i = 0; i < part_n; ++i) {
+          (*ints)[i] = column.IsNull(rows[i])
+                           ? 0
+                           : static_cast<int64_t>(
+                                 std::llround(column.GetNumeric(rows[i])));
+        }
+      }
+    };
+    load_offsets(frame.begin, &inputs.begin_offsets,
+                 &inputs.begin_offsets_numeric);
+    load_offsets(frame.end, &inputs.end_offsets, &inputs.end_offsets_numeric);
+
+    FrameResolver resolver(std::move(inputs));
+    std::vector<FrameRanges> frames(part_n);
+    ParallelFor(
+        0, part_n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) frames[i] = resolver.Resolve(i);
+        },
+        part_pool, options.morsel_size);
+
+    PartitionView view;
+    view.table = &table;
+    view.spec = &spec;
+    view.rows = rows;
+    view.frames = frames;
+    view.options = &options;
+    view.pool = &part_pool;
+
+    for (size_t c = 0; c < calls.size(); ++c) {
+      Status call_status = DispatchEngine(view, calls[c], &results[c]);
+      if (!call_status.ok()) return call_status;
+    }
+    return Status::OK();
+  };
+
+  const size_t num_partitions = partition_starts.size() - 1;
+  size_t largest_partition = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    largest_partition = std::max(largest_partition,
+                                 partition_starts[p + 1] - partition_starts[p]);
+  }
+  if (num_partitions > 1 && largest_partition <= options.morsel_size &&
+      pool.num_workers() > 0) {
+    // Many small partitions: parallelize ACROSS partitions (Leis et al.
+    // [27]); each partition is one task evaluated serially inside. A
+    // worker-less pool makes the inner ParallelFor calls run inline.
+    static ThreadPool& serial_pool = *new ThreadPool(0);
+    std::mutex error_mutex;
+    Status first_error;
+    ParallelFor(
+        0, num_partitions,
+        [&](size_t lo, size_t hi) {
+          for (size_t p = lo; p < hi; ++p) {
+            {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error.ok()) return;
+            }
+            Status partition_status = process_partition(p, serial_pool);
+            if (!partition_status.ok()) {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (first_error.ok()) first_error = partition_status;
+            }
+          }
+        },
+        pool, /*morsel_size=*/1);
+    if (!first_error.ok()) return first_error;
+  } else {
+    // Few (or large) partitions: evaluate sequentially with intra-
+    // partition parallelism.
+    for (size_t p = 0; p < num_partitions; ++p) {
+      status = process_partition(p, pool);
+      if (!status.ok()) return status;
+    }
+  }
+
+  return results;
+}
+
+StatusOr<Column> EvaluateWindowFunction(const Table& table,
+                                        const WindowSpec& spec,
+                                        const WindowFunctionCall& call,
+                                        const WindowExecutorOptions& options,
+                                        ThreadPool& pool) {
+  StatusOr<std::vector<Column>> result = EvaluateWindowFunctions(
+      table, spec, std::span<const WindowFunctionCall>(&call, 1), options,
+      pool);
+  if (!result.ok()) return result.status();
+  return std::move((*result)[0]);
+}
+
+}  // namespace hwf

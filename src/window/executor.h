@@ -1,0 +1,63 @@
+#ifndef HWF_WINDOW_EXECUTOR_H_
+#define HWF_WINDOW_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "mst/merge_sort_tree.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "storage/table.h"
+#include "window/spec.h"
+
+namespace hwf {
+
+/// Evaluation engine for the window operator. kMergeSortTree is the paper's
+/// contribution and the production default; the others are the evaluated
+/// competitors (§5.5) and share the executor's partitioning / sorting /
+/// frame-resolution phases so that benchmark comparisons isolate the
+/// aggregation algorithm itself.
+enum class WindowEngine {
+  kMergeSortTree,
+  kNaive,               // per-frame re-evaluation (Wesley & Xu "naive")
+  kIncremental,         // Wesley & Xu incremental state maintenance
+  kOrderStatisticTree,  // counted B-tree (percentile / rank only)
+};
+
+struct WindowExecutorOptions {
+  /// Merge sort tree tuning (fanout, cascading sampling; §5.1, §6.6).
+  MergeSortTreeOptions tree;
+
+  /// Task size for morsel-driven parallelism (§5.5: Hyper uses 20 000).
+  size_t morsel_size = kDefaultMorselSize;
+
+  WindowEngine engine = WindowEngine::kMergeSortTree;
+
+  /// Force the tree index width: 0 = choose per partition (§5.1: 32-bit
+  /// when the partition fits, else 64-bit), 32 or 64 to override.
+  int force_index_width = 0;
+};
+
+/// Evaluates several window function calls sharing one OVER clause.
+///
+/// Partitioning, sorting and frame resolution are performed once and shared
+/// across the calls (the optimization of Kohn et al. [24] / Cao et al. [11]
+/// at the granularity this library needs). Returns one result column per
+/// call, aligned with the input table's row order.
+StatusOr<std::vector<Column>> EvaluateWindowFunctions(
+    const Table& table, const WindowSpec& spec,
+    std::span<const WindowFunctionCall> calls,
+    const WindowExecutorOptions& options = {},
+    ThreadPool& pool = ThreadPool::Default());
+
+/// Single-call convenience wrapper.
+StatusOr<Column> EvaluateWindowFunction(
+    const Table& table, const WindowSpec& spec,
+    const WindowFunctionCall& call,
+    const WindowExecutorOptions& options = {},
+    ThreadPool& pool = ThreadPool::Default());
+
+}  // namespace hwf
+
+#endif  // HWF_WINDOW_EXECUTOR_H_

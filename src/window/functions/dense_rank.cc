@@ -1,0 +1,69 @@
+#include <cstdint>
+#include <vector>
+
+#include "mst/dense_rank_tree.h"
+#include "mst/permutation.h"
+#include "window/evaluator.h"
+#include "window/functions/common.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Framed DENSE_RANK (§4.4): count of distinct values ordered strictly
+/// before the current row within the frame, plus one. Backed by the 3-d
+/// range tree; exclusion clauses are rejected during validation.
+template <typename Index>
+Status EvalDenseRankT(const PartitionView& view,
+                      const WindowFunctionCall& call, Column* out) {
+  const size_t n = view.size();
+  const IndexRemap remap =
+      BuildCallRemap(view, call, /*drop_null_args=*/false);
+  const size_t m = remap.num_surviving();
+  const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
+  PositionLess less{&view, order};
+  auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
+  const std::vector<Index> codes =
+      ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
+
+  std::vector<Index> filtered_codes(m);
+  for (size_t j = 0; j < m; ++j) {
+    filtered_codes[j] = codes[remap.ToOriginal(j)];
+  }
+  const DenseRankTree<Index> tree = DenseRankTree<Index>::Build(
+      std::span<const Index>(filtered_codes), view.options->tree, *view.pool);
+
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        RowRange ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t num_ranges =
+              MapRangesToFiltered(view.frames[i], remap, ranges);
+          HWF_CHECK_MSG(num_ranges <= 1,
+                        "dense_rank does not support frame exclusion");
+          size_t smaller = 0;
+          if (num_ranges == 1) {
+            smaller = tree.CountDistinctLess(ranges[0].begin, ranges[0].end,
+                                             codes[i]);
+          }
+          out->SetInt64(view.rows[i], static_cast<int64_t>(smaller) + 1);
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalDenseRank(const PartitionView& view, const WindowFunctionCall& call,
+                     Column* out) {
+  return internal_window::DispatchIndexWidth(
+      view.size(), view.options->force_index_width, [&](auto tag) {
+        using Index = decltype(tag);
+        return internal_window::EvalDenseRankT<Index>(view, call, out);
+      });
+}
+
+}  // namespace hwf

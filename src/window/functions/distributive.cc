@@ -1,0 +1,149 @@
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/segment_tree.h"
+#include "mst/aggregate_ops.h"
+#include "window/evaluator.h"
+#include "window/functions/common.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Distributive / algebraic framed aggregates via segment trees (Leis et
+/// al. [27]) — the non-holistic substrate the paper builds on. COUNT needs
+/// no tree at all: it is the number of surviving frame rows.
+template <typename Ops, typename GetInput, typename Write>
+Status EvalSegmentAggregate(const PartitionView& view,
+                            const WindowFunctionCall& call,
+                            GetInput&& get_input, Write&& write) {
+  using Input = typename Ops::Input;
+  using State = typename Ops::State;
+  const IndexRemap remap = BuildCallRemap(view, call, /*drop_null_args=*/true);
+  const size_t m = remap.num_surviving();
+  std::vector<Input> inputs(m);
+  for (size_t j = 0; j < m; ++j) inputs[j] = get_input(remap.ToOriginal(j));
+  const SegmentTree<Ops> tree =
+      SegmentTree<Ops>::Build(std::span<const Input>(inputs));
+
+  ParallelFor(
+      0, view.size(),
+      [&](size_t lo, size_t hi) {
+        RowRange ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t num_ranges =
+              MapRangesToFiltered(view.frames[i], remap, ranges);
+          std::optional<State> state;
+          for (size_t r = 0; r < num_ranges; ++r) {
+            std::optional<State> piece =
+                tree.Aggregate(ranges[r].begin, ranges[r].end);
+            if (piece.has_value()) {
+              if (state.has_value()) {
+                Ops::Merge(*state, *piece);
+              } else {
+                state = *piece;
+              }
+            }
+          }
+          write(view.rows[i], state);
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+Status EvalCount(const PartitionView& view, const WindowFunctionCall& call,
+                 Column* out, bool count_star) {
+  const IndexRemap remap =
+      BuildCallRemap(view, call, /*drop_null_args=*/!count_star);
+  ParallelFor(
+      0, view.size(),
+      [&](size_t lo, size_t hi) {
+        RowRange ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t num_ranges =
+              MapRangesToFiltered(view.frames[i], remap, ranges);
+          size_t count = 0;
+          for (size_t r = 0; r < num_ranges; ++r) count += ranges[r].size();
+          out->SetInt64(view.rows[i], static_cast<int64_t>(count));
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalDistributive(const PartitionView& view,
+                        const WindowFunctionCall& call, Column* out) {
+  using internal_window::EvalCount;
+  using internal_window::EvalSegmentAggregate;
+
+  if (call.kind == WindowFunctionKind::kCountStar) {
+    return EvalCount(view, call, out, /*count_star=*/true);
+  }
+  if (call.kind == WindowFunctionKind::kCount) {
+    return EvalCount(view, call, out, /*count_star=*/false);
+  }
+
+  const Column& arg = view.col(*call.argument);
+  const bool arg_is_int = arg.type() == DataType::kInt64;
+  auto int_input = [&](size_t pos) { return arg.GetInt64(view.rows[pos]); };
+  auto dbl_input = [&](size_t pos) { return arg.GetNumeric(view.rows[pos]); };
+  auto write_numeric = [&](size_t row, const std::optional<double>& state) {
+    if (!state.has_value()) {
+      out->SetNull(row);
+    } else if (out->type() == DataType::kInt64) {
+      out->SetInt64(row, static_cast<int64_t>(*state));
+    } else {
+      out->SetDouble(row, *state);
+    }
+  };
+
+  switch (call.kind) {
+    case WindowFunctionKind::kSum:
+      if (arg_is_int) {
+        return EvalSegmentAggregate<SumInt64Ops>(
+            view, call, int_input,
+            [&](size_t row, const std::optional<int64_t>& state) {
+              if (state.has_value()) {
+                out->SetInt64(row, *state);
+              } else {
+                out->SetNull(row);
+              }
+            });
+      }
+      return EvalSegmentAggregate<SumOps>(
+          view, call, dbl_input,
+          [&](size_t row, const std::optional<double>& state) {
+            if (state.has_value()) {
+              out->SetDouble(row, *state);
+            } else {
+              out->SetNull(row);
+            }
+          });
+    case WindowFunctionKind::kMin:
+      return EvalSegmentAggregate<MinOps>(view, call, dbl_input,
+                                          write_numeric);
+    case WindowFunctionKind::kMax:
+      return EvalSegmentAggregate<MaxOps>(view, call, dbl_input,
+                                          write_numeric);
+    case WindowFunctionKind::kAvg:
+      return EvalSegmentAggregate<AvgOps>(
+          view, call, dbl_input,
+          [&](size_t row, const std::optional<AvgOps::State>& state) {
+            if (state.has_value() && state->count > 0) {
+              out->SetDouble(row,
+                             state->sum / static_cast<double>(state->count));
+            } else {
+              out->SetNull(row);
+            }
+          });
+    default:
+      return Status::Internal("not a distributive aggregate");
+  }
+}
+
+}  // namespace hwf

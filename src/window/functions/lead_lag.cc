@@ -1,0 +1,110 @@
+#include <cstdint>
+#include <vector>
+
+#include "mst/permutation.h"
+#include "window/evaluator.h"
+#include "window/functions/selection.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Framed LEAD / LAG (§4.6): (1) compute the current row's row number
+/// within the frame under the function order, (2) offset it, (3) select the
+/// row at the adjusted position, (4) evaluate the argument there.
+///
+/// Both steps use the same selection tree: the row number is the count of
+/// tree positions before the current row's function-order rank whose key
+/// (filtered partition position) lies in the frame, and the selection is a
+/// Select on the same tree. When the current row itself is dropped by the
+/// FILTER clause or IGNORE NULLS, its rank is undefined and the result is
+/// NULL (documented deviation; standard SQL has no FILTER on lead/lag).
+template <typename Index>
+Status EvalLeadLagT(const PartitionView& view, const WindowFunctionCall& call,
+                    Column* out) {
+  const SelectionTree<Index> sel = SelectionTree<Index>::Build(
+      view, call, /*drop_null_args=*/call.ignore_nulls);
+  const Column& arg = view.col(*call.argument);
+  const bool is_lead = call.kind == WindowFunctionKind::kLead;
+
+  // Function-order rank of every filtered position: the inverse of the
+  // permutation the tree was built over.
+  const size_t m = sel.remap.num_surviving();
+  std::vector<size_t> rank_of_filtered(m);
+  const auto& perm = sel.tree.keys();
+  for (size_t j = 0; j < m; ++j) {
+    rank_of_filtered[static_cast<size_t>(perm[j])] = j;
+  }
+
+  ParallelFor(
+      0, view.size(),
+      [&](size_t lo, size_t hi) {
+        KeyRange<Index> ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t row = view.rows[i];
+          if (!sel.remap.Included(i)) {
+            out->SetNull(row);
+            continue;
+          }
+          size_t total = 0;
+          const size_t num_ranges =
+              sel.MapKeyRanges(view.frames[i], ranges, &total);
+          if (total == 0) {
+            out->SetNull(row);
+            continue;
+          }
+          std::span<const KeyRange<Index>> span(ranges, num_ranges);
+          // Frame rows strictly before the current row in function order.
+          const size_t own_rank = rank_of_filtered[sel.remap.ToFiltered(i)];
+          size_t before = 0;
+          for (size_t r = 0; r < num_ranges; ++r) {
+            before += sel.tree.CountInKeyRange(0, own_rank, ranges[r].lo,
+                                               ranges[r].hi);
+          }
+          // If the current row is in the frame, `before` is its 0-based
+          // index among the frame rows; otherwise it is the insertion
+          // position, which generalizes the semantics naturally.
+          const int64_t target = is_lead
+                                     ? static_cast<int64_t>(before) + call.param
+                                     : static_cast<int64_t>(before) -
+                                           call.param;
+          if (target < 0 || target >= static_cast<int64_t>(total)) {
+            out->SetNull(row);
+            continue;
+          }
+          const size_t selected = view.rows[sel.SelectPosition(
+              span, static_cast<size_t>(target))];
+          if (arg.IsNull(selected)) {
+            out->SetNull(row);
+          } else {
+            switch (out->type()) {
+              case DataType::kInt64:
+                out->SetInt64(row, arg.GetInt64(selected));
+                break;
+              case DataType::kDouble:
+                out->SetDouble(row, arg.GetDouble(selected));
+                break;
+              case DataType::kString:
+                out->SetString(row, arg.GetString(selected));
+                break;
+            }
+          }
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalLeadLag(const PartitionView& view, const WindowFunctionCall& call,
+                   Column* out) {
+  return internal_window::DispatchIndexWidth(
+      view.size(), view.options->force_index_width, [&](auto tag) {
+        using Index = decltype(tag);
+        return internal_window::EvalLeadLagT<Index>(view, call, out);
+      });
+}
+
+}  // namespace hwf

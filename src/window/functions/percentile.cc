@@ -1,0 +1,86 @@
+#include <cmath>
+#include <cstdint>
+
+#include "window/evaluator.h"
+#include "window/functions/selection.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Framed percentiles (§4.5). PERCENTILE_DISC(f) returns the first value
+/// whose cumulative distribution reaches f (an actual input value);
+/// PERCENTILE_CONT(f) linearly interpolates between the two neighboring
+/// values; MEDIAN is PERCENTILE_DISC(0.5). NULL arguments are always
+/// ignored, matching the SQL aggregate semantics.
+template <typename Index>
+Status EvalPercentileT(const PartitionView& view,
+                       const WindowFunctionCall& call, Column* out) {
+  const SelectionTree<Index> sel =
+      SelectionTree<Index>::Build(view, call, /*drop_null_args=*/true);
+  const Column& arg = view.col(*call.argument);
+  const bool cont = call.kind == WindowFunctionKind::kPercentileCont;
+  const double fraction =
+      call.kind == WindowFunctionKind::kMedian ? 0.5 : call.fraction;
+
+  ParallelFor(
+      0, view.size(),
+      [&](size_t lo, size_t hi) {
+        KeyRange<Index> ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t row = view.rows[i];
+          size_t total = 0;
+          const size_t num_ranges =
+              sel.MapKeyRanges(view.frames[i], ranges, &total);
+          if (total == 0) {
+            out->SetNull(row);
+            continue;
+          }
+          std::span<const KeyRange<Index>> span(ranges, num_ranges);
+          if (!cont) {
+            // PERCENTILE_DISC: ceil(f·N) - 1, clamped into [0, N).
+            double pos = std::ceil(fraction * static_cast<double>(total)) - 1;
+            size_t idx = pos <= 0 ? 0 : static_cast<size_t>(pos);
+            if (idx >= total) idx = total - 1;
+            const size_t selected =
+                view.rows[sel.SelectPosition(span, idx)];
+            if (out->type() == DataType::kInt64) {
+              out->SetInt64(row, arg.GetInt64(selected));
+            } else {
+              out->SetDouble(row, arg.GetNumeric(selected));
+            }
+          } else {
+            // PERCENTILE_CONT: interpolate at f·(N-1).
+            const double pos = fraction * static_cast<double>(total - 1);
+            const size_t lo_idx = static_cast<size_t>(std::floor(pos));
+            const size_t hi_idx = static_cast<size_t>(std::ceil(pos));
+            const double lo_val = arg.GetNumeric(
+                view.rows[sel.SelectPosition(span, lo_idx)]);
+            if (hi_idx == lo_idx) {
+              out->SetDouble(row, lo_val);
+            } else {
+              const double hi_val = arg.GetNumeric(
+                  view.rows[sel.SelectPosition(span, hi_idx)]);
+              const double t = pos - static_cast<double>(lo_idx);
+              out->SetDouble(row, lo_val + t * (hi_val - lo_val));
+            }
+          }
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalPercentile(const PartitionView& view,
+                      const WindowFunctionCall& call, Column* out) {
+  return internal_window::DispatchIndexWidth(
+      view.size(), view.options->force_index_width, [&](auto tag) {
+        using Index = decltype(tag);
+        return internal_window::EvalPercentileT<Index>(view, call, out);
+      });
+}
+
+}  // namespace hwf

@@ -1,0 +1,147 @@
+#include <cstdint>
+#include <vector>
+
+#include "mst/merge_sort_tree.h"
+#include "mst/permutation.h"
+#include "window/evaluator.h"
+#include "window/functions/common.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Shared machinery of the MST-based rank functions (§4.4).
+///
+/// The function-level ORDER BY is preprocessed into integer codes over all
+/// partition positions (Fig. 8): dense codes for RANK / CUME_DIST (peers
+/// share a code), unique codes for ROW_NUMBER / NTILE (ties broken by
+/// position). The tree is built over the codes of the FILTER-surviving
+/// positions; the current row's own code works as the query threshold even
+/// when the row itself is filtered out.
+template <typename Index>
+Status EvalRankT(const PartitionView& view, const WindowFunctionCall& call,
+                 Column* out) {
+  const size_t n = view.size();
+  const IndexRemap remap =
+      BuildCallRemap(view, call, /*drop_null_args=*/false);
+  const size_t m = remap.num_surviving();
+  const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
+  PositionLess less{&view, order};
+  auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
+
+  const bool dense = call.kind == WindowFunctionKind::kRank ||
+                     call.kind == WindowFunctionKind::kPercentRank ||
+                     call.kind == WindowFunctionKind::kCumeDist;
+  std::vector<Index> codes =
+      dense ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
+            : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
+
+  std::vector<Index> keys(m);
+  for (size_t j = 0; j < m; ++j) keys[j] = codes[remap.ToOriginal(j)];
+  const MergeSortTree<Index> tree =
+      MergeSortTree<Index>::Build(std::move(keys), view.options->tree,
+                                  *view.pool);
+
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        RowRange ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t row = view.rows[i];
+          const size_t num_ranges =
+              MapRangesToFiltered(view.frames[i], remap, ranges);
+          size_t frame_rows = 0;
+          for (size_t r = 0; r < num_ranges; ++r) {
+            frame_rows += ranges[r].size();
+          }
+          auto count_less = [&](Index threshold) {
+            size_t count = 0;
+            for (size_t r = 0; r < num_ranges; ++r) {
+              count +=
+                  tree.CountLess(ranges[r].begin, ranges[r].end, threshold);
+            }
+            return count;
+          };
+          switch (call.kind) {
+            case WindowFunctionKind::kRank:
+              out->SetInt64(row,
+                            static_cast<int64_t>(1 + count_less(codes[i])));
+              break;
+            case WindowFunctionKind::kRowNumber:
+              out->SetInt64(row,
+                            static_cast<int64_t>(1 + count_less(codes[i])));
+              break;
+            case WindowFunctionKind::kPercentRank: {
+              if (frame_rows <= 1) {
+                out->SetDouble(row, 0.0);
+              } else {
+                const size_t rank = 1 + count_less(codes[i]);
+                out->SetDouble(row, static_cast<double>(rank - 1) /
+                                        static_cast<double>(frame_rows - 1));
+              }
+              break;
+            }
+            case WindowFunctionKind::kCumeDist: {
+              if (frame_rows == 0) {
+                out->SetNull(row);
+              } else {
+                const size_t leq =
+                    count_less(static_cast<Index>(codes[i] + 1));
+                out->SetDouble(row, static_cast<double>(leq) /
+                                        static_cast<double>(frame_rows));
+              }
+              break;
+            }
+            case WindowFunctionKind::kNtile: {
+              if (frame_rows == 0) {
+                out->SetNull(row);
+                break;
+              }
+              const size_t buckets = static_cast<size_t>(call.param);
+              // 0-based index of the current row among the frame rows in
+              // function order (insertion position when the row itself is
+              // outside the frame).
+              size_t rn = count_less(codes[i]);
+              if (rn >= frame_rows) rn = frame_rows - 1;
+              int64_t tile;
+              if (buckets >= frame_rows) {
+                tile = static_cast<int64_t>(rn) + 1;
+              } else {
+                // SQL NTILE: the first (frame_rows % buckets) buckets get
+                // one extra row.
+                const size_t big = frame_rows % buckets;
+                const size_t small_size = frame_rows / buckets;
+                const size_t big_total = big * (small_size + 1);
+                if (rn < big_total) {
+                  tile = static_cast<int64_t>(rn / (small_size + 1)) + 1;
+                } else {
+                  tile = static_cast<int64_t>(big +
+                                              (rn - big_total) / small_size) +
+                         1;
+                }
+              }
+              out->SetInt64(row, tile);
+              break;
+            }
+            default:
+              HWF_CHECK_MSG(false, "not a rank function");
+          }
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalRankFunction(const PartitionView& view,
+                        const WindowFunctionCall& call, Column* out) {
+  return internal_window::DispatchIndexWidth(
+      view.size(), view.options->force_index_width, [&](auto tag) {
+        using Index = decltype(tag);
+        return internal_window::EvalRankT<Index>(view, call, out);
+      });
+}
+
+}  // namespace hwf

@@ -1,0 +1,78 @@
+#ifndef HWF_WINDOW_FUNCTIONS_SELECTION_H_
+#define HWF_WINDOW_FUNCTIONS_SELECTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mst/merge_sort_tree.h"
+#include "mst/permutation.h"
+#include "mst/remap.h"
+#include "window/evaluator.h"
+#include "window/functions/common.h"
+
+namespace hwf {
+namespace internal_window {
+
+/// Shared machinery for percentiles, value functions and LEAD/LAG (§4.5,
+/// §4.6): a merge sort tree over the permutation array (Fig. 6).
+///
+/// Tree positions are the function-order ranks (0 = smallest under the
+/// function's ORDER BY); keys are filtered partition positions. Selecting
+/// the i-th tree entry whose key falls into the frame's position ranges
+/// yields the i-th frame row in function order.
+template <typename Index>
+struct SelectionTree {
+  IndexRemap remap;
+  MergeSortTree<Index> tree;
+
+  static SelectionTree Build(const PartitionView& view,
+                             const WindowFunctionCall& call,
+                             bool drop_null_args) {
+    SelectionTree result;
+    result.remap = BuildCallRemap(view, call, drop_null_args);
+    const size_t m = result.remap.num_surviving();
+    const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
+    PositionLess less{&view, order};
+    // Compare filtered positions by their underlying rows.
+    std::vector<Index> perm = ComputePermutation<Index>(
+        m,
+        [&](size_t a, size_t b) {
+          return less(result.remap.ToOriginal(a), result.remap.ToOriginal(b));
+        },
+        *view.pool);
+    result.tree = MergeSortTree<Index>::Build(std::move(perm),
+                                              view.options->tree, *view.pool);
+    return result;
+  }
+
+  /// Maps the frame of position i to filtered key ranges. Returns the
+  /// number of ranges; `*total` receives the number of qualifying rows.
+  size_t MapKeyRanges(const FrameRanges& frames, KeyRange<Index>* out,
+                      size_t* total) const {
+    RowRange mapped[FrameRanges::kMaxRanges];
+    const size_t count = MapRangesToFiltered(frames, remap, mapped);
+    size_t rows = 0;
+    for (size_t r = 0; r < count; ++r) {
+      out[r] = KeyRange<Index>{static_cast<Index>(mapped[r].begin),
+                               static_cast<Index>(mapped[r].end)};
+      rows += mapped[r].size();
+    }
+    *total = rows;
+    return count;
+  }
+
+  /// The original partition position of the idx-th (0-based, function
+  /// order) frame row. Requires idx < total.
+  size_t SelectPosition(std::span<const KeyRange<Index>> ranges,
+                        size_t idx) const {
+    const size_t tree_pos = tree.Select(ranges, idx);
+    const size_t filtered_pos = static_cast<size_t>(tree.keys()[tree_pos]);
+    return remap.ToOriginal(filtered_pos);
+  }
+};
+
+}  // namespace internal_window
+}  // namespace hwf
+
+#endif  // HWF_WINDOW_FUNCTIONS_SELECTION_H_

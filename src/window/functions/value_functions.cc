@@ -1,0 +1,84 @@
+#include <cstdint>
+
+#include "window/evaluator.h"
+#include "window/functions/selection.h"
+
+namespace hwf {
+namespace internal_window {
+namespace {
+
+/// Framed value functions (§4.5): FIRST_VALUE / LAST_VALUE / NTH_VALUE
+/// select the i-th frame row under the function-level ORDER BY (falling
+/// back to the frame order, which matches the standard SQL semantics) and
+/// evaluate the argument there. IGNORE NULLS drops rows whose argument is
+/// NULL before selection.
+template <typename Index>
+Status EvalValueFunctionT(const PartitionView& view,
+                          const WindowFunctionCall& call, Column* out) {
+  const SelectionTree<Index> sel = SelectionTree<Index>::Build(
+      view, call, /*drop_null_args=*/call.ignore_nulls);
+  const Column& arg = view.col(*call.argument);
+
+  ParallelFor(
+      0, view.size(),
+      [&](size_t lo, size_t hi) {
+        KeyRange<Index> ranges[FrameRanges::kMaxRanges];
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t row = view.rows[i];
+          size_t total = 0;
+          const size_t num_ranges =
+              sel.MapKeyRanges(view.frames[i], ranges, &total);
+          size_t idx = 0;
+          switch (call.kind) {
+            case WindowFunctionKind::kFirstValue:
+              idx = 0;
+              break;
+            case WindowFunctionKind::kLastValue:
+              idx = total == 0 ? 0 : total - 1;
+              break;
+            case WindowFunctionKind::kNthValue:
+              idx = static_cast<size_t>(call.param - 1);
+              break;
+            default:
+              HWF_CHECK_MSG(false, "not a value function");
+          }
+          if (total == 0 || idx >= total) {
+            out->SetNull(row);
+            continue;
+          }
+          const size_t selected = view.rows[sel.SelectPosition(
+              std::span<const KeyRange<Index>>(ranges, num_ranges), idx)];
+          if (arg.IsNull(selected)) {
+            out->SetNull(row);
+          } else {
+            switch (out->type()) {
+              case DataType::kInt64:
+                out->SetInt64(row, arg.GetInt64(selected));
+                break;
+              case DataType::kDouble:
+                out->SetDouble(row, arg.GetDouble(selected));
+                break;
+              case DataType::kString:
+                out->SetString(row, arg.GetString(selected));
+                break;
+            }
+          }
+        }
+      },
+      *view.pool, view.options->morsel_size);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace internal_window
+
+Status EvalValueFunction(const PartitionView& view,
+                         const WindowFunctionCall& call, Column* out) {
+  return internal_window::DispatchIndexWidth(
+      view.size(), view.options->force_index_width, [&](auto tag) {
+        using Index = decltype(tag);
+        return internal_window::EvalValueFunctionT<Index>(view, call, out);
+      });
+}
+
+}  // namespace hwf

@@ -1,0 +1,271 @@
+#include "window/spec.h"
+
+namespace hwf {
+
+const char* WindowFunctionKindName(WindowFunctionKind kind) {
+  switch (kind) {
+    case WindowFunctionKind::kCountStar:
+      return "count(*)";
+    case WindowFunctionKind::kCount:
+      return "count";
+    case WindowFunctionKind::kSum:
+      return "sum";
+    case WindowFunctionKind::kMin:
+      return "min";
+    case WindowFunctionKind::kMax:
+      return "max";
+    case WindowFunctionKind::kAvg:
+      return "avg";
+    case WindowFunctionKind::kCountDistinct:
+      return "count(distinct)";
+    case WindowFunctionKind::kSumDistinct:
+      return "sum(distinct)";
+    case WindowFunctionKind::kAvgDistinct:
+      return "avg(distinct)";
+    case WindowFunctionKind::kMinDistinct:
+      return "min(distinct)";
+    case WindowFunctionKind::kMaxDistinct:
+      return "max(distinct)";
+    case WindowFunctionKind::kRank:
+      return "rank";
+    case WindowFunctionKind::kDenseRank:
+      return "dense_rank";
+    case WindowFunctionKind::kRowNumber:
+      return "row_number";
+    case WindowFunctionKind::kPercentRank:
+      return "percent_rank";
+    case WindowFunctionKind::kCumeDist:
+      return "cume_dist";
+    case WindowFunctionKind::kNtile:
+      return "ntile";
+    case WindowFunctionKind::kPercentileDisc:
+      return "percentile_disc";
+    case WindowFunctionKind::kPercentileCont:
+      return "percentile_cont";
+    case WindowFunctionKind::kMedian:
+      return "median";
+    case WindowFunctionKind::kFirstValue:
+      return "first_value";
+    case WindowFunctionKind::kLastValue:
+      return "last_value";
+    case WindowFunctionKind::kNthValue:
+      return "nth_value";
+    case WindowFunctionKind::kLead:
+      return "lead";
+    case WindowFunctionKind::kLag:
+      return "lag";
+    case WindowFunctionKind::kMode:
+      return "mode";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool NeedsArgument(WindowFunctionKind kind) {
+  switch (kind) {
+    case WindowFunctionKind::kCountStar:
+    case WindowFunctionKind::kRank:
+    case WindowFunctionKind::kDenseRank:
+    case WindowFunctionKind::kRowNumber:
+    case WindowFunctionKind::kPercentRank:
+    case WindowFunctionKind::kCumeDist:
+    case WindowFunctionKind::kNtile:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool NeedsNumericArgument(WindowFunctionKind kind) {
+  switch (kind) {
+    case WindowFunctionKind::kSum:
+    case WindowFunctionKind::kMin:
+    case WindowFunctionKind::kMax:
+    case WindowFunctionKind::kAvg:
+    case WindowFunctionKind::kSumDistinct:
+    case WindowFunctionKind::kAvgDistinct:
+    case WindowFunctionKind::kMinDistinct:
+    case WindowFunctionKind::kMaxDistinct:
+    case WindowFunctionKind::kPercentileDisc:
+    case WindowFunctionKind::kPercentileCont:
+    case WindowFunctionKind::kMedian:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status CheckColumn(const Table& table, size_t column, const char* what) {
+  if (column >= table.num_columns()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " references a column out of range");
+  }
+  return Status::OK();
+}
+
+Status CheckSortKeys(const Table& table, const std::vector<SortKey>& keys,
+                     const char* what) {
+  for (const SortKey& key : keys) {
+    Status status = CheckColumn(table, key.column, what);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status CheckBound(const Table& table, const FrameBound& bound,
+                  FrameMode mode) {
+  if (bound.offset_column.has_value()) {
+    Status status = CheckColumn(table, *bound.offset_column, "frame bound");
+    if (!status.ok()) return status;
+    const DataType type = table.column(*bound.offset_column).type();
+    if (type == DataType::kString) {
+      return Status::TypeMismatch("frame bound offset column must be numeric");
+    }
+  } else if (bound.kind == FrameBoundKind::kPreceding ||
+             bound.kind == FrameBoundKind::kFollowing) {
+    if (bound.offset < 0) {
+      return Status::InvalidArgument("frame offsets must be non-negative");
+    }
+  }
+  (void)mode;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateWindowSpec(const Table& table, const WindowSpec& spec) {
+  for (size_t column : spec.partition_by) {
+    Status status = CheckColumn(table, column, "PARTITION BY");
+    if (!status.ok()) return status;
+  }
+  Status status = CheckSortKeys(table, spec.order_by, "ORDER BY");
+  if (!status.ok()) return status;
+
+  const FrameSpec& frame = spec.frame;
+  status = CheckBound(table, frame.begin, frame.mode);
+  if (!status.ok()) return status;
+  status = CheckBound(table, frame.end, frame.mode);
+  if (!status.ok()) return status;
+  if (frame.begin.kind == FrameBoundKind::kUnboundedFollowing) {
+    return Status::InvalidArgument(
+        "frame start cannot be UNBOUNDED FOLLOWING");
+  }
+  if (frame.end.kind == FrameBoundKind::kUnboundedPreceding) {
+    return Status::InvalidArgument("frame end cannot be UNBOUNDED PRECEDING");
+  }
+  if (frame.mode == FrameMode::kRange) {
+    const bool needs_key =
+        frame.begin.kind == FrameBoundKind::kPreceding ||
+        frame.begin.kind == FrameBoundKind::kFollowing ||
+        frame.end.kind == FrameBoundKind::kPreceding ||
+        frame.end.kind == FrameBoundKind::kFollowing;
+    if (needs_key) {
+      if (spec.order_by.size() != 1) {
+        return Status::InvalidArgument(
+            "RANGE with offsets requires exactly one ORDER BY key");
+      }
+      if (table.column(spec.order_by[0].column).type() == DataType::kString) {
+        return Status::TypeMismatch(
+            "RANGE with offsets requires a numeric ORDER BY key");
+      }
+    }
+  }
+  if ((frame.mode == FrameMode::kGroups || frame.mode == FrameMode::kRange ||
+       frame.exclusion == FrameExclusion::kGroup ||
+       frame.exclusion == FrameExclusion::kTies) &&
+      spec.order_by.empty()) {
+    // Peer groups are defined by the ORDER BY; without one, the whole
+    // partition is a single peer group, which is well-defined, so this is
+    // allowed — no error.
+  }
+  return Status::OK();
+}
+
+Status ValidateWindowCall(const Table& table, const WindowSpec& spec,
+                          const WindowFunctionCall& call) {
+  if (NeedsArgument(call.kind)) {
+    if (!call.argument.has_value()) {
+      return Status::InvalidArgument(
+          std::string(WindowFunctionKindName(call.kind)) +
+          " requires an argument column");
+    }
+    Status status = CheckColumn(table, *call.argument, "argument");
+    if (!status.ok()) return status;
+    if (NeedsNumericArgument(call.kind) &&
+        table.column(*call.argument).type() == DataType::kString) {
+      return Status::TypeMismatch(
+          std::string(WindowFunctionKindName(call.kind)) +
+          " requires a numeric argument");
+    }
+  }
+  Status status = CheckSortKeys(table, call.order_by, "function ORDER BY");
+  if (!status.ok()) return status;
+  if (call.filter.has_value()) {
+    status = CheckColumn(table, *call.filter, "FILTER");
+    if (!status.ok()) return status;
+    if (table.column(*call.filter).type() != DataType::kInt64) {
+      return Status::TypeMismatch("FILTER column must be int64 (boolean)");
+    }
+  }
+  switch (call.kind) {
+    case WindowFunctionKind::kPercentileDisc:
+    case WindowFunctionKind::kPercentileCont:
+      if (call.fraction < 0.0 || call.fraction > 1.0) {
+        return Status::OutOfRange("percentile fraction must be in [0, 1]");
+      }
+      break;
+    case WindowFunctionKind::kNtile:
+      if (call.param < 1) {
+        return Status::OutOfRange("ntile bucket count must be >= 1");
+      }
+      break;
+    case WindowFunctionKind::kNthValue:
+      if (call.param < 1) {
+        return Status::OutOfRange("nth_value position must be >= 1");
+      }
+      break;
+    case WindowFunctionKind::kLead:
+    case WindowFunctionKind::kLag:
+      if (call.param < 0) {
+        return Status::OutOfRange("lead/lag offset must be >= 0");
+      }
+      break;
+    case WindowFunctionKind::kDenseRank:
+      if (spec.frame.exclusion != FrameExclusion::kNoOthers) {
+        return Status::NotImplemented(
+            "dense_rank with frame exclusion is not supported (the "
+            "distinctness correction across exclusion holes is not "
+            "implemented for the 3-d range tree)");
+      }
+      break;
+    default:
+      break;
+  }
+  // Order-sensitive functions need *some* ordering: the function-level one
+  // or the window's.
+  switch (call.kind) {
+    case WindowFunctionKind::kRank:
+    case WindowFunctionKind::kDenseRank:
+    case WindowFunctionKind::kRowNumber:
+    case WindowFunctionKind::kPercentRank:
+    case WindowFunctionKind::kCumeDist:
+    case WindowFunctionKind::kNtile:
+    case WindowFunctionKind::kFirstValue:
+    case WindowFunctionKind::kLastValue:
+    case WindowFunctionKind::kNthValue:
+    case WindowFunctionKind::kLead:
+    case WindowFunctionKind::kLag:
+      if (call.order_by.empty() && spec.order_by.empty()) {
+        return Status::InvalidArgument(
+            std::string(WindowFunctionKindName(call.kind)) +
+            " requires an ORDER BY (function-level or in the OVER clause)");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace hwf

@@ -1,0 +1,175 @@
+#ifndef HWF_WINDOW_SPEC_H_
+#define HWF_WINDOW_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+
+/// All window and aggregate functions from SQL:2011 supported in combination
+/// with arbitrary window frames (the paper's proposal, §2.4), plus the plain
+/// distributive aggregates for completeness.
+enum class WindowFunctionKind {
+  // Distributive / algebraic aggregates (segment tree, Leis et al. [27]).
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  // Framed DISTINCT aggregates (§4.2, §4.3).
+  kCountDistinct,
+  kSumDistinct,
+  kAvgDistinct,
+  kMinDistinct,
+  kMaxDistinct,
+  // Framed rank functions (§4.4).
+  kRank,
+  kDenseRank,  // 3-d range tree, O(n log² n) (§4.4).
+  kRowNumber,
+  kPercentRank,
+  kCumeDist,
+  kNtile,
+  // Framed percentiles (§4.5).
+  kPercentileDisc,
+  kPercentileCont,
+  kMedian,
+  // Framed value functions (§4.5).
+  kFirstValue,
+  kLastValue,
+  kNthValue,
+  // Framed LEAD / LAG (§4.6).
+  kLead,
+  kLag,
+  // Windowed MODE (Wesley & Xu [38]; outside the merge sort tree's
+  // coverage — evaluated by the naive and incremental engines).
+  kMode,
+};
+
+const char* WindowFunctionKindName(WindowFunctionKind kind);
+
+/// One ORDER BY key: a column with direction and NULL placement.
+/// Defaults follow PostgreSQL: ascending, NULLS LAST.
+struct SortKey {
+  size_t column = 0;
+  bool ascending = true;
+  bool nulls_first = false;
+};
+
+enum class FrameMode {
+  kRows,    // offsets count physical rows
+  kRange,   // offsets are value deltas on a single numeric ORDER BY key
+  kGroups,  // offsets count peer groups
+};
+
+enum class FrameBoundKind {
+  kUnboundedPreceding,
+  kPreceding,
+  kCurrentRow,
+  kFollowing,
+  kUnboundedFollowing,
+};
+
+/// One frame boundary. Offsets may be constants or per-row expressions
+/// (a column evaluated at the current row), which is what enables the
+/// paper's non-monotonic frames (§2.2, §6.5).
+struct FrameBound {
+  FrameBoundKind kind = FrameBoundKind::kUnboundedPreceding;
+  /// Constant offset; used when offset_column is empty.
+  int64_t offset = 0;
+  /// Per-row offset: a numeric column; the value at the current row is the
+  /// offset. Negative values are clamped to 0.
+  std::optional<size_t> offset_column;
+
+  static FrameBound UnboundedPreceding() {
+    return {FrameBoundKind::kUnboundedPreceding, 0, std::nullopt};
+  }
+  static FrameBound Preceding(int64_t offset) {
+    return {FrameBoundKind::kPreceding, offset, std::nullopt};
+  }
+  static FrameBound PrecedingColumn(size_t column) {
+    return {FrameBoundKind::kPreceding, 0, column};
+  }
+  static FrameBound CurrentRow() {
+    return {FrameBoundKind::kCurrentRow, 0, std::nullopt};
+  }
+  static FrameBound Following(int64_t offset) {
+    return {FrameBoundKind::kFollowing, offset, std::nullopt};
+  }
+  static FrameBound FollowingColumn(size_t column) {
+    return {FrameBoundKind::kFollowing, 0, column};
+  }
+  static FrameBound UnboundedFollowing() {
+    return {FrameBoundKind::kUnboundedFollowing, 0, std::nullopt};
+  }
+};
+
+/// SQL:2011 frame exclusion clauses (§4.7). An exclusion can punch up to
+/// two holes into the frame, splitting it into at most three ranges.
+enum class FrameExclusion {
+  kNoOthers,    // EXCLUDE NO OTHERS (default)
+  kCurrentRow,  // EXCLUDE CURRENT ROW
+  kGroup,       // EXCLUDE GROUP: current row and its ORDER BY peers
+  kTies,        // EXCLUDE TIES: peers, but the current row itself stays
+};
+
+struct FrameSpec {
+  FrameMode mode = FrameMode::kRows;
+  FrameBound begin = FrameBound::UnboundedPreceding();
+  FrameBound end = FrameBound::CurrentRow();
+  FrameExclusion exclusion = FrameExclusion::kNoOthers;
+};
+
+/// The OVER clause: partitioning, frame ordering, and the frame itself.
+struct WindowSpec {
+  std::vector<size_t> partition_by;
+  std::vector<SortKey> order_by;
+  FrameSpec frame;
+};
+
+/// One window function call. Beyond standard SQL, this carries the paper's
+/// extensions (§2.4): a function-level ORDER BY independent of the frame
+/// order, DISTINCT variants, and FILTER support for every function.
+struct WindowFunctionCall {
+  WindowFunctionKind kind = WindowFunctionKind::kCountStar;
+
+  /// The argument column (the aggregated / selected expression). Unused for
+  /// kCountStar, kRank, kDenseRank, kRowNumber, kPercentRank, kCumeDist and
+  /// kNtile.
+  std::optional<size_t> argument;
+
+  /// Function-level ORDER BY (e.g. rank(ORDER BY tps DESC)). When empty,
+  /// order-sensitive functions fall back to the window's ORDER BY (the
+  /// standard SQL semantics), and percentiles order by the argument.
+  std::vector<SortKey> order_by;
+
+  /// FILTER (WHERE ...) clause: an int64 column; rows with NULL or zero are
+  /// excluded from the function's input (§4.7).
+  std::optional<size_t> filter;
+
+  /// IGNORE NULLS for value functions (§4.5).
+  bool ignore_nulls = false;
+
+  /// Percentile fraction in [0, 1] for kPercentileDisc / kPercentileCont.
+  double fraction = 0.5;
+
+  /// Multi-purpose integer parameter: LEAD/LAG offset (default 1),
+  /// NTH_VALUE's n (1-based), NTILE's bucket count.
+  int64_t param = 1;
+};
+
+/// Validates a window specification against a table. Returns the first
+/// problem found.
+Status ValidateWindowSpec(const Table& table, const WindowSpec& spec);
+
+/// Validates a function call against a table and spec.
+Status ValidateWindowCall(const Table& table, const WindowSpec& spec,
+                          const WindowFunctionCall& call);
+
+}  // namespace hwf
+
+#endif  // HWF_WINDOW_SPEC_H_

@@ -1,0 +1,111 @@
+#include "window/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/window_test_util.h"
+
+namespace hwf {
+namespace {
+
+using test::ExpectColumnsEqual;
+using test::MakeRandomTable;
+
+Table TradesTable() {
+  Table table;
+  table.AddColumn("day", Column::FromInt64({1, 2, 3, 4, 5}));
+  table.AddColumn("region",
+                  Column::FromString({"e", "e", "w", "e", "w"}));
+  table.AddColumn("price", Column::FromDouble({10, 20, 20, 30, 10}));
+  return table;
+}
+
+TEST(Builder, RunsMultipleCallsAndAppendsColumns) {
+  StatusOr<Table> result = WindowQueryBuilder(TradesTable())
+                               .OrderBy("day")
+                               .RowsBetween(FrameBound::Preceding(1),
+                                            FrameBound::CurrentRow())
+                               .Median("price", "med")
+                               .CountDistinct("price", "dp")
+                               .Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_columns(), 5u);
+  EXPECT_EQ(result->column_name(3), "med");
+  EXPECT_EQ(result->column_name(4), "dp");
+  // Frames {10} {10,20} {20,20} {20,30} {30,10}.
+  EXPECT_EQ(result->column(3).GetDouble(2), 20.0);
+  EXPECT_EQ(result->column(4).GetInt64(1), 2);
+}
+
+TEST(Builder, MatchesManualSpecConstruction) {
+  Table table = MakeRandomTable(120, 31);
+  StatusOr<Table> built = WindowQueryBuilder(table)
+                              .PartitionBy("grp")
+                              .OrderBy("ord")
+                              .RowsBetween(FrameBound::Preceding(7),
+                                           FrameBound::Following(2))
+                              .Exclude(FrameExclusion::kCurrentRow)
+                              .Rank("r")
+                              .FunctionOrderByDesc("price")
+                              .Run();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  WindowSpec spec;
+  spec.partition_by = {table.MustColumnIndex("grp")};
+  spec.order_by = {SortKey{table.MustColumnIndex("ord")}};
+  spec.frame.begin = FrameBound::Preceding(7);
+  spec.frame.end = FrameBound::Following(2);
+  spec.frame.exclusion = FrameExclusion::kCurrentRow;
+  WindowFunctionCall rank;
+  rank.kind = WindowFunctionKind::kRank;
+  rank.order_by = {SortKey{table.MustColumnIndex("price"), false, false}};
+  StatusOr<Column> manual = EvaluateWindowFunction(table, spec, rank);
+  ASSERT_TRUE(manual.ok());
+  ExpectColumnsEqual(built->column(built->num_columns() - 1), *manual,
+                     "builder vs manual");
+}
+
+TEST(Builder, ModifiersApplyToLastCall) {
+  Table table = MakeRandomTable(80, 32);
+  StatusOr<std::vector<WindowFunctionCall>> calls =
+      WindowQueryBuilder(table)
+          .OrderBy("ord")
+          .Lead("val", 3, "l")
+          .IgnoreNulls()
+          .Filter("flag")
+          .PercentileDisc(0.9, "price", "p90")
+          .calls();
+  ASSERT_TRUE(calls.ok());
+  ASSERT_EQ(calls->size(), 2u);
+  EXPECT_EQ((*calls)[0].param, 3);
+  EXPECT_TRUE((*calls)[0].ignore_nulls);
+  EXPECT_TRUE((*calls)[0].filter.has_value());
+  EXPECT_FALSE((*calls)[1].ignore_nulls);
+  EXPECT_DOUBLE_EQ((*calls)[1].fraction, 0.9);
+}
+
+TEST(Builder, ReportsNameResolutionErrorsAtRun) {
+  StatusOr<Table> result = WindowQueryBuilder(TradesTable())
+                               .OrderBy("no_such_column")
+                               .Median("price", "m")
+                               .Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Builder, ReportsModifierWithoutCall) {
+  StatusOr<Table> result =
+      WindowQueryBuilder(TradesTable()).OrderBy("day").IgnoreNulls().Run();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Builder, DefaultResultNames) {
+  StatusOr<Table> result = WindowQueryBuilder(TradesTable())
+                               .OrderBy("day")
+                               .CountStar("")
+                               .Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column_name(3), "count(*)");
+}
+
+}  // namespace
+}  // namespace hwf

@@ -1,0 +1,124 @@
+#include "baselines/order_statistic_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hwf {
+namespace {
+
+TEST(CountedBTree, BasicOperations) {
+  CountedBTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.CountLess(5), 0u);
+  tree.Insert(5);
+  tree.Insert(1);
+  tree.Insert(9);
+  tree.Insert(5);
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_EQ(tree.Kth(0), 1);
+  EXPECT_EQ(tree.Kth(1), 5);
+  EXPECT_EQ(tree.Kth(2), 5);
+  EXPECT_EQ(tree.Kth(3), 9);
+  EXPECT_EQ(tree.CountLess(5), 1u);
+  EXPECT_EQ(tree.CountLess(6), 3u);
+  EXPECT_EQ(tree.CountLess(100), 4u);
+  EXPECT_TRUE(tree.Erase(5));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_FALSE(tree.Erase(777));
+  tree.CheckInvariants();
+}
+
+TEST(CountedBTree, ManySequentialInsertsSplitNodes) {
+  CountedBTree<int> tree;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; i += 97) {
+    EXPECT_EQ(tree.Kth(static_cast<size_t>(i)), i);
+    EXPECT_EQ(tree.CountLess(i), static_cast<size_t>(i));
+  }
+  // Drain from the front (forces borrows and merges).
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Erase(i));
+    if (i % 512 == 0) tree.CheckInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(CountedBTree, RandomizedAgainstMultiset) {
+  Pcg32 rng(2024);
+  CountedBTree<uint32_t> tree;
+  std::multiset<uint32_t> oracle;
+  for (int op = 0; op < 30000; ++op) {
+    const uint32_t key = rng.Bounded(200);  // Heavy duplicates.
+    const uint32_t action = rng.Bounded(100);
+    if (action < 55 || oracle.empty()) {
+      tree.Insert(key);
+      oracle.insert(key);
+    } else if (action < 85) {
+      const bool in_oracle = oracle.find(key) != oracle.end();
+      EXPECT_EQ(tree.Erase(key), in_oracle);
+      if (in_oracle) oracle.erase(oracle.find(key));
+    } else if (action < 95) {
+      ASSERT_EQ(tree.size(), oracle.size());
+      if (!oracle.empty()) {
+        const size_t k = rng.Bounded(static_cast<uint32_t>(oracle.size()));
+        auto it = oracle.begin();
+        std::advance(it, k);
+        EXPECT_EQ(tree.Kth(k), *it);
+      }
+    } else {
+      const size_t expected = std::distance(oracle.begin(),
+                                            oracle.lower_bound(key));
+      EXPECT_EQ(tree.CountLess(key), expected);
+    }
+    if (op % 2500 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+}
+
+TEST(CountedBTree, SlidingWindowPattern) {
+  // The exact usage pattern of the kOrderStatisticTree engine: insert at
+  // the front edge, erase at the back edge, query the median.
+  Pcg32 rng(3);
+  const size_t n = 5000;
+  const size_t window = 257;
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = rng.Bounded(1000);
+
+  CountedBTree<std::pair<uint32_t, size_t>> tree;
+  std::vector<uint32_t> sorted_window;
+  for (size_t i = 0; i < n; ++i) {
+    tree.Insert({values[i], i});
+    if (i >= window) {
+      ASSERT_TRUE(tree.Erase({values[i - window], i - window}));
+    }
+    const size_t begin = i >= window ? i - window + 1 : 0;
+    sorted_window.assign(values.begin() + begin, values.begin() + i + 1);
+    std::sort(sorted_window.begin(), sorted_window.end());
+    const size_t k = sorted_window.size() / 2;
+    EXPECT_EQ(tree.Kth(k).first, sorted_window[k]) << i;
+  }
+  tree.CheckInvariants();
+}
+
+TEST(CountedBTree, MoveSemantics) {
+  CountedBTree<int> a;
+  for (int i = 0; i < 100; ++i) a.Insert(i);
+  CountedBTree<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  b.CheckInvariants();
+  CountedBTree<int> c;
+  c.Insert(1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 100u);
+  c.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace hwf

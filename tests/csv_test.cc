@@ -1,0 +1,120 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace hwf {
+namespace {
+
+TEST(Csv, ParsesTypedColumns) {
+  StatusOr<Table> table = ParseCsv(
+      "id,price,name\n"
+      "1,1.5,apple\n"
+      "2,2,banana\n"
+      "3,-0.25,\"che,rry\"\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->column(0).type(), DataType::kInt64);
+  EXPECT_EQ(table->column(1).type(), DataType::kDouble);
+  EXPECT_EQ(table->column(2).type(), DataType::kString);
+  EXPECT_EQ(table->column(0).GetInt64(2), 3);
+  EXPECT_EQ(table->column(1).GetDouble(2), -0.25);
+  EXPECT_EQ(table->column(2).GetString(2), "che,rry");
+}
+
+TEST(Csv, EmptyFieldsAreNullQuotedEmptyIsString) {
+  StatusOr<Table> table = ParseCsv(
+      "a,b\n"
+      "1,x\n"
+      ",\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->column(0).IsNull(1));
+  EXPECT_FALSE(table->column(1).IsNull(1));
+  EXPECT_EQ(table->column(1).GetString(1), "");
+}
+
+TEST(Csv, QuotedEscapesAndNewlines) {
+  StatusOr<Table> table = ParseCsv(
+      "text\n"
+      "\"he said \"\"hi\"\"\"\n"
+      "\"line1\nline2\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).GetString(0), "he said \"hi\"");
+  EXPECT_EQ(table->column(0).GetString(1), "line1\nline2");
+}
+
+TEST(Csv, CrlfAndTrailingBlankLines) {
+  StatusOr<Table> table = ParseCsv("a,b\r\n1,2\r\n3,4\r\n\n\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->column(1).GetInt64(1), 4);
+}
+
+TEST(Csv, Errors) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());        // Field count mismatch.
+  EXPECT_FALSE(ParseCsv("a\n\"unclosed\n").ok());  // Unterminated quote.
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/x.csv").ok());
+}
+
+TEST(Csv, IntColumnWithNullsStaysInt) {
+  // (A fully blank LINE is skipped, so the NULL sits in a 2-column row.)
+  StatusOr<Table> table = ParseCsv("v,w\n1,a\n,b\n3,c\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).type(), DataType::kInt64);
+  ASSERT_EQ(table->num_rows(), 3u);
+  EXPECT_TRUE(table->column(0).IsNull(1));
+  EXPECT_EQ(table->column(0).GetInt64(2), 3);
+}
+
+TEST(Csv, AllNullColumnDefaultsToString) {
+  StatusOr<Table> table = ParseCsv("v,w\n,1\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).type(), DataType::kString);
+}
+
+TEST(Csv, RoundTrip) {
+  Table table;
+  Column i(DataType::kInt64);
+  i.AppendInt64(42);
+  i.AppendNull();
+  Column d(DataType::kDouble);
+  d.AppendDouble(0.1);
+  d.AppendDouble(-3e10);
+  Column s(DataType::kString);
+  s.AppendString("plain");
+  s.AppendString("with \"quote\" and, comma\nand newline");
+  table.AddColumn("i", std::move(i));
+  table.AddColumn("d", std::move(d));
+  table.AddColumn("s", std::move(s));
+
+  StatusOr<Table> parsed = ParseCsv(ToCsv(table));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->column(0).GetInt64(0), 42);
+  EXPECT_TRUE(parsed->column(0).IsNull(1));
+  EXPECT_EQ(parsed->column(1).GetDouble(0), 0.1);
+  EXPECT_EQ(parsed->column(1).GetDouble(1), -3e10);
+  EXPECT_EQ(parsed->column(2).GetString(1),
+            "with \"quote\" and, comma\nand newline");
+}
+
+TEST(Csv, FileRoundTrip) {
+  Table table;
+  table.AddColumn("x", Column::FromInt64({1, 2, 3}));
+  const std::string path = ::testing::TempDir() + "/hwf_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  StatusOr<Table> parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 3u);
+  EXPECT_EQ(parsed->column(0).GetInt64(2), 3);
+}
+
+TEST(Csv, CustomDelimiter) {
+  StatusOr<Table> table = ParseCsv("a;b\n1;2\n", ';');
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_columns(), 2u);
+  EXPECT_EQ(table->column(1).GetInt64(0), 2);
+}
+
+}  // namespace
+}  // namespace hwf

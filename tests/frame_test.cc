@@ -1,0 +1,261 @@
+#include "window/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hwf {
+namespace {
+
+FrameResolver::Inputs BaseInputs(size_t n, FrameSpec frame) {
+  FrameResolver::Inputs inputs;
+  inputs.n = n;
+  inputs.frame = frame;
+  return inputs;
+}
+
+/// Fills peer metadata assuming each position's "order value" is given.
+void FillPeers(FrameResolver::Inputs* inputs,
+               const std::vector<int>& order_values) {
+  const size_t n = order_values.size();
+  inputs->peer_start.resize(n);
+  inputs->peer_end.resize(n);
+  inputs->group_index.resize(n);
+  size_t begin = 0;
+  size_t group = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || order_values[i] != order_values[i - 1]) {
+      inputs->group_starts.push_back(begin);
+      for (size_t j = begin; j < i; ++j) {
+        inputs->peer_start[j] = begin;
+        inputs->peer_end[j] = i;
+        inputs->group_index[j] = group;
+      }
+      begin = i;
+      ++group;
+    }
+  }
+  inputs->group_starts.push_back(n);
+}
+
+TEST(FrameResolver, RowsDefaultFrame) {
+  FrameSpec frame;  // ROWS UNBOUNDED PRECEDING .. CURRENT ROW.
+  FrameResolver resolver(BaseInputs(10, frame));
+  for (size_t i = 0; i < 10; ++i) {
+    const RowRange base = resolver.ResolveBase(i);
+    EXPECT_EQ(base.begin, 0u);
+    EXPECT_EQ(base.end, i + 1);
+  }
+}
+
+TEST(FrameResolver, RowsSlidingAndClamping) {
+  FrameSpec frame;
+  frame.begin = FrameBound::Preceding(2);
+  frame.end = FrameBound::Following(3);
+  FrameResolver resolver(BaseInputs(10, frame));
+  EXPECT_EQ(resolver.ResolveBase(0).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(0).end, 4u);
+  EXPECT_EQ(resolver.ResolveBase(5).begin, 3u);
+  EXPECT_EQ(resolver.ResolveBase(5).end, 9u);
+  EXPECT_EQ(resolver.ResolveBase(9).begin, 7u);
+  EXPECT_EQ(resolver.ResolveBase(9).end, 10u);
+}
+
+TEST(FrameResolver, RowsBothPrecedingCanBeEmpty) {
+  FrameSpec frame;
+  frame.begin = FrameBound::Preceding(5);
+  frame.end = FrameBound::Preceding(2);
+  FrameResolver resolver(BaseInputs(10, frame));
+  // Row 0: [-5, -1] → empty.
+  EXPECT_TRUE(resolver.ResolveBase(0).empty());
+  EXPECT_TRUE(resolver.ResolveBase(1).empty());
+  // Row 6: [1, 4] → begin 1, end 5.
+  EXPECT_EQ(resolver.ResolveBase(6).begin, 1u);
+  EXPECT_EQ(resolver.ResolveBase(6).end, 5u);
+}
+
+TEST(FrameResolver, RowsPerRowOffsets) {
+  FrameSpec frame;
+  frame.begin = FrameBound::PrecedingColumn(0);
+  frame.end = FrameBound::CurrentRow();
+  FrameResolver::Inputs inputs = BaseInputs(5, frame);
+  inputs.begin_offsets = {0, 3, 1, 10, 2};  // Per-row PRECEDING amounts.
+  FrameResolver resolver(std::move(inputs));
+  EXPECT_EQ(resolver.ResolveBase(0).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(1).begin, 0u);  // 1 - 3 clamps to 0.
+  EXPECT_EQ(resolver.ResolveBase(2).begin, 1u);
+  EXPECT_EQ(resolver.ResolveBase(3).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(4).begin, 2u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(resolver.ResolveBase(i).end, i + 1);
+  }
+}
+
+TEST(FrameResolver, RangeAscending) {
+  // Keys: 1 3 3 7 10.
+  FrameSpec frame;
+  frame.mode = FrameMode::kRange;
+  frame.begin = FrameBound::Preceding(2);
+  frame.end = FrameBound::Following(3);
+  FrameResolver::Inputs inputs = BaseInputs(5, frame);
+  inputs.range_keys = {1, 3, 3, 7, 10};
+  inputs.range_key_valid = {1, 1, 1, 1, 1};
+  inputs.nonnull_begin = 0;
+  inputs.nonnull_end = 5;
+  FillPeers(&inputs, {1, 3, 3, 7, 10});
+  FrameResolver resolver(std::move(inputs));
+  // Row 0 (key 1): keys in [-1, 4] → positions 0..2.
+  EXPECT_EQ(resolver.ResolveBase(0).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(0).end, 3u);
+  // Row 3 (key 7): keys in [5, 10] → positions 3..4.
+  EXPECT_EQ(resolver.ResolveBase(3).begin, 3u);
+  EXPECT_EQ(resolver.ResolveBase(3).end, 5u);
+}
+
+TEST(FrameResolver, RangeCurrentRowMeansPeerGroup) {
+  FrameSpec frame;
+  frame.mode = FrameMode::kRange;
+  frame.begin = FrameBound::UnboundedPreceding();
+  frame.end = FrameBound::CurrentRow();
+  FrameResolver::Inputs inputs = BaseInputs(5, frame);
+  FillPeers(&inputs, {1, 3, 3, 7, 10});
+  FrameResolver resolver(std::move(inputs));
+  // Rows 1 and 2 are peers (key 3): frame end includes both.
+  EXPECT_EQ(resolver.ResolveBase(1).end, 3u);
+  EXPECT_EQ(resolver.ResolveBase(2).end, 3u);
+  EXPECT_EQ(resolver.ResolveBase(0).end, 1u);
+}
+
+TEST(FrameResolver, RangeDescending) {
+  // Keys descending: 10 7 3 3 1.
+  FrameSpec frame;
+  frame.mode = FrameMode::kRange;
+  frame.begin = FrameBound::Preceding(3);
+  frame.end = FrameBound::Following(2);
+  FrameResolver::Inputs inputs = BaseInputs(5, frame);
+  inputs.range_keys = {10, 7, 3, 3, 1};
+  inputs.range_key_valid = {1, 1, 1, 1, 1};
+  inputs.ascending = false;
+  inputs.nonnull_begin = 0;
+  inputs.nonnull_end = 5;
+  FillPeers(&inputs, {10, 7, 3, 3, 1});
+  FrameResolver resolver(std::move(inputs));
+  // Row 1 (key 7): frame = keys in [5, 10] → positions 0..1.
+  EXPECT_EQ(resolver.ResolveBase(1).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(1).end, 2u);
+  // Row 2 (key 3): keys in [1, 6] → positions 2..4 (keys 3, 3, 1).
+  EXPECT_EQ(resolver.ResolveBase(2).begin, 2u);
+  EXPECT_EQ(resolver.ResolveBase(2).end, 5u);
+}
+
+TEST(FrameResolver, RangeNullRowsFrameIsPeerGroup) {
+  // NULLS LAST: keys 1 2 NULL NULL.
+  FrameSpec frame;
+  frame.mode = FrameMode::kRange;
+  frame.begin = FrameBound::Preceding(1);
+  frame.end = FrameBound::Following(1);
+  FrameResolver::Inputs inputs = BaseInputs(4, frame);
+  inputs.range_keys = {1, 2, 0, 0};
+  inputs.range_key_valid = {1, 1, 0, 0};
+  inputs.nonnull_begin = 0;
+  inputs.nonnull_end = 2;
+  // NULLs are peers of each other.
+  inputs.peer_start = {0, 1, 2, 2};
+  inputs.peer_end = {1, 2, 4, 4};
+  FrameResolver resolver(std::move(inputs));
+  // NULL rows: the frame is exactly the NULL peer group.
+  EXPECT_EQ(resolver.ResolveBase(2).begin, 2u);
+  EXPECT_EQ(resolver.ResolveBase(2).end, 4u);
+  EXPECT_EQ(resolver.ResolveBase(3).begin, 2u);
+  EXPECT_EQ(resolver.ResolveBase(3).end, 4u);
+  // Non-NULL rows never include NULLs.
+  EXPECT_EQ(resolver.ResolveBase(0).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(0).end, 2u);
+}
+
+TEST(FrameResolver, GroupsMode) {
+  // Order values: 1 1 2 3 3 3 (groups: [0,2) [2,3) [3,6)).
+  FrameSpec frame;
+  frame.mode = FrameMode::kGroups;
+  frame.begin = FrameBound::Preceding(1);
+  frame.end = FrameBound::CurrentRow();
+  FrameResolver::Inputs inputs = BaseInputs(6, frame);
+  FillPeers(&inputs, {1, 1, 2, 3, 3, 3});
+  FrameResolver resolver(std::move(inputs));
+  // Row 0 (group 0): groups -1..0 → clamped to group 0 + CURRENT ROW end =
+  // peer end = 2.
+  EXPECT_EQ(resolver.ResolveBase(0).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(0).end, 2u);
+  // Row 2 (group 1): one group preceding → positions 0..3.
+  EXPECT_EQ(resolver.ResolveBase(2).begin, 0u);
+  EXPECT_EQ(resolver.ResolveBase(2).end, 3u);
+  // Row 4 (group 2): groups 1..2 → positions 2..6.
+  EXPECT_EQ(resolver.ResolveBase(4).begin, 2u);
+  EXPECT_EQ(resolver.ResolveBase(4).end, 6u);
+}
+
+TEST(FrameResolver, ExclusionCurrentRow) {
+  FrameSpec frame;
+  frame.begin = FrameBound::Preceding(2);
+  frame.end = FrameBound::Following(2);
+  frame.exclusion = FrameExclusion::kCurrentRow;
+  FrameResolver resolver(BaseInputs(10, frame));
+  const FrameRanges ranges = resolver.Resolve(5);
+  ASSERT_EQ(ranges.count(), 2u);
+  EXPECT_EQ(ranges[0].begin, 3u);
+  EXPECT_EQ(ranges[0].end, 5u);
+  EXPECT_EQ(ranges[1].begin, 6u);
+  EXPECT_EQ(ranges[1].end, 8u);
+  EXPECT_EQ(ranges.TotalRows(), 4u);
+  EXPECT_FALSE(ranges.Contains(5));
+  EXPECT_TRUE(ranges.Contains(4));
+}
+
+TEST(FrameResolver, ExclusionGroupAndTies) {
+  // Order values: 1 2 2 2 3; current row 2 is inside the peer group [1,4).
+  std::vector<int> order = {1, 2, 2, 2, 3};
+
+  FrameSpec group_frame;
+  group_frame.begin = FrameBound::UnboundedPreceding();
+  group_frame.end = FrameBound::UnboundedFollowing();
+  group_frame.exclusion = FrameExclusion::kGroup;
+  FrameResolver::Inputs inputs = BaseInputs(5, group_frame);
+  FillPeers(&inputs, order);
+  FrameResolver group_resolver(std::move(inputs));
+  FrameRanges group_ranges = group_resolver.Resolve(2);
+  ASSERT_EQ(group_ranges.count(), 2u);
+  EXPECT_EQ(group_ranges[0].begin, 0u);
+  EXPECT_EQ(group_ranges[0].end, 1u);
+  EXPECT_EQ(group_ranges[1].begin, 4u);
+  EXPECT_EQ(group_ranges[1].end, 5u);
+
+  FrameSpec ties_frame = group_frame;
+  ties_frame.exclusion = FrameExclusion::kTies;
+  inputs = BaseInputs(5, ties_frame);
+  FillPeers(&inputs, order);
+  FrameResolver ties_resolver(std::move(inputs));
+  FrameRanges ties_ranges = ties_resolver.Resolve(2);
+  // Holes [1,2) and [3,4): ranges [0,1) [2,3) [4,5).
+  ASSERT_EQ(ties_ranges.count(), 3u);
+  EXPECT_EQ(ties_ranges[0].begin, 0u);
+  EXPECT_EQ(ties_ranges[1].begin, 2u);
+  EXPECT_EQ(ties_ranges[1].end, 3u);
+  EXPECT_EQ(ties_ranges[2].begin, 4u);
+  EXPECT_TRUE(ties_ranges.Contains(2));  // Current row stays.
+}
+
+TEST(FrameResolver, ExclusionHoleOutsideFrame) {
+  FrameSpec frame;
+  frame.begin = FrameBound::Preceding(2);
+  frame.end = FrameBound::Preceding(1);
+  frame.exclusion = FrameExclusion::kCurrentRow;
+  FrameResolver resolver(BaseInputs(10, frame));
+  // The current row is not inside [i-2, i-1]; exclusion changes nothing.
+  const FrameRanges ranges = resolver.Resolve(5);
+  ASSERT_EQ(ranges.count(), 1u);
+  EXPECT_EQ(ranges[0].begin, 3u);
+  EXPECT_EQ(ranges[0].end, 5u);
+}
+
+}  // namespace
+}  // namespace hwf

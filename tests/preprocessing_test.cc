@@ -1,0 +1,149 @@
+// Tests for the preprocessing steps: Algorithm 1 (previous-occurrence
+// indices), permutation arrays, dense/unique codes, and index remapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "mst/permutation.h"
+#include "mst/prev_index.h"
+#include "mst/remap.h"
+
+namespace hwf {
+namespace {
+
+TEST(PrevIndex, PaperFigure1Example) {
+  // Figure 1: values a b b c a b c a → prevIdcs - - 1 - 0 2 3 4 (0-based),
+  // encoded +1 with 0 for "-".
+  std::vector<uint64_t> codes = {'a', 'b', 'b', 'c', 'a', 'b', 'c', 'a'};
+  std::vector<uint32_t> prev = ComputePrevIndices<uint32_t>(codes);
+  std::vector<uint32_t> expected = {0, 0, 2, 0, 1, 3, 4, 5};
+  EXPECT_EQ(prev, expected);
+}
+
+TEST(PrevIndex, DistinctCountViaBackreferences) {
+  // The key insight of §4.2: distinct count in [a, b) equals the number of
+  // encoded prevIdcs < a + 1 within that range.
+  std::vector<uint64_t> codes = {'a', 'b', 'b', 'c', 'a', 'b', 'c', 'a'};
+  std::vector<uint32_t> prev = ComputePrevIndices<uint32_t>(codes);
+  // Frame = last 5 values [3, 8): distinct = {c, a, b} = 3.
+  size_t count = 0;
+  for (size_t i = 3; i < 8; ++i) {
+    if (prev[i] < 3 + 1) ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(PrevIndex, AllDistinctAndAllEqual) {
+  std::vector<uint64_t> distinct = {10, 20, 30, 40};
+  EXPECT_EQ(ComputePrevIndices<uint32_t>(distinct),
+            (std::vector<uint32_t>{0, 0, 0, 0}));
+  std::vector<uint64_t> equal = {7, 7, 7, 7};
+  EXPECT_EQ(ComputePrevIndices<uint32_t>(equal),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PrevIndex, RandomizedAgainstBruteForce) {
+  Pcg32 rng(404);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.Bounded(500);
+    std::vector<uint64_t> codes(n);
+    for (auto& c : codes) c = rng.Bounded(20);
+    std::vector<uint64_t> prev = ComputePrevIndices<uint64_t>(codes);
+    std::vector<uint32_t> next = ComputeNextIndices<uint32_t>(codes);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t expected_prev = 0;
+      for (size_t j = i; j > 0; --j) {
+        if (codes[j - 1] == codes[i]) {
+          expected_prev = j;  // Encoded: position j-1, plus one.
+          break;
+        }
+      }
+      EXPECT_EQ(prev[i], expected_prev) << i;
+      uint32_t expected_next = static_cast<uint32_t>(n);
+      for (size_t j = i + 1; j < n; ++j) {
+        if (codes[j] == codes[i]) {
+          expected_next = static_cast<uint32_t>(j);
+          break;
+        }
+      }
+      EXPECT_EQ(next[i], expected_next) << i;
+    }
+  }
+}
+
+TEST(Permutation, SortsByComparatorWithPositionTiebreak) {
+  std::vector<int> values = {30, 10, 30, 20, 10};
+  auto less = [&](size_t a, size_t b) { return values[a] < values[b]; };
+  std::vector<uint32_t> perm = ComputePermutation<uint32_t>(5, less);
+  EXPECT_EQ(perm, (std::vector<uint32_t>{1, 4, 3, 0, 2}));
+}
+
+TEST(Permutation, DenseCodesSharePeers) {
+  std::vector<int> values = {30, 10, 30, 20, 10};
+  auto less = [&](size_t a, size_t b) { return values[a] < values[b]; };
+  size_t num_distinct = 0;
+  std::vector<uint32_t> codes =
+      ComputeDenseCodes<uint32_t>(5, less, &num_distinct);
+  EXPECT_EQ(num_distinct, 3u);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{2, 0, 2, 1, 0}));
+}
+
+TEST(Permutation, UniqueCodesAreAPermutation) {
+  std::vector<int> values = {30, 10, 30, 20, 10};
+  auto less = [&](size_t a, size_t b) { return values[a] < values[b]; };
+  std::vector<uint32_t> codes = ComputeUniqueCodes<uint32_t>(5, less);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{3, 0, 4, 2, 1}));
+  std::vector<uint32_t> sorted = codes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Permutation, EmptyInput) {
+  auto less = [](size_t, size_t) { return false; };
+  EXPECT_TRUE(ComputePermutation<uint32_t>(0, less).empty());
+  size_t num_distinct = 7;
+  EXPECT_TRUE(ComputeDenseCodes<uint32_t>(0, less, &num_distinct).empty());
+  EXPECT_EQ(num_distinct, 0u);
+}
+
+TEST(IndexRemap, BasicMapping) {
+  std::vector<uint8_t> include = {1, 0, 0, 1, 1, 0, 1};
+  IndexRemap remap = IndexRemap::Build(include);
+  EXPECT_EQ(remap.num_surviving(), 4u);
+  EXPECT_EQ(remap.num_original(), 7u);
+  EXPECT_TRUE(remap.Included(0));
+  EXPECT_FALSE(remap.Included(1));
+  EXPECT_EQ(remap.ToFiltered(0), 0u);
+  EXPECT_EQ(remap.ToFiltered(3), 1u);
+  EXPECT_EQ(remap.ToFiltered(7), 4u);  // One past the end is valid.
+  EXPECT_EQ(remap.ToOriginal(0), 0u);
+  EXPECT_EQ(remap.ToOriginal(1), 3u);
+  EXPECT_EQ(remap.ToOriginal(2), 4u);
+  EXPECT_EQ(remap.ToOriginal(3), 6u);
+}
+
+TEST(IndexRemap, Identity) {
+  IndexRemap remap = IndexRemap::Identity(10);
+  EXPECT_TRUE(remap.is_identity());
+  EXPECT_EQ(remap.num_surviving(), 10u);
+  EXPECT_EQ(remap.ToFiltered(5), 5u);
+  EXPECT_EQ(remap.ToOriginal(5), 5u);
+  EXPECT_TRUE(remap.Included(9));
+}
+
+TEST(IndexRemap, RoundTrip) {
+  Pcg32 rng(17);
+  std::vector<uint8_t> include(200);
+  for (auto& b : include) b = rng.Bounded(2);
+  IndexRemap remap = IndexRemap::Build(include);
+  for (size_t j = 0; j < remap.num_surviving(); ++j) {
+    const size_t orig = remap.ToOriginal(j);
+    EXPECT_TRUE(remap.Included(orig));
+    EXPECT_EQ(remap.ToFiltered(orig), j);
+  }
+}
+
+}  // namespace
+}  // namespace hwf

@@ -1,0 +1,92 @@
+#include "baselines/segment_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "mst/aggregate_ops.h"
+
+namespace hwf {
+namespace {
+
+TEST(SegmentTree, SumHandChecked) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  auto tree = SegmentTree<SumOps>::Build(values);
+  EXPECT_EQ(tree.Aggregate(0, 5).value(), 15.0);
+  EXPECT_EQ(tree.Aggregate(1, 4).value(), 9.0);
+  EXPECT_EQ(tree.Aggregate(2, 3).value(), 3.0);
+  EXPECT_FALSE(tree.Aggregate(3, 3).has_value());
+}
+
+TEST(SegmentTree, EmptyTree) {
+  auto tree = SegmentTree<SumOps>::Build(std::span<const double>());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Aggregate(0, 0).has_value());
+}
+
+TEST(SegmentTree, RandomizedAllAggregates) {
+  Pcg32 rng(55);
+  for (size_t n : {1u, 2u, 3u, 17u, 256u, 1000u}) {
+    std::vector<double> values(n);
+    for (auto& v : values) v = static_cast<double>(rng.Bounded(100));
+    auto sum_tree = SegmentTree<SumOps>::Build(values);
+    auto min_tree = SegmentTree<MinOps>::Build(values);
+    auto max_tree = SegmentTree<MaxOps>::Build(values);
+    auto avg_tree = SegmentTree<AvgOps>::Build(values);
+    for (int q = 0; q < 200; ++q) {
+      size_t lo = rng.Bounded(static_cast<uint32_t>(n + 1));
+      size_t hi = rng.Bounded(static_cast<uint32_t>(n + 1));
+      if (lo > hi) std::swap(lo, hi);
+      if (lo == hi) {
+        EXPECT_FALSE(sum_tree.Aggregate(lo, hi).has_value());
+        continue;
+      }
+      double sum = 0;
+      double mn = values[lo];
+      double mx = values[lo];
+      for (size_t i = lo; i < hi; ++i) {
+        sum += values[i];
+        mn = std::min(mn, values[i]);
+        mx = std::max(mx, values[i]);
+      }
+      EXPECT_DOUBLE_EQ(sum_tree.Aggregate(lo, hi).value(), sum);
+      EXPECT_EQ(min_tree.Aggregate(lo, hi).value(), mn);
+      EXPECT_EQ(max_tree.Aggregate(lo, hi).value(), mx);
+      auto avg = avg_tree.Aggregate(lo, hi).value();
+      EXPECT_DOUBLE_EQ(avg.sum, sum);
+      EXPECT_EQ(avg.count, static_cast<int64_t>(hi - lo));
+    }
+  }
+}
+
+TEST(SortedListSegmentTree, SelectKthHandChecked) {
+  std::vector<double> values = {5, 1, 4, 2, 3};
+  auto tree = SortedListSegmentTree::Build(values);
+  // Range [1, 4): values {1, 4, 2} sorted {1, 2, 4}.
+  EXPECT_EQ(tree.SelectKth(1, 4, 0), 1.0);
+  EXPECT_EQ(tree.SelectKth(1, 4, 1), 2.0);
+  EXPECT_EQ(tree.SelectKth(1, 4, 2), 4.0);
+}
+
+TEST(SortedListSegmentTree, RandomizedAgainstSort) {
+  Pcg32 rng(77);
+  for (size_t n : {1u, 7u, 64u, 100u, 1000u}) {
+    std::vector<double> values(n);
+    for (auto& v : values) v = static_cast<double>(rng.Bounded(50));
+    auto tree = SortedListSegmentTree::Build(values);
+    for (int q = 0; q < 100; ++q) {
+      size_t lo = rng.Bounded(static_cast<uint32_t>(n));
+      size_t hi = lo + 1 + rng.Bounded(static_cast<uint32_t>(n - lo));
+      std::vector<double> sorted(values.begin() + lo, values.begin() + hi);
+      std::sort(sorted.begin(), sorted.end());
+      const size_t k = rng.Bounded(static_cast<uint32_t>(hi - lo));
+      EXPECT_EQ(tree.SelectKth(lo, hi, k), sorted[k])
+          << "n=" << n << " lo=" << lo << " hi=" << hi << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hwf

@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hwf {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad column").ToString(),
+            "InvalidArgument: bad column");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> result = Status::OutOfRange("too big");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.status().message(), "too big");
+}
+
+TEST(StatusOr, MoveOnlyValues) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  std::vector<int> moved = *std::move(result);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOr, WorksWithoutDefaultConstructibleType) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok_result = NoDefault(7);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result->value, 7);
+  StatusOr<NoDefault> err_result = Status::Internal("nope");
+  EXPECT_FALSE(err_result.ok());
+}
+
+}  // namespace
+}  // namespace hwf

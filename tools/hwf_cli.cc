@@ -1,0 +1,352 @@
+// hwf_cli — run a framed window function over a CSV file.
+//
+// Examples:
+//   hwf_cli --input trades.csv --function median --arg price
+//           --order-by day --frame-begin preceding:6 --frame-end current
+//
+//   hwf_cli --input results.csv --function rank --func-order-by tps:desc
+//           --order-by date --frame-begin unbounded --frame-end current
+//
+//   hwf_cli --input orders.csv --function count_distinct --arg custkey
+//           --order-by orderdate --range --frame-begin preceding:30
+//           --frame-end current --output with_mau.csv
+//
+// The result is the input table plus one column (named after the
+// function, or --as NAME), written as CSV to stdout or --output.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/csv.h"
+#include "window/executor.h"
+
+namespace {
+
+using namespace hwf;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hwf_cli --input FILE --function FN [options]\n"
+      "\n"
+      "functions: count_star count sum min max avg count_distinct\n"
+      "           sum_distinct avg_distinct min_distinct max_distinct\n"
+      "           rank dense_rank row_number percent_rank cume_dist ntile\n"
+      "           percentile_disc percentile_cont median first_value\n"
+      "           last_value nth_value lead lag mode\n"
+      "\n"
+      "options:\n"
+      "  --arg COLUMN               function argument column\n"
+      "  --order-by COL[:desc][:nulls_first]   frame ORDER BY (repeatable)\n"
+      "  --func-order-by COL[:desc]            function-level ORDER BY\n"
+      "  --partition-by COLUMN      PARTITION BY (repeatable)\n"
+      "  --frame-begin SPEC         unbounded | current | preceding:N |\n"
+      "                             following:N | preceding-col:COL | "
+      "following-col:COL\n"
+      "  --frame-end SPEC           (same forms; default current)\n"
+      "  --range | --groups         frame mode (default ROWS)\n"
+      "  --exclude current|group|ties\n"
+      "  --filter COLUMN            FILTER clause (int64 boolean column)\n"
+      "  --ignore-nulls             IGNORE NULLS (value functions)\n"
+      "  --fraction F               percentile fraction (default 0.5)\n"
+      "  --param N                  lead/lag offset, nth_value n, ntile "
+      "buckets\n"
+      "  --engine mst|naive|incremental|ost     (default mst)\n"
+      "  --as NAME                  result column name\n"
+      "  --output FILE              write CSV here (default stdout)\n");
+}
+
+std::optional<WindowFunctionKind> ParseFunction(const std::string& name) {
+  static const std::pair<const char*, WindowFunctionKind> kFunctions[] = {
+      {"count_star", WindowFunctionKind::kCountStar},
+      {"count", WindowFunctionKind::kCount},
+      {"sum", WindowFunctionKind::kSum},
+      {"min", WindowFunctionKind::kMin},
+      {"max", WindowFunctionKind::kMax},
+      {"avg", WindowFunctionKind::kAvg},
+      {"count_distinct", WindowFunctionKind::kCountDistinct},
+      {"sum_distinct", WindowFunctionKind::kSumDistinct},
+      {"avg_distinct", WindowFunctionKind::kAvgDistinct},
+      {"min_distinct", WindowFunctionKind::kMinDistinct},
+      {"max_distinct", WindowFunctionKind::kMaxDistinct},
+      {"rank", WindowFunctionKind::kRank},
+      {"dense_rank", WindowFunctionKind::kDenseRank},
+      {"row_number", WindowFunctionKind::kRowNumber},
+      {"percent_rank", WindowFunctionKind::kPercentRank},
+      {"cume_dist", WindowFunctionKind::kCumeDist},
+      {"ntile", WindowFunctionKind::kNtile},
+      {"percentile_disc", WindowFunctionKind::kPercentileDisc},
+      {"percentile_cont", WindowFunctionKind::kPercentileCont},
+      {"median", WindowFunctionKind::kMedian},
+      {"first_value", WindowFunctionKind::kFirstValue},
+      {"last_value", WindowFunctionKind::kLastValue},
+      {"nth_value", WindowFunctionKind::kNthValue},
+      {"lead", WindowFunctionKind::kLead},
+      {"lag", WindowFunctionKind::kLag},
+      {"mode", WindowFunctionKind::kMode},
+  };
+  for (const auto& [fn_name, kind] : kFunctions) {
+    if (name == fn_name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseSortKey(const Table& table, const std::string& spec, SortKey* key) {
+  std::vector<std::string> parts = Split(spec, ':');
+  StatusOr<size_t> column = table.ColumnIndex(parts[0]);
+  if (!column.ok()) {
+    std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
+    return false;
+  }
+  key->column = *column;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i] == "desc") {
+      key->ascending = false;
+    } else if (parts[i] == "asc") {
+      key->ascending = true;
+    } else if (parts[i] == "nulls_first") {
+      key->nulls_first = true;
+    } else if (parts[i] == "nulls_last") {
+      key->nulls_first = false;
+    } else {
+      std::fprintf(stderr, "error: unknown sort modifier '%s'\n",
+                   parts[i].c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseFrameBound(const Table& table, const std::string& spec,
+                     FrameBound* bound) {
+  std::vector<std::string> parts = Split(spec, ':');
+  const std::string& kind = parts[0];
+  if (kind == "unbounded" || kind == "unbounded_preceding") {
+    *bound = FrameBound::UnboundedPreceding();
+  } else if (kind == "unbounded_following") {
+    *bound = FrameBound::UnboundedFollowing();
+  } else if (kind == "current") {
+    *bound = FrameBound::CurrentRow();
+  } else if ((kind == "preceding" || kind == "following") &&
+             parts.size() == 2) {
+    const int64_t offset = std::atoll(parts[1].c_str());
+    *bound = kind == "preceding" ? FrameBound::Preceding(offset)
+                                 : FrameBound::Following(offset);
+  } else if ((kind == "preceding-col" || kind == "following-col") &&
+             parts.size() == 2) {
+    StatusOr<size_t> column = table.ColumnIndex(parts[1]);
+    if (!column.ok()) {
+      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
+      return false;
+    }
+    *bound = kind == "preceding-col" ? FrameBound::PrecedingColumn(*column)
+                                     : FrameBound::FollowingColumn(*column);
+  } else {
+    std::fprintf(stderr, "error: bad frame bound '%s'\n", spec.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  std::string function_name;
+  std::string result_name;
+  std::string engine_name = "mst";
+  std::vector<std::string> order_specs;
+  std::vector<std::string> func_order_specs;
+  std::vector<std::string> partition_names;
+  std::string arg_name;
+  std::string filter_name;
+  std::string begin_spec = "unbounded";
+  std::string end_spec = "current";
+  std::string exclude_spec;
+  FrameMode mode = FrameMode::kRows;
+  bool ignore_nulls = false;
+  double fraction = 0.5;
+  int64_t param = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--input") {
+      input_path = next();
+    } else if (flag == "--output") {
+      output_path = next();
+    } else if (flag == "--function") {
+      function_name = next();
+    } else if (flag == "--arg") {
+      arg_name = next();
+    } else if (flag == "--order-by") {
+      order_specs.push_back(next());
+    } else if (flag == "--func-order-by") {
+      func_order_specs.push_back(next());
+    } else if (flag == "--partition-by") {
+      partition_names.push_back(next());
+    } else if (flag == "--frame-begin") {
+      begin_spec = next();
+    } else if (flag == "--frame-end") {
+      end_spec = next();
+    } else if (flag == "--range") {
+      mode = FrameMode::kRange;
+    } else if (flag == "--groups") {
+      mode = FrameMode::kGroups;
+    } else if (flag == "--exclude") {
+      exclude_spec = next();
+    } else if (flag == "--filter") {
+      filter_name = next();
+    } else if (flag == "--ignore-nulls") {
+      ignore_nulls = true;
+    } else if (flag == "--fraction") {
+      fraction = std::atof(next());
+    } else if (flag == "--param") {
+      param = std::atoll(next());
+    } else if (flag == "--engine") {
+      engine_name = next();
+    } else if (flag == "--as") {
+      result_name = next();
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (input_path.empty() || function_name.empty()) {
+    Usage();
+    return 2;
+  }
+  std::optional<WindowFunctionKind> kind = ParseFunction(function_name);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "error: unknown function '%s'\n",
+                 function_name.c_str());
+    return 2;
+  }
+
+  StatusOr<Table> table_or = ReadCsvFile(input_path);
+  if (!table_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", table_or.status().ToString().c_str());
+    return 1;
+  }
+  Table table = std::move(*table_or);
+
+  WindowSpec spec;
+  spec.frame.mode = mode;
+  for (const std::string& name : partition_names) {
+    StatusOr<size_t> column = table.ColumnIndex(name);
+    if (!column.ok()) {
+      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
+      return 1;
+    }
+    spec.partition_by.push_back(*column);
+  }
+  for (const std::string& order : order_specs) {
+    SortKey key;
+    if (!ParseSortKey(table, order, &key)) return 1;
+    spec.order_by.push_back(key);
+  }
+  if (!ParseFrameBound(table, begin_spec, &spec.frame.begin)) return 1;
+  if (!ParseFrameBound(table, end_spec, &spec.frame.end)) return 1;
+  if (!exclude_spec.empty()) {
+    if (exclude_spec == "current") {
+      spec.frame.exclusion = FrameExclusion::kCurrentRow;
+    } else if (exclude_spec == "group") {
+      spec.frame.exclusion = FrameExclusion::kGroup;
+    } else if (exclude_spec == "ties") {
+      spec.frame.exclusion = FrameExclusion::kTies;
+    } else {
+      std::fprintf(stderr, "error: bad --exclude '%s'\n",
+                   exclude_spec.c_str());
+      return 2;
+    }
+  }
+
+  WindowFunctionCall call;
+  call.kind = *kind;
+  call.ignore_nulls = ignore_nulls;
+  call.fraction = fraction;
+  call.param = param;
+  if (!arg_name.empty()) {
+    StatusOr<size_t> column = table.ColumnIndex(arg_name);
+    if (!column.ok()) {
+      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
+      return 1;
+    }
+    call.argument = *column;
+  }
+  for (const std::string& order : func_order_specs) {
+    SortKey key;
+    if (!ParseSortKey(table, order, &key)) return 1;
+    call.order_by.push_back(key);
+  }
+  if (!filter_name.empty()) {
+    StatusOr<size_t> column = table.ColumnIndex(filter_name);
+    if (!column.ok()) {
+      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
+      return 1;
+    }
+    call.filter = *column;
+  }
+
+  WindowExecutorOptions options;
+  if (engine_name == "mst") {
+    options.engine = WindowEngine::kMergeSortTree;
+  } else if (engine_name == "naive") {
+    options.engine = WindowEngine::kNaive;
+  } else if (engine_name == "incremental") {
+    options.engine = WindowEngine::kIncremental;
+  } else if (engine_name == "ost") {
+    options.engine = WindowEngine::kOrderStatisticTree;
+  } else {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", engine_name.c_str());
+    return 2;
+  }
+
+  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  table.AddColumn(result_name.empty() ? function_name : result_name,
+                  std::move(*result));
+
+  if (output_path.empty()) {
+    const std::string csv = ToCsv(table);
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+  } else {
+    Status status = WriteCsvFile(table, output_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
