@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cascading.dir/bench_ablation_cascading.cc.o"
+  "CMakeFiles/bench_ablation_cascading.dir/bench_ablation_cascading.cc.o.d"
+  "bench_ablation_cascading"
+  "bench_ablation_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

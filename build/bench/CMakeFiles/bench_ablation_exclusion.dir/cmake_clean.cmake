@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exclusion.dir/bench_ablation_exclusion.cc.o"
+  "CMakeFiles/bench_ablation_exclusion.dir/bench_ablation_exclusion.cc.o.d"
+  "bench_ablation_exclusion"
+  "bench_ablation_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_index_width.dir/bench_ablation_index_width.cc.o"
+  "CMakeFiles/bench_ablation_index_width.dir/bench_ablation_index_width.cc.o.d"
+  "bench_ablation_index_width"
+  "bench_ablation_index_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_index_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quicksort.dir/bench_ablation_quicksort.cc.o"
+  "CMakeFiles/bench_ablation_quicksort.dir/bench_ablation_quicksort.cc.o.d"
+  "bench_ablation_quicksort"
+  "bench_ablation_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_nonmonotonic.dir/bench_fig12_nonmonotonic.cc.o"
+  "CMakeFiles/bench_fig12_nonmonotonic.dir/bench_fig12_nonmonotonic.cc.o.d"
+  "bench_fig12_nonmonotonic"
+  "bench_fig12_nonmonotonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nonmonotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

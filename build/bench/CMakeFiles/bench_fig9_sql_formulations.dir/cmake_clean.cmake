@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sql_formulations.dir/bench_fig9_sql_formulations.cc.o"
+  "CMakeFiles/bench_fig9_sql_formulations.dir/bench_fig9_sql_formulations.cc.o.d"
+  "bench_fig9_sql_formulations"
+  "bench_fig9_sql_formulations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sql_formulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scaling.dir/bench_table1_scaling.cc.o"
+  "CMakeFiles/bench_table1_scaling.dir/bench_table1_scaling.cc.o.d"
+  "bench_table1_scaling"
+  "bench_table1_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

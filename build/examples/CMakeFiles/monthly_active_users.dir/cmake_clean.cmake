@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monthly_active_users.dir/monthly_active_users.cpp.o"
+  "CMakeFiles/monthly_active_users.dir/monthly_active_users.cpp.o.d"
+  "monthly_active_users"
+  "monthly_active_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monthly_active_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

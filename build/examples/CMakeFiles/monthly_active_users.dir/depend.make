@@ -1,0 +1,2 @@
+# Empty dependencies file for monthly_active_users.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_percentile.dir/moving_percentile.cpp.o"
+  "CMakeFiles/moving_percentile.dir/moving_percentile.cpp.o.d"
+  "moving_percentile"
+  "moving_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

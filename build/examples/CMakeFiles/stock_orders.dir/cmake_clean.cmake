@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_orders.dir/stock_orders.cpp.o"
+  "CMakeFiles/stock_orders.dir/stock_orders.cpp.o.d"
+  "stock_orders"
+  "stock_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_leaderboard.dir/tpcc_leaderboard.cpp.o"
+  "CMakeFiles/tpcc_leaderboard.dir/tpcc_leaderboard.cpp.o.d"
+  "tpcc_leaderboard"
+  "tpcc_leaderboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_leaderboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/incremental.cc" "src/CMakeFiles/hwf.dir/baselines/incremental.cc.o" "gcc" "src/CMakeFiles/hwf.dir/baselines/incremental.cc.o.d"
+  "/root/repo/src/baselines/order_statistic.cc" "src/CMakeFiles/hwf.dir/baselines/order_statistic.cc.o" "gcc" "src/CMakeFiles/hwf.dir/baselines/order_statistic.cc.o.d"
+  "/root/repo/src/baselines/segment_tree.cc" "src/CMakeFiles/hwf.dir/baselines/segment_tree.cc.o" "gcc" "src/CMakeFiles/hwf.dir/baselines/segment_tree.cc.o.d"
+  "/root/repo/src/baselines/sql_rewrite.cc" "src/CMakeFiles/hwf.dir/baselines/sql_rewrite.cc.o" "gcc" "src/CMakeFiles/hwf.dir/baselines/sql_rewrite.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hwf.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hwf.dir/common/status.cc.o.d"
+  "/root/repo/src/parallel/parallel_for.cc" "src/CMakeFiles/hwf.dir/parallel/parallel_for.cc.o" "gcc" "src/CMakeFiles/hwf.dir/parallel/parallel_for.cc.o.d"
+  "/root/repo/src/parallel/thread_pool.cc" "src/CMakeFiles/hwf.dir/parallel/thread_pool.cc.o" "gcc" "src/CMakeFiles/hwf.dir/parallel/thread_pool.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/hwf.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/hwf.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/hwf.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/hwf.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/hwf.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/hwf.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tpch_gen.cc" "src/CMakeFiles/hwf.dir/storage/tpch_gen.cc.o" "gcc" "src/CMakeFiles/hwf.dir/storage/tpch_gen.cc.o.d"
+  "/root/repo/src/window/builder.cc" "src/CMakeFiles/hwf.dir/window/builder.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/builder.cc.o.d"
+  "/root/repo/src/window/executor.cc" "src/CMakeFiles/hwf.dir/window/executor.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/executor.cc.o.d"
+  "/root/repo/src/window/frame.cc" "src/CMakeFiles/hwf.dir/window/frame.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/frame.cc.o.d"
+  "/root/repo/src/window/functions/common.cc" "src/CMakeFiles/hwf.dir/window/functions/common.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/common.cc.o.d"
+  "/root/repo/src/window/functions/dense_rank.cc" "src/CMakeFiles/hwf.dir/window/functions/dense_rank.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/dense_rank.cc.o.d"
+  "/root/repo/src/window/functions/distinct_aggregates.cc" "src/CMakeFiles/hwf.dir/window/functions/distinct_aggregates.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/distinct_aggregates.cc.o.d"
+  "/root/repo/src/window/functions/distributive.cc" "src/CMakeFiles/hwf.dir/window/functions/distributive.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/distributive.cc.o.d"
+  "/root/repo/src/window/functions/lead_lag.cc" "src/CMakeFiles/hwf.dir/window/functions/lead_lag.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/lead_lag.cc.o.d"
+  "/root/repo/src/window/functions/percentile.cc" "src/CMakeFiles/hwf.dir/window/functions/percentile.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/percentile.cc.o.d"
+  "/root/repo/src/window/functions/rank_functions.cc" "src/CMakeFiles/hwf.dir/window/functions/rank_functions.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/rank_functions.cc.o.d"
+  "/root/repo/src/window/functions/value_functions.cc" "src/CMakeFiles/hwf.dir/window/functions/value_functions.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/functions/value_functions.cc.o.d"
+  "/root/repo/src/window/reference.cc" "src/CMakeFiles/hwf.dir/window/reference.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/reference.cc.o.d"
+  "/root/repo/src/window/spec.cc" "src/CMakeFiles/hwf.dir/window/spec.cc.o" "gcc" "src/CMakeFiles/hwf.dir/window/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_mst_test.dir/annotated_mst_test.cc.o"
+  "CMakeFiles/annotated_mst_test.dir/annotated_mst_test.cc.o.d"
+  "annotated_mst_test"
+  "annotated_mst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_engines_test.dir/baseline_engines_test.cc.o"
+  "CMakeFiles/baseline_engines_test.dir/baseline_engines_test.cc.o.d"
+  "baseline_engines_test"
+  "baseline_engines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counted_btree_test.dir/counted_btree_test.cc.o"
+  "CMakeFiles/counted_btree_test.dir/counted_btree_test.cc.o.d"
+  "counted_btree_test"
+  "counted_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counted_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

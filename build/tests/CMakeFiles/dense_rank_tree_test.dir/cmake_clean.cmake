@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_rank_tree_test.dir/dense_rank_tree_test.cc.o"
+  "CMakeFiles/dense_rank_tree_test.dir/dense_rank_tree_test.cc.o.d"
+  "dense_rank_tree_test"
+  "dense_rank_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_rank_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

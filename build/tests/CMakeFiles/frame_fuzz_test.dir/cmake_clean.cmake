@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_fuzz_test.dir/frame_fuzz_test.cc.o"
+  "CMakeFiles/frame_fuzz_test.dir/frame_fuzz_test.cc.o.d"
+  "frame_fuzz_test"
+  "frame_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_sort_tree_test.dir/merge_sort_tree_test.cc.o"
+  "CMakeFiles/merge_sort_tree_test.dir/merge_sort_tree_test.cc.o.d"
+  "merge_sort_tree_test"
+  "merge_sort_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_sort_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessing_test.dir/preprocessing_test.cc.o"
+  "CMakeFiles/preprocessing_test.dir/preprocessing_test.cc.o.d"
+  "preprocessing_test"
+  "preprocessing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

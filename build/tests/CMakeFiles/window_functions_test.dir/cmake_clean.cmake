@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_functions_test.dir/window_functions_test.cc.o"
+  "CMakeFiles/window_functions_test.dir/window_functions_test.cc.o.d"
+  "window_functions_test"
+  "window_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_fuzz_test.dir/window_fuzz_test.cc.o"
+  "CMakeFiles/window_fuzz_test.dir/window_fuzz_test.cc.o.d"
+  "window_fuzz_test"
+  "window_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwf_cli.dir/hwf_cli.cc.o"
+  "CMakeFiles/hwf_cli.dir/hwf_cli.cc.o.d"
+  "hwf_cli"
+  "hwf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
