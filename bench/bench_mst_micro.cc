@@ -1,8 +1,18 @@
 // Micro-benchmarks of the merge sort tree primitives under
 // google-benchmark: build, CountLess and Select per tree size, plus the
 // preprocessing steps (Algorithm 1 and permutation arrays).
+//
+// Extra flags (consumed before google-benchmark sees the command line):
+//   --kernel={heap,loser}   merge kernel ablation for the build benchmarks
+//                           (default loser; heap is the seed kernel)
+//   --levels_json=PATH      additionally writes per-level build timings for
+//                           both kernels as JSON to PATH, so kernel speedups
+//                           are reproducible and trackable (BENCH_*.json)
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -15,6 +25,12 @@ namespace {
 
 using namespace hwf;
 
+MergeKernel g_kernel = MergeKernel::kLoserTree;
+
+const char* KernelName(MergeKernel kernel) {
+  return kernel == MergeKernel::kHeap ? "heap" : "loser";
+}
+
 std::vector<uint32_t> RandomKeys(size_t n) {
   Pcg32 rng(n);
   std::vector<uint32_t> keys(n);
@@ -26,13 +42,33 @@ void BM_TreeBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   std::vector<uint32_t> keys = RandomKeys(n);
   ThreadPool single(0);
+  MergeSortTreeOptions options;
+  options.kernel = g_kernel;
   for (auto _ : state) {
-    auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+    auto tree = MergeSortTree<uint32_t>::Build(keys, options, single);
     benchmark::DoNotOptimize(tree.size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+  state.SetLabel(KernelName(g_kernel));
 }
 BENCHMARK(BM_TreeBuild)->Range(1 << 10, 1 << 20);
+
+// Parallel build at the paper's default f = k = 32 — the bottleneck phase
+// of Fig. 14, under the kernel selected with --kernel.
+void BM_TreeBuildParallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys = RandomKeys(n);
+  MergeSortTreeOptions options;
+  options.kernel = g_kernel;
+  for (auto _ : state) {
+    auto tree =
+        MergeSortTree<uint32_t>::Build(keys, options, ThreadPool::Default());
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+  state.SetLabel(KernelName(g_kernel));
+}
+BENCHMARK(BM_TreeBuildParallel)->Range(1 << 16, 1 << 22);
 
 void BM_CountLess(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -96,6 +132,94 @@ void BM_Permutation(benchmark::State& state) {
 }
 BENCHMARK(BM_Permutation)->Range(1 << 12, 1 << 20);
 
+/// Measures one serial build per kernel at n = 2^20, f = k = 32, and
+/// writes per-level wall times (median of `reps`) as JSON:
+///   {"n":..., "fanout":32, "sampling":32,
+///    "kernels":{"heap":{"levels":[s,...],"total":s},
+///               "loser":{...}},
+///    "speedup_total": heap/loser}
+void WriteLevelsJson(const std::string& path) {
+  const size_t n = 1 << 20;
+  const int reps = 5;
+  std::vector<uint32_t> keys = RandomKeys(n);
+  ThreadPool single(0);
+  std::string body = "{\n  \"n\": " + std::to_string(n) +
+                     ", \"fanout\": 32, \"sampling\": 32,\n  \"kernels\": {";
+  double totals[2] = {0, 0};
+  const MergeKernel kernels[2] = {MergeKernel::kHeap, MergeKernel::kLoserTree};
+  for (int ki = 0; ki < 2; ++ki) {
+    std::vector<double> best;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<double> level_seconds;
+      MergeSortTreeOptions options;
+      options.kernel = kernels[ki];
+      options.level_build_seconds = &level_seconds;
+      auto tree = MergeSortTree<uint32_t>::Build(keys, options, single);
+      benchmark::DoNotOptimize(tree.size());
+      if (best.empty()) best = level_seconds;
+      double total = 0, best_total = 0;
+      for (double s : level_seconds) total += s;
+      for (double s : best) best_total += s;
+      if (total < best_total) best = level_seconds;
+    }
+    double total = 0;
+    std::string levels;
+    for (double s : best) {
+      if (!levels.empty()) levels += ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6f", s);
+      levels += buf;
+      total += s;
+    }
+    totals[ki] = total;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", total);
+    body += std::string(ki == 0 ? "" : ",") + "\n    \"" +
+            KernelName(kernels[ki]) + "\": {\"levels\": [" + levels +
+            "], \"total\": " + buf + "}";
+  }
+  char speedup[32];
+  std::snprintf(speedup, sizeof speedup, "%.3f",
+                totals[1] > 0 ? totals[0] / totals[1] : 0.0);
+  body += "\n  },\n  \"speedup_total\": " + std::string(speedup) + "\n}\n";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote per-level build timings to %s\n",
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to open %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before handing the rest to google-benchmark.
+  std::string levels_json;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      const char* v = argv[i] + 9;
+      if (std::strcmp(v, "heap") == 0) {
+        g_kernel = MergeKernel::kHeap;
+      } else if (std::strcmp(v, "loser") == 0) {
+        g_kernel = MergeKernel::kLoserTree;
+      } else {
+        std::fprintf(stderr, "unknown --kernel value '%s' (heap|loser)\n", v);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--levels_json=", 14) == 0) {
+      levels_json = argv[i] + 14;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!levels_json.empty()) WriteLevelsJson(levels_json);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

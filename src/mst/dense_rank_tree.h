@@ -9,6 +9,8 @@
 
 #include "common/macros.h"
 #include "mst/merge_sort_tree.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_sort.h"
 #include "parallel/thread_pool.h"
 
 namespace hwf {
@@ -47,13 +49,17 @@ class DenseRankTree {
     tree.codes_.assign(codes.begin(), codes.end());
     if (n == 0) return tree;
 
-    // V: positions sorted by (code, position).
+    // V: positions sorted by (code, position) — a strict total order, so
+    // the parallel sort is deterministic across thread counts.
     std::vector<Index> v(n);
     for (size_t i = 0; i < n; ++i) v[i] = static_cast<Index>(i);
-    std::sort(v.begin(), v.end(), [&](Index a, Index b) {
-      if (codes[a] != codes[b]) return codes[a] < codes[b];
-      return a < b;
-    });
+    ParallelSort(
+        v,
+        [&](Index a, Index b) {
+          if (codes[a] != codes[b]) return codes[a] < codes[b];
+          return a < b;
+        },
+        pool);
 
     // Previous occurrence of the same code, encoded +1 (0 = none). Within
     // V, equal codes are adjacent and position-sorted.
@@ -80,25 +86,34 @@ class DenseRankTree {
     level0.block_size = 1;
     tree.levels_.push_back(std::move(level0));
 
-    // Higher levels: merge adjacent blocks by position.
+    // Higher levels: merge adjacent blocks by position. Blocks are
+    // independent, so each level merges (and gathers its prevEq keys) in
+    // parallel; positions are unique, making the merge order-deterministic.
     for (size_t width = 1; width < n; width *= 2) {
       const Level& prev_level = tree.levels_.back();
       Level next;
       next.block_size = 2 * width;
       next.positions.resize(n);
       next.keys.resize(n);
-      for (size_t lo = 0; lo < n; lo += 2 * width) {
-        const size_t mid = std::min(n, lo + width);
-        const size_t hi = std::min(n, lo + 2 * width);
-        std::merge(prev_level.positions.begin() + lo,
-                   prev_level.positions.begin() + mid,
-                   prev_level.positions.begin() + mid,
-                   prev_level.positions.begin() + hi,
-                   next.positions.begin() + lo);
-      }
-      for (size_t j = 0; j < n; ++j) {
-        next.keys[j] = prev_enc[next.positions[j]];
-      }
+      const size_t num_blocks = (n + 2 * width - 1) / (2 * width);
+      ParallelFor(
+          0, num_blocks,
+          [&](size_t block_lo, size_t block_hi) {
+            for (size_t b = block_lo; b < block_hi; ++b) {
+              const size_t lo = b * 2 * width;
+              const size_t mid = std::min(n, lo + width);
+              const size_t hi = std::min(n, lo + 2 * width);
+              std::merge(prev_level.positions.begin() + lo,
+                         prev_level.positions.begin() + mid,
+                         prev_level.positions.begin() + mid,
+                         prev_level.positions.begin() + hi,
+                         next.positions.begin() + lo);
+              for (size_t j = lo; j < hi; ++j) {
+                next.keys[j] = prev_enc[next.positions[j]];
+              }
+            }
+          },
+          pool, /*morsel_size=*/std::max<size_t>(1, 4096 / (2 * width)));
       tree.levels_.push_back(std::move(next));
     }
 

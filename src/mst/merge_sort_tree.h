@@ -2,6 +2,7 @@
 #define HWF_MST_MERGE_SORT_TREE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -11,10 +12,21 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "mst/loser_tree.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
 namespace hwf {
+
+/// Which k-way merge kernel the build phase uses. The loser tree is the
+/// production kernel (⌈log₂ f⌉ comparisons per element over a flat,
+/// cache-resident tournament array); the binary-heap kernel is retained as
+/// the reference implementation for differential tests and the
+/// --kernel=heap bench ablation.
+enum class MergeKernel {
+  kLoserTree,
+  kHeap,
+};
 
 /// Tuning parameters of a merge sort tree (paper §5.1, §6.6).
 struct MergeSortTreeOptions {
@@ -33,6 +45,15 @@ struct MergeSortTreeOptions {
   /// a full binary search). Only used by the ablation benchmark; turns the
   /// O(n log n) query phase into O(n log² n) as discussed in §4.2.
   bool use_cascading = true;
+
+  /// Merge kernel for the build phase. kLoserTree is strictly faster;
+  /// kHeap exists for differential testing and bench ablations.
+  MergeKernel kernel = MergeKernel::kLoserTree;
+
+  /// When non-null, cleared on Build entry and filled with the wall-clock
+  /// seconds spent constructing each level above level 0 (index 0 = level 1
+  /// and so on). Used by bench_mst_micro's per-level JSON emission.
+  std::vector<double>* level_build_seconds = nullptr;
 };
 
 /// A half-open key interval [lo, hi) used in tree queries.
@@ -54,12 +75,17 @@ namespace internal_mst {
 /// strategy), pass the chunk's starting position within the run as
 /// `out_offset` and the per-child starting offsets (from MultiwaySelect)
 /// as `start_offsets`; `out`/`cascade_out` still point at the run start.
+///
+/// This is the reference binary-heap kernel (MergeKernel::kHeap): two heap
+/// operations per output element. Production builds route through
+/// MergeRunLoserTree (loser_tree.h), which must stay byte-identical —
+/// tests/merge_kernel_test.cc checks the two differentially.
 template <typename Index, typename Payload, bool kHasPayload>
-void MergeRun(const Index* const* child_data, const size_t* child_lens,
-              size_t num_children, Index* out, size_t out_len,
-              Index* cascade_out, size_t sampling, size_t fanout,
-              const Payload* const* child_payload, Payload* out_payload,
-              size_t out_offset = 0, const size_t* start_offsets = nullptr) {
+void MergeRunHeap(const Index* const* child_data, const size_t* child_lens,
+                  size_t num_children, Index* out, size_t out_len,
+                  Index* cascade_out, size_t sampling, size_t fanout,
+                  const Payload* const* child_payload, Payload* out_payload,
+                  size_t out_offset = 0, const size_t* start_offsets = nullptr) {
   // (key, child) min-heap; pair comparison breaks ties on the child index.
   using Entry = std::pair<Index, uint32_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
@@ -91,6 +117,61 @@ void MergeRun(const Index* const* child_data, const size_t* child_lens,
   }
 }
 
+/// Routes one run (or chunk) merge to the configured kernel, applying the
+/// small-arity fast paths of the loser-tree kernel:
+///   - `leaf_children` (level 1, every child a single element): merging is
+///     sorting — std::copy + std::sort for plain keys, an index sort with
+///     payload gather otherwise. Level 1 never carries cascade pointers.
+///   - 1 and 2 children: straight copy / branchless 2-way merge inside
+///     MergeRunLoserTree.
+/// The heap kernel takes none of the fast paths so ablations measure the
+/// pure heap merge.
+template <typename Index, typename Payload, bool kHasPayload>
+void MergeRunDispatch(MergeKernel kernel, bool leaf_children,
+                      MergeScratch<Index, Payload>& scratch,
+                      const Index* const* child_data, const size_t* child_lens,
+                      size_t num_children, Index* out, size_t out_len,
+                      Index* cascade_out, size_t sampling, size_t fanout,
+                      const Payload* const* child_payload,
+                      Payload* out_payload, size_t out_offset = 0,
+                      const size_t* start_offsets = nullptr) {
+  if (kernel == MergeKernel::kHeap) {
+    MergeRunHeap<Index, Payload, kHasPayload>(
+        child_data, child_lens, num_children, out, out_len, cascade_out,
+        sampling, fanout, child_payload, out_payload, out_offset,
+        start_offsets);
+    return;
+  }
+  if (leaf_children && start_offsets == nullptr && cascade_out == nullptr) {
+    if constexpr (kHasPayload) {
+      // Sort a permutation by (key, child index) — the stable merge order —
+      // then gather keys and payloads through it.
+      std::vector<uint32_t>& idx = scratch.sort_idx;
+      idx.resize(out_len);
+      for (size_t i = 0; i < out_len; ++i) idx[i] = static_cast<uint32_t>(i);
+      std::sort(idx.begin(), idx.end(), [&](uint32_t x, uint32_t y) {
+        const Index kx = child_data[x][0];
+        const Index ky = child_data[y][0];
+        if (kx != ky) return kx < ky;
+        return x < y;
+      });
+      for (size_t o = 0; o < out_len; ++o) {
+        out[o] = child_data[idx[o]][0];
+        out_payload[o] = child_payload[idx[o]][0];
+      }
+    } else {
+      // Leaf children are adjacent elements of the source level, so child 0
+      // points at a contiguous block of out_len keys.
+      std::copy(child_data[0], child_data[0] + out_len, out);
+      std::sort(out, out + out_len);
+    }
+    return;
+  }
+  MergeRunLoserTree<Index, Payload, kHasPayload>(
+      scratch, child_data, child_lens, num_children, out, out_len, cascade_out,
+      sampling, fanout, child_payload, out_payload, out_offset, start_offsets);
+}
+
 /// Computes, for each child run, the input offset at which the k-th output
 /// element of the (tie-by-child-index) merge is produced — the balanced
 /// multiway merge split of Francis et al. [18] (§5.2). Exploits that keys
@@ -108,9 +189,28 @@ void MultiwaySelect(const Index* const* child_data, const size_t* child_lens,
     }
     return count;
   };
+  // Clamp the binary search to the actual [min, max] key range of the
+  // children instead of the full Index domain: count_less is 0 below the
+  // minimum and the split key never exceeds the maximum (for k < total),
+  // so the clamped search finds the same key in ~log(range) instead of
+  // 32/64 iterations, each of which costs f binary searches.
+  size_t total = 0;
+  Index min_first = std::numeric_limits<Index>::max();
+  Index max_last = 0;
+  for (size_t c = 0; c < num_children; ++c) {
+    if (child_lens[c] == 0) continue;
+    min_first = std::min(min_first, child_data[c][0]);
+    max_last = std::max(max_last, child_data[c][child_lens[c] - 1]);
+    total += child_lens[c];
+  }
+  HWF_DCHECK(k <= total);
+  if (k >= total) {
+    for (size_t c = 0; c < num_children; ++c) offsets_out[c] = child_lens[c];
+    return;
+  }
   // Largest key v with count_less(v) <= k.
-  Index lo = 0;
-  Index hi = std::numeric_limits<Index>::max();
+  Index lo = min_first;
+  Index hi = max_last;
   while (lo < hi) {
     const Index mid = lo + (hi - lo) / 2 + 1;  // Round up: search for max.
     if (count_less(mid) <= k) {
@@ -322,8 +422,13 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
 
   const size_t f = options.fanout;
   const size_t k = options.sampling;
+  const MergeKernel kernel = options.kernel;
+  if (options.level_build_seconds != nullptr) {
+    options.level_build_seconds->clear();
+  }
   size_t child_run_len = 1;
   while (child_run_len < n) {
+    const auto level_start = std::chrono::steady_clock::now();
     const size_t run_len = child_run_len * f;
     const size_t level = tree.levels_.size();
     const bool want_cascade = options.use_cascading && level >= 2;
@@ -345,15 +450,19 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
     }
     const Level& src = tree.levels_.back();
     const size_t parallelism = static_cast<size_t>(pool.parallelism());
+    const bool leaf_children = child_run_len == 1;
     if (num_runs >= parallelism || pool.num_workers() == 0) {
       // Lower levels: many independent runs — one task merges whole runs
-      // (§5.2 lower-level strategy).
+      // (§5.2 lower-level strategy). All scratch (child descriptors plus
+      // the loser tree's node arrays) lives per task and is reused across
+      // every run the task claims.
       ParallelFor(
           0, num_runs,
           [&](size_t run_lo, size_t run_hi) {
-            std::vector<const Index*> child_data(f);
-            std::vector<size_t> child_lens(f);
-            std::vector<const Payload*> child_payload(has_payload ? f : 0);
+            MergeScratch<Index, Payload> scratch;
+            scratch.child_data.resize(f);
+            scratch.child_lens.resize(f);
+            scratch.child_payload.resize(has_payload ? f : 0);
             for (size_t r = run_lo; r < run_hi; ++r) {
               const size_t begin = r * run_len;
               const size_t end = std::min(n, begin + run_len);
@@ -362,10 +471,10 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                 const size_t cb = begin + c * child_run_len;
                 if (cb >= end) break;
                 const size_t ce = std::min(end, cb + child_run_len);
-                child_data[num_children] = src.data.data() + cb;
-                child_lens[num_children] = ce - cb;
+                scratch.child_data[num_children] = src.data.data() + cb;
+                scratch.child_lens[num_children] = ce - cb;
                 if (has_payload) {
-                  child_payload[num_children] = src_payload_data + cb;
+                  scratch.child_payload[num_children] = src_payload_data + cb;
                 }
                 ++num_children;
               }
@@ -374,18 +483,24 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                       ? out.cascade.data() + r * out.samples_per_full_run * f
                       : nullptr;
               if (has_payload) {
-                internal_mst::MergeRun<Index, Payload, true>(
-                    child_data.data(), child_lens.data(), num_children,
+                internal_mst::MergeRunDispatch<Index, Payload, true>(
+                    kernel, leaf_children, scratch, scratch.child_data.data(),
+                    scratch.child_lens.data(), num_children,
                     out.data.data() + begin, end - begin, cascade_out, k, f,
-                    child_payload.data(), out_payload.data() + begin);
-              } else if (child_run_len == 1 && cascade_out == nullptr) {
+                    scratch.child_payload.data(), out_payload.data() + begin);
+              } else if (kernel == MergeKernel::kHeap && leaf_children &&
+                         cascade_out == nullptr) {
                 // Level 1 fast path: merging single elements == sorting.
-                std::copy(child_data[0], child_data[0] + (end - begin),
+                // (Kept outside the kernel dispatch so the heap ablation
+                // still measures what the seed implementation measured.)
+                std::copy(scratch.child_data[0],
+                          scratch.child_data[0] + (end - begin),
                           out.data.data() + begin);
                 std::sort(out.data.data() + begin, out.data.data() + end);
               } else {
-                internal_mst::MergeRun<Index, Payload, false>(
-                    child_data.data(), child_lens.data(), num_children,
+                internal_mst::MergeRunDispatch<Index, Payload, false>(
+                    kernel, leaf_children, scratch, scratch.child_data.data(),
+                    scratch.child_lens.data(), num_children,
                     out.data.data() + begin, end - begin, cascade_out, k, f,
                     nullptr, nullptr);
               }
@@ -395,14 +510,18 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
     } else {
       // Upper levels: fewer runs than workers — threads collaborate on
       // each run by merging co-selected chunks (§5.2 upper-level
-      // strategy, balanced splits via MultiwaySelect).
+      // strategy, balanced splits via MultiwaySelect). Chunk scratch is
+      // hoisted out of the run loop: chunk slot `i` is only ever used by
+      // one in-flight task at a time (runs are processed sequentially).
+      std::vector<MergeScratch<Index, Payload>> chunk_scratch(parallelism);
+      std::vector<std::vector<size_t>> chunk_offsets(parallelism);
+      std::vector<const Index*> child_data(f);
+      std::vector<size_t> child_lens(f);
+      std::vector<const Payload*> child_payload(has_payload ? f : 0);
       for (size_t r = 0; r < num_runs; ++r) {
         const size_t begin = r * run_len;
         const size_t end = std::min(n, begin + run_len);
         const size_t run_actual = end - begin;
-        std::vector<const Index*> child_data(f);
-        std::vector<size_t> child_lens(f);
-        std::vector<const Payload*> child_payload(has_payload ? f : 0);
         size_t num_children = 0;
         for (size_t c = 0; c < f; ++c) {
           const size_t cb = begin + c * child_run_len;
@@ -419,7 +538,6 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                 : nullptr;
         const size_t num_chunks =
             std::min(parallelism, std::max<size_t>(1, run_actual / 4096));
-        std::vector<std::vector<size_t>> chunk_offsets(num_chunks);
         TaskGroup group(pool);
         for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
           const size_t k0 = run_actual * chunk / num_chunks;
@@ -431,13 +549,15 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                                               k0, chunk_offsets[chunk].data());
           group.Run([&, chunk, k0, k1] {
             if (has_payload) {
-              internal_mst::MergeRun<Index, Payload, true>(
+              internal_mst::MergeRunDispatch<Index, Payload, true>(
+                  kernel, leaf_children, chunk_scratch[chunk],
                   child_data.data(), child_lens.data(), num_children,
                   out.data.data() + begin, k1 - k0, cascade_out, k, f,
                   child_payload.data(), out_payload.data() + begin, k0,
                   chunk_offsets[chunk].data());
             } else {
-              internal_mst::MergeRun<Index, Payload, false>(
+              internal_mst::MergeRunDispatch<Index, Payload, false>(
+                  kernel, leaf_children, chunk_scratch[chunk],
                   child_data.data(), child_lens.data(), num_children,
                   out.data.data() + begin, k1 - k0, cascade_out, k, f,
                   nullptr, nullptr, k0, chunk_offsets[chunk].data());
@@ -452,6 +572,12 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
       level_payloads->push_back(std::move(out_payload));
     }
     child_run_len = run_len;
+    if (options.level_build_seconds != nullptr) {
+      options.level_build_seconds->push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        level_start)
+              .count());
+    }
   }
   return tree;
 }

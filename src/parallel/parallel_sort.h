@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "mst/loser_tree.h"
 #include "parallel/introsort.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -85,15 +86,25 @@ void MergeParallel(const T* a, size_t na, const T* b, size_t nb, T* out,
       pool, grain);
 }
 
+/// Fanout of the multiway merge rounds in ParallelSort's phase 2. 32-way
+/// loser-tree merging turns log₂(runs) pairwise passes over the data into
+/// log₃₂(runs) passes (one or two in practice) at ⌈log₂ 32⌉ = 5 comparisons
+/// per element — the same kernel and fanout the merge sort tree build uses.
+inline constexpr size_t kSortMergeFanout = 32;
+
 /// Sorts `data` in parallel: thread-local introsort runs followed by
-/// log(runs) rounds of parallel pairwise merging.
+/// loser-tree multiway merge rounds (fanout kSortMergeFanout).
 ///
 /// This mirrors the paper's preprocessing sort (§5.2): each task sorts a
 /// fixed-size run with introsort (3-way quicksort partitioning by default,
 /// see PartitionScheme), then sorted runs are combined with balanced
-/// parallel merges. `less` must be a strict weak order; for deterministic
-/// results across thread counts, make it a strict total order (e.g., break
-/// ties on a row id), which all library call sites do.
+/// multiway merges — whole groups per task while groups are plentiful,
+/// co-selected chunks (MultiwaySelectGeneric splits) once they are not.
+/// Ties break toward the lower run index, so the result is bit-identical
+/// to the earlier pairwise merge cascade. `less` must be a strict weak
+/// order; for deterministic results across thread counts, make it a strict
+/// total order (e.g., break ties on a row id), which all library call
+/// sites do.
 template <typename T, typename Less>
 void ParallelSort(std::vector<T>& data, Less less,
                   ThreadPool& pool = ThreadPool::Default(),
@@ -115,35 +126,78 @@ void ParallelSort(std::vector<T>& data, Less less,
       },
       pool, run_size);
 
-  // Phase 2: pairwise parallel merge rounds, ping-ponging between buffers.
+  // Phase 2: multiway merge rounds, ping-ponging between buffers. Every
+  // round merges up to kSortMergeFanout adjacent runs of `width` elements
+  // into one run with a loser tree.
+  const size_t parallelism = static_cast<size_t>(pool.parallelism());
   std::vector<T> buffer(n);
   T* src = data.data();
   T* dst = buffer.data();
-  for (size_t width = run_size; width < n; width *= 2) {
-    const size_t num_pairs = (n + 2 * width - 1) / (2 * width);
-    if (num_pairs >= static_cast<size_t>(pool.parallelism())) {
-      // Many pairs: one task per pair, sequential merge inside.
+  for (size_t width = run_size; width < n; width *= kSortMergeFanout) {
+    const size_t group_len = width * kSortMergeFanout;
+    const size_t num_groups = (n + group_len - 1) / group_len;
+    // Collects the child runs of group g into caller-provided arrays.
+    auto collect_group = [&](size_t g, const T** child_data,
+                             size_t* child_lens) {
+      const size_t begin = g * group_len;
+      const size_t end = std::min(n, begin + group_len);
+      size_t num_children = 0;
+      for (size_t c = 0; c < kSortMergeFanout; ++c) {
+        const size_t cb = begin + c * width;
+        if (cb >= end) break;
+        child_data[num_children] = src + cb;
+        child_lens[num_children] = std::min(end, cb + width) - cb;
+        ++num_children;
+      }
+      return num_children;
+    };
+    if (num_groups >= parallelism) {
+      // Many groups: one task merges whole groups sequentially.
       ParallelFor(
-          0, num_pairs,
-          [&](size_t pair_lo, size_t pair_hi) {
-            for (size_t p = pair_lo; p < pair_hi; ++p) {
-              size_t lo = p * 2 * width;
-              size_t mid = std::min(n, lo + width);
-              size_t hi = std::min(n, lo + 2 * width);
-              MergeSequential(src + lo, mid - lo, src + mid, hi - mid,
-                              dst + lo, less);
+          0, num_groups,
+          [&](size_t g_lo, size_t g_hi) {
+            std::vector<const T*> child_data(kSortMergeFanout);
+            std::vector<size_t> child_lens(kSortMergeFanout);
+            std::vector<size_t> pos(kSortMergeFanout);
+            LoserTree<T, Less> tree;
+            for (size_t g = g_lo; g < g_hi; ++g) {
+              const size_t begin = g * group_len;
+              const size_t end = std::min(n, begin + group_len);
+              const size_t m =
+                  collect_group(g, child_data.data(), child_lens.data());
+              std::fill(pos.begin(), pos.begin() + m, 0);
+              LoserTreeMerge(tree, child_data.data(), child_lens.data(), m,
+                             pos.data(), dst + begin, end - begin, less);
             }
           },
           pool, /*morsel_size=*/1);
     } else {
-      // Few large pairs (upper merge rounds): parallelize inside each merge
-      // via co-ranked chunks so all threads stay busy.
-      for (size_t p = 0; p < num_pairs; ++p) {
-        size_t lo = p * 2 * width;
-        size_t mid = std::min(n, lo + width);
-        size_t hi = std::min(n, lo + 2 * width);
-        MergeParallel(src + lo, mid - lo, src + mid, hi - mid, dst + lo, less,
-                      pool, run_size);
+      // Few large groups (upper rounds): co-select balanced output chunks
+      // and merge them independently so all threads stay busy.
+      std::vector<const T*> child_data(kSortMergeFanout);
+      std::vector<size_t> child_lens(kSortMergeFanout);
+      for (size_t g = 0; g < num_groups; ++g) {
+        const size_t begin = g * group_len;
+        const size_t end = std::min(n, begin + group_len);
+        const size_t group_actual = end - begin;
+        const size_t m = collect_group(g, child_data.data(), child_lens.data());
+        const size_t num_chunks = std::min(
+            parallelism, std::max<size_t>(1, group_actual / run_size));
+        TaskGroup group(pool);
+        for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+          const size_t k0 = group_actual * chunk / num_chunks;
+          const size_t k1 = group_actual * (chunk + 1) / num_chunks;
+          if (k0 >= k1) continue;
+          group.Run([&, k0, k1] {
+            std::vector<size_t> pos(m);
+            MultiwaySelectGeneric(child_data.data(), child_lens.data(), m, k0,
+                                  less, pos.data());
+            LoserTree<T, Less> tree;
+            LoserTreeMerge(tree, child_data.data(), child_lens.data(), m,
+                           pos.data(), dst + begin + k0, k1 - k0, less);
+          });
+        }
+        group.Wait();
       }
     }
     std::swap(src, dst);
