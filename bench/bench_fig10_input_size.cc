@@ -31,7 +31,7 @@ struct Series {
 
 void RunPanel(const char* title, const WindowFunctionCall& call,
               const std::vector<Series>& series,
-              const std::vector<size_t>& sizes) {
+              const std::vector<size_t>& sizes, bench::BenchJson* json) {
   bench::PrintHeader(std::string("Figure 10 panel: ") + title +
                      " (frame = 5% of input)");
   std::printf("%-10s", "n");
@@ -54,9 +54,13 @@ void RunPanel(const char* title, const WindowFunctionCall& call,
       }
       WindowExecutorOptions options;
       options.engine = s.engine;
-      std::printf(" %22.3f",
-                  bench::MeasureThroughput(lineitem, spec, call, options));
+      obs::ExecutionProfile profile;
+      const double mtps = bench::MeasureThroughput(lineitem, spec, call,
+                                                   options, nullptr, &profile);
+      std::printf(" %22.3f", mtps);
       std::fflush(stdout);
+      json->Add(std::string(title) + "/" + s.name + "/n=" + std::to_string(n),
+                mtps, &profile);
     }
     std::printf("\n");
   }
@@ -73,6 +77,7 @@ int main() {
   }
   const size_t price_col = 3;    // l_extendedprice
   const size_t partkey_col = 1;  // l_partkey
+  bench::BenchJson json("fig10_input_size");
 
   // Cost caps keep the quadratic competitors within the time budget; the
   // paper's plots similarly stop showing them once they are off the chart.
@@ -89,7 +94,7 @@ int main() {
               {"order stat. tree", WindowEngine::kOrderStatisticTree, kAlways},
               {"incremental", WindowEngine::kIncremental, kIncMedianCap},
               {"naive", WindowEngine::kNaive, kNaiveCap}},
-             sizes);
+             sizes, &json);
   }
   {
     WindowFunctionCall rank;
@@ -99,7 +104,7 @@ int main() {
              {{"merge sort tree", WindowEngine::kMergeSortTree, kAlways},
               {"order stat. tree", WindowEngine::kOrderStatisticTree, kAlways},
               {"naive", WindowEngine::kNaive, kNaiveCap}},
-             sizes);
+             sizes, &json);
   }
   {
     WindowFunctionCall lead;
@@ -110,7 +115,7 @@ int main() {
     RunPanel("lead(l_extendedprice order by l_extendedprice)", lead,
              {{"merge sort tree", WindowEngine::kMergeSortTree, kAlways},
               {"naive", WindowEngine::kNaive, kNaiveCap}},
-             sizes);
+             sizes, &json);
   }
   {
     WindowFunctionCall distinct;
@@ -120,7 +125,8 @@ int main() {
              {{"merge sort tree", WindowEngine::kMergeSortTree, kAlways},
               {"incremental", WindowEngine::kIncremental, kAlways},
               {"naive", WindowEngine::kNaive, kNaiveCap}},
-             sizes);
+             sizes, &json);
   }
+  json.WriteDefault();
   return 0;
 }

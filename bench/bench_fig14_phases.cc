@@ -10,18 +10,45 @@
 // The reproduced quantity is the *proportion* of time per phase (the
 // paper ran SF10 on 40 hardware threads; this runs a scaled-down input on
 // one core — see EXPERIMENTS.md).
+//
+// Observability: the run executes with span tracing enabled and writes
+//   --trace=PATH    Chrome trace_event JSON (default BENCH_fig14_trace.json)
+//                   — phase spans plus the nested sort/merge/tree-level
+//                   spans, loadable in chrome://tracing or Perfetto
+//   --profile=PATH  ExecutionProfile JSON (default BENCH_fig14_phases.json)
+//                   — the same breakdown folded into the standard phase
+//                   taxonomy with per-tree-level build seconds and counters
 #include <cstdio>
+#include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/prev_index.h"
+#include "obs/counters.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "parallel/parallel_sort.h"
 #include "storage/tpch_gen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hwf;
+
+  std::string trace_path = "BENCH_fig14_trace.json";
+  std::string profile_path = "BENCH_fig14_phases.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_path = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (--trace=PATH, --profile=PATH)\n",
+                   argv[i]);
+      return 1;
+    }
+  }
 
   const size_t n = bench::Scaled(2000000);
   Table lineitem = GenerateLineitem(n, /*seed=*/14);
@@ -30,6 +57,10 @@ int main() {
   const Column& partkey =
       lineitem.column(lineitem.MustColumnIndex("l_partkey"));
   ThreadPool& pool = ThreadPool::Default();
+
+  obs::Tracer::Get().Enable();
+  obs::ExecutionProfile profile;
+  const obs::CounterSnapshot counters_before = obs::SnapshotCounters();
 
   struct Phase {
     const char* name;
@@ -41,74 +72,103 @@ int main() {
 
   // Phase 1: window operator setup — sort by the frame ORDER BY.
   std::vector<uint32_t> sorted(n);
-  std::iota(sorted.begin(), sorted.end(), 0);
-  ParallelSort(
-      sorted,
-      [&](uint32_t a, uint32_t b) {
-        const int64_t da = shipdate.GetInt64(a);
-        const int64_t db = shipdate.GetInt64(b);
-        if (da != db) return da < db;
-        return a < b;
-      },
-      pool);
+  {
+    HWF_TRACE_SCOPE_ARG("fig14.sort_order_by", "n", n);
+    std::iota(sorted.begin(), sorted.end(), 0);
+    ParallelSort(
+        sorted,
+        [&](uint32_t a, uint32_t b) {
+          const int64_t da = shipdate.GetInt64(a);
+          const int64_t db = shipdate.GetInt64(b);
+          if (da != db) return da < db;
+          return a < b;
+        },
+        pool);
+  }
   phases.push_back({"sort by frame ORDER BY", timer.Seconds()});
+  profile.AddPhaseSeconds(obs::ProfilePhase::kSort, timer.Seconds());
   timer.Reset();
 
   // Phase 2: populate the (hash, position) array (Algorithm 1 line 4).
   std::vector<std::pair<uint64_t, uint32_t>> pairs(n);
-  ParallelFor(
-      0, n,
-      [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          pairs[i] = {partkey.Hash(sorted[i]), static_cast<uint32_t>(i)};
-        }
-      },
-      pool);
+  {
+    HWF_TRACE_SCOPE("fig14.populate_hash_array");
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            pairs[i] = {partkey.Hash(sorted[i]), static_cast<uint32_t>(i)};
+          }
+        },
+        pool);
+  }
   phases.push_back({"populate hash array", timer.Seconds()});
+  profile.AddPhaseSeconds(obs::ProfilePhase::kPreprocess, timer.Seconds());
   timer.Reset();
 
   // Phase 3: sort it (thread-local sort + merge).
-  ParallelSort(
-      pairs, [](const auto& a, const auto& b) { return a < b; }, pool);
+  {
+    HWF_TRACE_SCOPE("fig14.sort_hash_array");
+    ParallelSort(
+        pairs, [](const auto& a, const auto& b) { return a < b; }, pool);
+  }
   phases.push_back({"sort hash array", timer.Seconds()});
+  profile.AddPhaseSeconds(obs::ProfilePhase::kPreprocess, timer.Seconds());
   timer.Reset();
 
   // Phase 4: compute prevIdcs (Algorithm 1 lines 7+).
   std::vector<uint32_t> prev(n);
-  ParallelFor(
-      0, n,
-      [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          if (i > 0 && pairs[i].first == pairs[i - 1].first) {
-            prev[pairs[i].second] = pairs[i - 1].second + 1;
-          } else {
-            prev[pairs[i].second] = 0;
+  {
+    HWF_TRACE_SCOPE("fig14.compute_prev_idcs");
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            if (i > 0 && pairs[i].first == pairs[i - 1].first) {
+              prev[pairs[i].second] = pairs[i - 1].second + 1;
+            } else {
+              prev[pairs[i].second] = 0;
+            }
           }
-        }
-      },
-      pool);
+        },
+        pool);
+  }
   phases.push_back({"compute prevIdcs", timer.Seconds()});
+  profile.AddPhaseSeconds(obs::ProfilePhase::kPreprocess, timer.Seconds());
   timer.Reset();
 
-  // Phase 5: build the merge sort tree.
-  auto tree = MergeSortTree<uint32_t>::Build(std::move(prev), {}, pool);
+  // Phase 5: build the merge sort tree. The build itself reports per-level
+  // seconds (and the kTreeBuild phase total) into the attached profile.
+  MergeSortTreeOptions tree_options;
+  tree_options.profile = &profile;
+  auto tree =
+      MergeSortTree<uint32_t>::Build(std::move(prev), tree_options, pool);
   phases.push_back({"build merge sort tree", timer.Seconds()});
   timer.Reset();
 
   // Phase 6: compute all results (running frame: [0, i+1)).
   std::vector<uint32_t> result(n);
-  ParallelFor(
-      0, n,
-      [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          result[i] =
-              static_cast<uint32_t>(tree.CountLess(0, i + 1, 1));
-        }
-      },
-      pool);
+  {
+    HWF_TRACE_SCOPE("fig14.compute_results");
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            result[i] = static_cast<uint32_t>(tree.CountLess(0, i + 1, 1));
+          }
+        },
+        pool);
+  }
   phases.push_back({"compute results", timer.Seconds()});
+  profile.AddPhaseSeconds(obs::ProfilePhase::kProbe, timer.Seconds());
 
   const double total_seconds = total.Seconds();
+  profile.SetRows(n);
+  profile.SetPartitions(1);
+  profile.SetEngine("fig14_pipeline");
+  profile.SetTotalSeconds(total_seconds);
+  profile.CaptureCountersSince(counters_before);
+
   bench::PrintHeader(
       "Figure 14: phase breakdown of a running COUNT(DISTINCT l_partkey), "
       "n = " +
@@ -120,5 +180,16 @@ int main() {
   }
   std::printf("%-28s %10.3f\n", "total", total_seconds);
   std::printf("(distinct count at the last row: %u)\n", result[n - 1]);
+
+  bench::BenchJson json("fig14_phases");
+  json.Add("count_distinct_running",
+           static_cast<double>(n) / total_seconds / 1e6, &profile);
+  if (!json.WriteFile(profile_path)) return 1;
+  const Status trace_status = obs::Tracer::Get().WriteChromeTrace(trace_path);
+  if (!trace_status.ok()) {
+    std::fprintf(stderr, "%s\n", trace_status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
 #include "mst/prev_index.h"
+#include "obs/profile.h"
 #include "parallel/thread_pool.h"
 
 namespace {
@@ -133,11 +134,14 @@ void BM_Permutation(benchmark::State& state) {
 BENCHMARK(BM_Permutation)->Range(1 << 12, 1 << 20);
 
 /// Measures one serial build per kernel at n = 2^20, f = k = 32, and
-/// writes per-level wall times (median of `reps`) as JSON:
+/// writes per-level wall times (best of `reps`) as JSON:
 ///   {"n":..., "fanout":32, "sampling":32,
 ///    "kernels":{"heap":{"levels":[s,...],"total":s},
 ///               "loser":{...}},
 ///    "speedup_total": heap/loser}
+/// Per-level timings come from the tree build's ExecutionProfile reporting
+/// (the same channel WindowExecutorOptions::profile uses), so this file and
+/// executor profiles can never disagree about what was measured.
 void WriteLevelsJson(const std::string& path) {
   const size_t n = 1 << 20;
   const int reps = 5;
@@ -150,12 +154,13 @@ void WriteLevelsJson(const std::string& path) {
   for (int ki = 0; ki < 2; ++ki) {
     std::vector<double> best;
     for (int rep = 0; rep < reps; ++rep) {
-      std::vector<double> level_seconds;
+      obs::ExecutionProfile profile;
       MergeSortTreeOptions options;
       options.kernel = kernels[ki];
-      options.level_build_seconds = &level_seconds;
+      options.profile = &profile;
       auto tree = MergeSortTree<uint32_t>::Build(keys, options, single);
       benchmark::DoNotOptimize(tree.size());
+      const std::vector<double> level_seconds = profile.tree_level_seconds();
       if (best.empty()) best = level_seconds;
       double total = 0, best_total = 0;
       for (double s : level_seconds) total += s;

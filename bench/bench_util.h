@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
+#include "obs/profile.h"
 #include "storage/table.h"
 #include "window/executor.h"
 
@@ -43,12 +46,19 @@ inline size_t Scaled(size_t n) {
 }
 
 /// Times one full window evaluation; returns throughput in M tuples/s.
+/// When `profile` is non-null it is attached to the run via
+/// WindowExecutorOptions::profile, so the caller gets the phase breakdown
+/// of exactly the measured execution.
 inline double MeasureThroughput(const Table& table, const WindowSpec& spec,
                                 const WindowFunctionCall& call,
                                 const WindowExecutorOptions& options,
-                                double* seconds_out = nullptr) {
+                                double* seconds_out = nullptr,
+                                obs::ExecutionProfile* profile = nullptr) {
+  WindowExecutorOptions run_options = options;
+  if (profile != nullptr) run_options.profile = profile;
   Timer timer;
-  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
+  StatusOr<Column> result =
+      EvaluateWindowFunction(table, spec, call, run_options);
   const double seconds = timer.Seconds();
   HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
   if (seconds_out != nullptr) *seconds_out = seconds;
@@ -58,6 +68,73 @@ inline double MeasureThroughput(const Table& table, const WindowSpec& spec,
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// Unified BENCH_*.json emission: every figure benchmark that records
+/// machine-readable results goes through this writer, and per-measurement
+/// phase breakdowns use ExecutionProfile::ToJson() — one schema for every
+/// benchmark instead of bespoke JSON assembly per file.
+///
+/// File schema:
+///   {"bench": <name>, "scale": <HWF_BENCH_SCALE>,
+///    "entries": [{"label": ..., <metrics...>, "profile": {...}}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Appends one measurement. `profile` may be null (entry without a phase
+  /// breakdown); `throughput_mtps` < 0 omits the throughput field.
+  void Add(const std::string& label, double throughput_mtps,
+           const obs::ExecutionProfile* profile) {
+    std::string entry = "{\"label\": \"" + label + "\"";
+    if (throughput_mtps >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", throughput_mtps);
+      entry += std::string(", \"throughput_mtps\": ") + buf;
+    }
+    if (profile != nullptr) {
+      entry += ", \"profile\": " + profile->ToJson();
+    }
+    entry += "}";
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Appends one pre-serialized JSON object (for benchmark-specific fields
+  /// that do not fit the label/throughput/profile shape).
+  void AddRaw(std::string json_object) {
+    entries_.push_back(std::move(json_object));
+  }
+
+  /// Writes the file; returns false (and logs) on failure. The
+  /// conventional path is "BENCH_<name>.json" in the working directory.
+  bool WriteFile(const std::string& path) const {
+    std::string body = "{\"bench\": \"" + bench_name_ + "\"";
+    char scale[32];
+    std::snprintf(scale, sizeof scale, "%.3f", Scale());
+    body += std::string(", \"scale\": ") + scale + ",\n \"entries\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      body += (i == 0 ? "\n  " : ",\n  ") + entries_[i];
+    }
+    body += "\n]}\n";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+  bool WriteDefault() const {
+    return WriteFile("BENCH_" + bench_name_ + ".json");
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> entries_;
+};
 
 }  // namespace bench
 }  // namespace hwf

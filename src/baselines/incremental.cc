@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baselines/sliding.h"
+#include "obs/trace.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -118,6 +119,7 @@ std::vector<double> GatherValues(const PartitionView& view, size_t argument,
 
 Status EvalIncremental(const PartitionView& view,
                        const WindowFunctionCall& call, Column* out) {
+  HWF_TRACE_SCOPE_ARG("baseline.incremental", "rows", view.size());
   if (view.spec->frame.exclusion != FrameExclusion::kNoOthers) {
     return Status::NotImplemented(
         "incremental engine does not support frame exclusion");

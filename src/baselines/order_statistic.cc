@@ -6,6 +6,7 @@
 #include "baselines/order_statistic_tree.h"
 #include "baselines/sliding.h"
 #include "mst/permutation.h"
+#include "obs/trace.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -33,6 +34,7 @@ struct TreeState {
 
 Status EvalOrderStatisticTree(const PartitionView& view,
                               const WindowFunctionCall& call, Column* out) {
+  HWF_TRACE_SCOPE_ARG("baseline.order_statistic", "rows", view.size());
   if (view.spec->frame.exclusion != FrameExclusion::kNoOthers) {
     return Status::NotImplemented(
         "order statistic tree engine does not support frame exclusion");

@@ -1,12 +1,15 @@
 #ifndef HWF_MST_ANNOTATED_MST_H_
 #define HWF_MST_ANNOTATED_MST_H_
 
+#include <chrono>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "mst/merge_sort_tree.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -41,6 +44,14 @@ class AnnotatedMergeSortTree {
     std::vector<std::vector<Input>> level_inputs;
     result.tree_ = MergeSortTree<Index>::template BuildWithPayload<Input>(
         std::move(keys), options, pool, &inputs, &level_inputs);
+    // The prefix-state annotation is part of tree construction cost-wise:
+    // report it into the profile's tree-build phase (not per level — the
+    // per-level slots hold the merge times from BuildWithPayload).
+    HWF_TRACE_SCOPE_ARG("mst.annotate", "n", result.tree_.size());
+    std::chrono::steady_clock::time_point annotate_start;
+    if (options.profile != nullptr) {
+      annotate_start = std::chrono::steady_clock::now();
+    }
     result.prefixes_.resize(level_inputs.size());
     const size_t n = result.tree_.size();
     for (size_t level = 0; level < level_inputs.size(); ++level) {
@@ -65,6 +76,13 @@ class AnnotatedMergeSortTree {
             }
           },
           pool, /*morsel_size=*/1);
+    }
+    if (options.profile != nullptr) {
+      options.profile->AddPhaseSeconds(
+          obs::ProfilePhase::kTreeBuild,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        annotate_start)
+              .count());
     }
     return result;
   }

@@ -9,6 +9,7 @@
 
 #include "common/macros.h"
 #include "mst/merge_sort_tree.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_sort.h"
 #include "parallel/thread_pool.h"
@@ -45,6 +46,7 @@ class DenseRankTree {
                              ThreadPool& pool = ThreadPool::Default()) {
     DenseRankTree tree;
     const size_t n = codes.size();
+    HWF_TRACE_SCOPE_ARG("mst.dense_rank_build", "n", n);
     tree.n_ = n;
     tree.codes_.assign(codes.begin(), codes.end());
     if (n == 0) return tree;

@@ -13,6 +13,9 @@
 
 #include "common/macros.h"
 #include "mst/loser_tree.h"
+#include "obs/counters.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -50,10 +53,12 @@ struct MergeSortTreeOptions {
   /// kHeap exists for differential testing and bench ablations.
   MergeKernel kernel = MergeKernel::kLoserTree;
 
-  /// When non-null, cleared on Build entry and filled with the wall-clock
-  /// seconds spent constructing each level above level 0 (index 0 = level 1
-  /// and so on). Used by bench_mst_micro's per-level JSON emission.
-  std::vector<double>* level_build_seconds = nullptr;
+  /// When non-null, the build reports into this profile: per-level
+  /// wall-clock seconds via AddTreeLevelSeconds (index 0 = level 1 and so
+  /// on, accumulating across multiple builds) and the kTreeBuild phase
+  /// total. The window executor points this at the profile handed to it via
+  /// WindowExecutorOptions; benchmarks attach their own.
+  obs::ExecutionProfile* profile = nullptr;
 };
 
 /// A half-open key interval [lo, hi) used in tree queries.
@@ -420,17 +425,21 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
   const size_t n = tree.n_;
   if (n <= 1) return tree;
 
+  HWF_TRACE_SCOPE_ARG("mst.build", "n", n);
   const size_t f = options.fanout;
   const size_t k = options.sampling;
   const MergeKernel kernel = options.kernel;
-  if (options.level_build_seconds != nullptr) {
-    options.level_build_seconds->clear();
-  }
+  // Per-level wall timing only runs when someone consumes it: a profile is
+  // attached or spans are being recorded.
+  const bool time_levels =
+      options.profile != nullptr || obs::Tracer::IsEnabled();
   size_t child_run_len = 1;
   while (child_run_len < n) {
-    const auto level_start = std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point level_start;
+    if (time_levels) level_start = std::chrono::steady_clock::now();
     const size_t run_len = child_run_len * f;
     const size_t level = tree.levels_.size();
+    HWF_TRACE_SCOPE_ARG("mst.build_level", "level", level);
     const bool want_cascade = options.use_cascading && level >= 2;
     Level out;
     out.run_len = run_len;
@@ -567,16 +576,20 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
         group.Wait();
       }
     }
+    obs::Add(obs::Counter::kMstLevelsBuilt);
+    obs::Add(obs::Counter::kMstMergeElementsMoved, n);
+    obs::Add(obs::Counter::kMstLevelBytesAllocated,
+             (out.data.capacity() + out.cascade.capacity()) * sizeof(Index));
     tree.levels_.push_back(std::move(out));
     if (has_payload) {
       level_payloads->push_back(std::move(out_payload));
     }
     child_run_len = run_len;
-    if (options.level_build_seconds != nullptr) {
-      options.level_build_seconds->push_back(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        level_start)
-              .count());
+    if (options.profile != nullptr) {
+      options.profile->AddTreeLevelSeconds(
+          level - 1, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - level_start)
+                         .count());
     }
   }
   return tree;
@@ -605,6 +618,7 @@ size_t MergeSortTree<Index>::CascadeToChild(size_t level, size_t run_begin,
   size_t window_lo = 0;
   size_t window_hi = child_len;
   if (!lvl.cascade.empty()) {
+    obs::Add(obs::Counter::kMstCascadeLookups);
     const size_t k = opts_.sampling;
     const size_t f = opts_.fanout;
     const size_t run_index = run_begin / lvl.run_len;
@@ -617,6 +631,8 @@ size_t MergeSortTree<Index>::CascadeToChild(size_t level, size_t run_begin,
       window_hi = std::min<size_t>(static_cast<size_t>(base[f + child]),
                                    child_len);
     }
+  } else {
+    obs::Add(obs::Counter::kMstBinarySearchFallbacks);
   }
   return window_lo + static_cast<size_t>(
                          std::lower_bound(child_data + window_lo,

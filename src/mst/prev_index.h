@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_sort.h"
 #include "parallel/thread_pool.h"
@@ -29,6 +30,7 @@ template <typename Index>
 std::vector<Index> ComputePrevIndices(std::span<const uint64_t> codes,
                                       ThreadPool& pool = ThreadPool::Default()) {
   const size_t n = codes.size();
+  HWF_TRACE_SCOPE_ARG("mst.prev_indices", "n", n);
   std::vector<std::pair<uint64_t, Index>> sorted(n);
   ParallelFor(
       0, n,
@@ -72,6 +74,7 @@ template <typename Index>
 std::vector<Index> ComputeNextIndices(std::span<const uint64_t> codes,
                                       ThreadPool& pool = ThreadPool::Default()) {
   const size_t n = codes.size();
+  HWF_TRACE_SCOPE_ARG("mst.next_indices", "n", n);
   std::vector<std::pair<uint64_t, Index>> sorted(n);
   ParallelFor(
       0, n,

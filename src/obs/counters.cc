@@ -1,0 +1,69 @@
+#include "obs/counters.h"
+
+namespace hwf {
+namespace obs {
+
+namespace internal_counters {
+
+Slot g_counters[kNumCounters];
+
+}  // namespace internal_counters
+
+const char* CounterName(Counter counter) {
+  switch (counter) {
+    case Counter::kPoolTasksSubmitted:
+      return "pool.tasks_submitted";
+    case Counter::kPoolTasksRunByCaller:
+      return "pool.tasks_run_by_caller";
+    case Counter::kPoolIdleWakeups:
+      return "pool.idle_wakeups";
+    case Counter::kParallelForMorsels:
+      return "parallel_for.morsels";
+    case Counter::kMstLevelsBuilt:
+      return "mst.levels_built";
+    case Counter::kMstMergeElementsMoved:
+      return "mst.merge_elements_moved";
+    case Counter::kMstLevelBytesAllocated:
+      return "mst.level_bytes_allocated";
+    case Counter::kMstCascadeLookups:
+      return "mst.cascade_lookups";
+    case Counter::kMstBinarySearchFallbacks:
+      return "mst.binary_search_fallbacks";
+    case Counter::kExecutorPartitions:
+      return "executor.partitions";
+    case Counter::kExecutorIndex32Dispatches:
+      return "executor.index32_dispatches";
+    case Counter::kExecutorIndex64Dispatches:
+      return "executor.index64_dispatches";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+CounterSnapshot SnapshotCounters() noexcept {
+  CounterSnapshot snapshot;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    snapshot.values[i] = internal_counters::g_counters[i].value.load(
+        std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+CounterSnapshot SnapshotDelta(const CounterSnapshot& before,
+                              const CounterSnapshot& after) noexcept {
+  CounterSnapshot delta;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    delta.values[i] = after.values[i] - before.values[i];
+  }
+  return delta;
+}
+
+void ResetCountersForTest() noexcept {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    internal_counters::g_counters[i].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace hwf

@@ -1,0 +1,144 @@
+#ifndef HWF_OBS_PROFILE_H_
+#define HWF_OBS_PROFILE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace hwf {
+namespace obs {
+
+/// The phase taxonomy of the paper's evaluation (Fig. 14), shared by the
+/// window executor, the MST build, and the figure benchmarks so every
+/// emitted profile decomposes the same way:
+///   - kPartition: partition-boundary detection over the sorted input.
+///   - kSort: the global (partition keys, order keys) sort.
+///   - kPreprocess: Algorithm 1 — hash-array population, hash sort,
+///     prevIdcs (recorded by benchmarks that run the pipeline unbundled;
+///     inside the executor this time is part of kProbe).
+///   - kFrameResolve: per-row frame-bound resolution.
+///   - kTreeBuild: merge sort tree level construction (per-level detail in
+///     tree_level_seconds()).
+///   - kProbe: computing results from the built structures.
+enum class ProfilePhase : size_t {
+  kPartition,
+  kSort,
+  kPreprocess,
+  kFrameResolve,
+  kTreeBuild,
+  kProbe,
+  kNumPhases,
+};
+
+inline constexpr size_t kNumProfilePhases =
+    static_cast<size_t>(ProfilePhase::kNumPhases);
+
+/// Stable snake_case name ("partition", "sort", ...), used as JSON key.
+const char* ProfilePhaseName(ProfilePhase phase);
+
+/// Aggregated cost profile of one window-function execution (or one
+/// benchmark pipeline): per-phase wall seconds, per-tree-level build
+/// seconds, and the counter activity between start and finish.
+///
+/// Producers accumulate concurrently (phase adds are mutex-protected and
+/// cheap relative to the phases they describe). When partitions are
+/// evaluated in parallel, per-partition phases sum CPU-style and can exceed
+/// the wall total; with a serial pool they nest within it.
+class ExecutionProfile {
+ public:
+  ExecutionProfile() = default;
+  ExecutionProfile(const ExecutionProfile&) = delete;
+  ExecutionProfile& operator=(const ExecutionProfile&) = delete;
+
+  /// Forgets all recorded data (the executor clears the attached profile
+  /// on entry, so one profile object can be reused across runs).
+  void Clear();
+
+  /// Adds wall seconds to a phase.
+  void AddPhaseSeconds(ProfilePhase phase, double seconds);
+
+  /// Adds wall seconds to tree level `level_index` (0 = level 1, the first
+  /// merged level) and to the kTreeBuild phase.
+  void AddTreeLevelSeconds(size_t level_index, double seconds);
+
+  void SetRows(size_t rows);
+  void SetPartitions(size_t partitions);
+  void SetEngine(const std::string& engine);
+  void SetTotalSeconds(double seconds);
+
+  /// Stores the counter activity since `before` (captured via
+  /// SnapshotCounters() when the execution started).
+  void CaptureCountersSince(const CounterSnapshot& before);
+
+  double phase_seconds(ProfilePhase phase) const;
+  std::vector<double> tree_level_seconds() const;
+  double total_seconds() const;
+  size_t rows() const;
+  size_t partitions() const;
+  CounterSnapshot counters() const;
+
+  /// Serializes the profile as one JSON object:
+  /// {"rows":..., "partitions":..., "engine":..., "total_seconds":...,
+  ///  "phases": {"partition":..., ...}, "tree_build_levels": [...],
+  ///  "counters": {"pool.tasks_submitted":..., ...}}
+  std::string ToJson() const;
+
+  /// Human-readable table: phases with shares of the total, per-level tree
+  /// build times, and non-zero counters.
+  std::string Explain() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double phases_[kNumProfilePhases] = {};
+  std::vector<double> tree_levels_;
+  double total_seconds_ = 0;
+  size_t rows_ = 0;
+  size_t partitions_ = 0;
+  std::string engine_;
+  CounterSnapshot counters_{};
+};
+
+/// RAII phase timer: adds the scope's wall time to `profile` (when
+/// non-null) and emits a trace span named after the phase. Reads the clock
+/// only when it has somewhere to report to.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(ExecutionProfile* profile, ProfilePhase phase)
+      : profile_(profile),
+        phase_(phase),
+        trace_(ProfilePhaseTraceName(phase)) {
+    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  ~ScopedPhaseTimer() {
+    if (profile_ != nullptr) {
+      profile_->AddPhaseSeconds(
+          phase_, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    }
+  }
+
+  /// "window.partition", "window.sort", ... — the span names the phases
+  /// trace under (distinct from the JSON keys, which drop the prefix).
+  static const char* ProfilePhaseTraceName(ProfilePhase phase);
+
+ private:
+  ExecutionProfile* profile_;
+  ProfilePhase phase_;
+  TraceScope trace_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace hwf
+
+#endif  // HWF_OBS_PROFILE_H_

@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+namespace hwf {
+namespace obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // Leaked: outlives exiting threads.
+  return *tracer;
+}
+
+void Tracer::Enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = static_cast<uint32_t>(buffers_.size());
+    buffer = owned.get();
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent copy = event;
+  copy.tid = buffer->tid;
+  buffer->events.push_back(copy);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> merged;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return merged;
+}
+
+namespace {
+
+/// Escapes a name for inclusion in a JSON string literal. Span names are
+/// static identifiers, so this only guards against the unexpected.
+void AppendJsonEscaped(std::string* out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  uint64_t epoch = std::numeric_limits<uint64_t>::max();
+  uint32_t max_tid = 0;
+  for (const TraceEvent& event : events) {
+    epoch = std::min(epoch, event.start_ns);
+    max_tid = std::max(max_tid, event.tid);
+  }
+  if (events.empty()) epoch = 0;
+
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata so Perfetto labels the tracks.
+  for (uint32_t tid = 0; events.size() > 0 && tid <= max_tid; ++tid) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": " +
+            std::to_string(tid) +
+            ", \"args\": {\"name\": \"hwf-thread-" + std::to_string(tid) +
+            "\"}}";
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n  {\"name\": \"";
+    AppendJsonEscaped(&json, event.name);
+    json += "\", \"cat\": \"hwf\", \"ph\": \"X\", \"ts\": ";
+    AppendMicros(&json, event.start_ns - epoch);
+    json += ", \"dur\": ";
+    AppendMicros(&json, event.dur_ns);
+    json += ", \"pid\": 1, \"tid\": " + std::to_string(event.tid);
+    if (event.arg_name != nullptr) {
+      json += ", \"args\": {\"";
+      AppendJsonEscaped(&json, event.arg_name);
+      json += "\": " + std::to_string(event.arg_value) + "}";
+    }
+    json += "}";
+  }
+  json += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return json;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void TraceScope::Start(const char* name, const char* arg_name,
+                       int64_t arg_value) {
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_value_ = arg_value;
+  start_ns_ = NowNs();
+}
+
+void TraceScope::Finish() {
+  if (!Tracer::IsEnabled()) return;  // Disabled mid-span: drop it.
+  TraceEvent event;
+  event.name = name_;
+  event.arg_name = arg_name_;
+  event.arg_value = arg_value_;
+  event.start_ns = start_ns_;
+  event.dur_ns = NowNs() - start_ns_;
+  Tracer::Get().Record(event);
+}
+
+}  // namespace obs
+}  // namespace hwf

@@ -1,0 +1,168 @@
+#ifndef HWF_OBS_TRACE_H_
+#define HWF_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file trace.h
+/// Low-overhead span tracing.
+///
+/// Spans are recorded into per-thread buffers (no locks on the hot path
+/// beyond one uncontended mutex per event) and flushed on demand as Chrome
+/// `trace_event` JSON, loadable in chrome://tracing and https://ui.perfetto.dev.
+///
+/// Two independent switches:
+///   - Compile time: the CMake option HWF_ENABLE_TRACING (default ON)
+///     defines HWF_TRACING_ENABLED. When OFF, HWF_TRACE_SCOPE expands to
+///     nothing — zero code, zero data.
+///   - Run time: Tracer::Get().Enable()/Disable(). While disabled (the
+///     default), an instrumented scope costs one relaxed atomic load.
+///
+/// Span names (and argument names) must be string literals: events store
+/// the pointers, not copies.
+
+#ifndef HWF_TRACING_ENABLED
+#define HWF_TRACING_ENABLED 1
+#endif
+
+namespace hwf {
+namespace obs {
+
+/// One completed span, times in nanoseconds on the steady clock.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr: no argument
+  int64_t arg_value = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // sequential registration id, 0 = first tracing thread
+};
+
+/// Nanoseconds on the steady clock (an arbitrary epoch; only differences
+/// and ordering are meaningful).
+uint64_t NowNs();
+
+/// The process-wide span collector.
+class Tracer {
+ public:
+  /// Maximum buffered events per thread; beyond it events are dropped and
+  /// counted (bounds tracing memory on long runs).
+  static constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+  static Tracer& Get();
+
+  /// Starts recording spans. Cheap to leave enabled between flushes.
+  void Enable();
+
+  /// Stops recording. Already-buffered events are kept until Clear().
+  void Disable();
+
+  static bool IsEnabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's buffer (registering the
+  /// thread on first use). Called by TraceScope; safe from any thread.
+  void Record(const TraceEvent& event);
+
+  /// Drops all buffered events (all threads) and the dropped-event count.
+  void Clear();
+
+  /// Merged copy of every thread's buffered events.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Number of events dropped because a thread buffer was full.
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes all buffered events as a Chrome trace_event JSON object:
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Timestamps are
+  /// rebased to the earliest event and expressed in microseconds.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    mutable std::mutex mutex;  // owner appends; snapshots read concurrently
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer* BufferForThisThread();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex registry_mutex_;
+  // Buffers are never deallocated (threads may outlive their events'
+  // consumers and vice versa); a handful of pointers per thread ever seen.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// RAII span: measures construction-to-destruction and records it under
+/// `name` when tracing is runtime-enabled at BOTH ends (enabling mid-span
+/// records nothing; disabling mid-span drops the span).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (HWF_TRACING_ENABLED && Tracer::IsEnabled()) Start(name, nullptr, 0);
+  }
+
+  TraceScope(const char* name, const char* arg_name, int64_t arg_value) {
+    if (HWF_TRACING_ENABLED && Tracer::IsEnabled()) {
+      Start(name, arg_name, arg_value);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (name_ != nullptr) Finish();
+  }
+
+ private:
+  void Start(const char* name, const char* arg_name, int64_t arg_value);
+  void Finish();
+
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  int64_t arg_value_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace hwf
+
+#define HWF_OBS_CONCAT_IMPL(a, b) a##b
+#define HWF_OBS_CONCAT(a, b) HWF_OBS_CONCAT_IMPL(a, b)
+
+#if HWF_TRACING_ENABLED
+/// Traces the enclosing scope as a span named `name` (a string literal).
+#define HWF_TRACE_SCOPE(name) \
+  ::hwf::obs::TraceScope HWF_OBS_CONCAT(hwf_trace_scope_, __LINE__)(name)
+/// Like HWF_TRACE_SCOPE with one integer argument attached to the span.
+#define HWF_TRACE_SCOPE_ARG(name, arg_name, arg_value)               \
+  ::hwf::obs::TraceScope HWF_OBS_CONCAT(hwf_trace_scope_, __LINE__)( \
+      name, arg_name, static_cast<int64_t>(arg_value))
+#else
+#define HWF_TRACE_SCOPE(name) \
+  do {                        \
+  } while (false)
+#define HWF_TRACE_SCOPE_ARG(name, arg_name, arg_value) \
+  do {                                                 \
+  } while (false)
+#endif
+
+#endif  // HWF_OBS_TRACE_H_

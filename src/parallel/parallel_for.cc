@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/macros.h"
+#include "obs/counters.h"
 
 namespace hwf {
 
@@ -20,19 +21,27 @@ void ParallelFor(size_t begin, size_t end,
     // that even the serial path processes morsel-by-morsel so that
     // task-granularity effects (e.g., state rebuilds in incremental
     // baselines) are identical regardless of worker count.
+    size_t morsels = 0;
     for (size_t lo = begin; lo < end; lo += morsel_size) {
       body(lo, std::min(end, lo + morsel_size));
+      ++morsels;
     }
+    obs::Add(obs::Counter::kParallelForMorsels, morsels);
     return;
   }
 
   auto next = std::make_shared<std::atomic<size_t>>(begin);
   auto runner = [next, end, morsel_size, &body] {
+    // Batch the morsel counter per runner, not per claim: one relaxed add
+    // per task instead of one per 20k-tuple morsel.
+    size_t morsels = 0;
     for (;;) {
       size_t lo = next->fetch_add(morsel_size, std::memory_order_relaxed);
-      if (lo >= end) return;
+      if (lo >= end) break;
       body(lo, std::min(end, lo + morsel_size));
+      ++morsels;
     }
+    if (morsels > 0) obs::Add(obs::Counter::kParallelForMorsels, morsels);
   };
 
   const size_t num_morsels = (total + morsel_size - 1) / morsel_size;

@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "mst/loser_tree.h"
+#include "obs/trace.h"
 #include "parallel/introsort.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -112,23 +113,28 @@ void ParallelSort(std::vector<T>& data, Less less,
                   PartitionScheme scheme = PartitionScheme::kThreeWay) {
   const size_t n = data.size();
   HWF_CHECK(run_size > 0);
+  HWF_TRACE_SCOPE_ARG("sort.parallel_sort", "n", n);
   if (n <= run_size || pool.num_workers() == 0) {
     Introsort(data.begin(), data.end(), less, scheme);
     return;
   }
 
-  // Phase 1: sort fixed-size runs in parallel.
-  ParallelFor(
-      0, n,
-      [&](size_t lo, size_t hi) {
-        Introsort(data.begin() + static_cast<ptrdiff_t>(lo),
-                  data.begin() + static_cast<ptrdiff_t>(hi), less, scheme);
-      },
-      pool, run_size);
+  {
+    // Phase 1: sort fixed-size runs in parallel.
+    HWF_TRACE_SCOPE("sort.run_phase");
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          Introsort(data.begin() + static_cast<ptrdiff_t>(lo),
+                    data.begin() + static_cast<ptrdiff_t>(hi), less, scheme);
+        },
+        pool, run_size);
+  }
 
   // Phase 2: multiway merge rounds, ping-ponging between buffers. Every
   // round merges up to kSortMergeFanout adjacent runs of `width` elements
   // into one run with a loser tree.
+  HWF_TRACE_SCOPE("sort.merge_phase");
   const size_t parallelism = static_cast<size_t>(pool.parallelism());
   std::vector<T> buffer(n);
   T* src = data.data();

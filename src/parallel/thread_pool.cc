@@ -1,9 +1,9 @@
 #include "parallel/thread_pool.h"
 
-#include <chrono>
 #include <cstdlib>
 
 #include "common/macros.h"
+#include "obs/counters.h"
 
 namespace hwf {
 
@@ -47,6 +47,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  obs::Add(obs::Counter::kPoolTasksSubmitted);
   cv_.notify_one();
 }
 
@@ -58,54 +59,70 @@ bool ThreadPool::RunOnePending() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  obs::Add(obs::Counter::kPoolTasksRunByCaller);
   task();
   return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    while (queue_.empty() && !shutdown_) {
+      cv_.wait(lock);
+      if (queue_.empty() && !shutdown_) {
+        // Woken (group-completion broadcast or spurious) with nothing to do.
+        obs::Add(obs::Counter::kPoolIdleWakeups);
+      }
     }
+    if (shutdown_ && queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
     task();
+    lock.lock();
   }
 }
 
 void TaskGroup::Run(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(pool_.mutex_);
     ++pending_;
   }
   pool_.Submit([this, task = std::move(task)] {
     task();
+    bool done;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --pending_;
+      std::lock_guard<std::mutex> lock(pool_.mutex_);
+      done = --pending_ == 0;
     }
-    cv_.notify_all();
+    // The waiter checks pending_ under pool_.mutex_, so notifying after the
+    // unlock cannot lose a wakeup. Broadcast only on the group's last task:
+    // the waiter shares the pool's condition variable, so notify_one could
+    // hand the wakeup to an idle worker instead.
+    if (done) pool_.cv_.notify_all();
   });
 }
 
 void TaskGroup::Wait() {
   // Help drain the pool while our tasks are outstanding. This keeps the
   // caller productive and avoids deadlock when the pool has no workers.
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (pending_ == 0) return;
+  std::unique_lock<std::mutex> lock(pool_.mutex_);
+  while (pending_ != 0) {
+    if (!pool_.queue_.empty()) {
+      std::function<void()> task = std::move(pool_.queue_.front());
+      pool_.queue_.pop_front();
+      lock.unlock();
+      obs::Add(obs::Counter::kPoolTasksRunByCaller);
+      task();
+      lock.lock();
+      continue;
     }
-    if (!pool_.RunOnePending()) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (pending_ == 0) return;
-      // A task may be running on a worker; wait briefly for completion or
-      // for new helpable work to appear.
-      cv_.wait_for(lock, std::chrono::milliseconds(1),
-                   [this] { return pending_ == 0; });
+    // Our remaining tasks are running on workers. Sleep until the last one
+    // completes (notify_all above) or helpable work arrives (Submit's
+    // notify_one may land here instead of on a worker).
+    pool_.cv_.wait(lock);
+    if (pending_ != 0 && pool_.queue_.empty()) {
+      obs::Add(obs::Counter::kPoolIdleWakeups);
     }
   }
 }

@@ -50,6 +50,8 @@ class ThreadPool {
   bool RunOnePending();
 
  private:
+  friend class TaskGroup;  // Waits on cv_ with pending state under mutex_.
+
   void WorkerLoop();
 
   std::mutex mutex_;
@@ -63,6 +65,10 @@ class ThreadPool {
 ///
 /// Wait() lets the calling thread execute pending pool tasks while waiting,
 /// which both avoids idle callers and makes nested usage deadlock-free.
+/// When the queue is empty and tasks are still running on workers, Wait()
+/// sleeps on the pool's condition variable and is woken by exactly two
+/// events: the group's last task finishing, or new (helpable) work being
+/// enqueued. There is no timed polling.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
@@ -80,9 +86,7 @@ class TaskGroup {
 
  private:
   ThreadPool& pool_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int pending_ = 0;
+  int pending_ = 0;  // guarded by pool_.mutex_
 };
 
 }  // namespace hwf

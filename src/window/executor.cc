@@ -1,9 +1,13 @@
 #include "window/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
+#include <optional>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "parallel/parallel_sort.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
@@ -126,6 +130,20 @@ Status DispatchEngine(const PartitionView& view,
   return Status::Internal("unhandled window engine");
 }
 
+const char* EngineName(WindowEngine engine) {
+  switch (engine) {
+    case WindowEngine::kMergeSortTree:
+      return "merge_sort_tree";
+    case WindowEngine::kNaive:
+      return "naive";
+    case WindowEngine::kIncremental:
+      return "incremental";
+    case WindowEngine::kOrderStatisticTree:
+      return "order_statistic_tree";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 int CompareRowsBy(const Table& table, size_t row_a, size_t row_b,
@@ -201,6 +219,21 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   }
 
   const size_t n = table.num_rows();
+  HWF_TRACE_SCOPE_ARG("window.execute", "rows", n);
+
+  // A local copy of the options lets the executor route the attached
+  // profile into every tree build (MergeSortTreeOptions::profile) without
+  // mutating the caller's struct.
+  WindowExecutorOptions exec_options = options;
+  obs::ExecutionProfile* profile = options.profile;
+  exec_options.tree.profile = profile;
+  obs::CounterSnapshot counters_before;
+  std::chrono::steady_clock::time_point run_start;
+  if (profile != nullptr) {
+    profile->Clear();
+    counters_before = obs::SnapshotCounters();
+    run_start = std::chrono::steady_clock::now();
+  }
 
   // Phase 1: one global sort by (partition keys, order keys, row id).
   // Partition keys use a fixed canonical order; the row-id tiebreak makes
@@ -212,6 +245,10 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     partition_keys.push_back(SortKey{column, true, true});
   }
   std::vector<size_t> sorted(n);
+  // The sort and partition phases are bracketed with an explicitly-reset
+  // optional timer so the straight-line code needs no extra nesting.
+  std::optional<obs::ScopedPhaseTimer> phase_timer;
+  phase_timer.emplace(profile, obs::ProfilePhase::kSort);
   for (size_t i = 0; i < n; ++i) sorted[i] = i;
   // Fast path standing in for Hyper's generated comparators (§5.4): with
   // no partitioning and a single numeric ORDER BY key, sort fixed-width
@@ -279,6 +316,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   }
 
   // Phase 2: partition boundaries (equal partition keys).
+  phase_timer.reset();
+  phase_timer.emplace(profile, obs::ProfilePhase::kPartition);
   std::vector<size_t> partition_starts;
   partition_starts.push_back(0);
   for (size_t i = 1; i < n; ++i) {
@@ -287,6 +326,7 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     }
   }
   partition_starts.push_back(n);
+  phase_timer.reset();
 
   // Result columns, all NULL until written.
   std::vector<Column> results;
@@ -317,6 +357,11 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     const size_t part_end = partition_starts[p + 1];
     const size_t part_n = part_end - part_begin;
     std::span<const size_t> rows(sorted.data() + part_begin, part_n);
+
+    // Everything up to the resolved frames is frame-resolution work (peer
+    // groups, range keys, offsets, the resolver sweep).
+    std::optional<obs::ScopedPhaseTimer> part_timer;
+    part_timer.emplace(profile, obs::ProfilePhase::kFrameResolve);
 
     FrameResolver::Inputs inputs;
     inputs.n = part_n;
@@ -416,9 +461,15 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     view.spec = &spec;
     view.rows = rows;
     view.frames = frames;
-    view.options = &options;
+    view.options = &exec_options;
     view.pool = &part_pool;
 
+    // The dispatch interval covers tree builds AND probing; the tree-build
+    // share is recorded separately by the builds themselves and subtracted
+    // from kProbe once at the end of the execution, keeping the two phases
+    // disjoint without a second clock read inside the build.
+    part_timer.reset();
+    part_timer.emplace(profile, obs::ProfilePhase::kProbe);
     for (size_t c = 0; c < calls.size(); ++c) {
       Status call_status = DispatchEngine(view, calls[c], &results[c]);
       if (!call_status.ok()) return call_status;
@@ -468,6 +519,23 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
       status = process_partition(p, pool);
       if (!status.ok()) return status;
     }
+  }
+
+  obs::Add(obs::Counter::kExecutorPartitions, num_partitions);
+  if (profile != nullptr) {
+    // The dispatch timers above charged tree construction to kProbe as
+    // well; the builds recorded their own time into kTreeBuild, so remove
+    // it from kProbe to make the phases disjoint.
+    profile->AddPhaseSeconds(
+        obs::ProfilePhase::kProbe,
+        -profile->phase_seconds(obs::ProfilePhase::kTreeBuild));
+    profile->SetRows(n);
+    profile->SetPartitions(num_partitions);
+    profile->SetEngine(EngineName(options.engine));
+    profile->SetTotalSeconds(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - run_start)
+                                 .count());
+    profile->CaptureCountersSince(counters_before);
   }
 
   return results;

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "mst/merge_sort_tree.h"
+#include "obs/profile.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "storage/table.h"
@@ -37,6 +38,14 @@ struct WindowExecutorOptions {
   /// Force the tree index width: 0 = choose per partition (§5.1: 32-bit
   /// when the partition fits, else 64-bit), 32 or 64 to override.
   int force_index_width = 0;
+
+  /// When non-null, cleared on entry and filled with the execution's cost
+  /// breakdown: per-phase wall seconds (sort, partition, frame resolution,
+  /// tree build with per-level detail, probe), row/partition counts, and
+  /// the counter activity of the run. The object must outlive the call;
+  /// the executor also routes it into MergeSortTreeOptions::profile so
+  /// tree builds report their per-level timings.
+  obs::ExecutionProfile* profile = nullptr;
 };
 
 /// Evaluates several window function calls sharing one OVER clause.

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "mst/remap.h"
+#include "obs/counters.h"
 #include "window/evaluator.h"
 
 namespace hwf {
@@ -14,16 +15,20 @@ namespace internal_window {
 
 /// Runs `fn` with a uint32_t or uint64_t tag depending on the partition
 /// size, implementing the per-partition index-width decision of §5.1.
-/// `force` is WindowExecutorOptions::force_index_width.
+/// `force` is WindowExecutorOptions::force_index_width. Each decision
+/// (including forced ones) is counted so profiles show which width a run
+/// actually used.
 template <typename Fn>
 Status DispatchIndexWidth(size_t n, int force, Fn&& fn) {
   const bool fits32 = n + 2 < (uint64_t{1} << 32);
-  if (force == 32) {
+  const bool use32 = force == 32 || (force != 64 && fits32);
+  obs::Add(use32 ? obs::Counter::kExecutorIndex32Dispatches
+                 : obs::Counter::kExecutorIndex64Dispatches);
+  if (use32) {
     HWF_CHECK_MSG(fits32, "partition too large for forced 32-bit indices");
     return fn(uint32_t{0});
   }
-  if (force == 64) return fn(uint64_t{0});
-  return fits32 ? fn(uint32_t{0}) : fn(uint64_t{0});
+  return fn(uint64_t{0});
 }
 
 /// Value codes of the call argument over the filtered positions: 64-bit

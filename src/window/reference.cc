@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -467,6 +468,7 @@ struct NaiveEvaluator {
 
 Status EvalNaive(const PartitionView& view, const WindowFunctionCall& call,
                  Column* out) {
+  HWF_TRACE_SCOPE_ARG("baseline.naive", "rows", view.size());
   ParallelFor(
       0, view.size(),
       [&](size_t lo, size_t hi) {

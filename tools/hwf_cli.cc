@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 #include "window/executor.h"
 
@@ -55,7 +57,11 @@ void Usage() {
       "buckets\n"
       "  --engine mst|naive|incremental|ost     (default mst)\n"
       "  --as NAME                  result column name\n"
-      "  --output FILE              write CSV here (default stdout)\n");
+      "  --output FILE              write CSV here (default stdout)\n"
+      "  --explain                  print the execution profile to stderr\n"
+      "  --profile FILE             write the execution profile as JSON\n"
+      "  --trace FILE               write a Chrome trace_event JSON of the "
+      "run\n");
 }
 
 std::optional<WindowFunctionKind> ParseFunction(const std::string& name) {
@@ -184,6 +190,9 @@ int main(int argc, char** argv) {
   bool ignore_nulls = false;
   double fraction = 0.5;
   int64_t param = 1;
+  bool explain = false;
+  std::string profile_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -230,6 +239,12 @@ int main(int argc, char** argv) {
       engine_name = next();
     } else if (flag == "--as") {
       result_name = next();
+    } else if (flag == "--explain") {
+      explain = true;
+    } else if (flag == "--profile") {
+      profile_path = next();
+    } else if (flag == "--trace") {
+      trace_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       return 0;
@@ -329,11 +344,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
+  obs::ExecutionProfile profile;
+  const bool want_profile =
+      explain || !profile_path.empty() || !trace_path.empty();
+  if (want_profile) options.profile = &profile;
+  if (!trace_path.empty()) obs::Tracer::Get().Enable();
 
   StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (explain) {
+    std::fprintf(stderr, "%s", profile.Explain().c_str());
+  }
+  if (!profile_path.empty()) {
+    const std::string json = profile.ToJson();
+    if (std::FILE* f = std::fopen(profile_path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", profile_path.c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    Status status = obs::Tracer::Get().WriteChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   table.AddColumn(result_name.empty() ? function_name : result_name,
                   std::move(*result));

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validates hwf observability artifacts.
+
+Checks two kinds of files (stdlib only, CI-friendly):
+
+  --trace PATH    Chrome trace_event JSON as written by
+                  obs::Tracer::WriteChromeTrace (loadable in
+                  chrome://tracing / Perfetto).
+  --profile PATH  Either a bare ExecutionProfile JSON (hwf_cli --profile)
+                  or a BENCH_*.json file whose entries embed profiles
+                  (bench::BenchJson).
+
+Exits 0 when every file validates, 1 otherwise, printing one line per
+problem.  Usage:
+
+  python3 tools/validate_trace.py --trace BENCH_fig14_trace.json \
+                                  --profile BENCH_fig14_phases.json
+"""
+
+import argparse
+import json
+import sys
+
+PHASE_KEYS = (
+    "partition",
+    "sort",
+    "preprocess",
+    "frame_resolve",
+    "tree_build",
+    "probe",
+)
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def validate_trace(path, errors):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(errors, path, "missing top-level traceEvents")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, path, "traceEvents is not a list")
+        return
+    complete = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(errors, path, f"{where} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(errors, path, f"{where} missing '{key}'")
+        ph = event.get("ph")
+        if ph == "X":
+            complete += 1
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(errors, path, f"{where} bad '{key}': {value!r}")
+        elif ph == "M":
+            if event.get("name") != "thread_name":
+                fail(errors, path, f"{where} unexpected metadata {event.get('name')!r}")
+        else:
+            fail(errors, path, f"{where} unexpected phase type {ph!r}")
+    if complete == 0:
+        fail(errors, path, "no complete ('X') events — was tracing enabled?")
+
+
+def validate_profile_object(profile, path, where, errors):
+    for key in ("rows", "partitions", "engine", "total_seconds", "phases",
+                "tree_build_levels", "counters"):
+        if key not in profile:
+            fail(errors, path, f"{where} missing '{key}'")
+    phases = profile.get("phases", {})
+    if not isinstance(phases, dict):
+        fail(errors, path, f"{where} phases is not an object")
+        return
+    for key in PHASE_KEYS:
+        value = phases.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(errors, path, f"{where} bad phase '{key}': {value!r}")
+    for i, level in enumerate(profile.get("tree_build_levels", [])):
+        if not isinstance(level, (int, float)) or level < 0:
+            fail(errors, path, f"{where} bad tree_build_levels[{i}]: {level!r}")
+    total = profile.get("total_seconds")
+    if isinstance(total, (int, float)) and total < 0:
+        fail(errors, path, f"{where} negative total_seconds: {total!r}")
+
+
+def validate_profile(path, errors):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(errors, path, "top level is not an object")
+        return
+    if "entries" in doc:  # bench::BenchJson file wrapping profiles.
+        for key in ("bench", "scale"):
+            if key not in doc:
+                fail(errors, path, f"missing '{key}'")
+        entries = doc["entries"]
+        if not isinstance(entries, list) or not entries:
+            fail(errors, path, "entries is empty or not a list")
+            return
+        for i, entry in enumerate(entries):
+            where = f"entries[{i}]"
+            if "label" not in entry:
+                fail(errors, path, f"{where} missing 'label'")
+            if "profile" in entry:
+                validate_profile_object(entry["profile"], path, where, errors)
+    else:  # Bare ExecutionProfile::ToJson output.
+        validate_profile_object(doc, path, "profile", errors)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome trace_event JSON file")
+    parser.add_argument("--profile", action="append", default=[],
+                        help="ExecutionProfile or BENCH_*.json file")
+    args = parser.parse_args()
+    if not args.trace and not args.profile:
+        parser.error("nothing to validate; pass --trace and/or --profile")
+
+    errors = []
+    for path in args.trace:
+        try:
+            validate_trace(path, errors)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, path, str(exc))
+    for path in args.profile:
+        try:
+            validate_profile(path, errors)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, path, str(exc))
+
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    if not errors:
+        total = len(args.trace) + len(args.profile)
+        print(f"ok: {total} file(s) validated")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
