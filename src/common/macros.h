@@ -41,9 +41,13 @@
 #if defined(__GNUC__) || defined(__clang__)
 #define HWF_LIKELY(x) __builtin_expect(!!(x), 1)
 #define HWF_UNLIKELY(x) __builtin_expect(!!(x), 0)
+// Keeps rarely-taken slow paths (spilled reads, error handling) out of hot
+// functions so the fast path stays small enough to inline.
+#define HWF_NOINLINE_COLD __attribute__((noinline, cold))
 #else
 #define HWF_LIKELY(x) (x)
 #define HWF_UNLIKELY(x) (x)
+#define HWF_NOINLINE_COLD
 #endif
 
 #endif  // HWF_COMMON_MACROS_H_

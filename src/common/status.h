@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotImplemented,
   kTypeMismatch,
   kInternal,
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error result, modeled after absl::Status.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,128 @@
+#ifndef HWF_MEM_CHUNK_ARENA_H_
+#define HWF_MEM_CHUNK_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "mem/memory_budget.h"
+
+namespace hwf {
+namespace mem {
+
+/// Bump allocator for per-task merge/sort scratch.
+///
+/// Allocations are grouped into geometrically growing chunks reserved
+/// through a MemoryBudget (ForceReserve: scratch is small, must not fail,
+/// and any overshoot is visible in the forced-over-budget counter).
+/// `Reset()` recycles the chunks without freeing them, so a task that runs
+/// many merge rounds reuses one warm allocation. No destructors are run —
+/// the arena is for trivially-destructible scratch only.
+class ChunkArena {
+ public:
+  explicit ChunkArena(MemoryBudget* budget = nullptr,
+                      size_t min_chunk_bytes = size_t{64} * 1024)
+      : budget_(budget), min_chunk_bytes_(min_chunk_bytes) {}
+
+  ChunkArena(const ChunkArena&) = delete;
+  ChunkArena& operator=(const ChunkArena&) = delete;
+  ~ChunkArena() = default;  // reservation_ releases via RAII
+
+  /// Returns `bytes` of storage aligned to `alignment` (power of two,
+  /// <= alignof(std::max_align_t) honored within chunks).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    HWF_DCHECK((alignment & (alignment - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    uintptr_t cursor = reinterpret_cast<uintptr_t>(cursor_);
+    uintptr_t aligned = (cursor + alignment - 1) & ~uintptr_t(alignment - 1);
+    if (current_ == nullptr ||
+        aligned + bytes > reinterpret_cast<uintptr_t>(chunk_end_)) {
+      NewChunk(bytes + alignment);
+      cursor = reinterpret_cast<uintptr_t>(cursor_);
+      aligned = (cursor + alignment - 1) & ~uintptr_t(alignment - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    allocated_bytes_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed array of `count` default-uninitialized Ts.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena scratch must be trivially destructible");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every chunk; capacity (and the budget reservation backing it)
+  /// is kept for reuse.
+  void Reset() {
+    next_chunk_ = 0;
+    allocated_bytes_ = 0;
+    if (!chunks_.empty()) {
+      current_ = chunks_[0].data.get();
+      cursor_ = current_;
+      chunk_end_ = current_ + chunks_[0].bytes;
+      next_chunk_ = 1;
+    } else {
+      current_ = nullptr;
+      cursor_ = nullptr;
+      chunk_end_ = nullptr;
+    }
+  }
+
+  /// Bytes handed out since construction/Reset (excludes alignment waste).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Bytes reserved from the budget (total chunk capacity).
+  size_t reserved_bytes() const { return reservation_.bytes(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t bytes = 0;
+  };
+
+  void NewChunk(size_t at_least) {
+    // Reuse a previously built chunk if it is big enough.
+    while (next_chunk_ < chunks_.size()) {
+      Chunk& chunk = chunks_[next_chunk_++];
+      if (chunk.bytes >= at_least) {
+        current_ = chunk.data.get();
+        cursor_ = current_;
+        chunk_end_ = current_ + chunk.bytes;
+        return;
+      }
+    }
+    size_t size = min_chunk_bytes_;
+    if (!chunks_.empty()) size = chunks_.back().bytes * 2;
+    if (size < at_least) size = at_least;
+    reservation_.ForceReserve(budget_, size);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.bytes = size;
+    current_ = chunk.data.get();
+    cursor_ = current_;
+    chunk_end_ = current_ + size;
+    chunks_.push_back(std::move(chunk));
+    next_chunk_ = chunks_.size();
+  }
+
+  MemoryBudget* budget_;
+  size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t next_chunk_ = 0;
+  std::byte* current_ = nullptr;
+  std::byte* cursor_ = nullptr;
+  std::byte* chunk_end_ = nullptr;
+  size_t allocated_bytes_ = 0;
+  MemoryReservation reservation_;
+};
+
+}  // namespace mem
+}  // namespace hwf
+
+#endif  // HWF_MEM_CHUNK_ARENA_H_

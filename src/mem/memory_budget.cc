@@ -1,0 +1,94 @@
+#include "mem/memory_budget.h"
+
+#include "obs/counters.h"
+
+namespace hwf {
+namespace mem {
+
+Status MemoryBudget::TryReserve(size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (!limited()) {
+    const size_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) +
+                       bytes;
+    UpdatePeak(now);
+    return Status::OK();
+  }
+  size_t current = reserved_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > limit_ || current > limit_ - bytes) {
+      obs::Add(obs::Counter::kMemBudgetDeniedReservations);
+      return Status::ResourceExhausted(
+          "memory budget exhausted: requested " + std::to_string(bytes) +
+          " bytes with " + std::to_string(current) + "/" +
+          std::to_string(limit_) + " reserved");
+    }
+    if (reserved_.compare_exchange_weak(current, current + bytes,
+                                        std::memory_order_relaxed)) {
+      UpdatePeak(current + bytes);
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryBudget::ForceReserve(size_t bytes) {
+  if (bytes == 0) return;
+  const size_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limited() && now > limit_) {
+    const size_t before = now - bytes;
+    const size_t over_now = now - limit_;
+    const size_t over_before = before > limit_ ? before - limit_ : 0;
+    obs::Add(obs::Counter::kMemForcedOverBudgetBytes, over_now - over_before);
+  }
+  UpdatePeak(now);
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  const size_t before = reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  HWF_DCHECK(before >= bytes);
+  (void)before;
+}
+
+void MemoryBudget::UpdatePeak(size_t reserved_now) {
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (reserved_now > peak &&
+         !peak_.compare_exchange_weak(peak, reserved_now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+bool ParseMemorySize(std::string_view text, size_t* bytes) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') break;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (std::numeric_limits<size_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  if (i == 0) return false;  // No digits.
+  size_t shift = 0;
+  if (i < text.size()) {
+    switch (text[i]) {
+      case 'k': case 'K': shift = 10; ++i; break;
+      case 'm': case 'M': shift = 20; ++i; break;
+      case 'g': case 'G': shift = 30; ++i; break;
+      default: return false;
+    }
+    if (i < text.size() && (text[i] == 'b' || text[i] == 'B')) ++i;
+  }
+  if (i != text.size()) return false;
+  if (shift > 0 && value > (std::numeric_limits<size_t>::max() >> shift)) {
+    return false;
+  }
+  *bytes = value << shift;
+  return true;
+}
+
+}  // namespace mem
+}  // namespace hwf

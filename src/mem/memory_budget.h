@@ -1,0 +1,196 @@
+#ifndef HWF_MEM_MEMORY_BUDGET_H_
+#define HWF_MEM_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hwf {
+
+namespace obs {
+class ExecutionProfile;
+}  // namespace obs
+
+namespace mem {
+
+/// Tracks memory reservations against a byte limit.
+///
+/// The budget is a bookkeeping device, not an allocator: callers reserve
+/// bytes *before* allocating and release them after freeing, so `reserved()`
+/// is the sum of all live, accounted allocations. Two limits apply:
+///
+///   - the hard limit (`limit_bytes`): TryReserve fails once granting the
+///     request would exceed it. 0 means unlimited.
+///   - the soft limit (a fraction of the hard limit, default 7/8): operators
+///     that *can* shed memory (spill, evict) treat crossing it as the signal
+///     to start doing so, keeping headroom for the small unsheddable
+///     allocations that use ForceReserve.
+///
+/// All methods are thread-safe; TryReserve uses a CAS loop so concurrent
+/// reservations never over-commit the hard limit.
+class MemoryBudget {
+ public:
+  static constexpr size_t kUnlimited = 0;
+
+  explicit MemoryBudget(size_t limit_bytes = kUnlimited,
+                        double soft_fraction = 0.875)
+      : limit_(limit_bytes),
+        soft_limit_(limit_bytes == kUnlimited
+                        ? kUnlimited
+                        : static_cast<size_t>(
+                              static_cast<double>(limit_bytes) *
+                              soft_fraction)) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Hard limit in bytes; 0 = unlimited.
+  size_t limit_bytes() const { return limit_; }
+  size_t soft_limit_bytes() const { return soft_limit_; }
+  bool limited() const { return limit_ != kUnlimited; }
+
+  /// Reserves `bytes` if doing so keeps `reserved() <= limit_bytes()`.
+  /// Returns ResourceExhausted (and bumps the denied-reservation counter)
+  /// otherwise. Always succeeds on an unlimited budget.
+  Status TryReserve(size_t bytes);
+
+  /// Reserves `bytes` unconditionally. Used for allocations that cannot be
+  /// shed (the output column, tiny per-task scratch); bytes reserved past
+  /// the hard limit are recorded in the forced-over-budget counter so the
+  /// overshoot is visible rather than silent.
+  void ForceReserve(size_t bytes);
+
+  /// Returns previously reserved bytes to the budget.
+  void Release(size_t bytes);
+
+  size_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of reserved_bytes() over the budget's lifetime.
+  size_t peak_reserved_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes a TryReserve could still grant; SIZE_MAX when unlimited.
+  size_t available_bytes() const {
+    if (!limited()) return std::numeric_limits<size_t>::max();
+    const size_t reserved = reserved_bytes();
+    return reserved >= limit_ ? 0 : limit_ - reserved;
+  }
+
+  /// True once reservations crossed the soft limit — the cue for sheddable
+  /// consumers to start evicting/spilling.
+  bool over_soft_limit() const {
+    return limited() && reserved_bytes() > soft_limit_;
+  }
+
+ private:
+  void UpdatePeak(size_t reserved_now);
+
+  const size_t limit_;
+  const size_t soft_limit_;
+  std::atomic<size_t> reserved_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+/// RAII handle for a budget reservation: releases on destruction. Movable,
+/// so it can live inside spillable containers and be returned from helpers.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { Release(); }
+
+  /// Tries to add `bytes` to this reservation. `budget` may be null
+  /// (unlimited; the call trivially succeeds and tracks nothing).
+  Status Reserve(MemoryBudget* budget, size_t bytes) {
+    if (budget == nullptr || bytes == 0) return Status::OK();
+    HWF_DCHECK(budget_ == nullptr || budget_ == budget);
+    Status status = budget->TryReserve(bytes);
+    if (status.ok()) {
+      budget_ = budget;
+      bytes_ += bytes;
+    }
+    return status;
+  }
+
+  /// Adds `bytes` unconditionally (see MemoryBudget::ForceReserve).
+  void ForceReserve(MemoryBudget* budget, size_t bytes) {
+    if (budget == nullptr || bytes == 0) return;
+    HWF_DCHECK(budget_ == nullptr || budget_ == budget);
+    budget->ForceReserve(bytes);
+    budget_ = budget;
+    bytes_ += bytes;
+  }
+
+  /// Returns everything held to the budget.
+  void Release() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    bytes_ = 0;
+    budget_ = nullptr;
+  }
+
+  /// Returns part of the reservation (e.g. after shrinking a container).
+  void ReleasePartial(size_t bytes) {
+    if (budget_ == nullptr || bytes == 0) return;
+    HWF_DCHECK(bytes <= bytes_);
+    const size_t give_back = bytes < bytes_ ? bytes : bytes_;
+    budget_->Release(give_back);
+    bytes_ -= give_back;
+  }
+
+  size_t bytes() const { return bytes_; }
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+/// Everything a memory-aware operator needs, passed by value down the
+/// stack: the budget to account against (null = unlimited), whether the
+/// operator may shed memory to disk when the budget denies a reservation,
+/// and where to charge spill I/O time.
+struct MemoryContext {
+  MemoryBudget* budget = nullptr;
+  bool allow_spill = false;
+  obs::ExecutionProfile* profile = nullptr;
+
+  bool limited() const { return budget != nullptr && budget->limited(); }
+  bool can_spill() const { return allow_spill && limited(); }
+};
+
+/// Parses a human-readable byte count: a non-negative integer with an
+/// optional binary scale suffix K / M / G (case-insensitive, optional
+/// trailing B, e.g. "256M", "1g", "65536", "512KB"). Returns false on
+/// malformed input or overflow; `*bytes` is untouched then.
+bool ParseMemorySize(std::string_view text, size_t* bytes);
+
+}  // namespace mem
+}  // namespace hwf
+
+#endif  // HWF_MEM_MEMORY_BUDGET_H_

@@ -1,0 +1,181 @@
+#include "mem/spill_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "obs/counters.h"
+
+namespace hwf {
+namespace mem {
+
+namespace {
+
+std::atomic<uint64_t> g_next_spill_uid{1};
+
+Status ErrnoStatus(const char* op) {
+  return Status::Internal(std::string("spill file ") + op + " failed: " +
+                          strerror(errno));
+}
+
+}  // namespace
+
+std::string SpillDir() {
+  if (const char* env = std::getenv("HWF_SPILL_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  if (const char* env = std::getenv("TMPDIR")) {
+    if (env[0] != '\0') return env;
+  }
+  return "/tmp";
+}
+
+StatusOr<std::unique_ptr<SpillFile>> SpillFile::Create(std::string dir) {
+  if (dir.empty()) dir = SpillDir();
+  std::string path_template = dir + "/hwf_spill_XXXXXX";
+  std::vector<char> path(path_template.begin(), path_template.end());
+  path.push_back('\0');
+  const int fd = mkstemp(path.data());
+  if (fd < 0) return ErrnoStatus("mkstemp");
+  // Unlink immediately: the file lives as long as the descriptor and never
+  // outlives a crash.
+  (void)unlink(path.data());
+  obs::Add(obs::Counter::kMemSpillFilesCreated);
+  return std::unique_ptr<SpillFile>(
+      new SpillFile(fd, g_next_spill_uid.fetch_add(1)));
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) (void)close(fd_);
+}
+
+Status SpillFile::WriteAt(uint64_t offset, const void* data, size_t bytes) {
+  const char* src = static_cast<const char*>(data);
+  size_t remaining = bytes;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite");
+    }
+    src += n;
+    pos += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  if (offset + bytes > size_bytes_) size_bytes_ = offset + bytes;
+  obs::Add(obs::Counter::kMemSpillBytesWritten, bytes);
+  return Status::OK();
+}
+
+Status SpillFile::ReadAt(uint64_t offset, void* data, size_t bytes) const {
+  char* dst = static_cast<char*>(data);
+  size_t remaining = bytes;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread");
+    }
+    if (n == 0) return Status::Internal("spill file pread hit EOF");
+    dst += n;
+    pos += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  obs::Add(obs::Counter::kMemSpillBytesRead, bytes);
+  return Status::OK();
+}
+
+uint64_t SpillFile::AllocateRegion(uint64_t bytes) {
+  const uint64_t offset = AlignSpillOffset(next_region_);
+  next_region_ = offset + bytes;
+  return offset;
+}
+
+namespace {
+
+/// Set-associative, per-thread page cache (16 sets x 4 ways, at most 4 MiB
+/// resident per probing thread, allocated lazily). The MST probe path
+/// touches one page per spilled level per range; the slot index must
+/// decorrelate pages that sit at the *same relative position* in different
+/// regions, because a probe at row r reads the r-proportional page of every
+/// evicted level. A modulo hash collapses exactly there for power-of-two
+/// inputs (every region spans a multiple of kPageCacheSets pages, so
+/// same-position pages share one slot); Fibonacci hashing — multiply, take
+/// top bits — spreads them, and the ways absorb residual collisions without
+/// ping-ponging. Ways are kept in MRU order (pointer swaps — free next to
+/// the 64 KiB pread a miss costs) and the LRU way is evicted.
+constexpr size_t kPageCacheSets = 16;
+constexpr size_t kPageCacheWays = 4;
+
+struct PageCacheSlot {
+  uint64_t file_uid = 0;
+  uint64_t offset = 0;
+  size_t valid_bytes = 0;
+  std::unique_ptr<std::byte[]> data;
+};
+
+struct PageCacheSet {
+  std::array<PageCacheSlot, kPageCacheWays> ways;  // MRU first
+};
+
+struct PageCache {
+  std::array<PageCacheSet, kPageCacheSets> sets;
+};
+
+thread_local PageCache t_page_cache;
+
+void MoveToFront(PageCacheSet& set, size_t w) {
+  for (; w > 0; --w) std::swap(set.ways[w], set.ways[w - 1]);
+}
+
+}  // namespace
+
+const std::byte* SpillPageCacheLookup(const SpillFile& file, uint64_t offset,
+                                      size_t bytes) {
+  HWF_DCHECK(bytes <= kSpillPageBytes);
+  const uint64_t key =
+      file.uid() * 0x9e3779b97f4a7c15ull + offset / kSpillPageBytes;
+  const uint64_t hash = key * 0xbf58476d1ce4e5b9ull;
+  PageCacheSet& set = t_page_cache.sets[hash >> 60];
+  static_assert(kPageCacheSets == 16, "set index uses the top 4 hash bits");
+  for (size_t w = 0; w < kPageCacheWays; ++w) {
+    PageCacheSlot& slot = set.ways[w];
+    if (slot.file_uid == file.uid() && slot.offset == offset &&
+        slot.valid_bytes >= bytes) {
+      MoveToFront(set, w);
+      return set.ways[0].data.get();
+    }
+  }
+  MoveToFront(set, kPageCacheWays - 1);  // evict the LRU way
+  PageCacheSlot& slot = set.ways[0];
+  if (slot.data == nullptr) {
+    slot.data = std::make_unique<std::byte[]>(kSpillPageBytes);
+  }
+  // Clamp to the file tail: final pages of a region may be short.
+  const uint64_t file_size = file.size_bytes();
+  HWF_CHECK_MSG(offset + bytes <= file_size, "spill read past end of file");
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(kSpillPageBytes, file_size - offset));
+  Status status = file.ReadAt(offset, slot.data.get(), want);
+  if (!status.ok()) {
+    slot.file_uid = 0;
+    slot.valid_bytes = 0;
+    return nullptr;
+  }
+  slot.file_uid = file.uid();
+  slot.offset = offset;
+  slot.valid_bytes = want;
+  return slot.data.get();
+}
+
+}  // namespace mem
+}  // namespace hwf

@@ -1,0 +1,237 @@
+#ifndef HWF_MEM_SPILL_FILE_H_
+#define HWF_MEM_SPILL_FILE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hwf {
+namespace mem {
+
+/// Spill I/O granularity. Spilled containers lay their rows out in pages of
+/// this size (a row never straddles a page), so one random probe costs at
+/// most one page read, and the thread-local page cache below can key on
+/// page-aligned offsets.
+inline constexpr size_t kSpillPageBytes = 64 * 1024;
+
+/// File-offset alignment for the start of each run/region inside a shared
+/// spill file. Matches the typical filesystem page so buffered sequential
+/// writes stay aligned.
+inline constexpr size_t kSpillAlignBytes = 4096;
+
+inline constexpr uint64_t AlignSpillOffset(uint64_t offset) {
+  return (offset + kSpillAlignBytes - 1) & ~uint64_t{kSpillAlignBytes - 1};
+}
+
+/// Directory spill files are created in: $HWF_SPILL_DIR, else $TMPDIR,
+/// else /tmp.
+std::string SpillDir();
+
+/// An anonymous temp file for spilled data.
+///
+/// The file is created with mkstemp and unlinked immediately, so it
+/// disappears when the descriptor closes (including on crash). Reads use
+/// pread and are safe from any thread; writes use pwrite and callers
+/// serialize per region (each writer owns a disjoint offset range).
+class SpillFile {
+ public:
+  /// Creates an unlinked temp file in `dir` (empty = SpillDir()).
+  static StatusOr<std::unique_ptr<SpillFile>> Create(std::string dir = "");
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile();
+
+  Status WriteAt(uint64_t offset, const void* data, size_t bytes);
+  Status ReadAt(uint64_t offset, void* data, size_t bytes) const;
+
+  /// One past the highest byte ever written.
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  /// Process-unique id; the page cache keys on it so a recycled SpillFile*
+  /// address can never alias a dead file's cached pages.
+  uint64_t uid() const { return uid_; }
+
+  /// Reserves a region of `bytes` starting at the next aligned offset.
+  /// Serialized by the caller (regions are handed out during single-threaded
+  /// setup; I/O into them may then proceed concurrently).
+  uint64_t AllocateRegion(uint64_t bytes);
+
+ private:
+  SpillFile(int fd, uint64_t uid) : fd_(fd), uid_(uid) {}
+
+  int fd_ = -1;
+  uint64_t uid_ = 0;
+  uint64_t size_bytes_ = 0;
+  uint64_t next_region_ = 0;
+};
+
+/// Thread-local direct-mapped cache of spill pages.
+///
+/// Returns a pointer to `bytes` bytes of `file` starting at `offset`
+/// (which must be kSpillPageBytes-aligned relative to region starts the
+/// caller controls). The pointer stays valid on the calling thread until a
+/// later lookup evicts the slot. On miss the page is read with pread; the
+/// cache is per-thread so no locking is involved.
+///
+/// Returns nullptr on I/O error (callers HWF_CHECK; spill files are
+/// node-local temp files, so a failed read is not user-recoverable).
+const std::byte* SpillPageCacheLookup(const SpillFile& file, uint64_t offset,
+                                      size_t bytes);
+
+/// Buffered sequential writer of fixed-width rows into a region of a
+/// SpillFile. Rows are packed into kSpillPageBytes pages, each page holding
+/// floor(page/row_size) rows; the tail of every page is padding so no row
+/// straddles a page boundary.
+template <typename T>
+class RunWriter {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "spilled rows must be trivially copyable");
+
+ public:
+  static constexpr size_t kRowsPerPage = kSpillPageBytes / sizeof(T);
+  static_assert(kSpillPageBytes / sizeof(int64_t) > 0, "page too small");
+
+  RunWriter(SpillFile* file, uint64_t region_offset)
+      : file_(file), region_offset_(region_offset) {
+    buffer_.resize(kSpillPageBytes);
+  }
+
+  /// Appends `count` rows.
+  Status AppendBatch(const T* rows, size_t count) {
+    while (count > 0) {
+      const size_t room = kRowsPerPage - rows_in_page_;
+      const size_t take = count < room ? count : room;
+      std::memcpy(buffer_.data() + rows_in_page_ * sizeof(T), rows,
+                  take * sizeof(T));
+      rows_in_page_ += take;
+      rows_written_ += take;
+      rows += take;
+      count -= take;
+      if (rows_in_page_ == kRowsPerPage) {
+        Status status = FlushPage();
+        if (!status.ok()) return status;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Append(const T& row) { return AppendBatch(&row, 1); }
+
+  /// Writes out the final partial page. Must be called once at the end.
+  Status Finish() {
+    if (rows_in_page_ > 0) return FlushPage();
+    return Status::OK();
+  }
+
+  uint64_t rows_written() const { return rows_written_; }
+
+  /// Bytes of file the writer consumed (full pages, including padding).
+  uint64_t bytes_on_disk() const {
+    return (pages_written_ + (rows_in_page_ > 0 ? 1 : 0)) * kSpillPageBytes;
+  }
+
+  /// Upper bound of the region size needed for `rows` rows — use with
+  /// SpillFile::AllocateRegion before writing.
+  static uint64_t RegionBytesFor(uint64_t rows) {
+    return ((rows + kRowsPerPage - 1) / kRowsPerPage) * kSpillPageBytes;
+  }
+
+ private:
+  Status FlushPage() {
+    Status status =
+        file_->WriteAt(region_offset_ + pages_written_ * kSpillPageBytes,
+                       buffer_.data(), kSpillPageBytes);
+    if (!status.ok()) return status;
+    ++pages_written_;
+    rows_in_page_ = 0;
+    return Status::OK();
+  }
+
+  SpillFile* file_;
+  uint64_t region_offset_;
+  uint64_t pages_written_ = 0;
+  uint64_t rows_written_ = 0;
+  size_t rows_in_page_ = 0;
+  std::vector<std::byte> buffer_;
+};
+
+/// Buffered sequential reader over a region written by RunWriter<T>.
+/// Exposes the buffered rows directly so merge loops can bind a loser-tree
+/// source to `data()`/`buffered_rows()` and Refill() when drained.
+template <typename T>
+class RunReader {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "spilled rows must be trivially copyable");
+
+ public:
+  static constexpr size_t kRowsPerPage = RunWriter<T>::kRowsPerPage;
+
+  /// `pages_per_refill` controls the buffer size (sequential readahead).
+  RunReader(const SpillFile* file, uint64_t region_offset, uint64_t num_rows,
+            size_t pages_per_refill = 4)
+      : file_(file),
+        region_offset_(region_offset),
+        num_rows_(num_rows),
+        pages_per_refill_(pages_per_refill > 0 ? pages_per_refill : 1) {
+    buffer_.resize(pages_per_refill_ * kRowsPerPage);
+  }
+
+  /// Rows currently buffered; valid until the next Refill().
+  const T* data() const { return buffer_.data(); }
+  size_t buffered_rows() const { return buffered_rows_; }
+
+  /// True once every row has been surfaced through the buffer.
+  bool exhausted() const {
+    return rows_consumed_ == num_rows_ && buffered_rows_ == 0;
+  }
+  uint64_t rows_remaining() const {
+    return num_rows_ - rows_consumed_ + buffered_rows_;
+  }
+
+  /// Replaces the buffer contents with the next batch of rows. Returns the
+  /// number of rows now buffered (0 = region fully consumed).
+  StatusOr<size_t> Refill() {
+    buffered_rows_ = 0;
+    size_t out = 0;
+    while (out < buffer_.size() && rows_consumed_ < num_rows_) {
+      const uint64_t page = rows_consumed_ / kRowsPerPage;
+      const size_t in_page = static_cast<size_t>(rows_consumed_ % kRowsPerPage);
+      const uint64_t rows_left_in_page =
+          std::min<uint64_t>(kRowsPerPage - in_page,
+                             num_rows_ - rows_consumed_);
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(rows_left_in_page, buffer_.size() - out));
+      Status status = file_->ReadAt(
+          region_offset_ + page * kSpillPageBytes + in_page * sizeof(T),
+          buffer_.data() + out, take * sizeof(T));
+      if (!status.ok()) return status;
+      out += take;
+      rows_consumed_ += take;
+    }
+    buffered_rows_ = out;
+    return out;
+  }
+
+ private:
+  const SpillFile* file_;
+  uint64_t region_offset_;
+  uint64_t num_rows_;
+  size_t pages_per_refill_;
+  uint64_t rows_consumed_ = 0;
+  size_t buffered_rows_ = 0;
+  std::vector<T> buffer_;
+};
+
+}  // namespace mem
+}  // namespace hwf
+
+#endif  // HWF_MEM_SPILL_FILE_H_

@@ -1,0 +1,212 @@
+#ifndef HWF_MEM_SPILLABLE_VECTOR_H_
+#define HWF_MEM_SPILLABLE_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "mem/memory_budget.h"
+#include "mem/spill_file.h"
+
+namespace hwf {
+namespace mem {
+
+/// A vector of trivially-copyable rows that can be evicted to a spill file
+/// and read back page-wise.
+///
+/// Lifecycle: the container starts resident (a plain std::vector<T> whose
+/// bytes are accounted against an attached MemoryBudget). `Spill()` writes
+/// the rows into a page-packed region of a SpillFile, frees the vector, and
+/// releases the reservation; after that every access goes through the
+/// thread-local spill page cache, one page read per cache miss. The
+/// container is immutable once spilled — eviction happens between build
+/// phases, never during concurrent probes.
+///
+/// The resident fast path is a branch plus a vector index, so wrapping hot
+/// structures in SpillableVector costs nothing measurable when no budget is
+/// in play.
+template <typename T>
+class SpillableVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "spillable rows must be trivially copyable");
+
+ public:
+  static constexpr size_t kRowsPerPage = kSpillPageBytes / sizeof(T);
+
+  SpillableVector() = default;
+  SpillableVector(SpillableVector&&) noexcept = default;
+  SpillableVector& operator=(SpillableVector&&) noexcept = default;
+  SpillableVector(const SpillableVector&) = delete;
+  SpillableVector& operator=(const SpillableVector&) = delete;
+
+  /// Budget future resident bytes against `budget` (may be null).
+  void Attach(MemoryBudget* budget) { budget_ = budget; }
+
+  /// Resizes the resident vector, force-reserving the byte delta. Callers
+  /// that want denial-driven eviction TryReserve on the budget first and
+  /// shed memory elsewhere before calling this (the resize itself must
+  /// succeed — it holds the data being built right now).
+  void ResizeResident(size_t n) {
+    HWF_CHECK_MSG(!spilled(), "cannot resize a spilled vector");
+    const size_t old_bytes = storage_.capacity() * sizeof(T);
+    storage_.resize(n);
+    const size_t new_bytes = storage_.capacity() * sizeof(T);
+    if (new_bytes > old_bytes) {
+      reservation_.ForceReserve(budget_, new_bytes - old_bytes);
+    }
+    size_ = n;
+  }
+
+  /// Adopts an already-built vector (accounted the same way).
+  void AssignResident(std::vector<T>&& v) {
+    HWF_CHECK_MSG(!spilled(), "cannot assign over a spilled vector");
+    reservation_.Release();
+    storage_ = std::move(v);
+    size_ = storage_.size();
+    reservation_.ForceReserve(budget_, storage_.capacity() * sizeof(T));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool spilled() const { return file_ != nullptr; }
+
+  /// Resident-only raw access (the build paths write through these).
+  T* MutableData() {
+    HWF_DCHECK(!spilled());
+    return storage_.data();
+  }
+  const T* ResidentData() const {
+    HWF_DCHECK(!spilled());
+    return storage_.data();
+  }
+  std::vector<T>& MutableVector() {
+    HWF_CHECK_MSG(!spilled(), "vector access on spilled data");
+    return storage_;
+  }
+  const std::vector<T>& Vector() const {
+    HWF_CHECK_MSG(!spilled(), "vector access on spilled data");
+    return storage_;
+  }
+
+  /// Element access, resident or spilled. Spilled reads go through the
+  /// thread-local page cache: one pread per miss, zero locks. The spilled
+  /// paths live in HWF_NOINLINE_COLD helpers so these accessors inline into
+  /// the MST probe loops as a branch plus a load.
+  T Get(size_t i) const {
+    HWF_DCHECK(i < size_);
+    if (HWF_LIKELY(file_ == nullptr)) return storage_[i];
+    return SpilledGet(i);
+  }
+
+  /// Copies rows [lo, hi) into `out`. Spilled ranges bypass the cache and
+  /// pread page-sized chunks directly (bulk readers shouldn't evict the
+  /// probe path's cached pages).
+  void ReadRange(size_t lo, size_t hi, T* out) const {
+    HWF_DCHECK(lo <= hi && hi <= size_);
+    if (HWF_LIKELY(file_ == nullptr)) {
+      std::copy(storage_.begin() + lo, storage_.begin() + hi, out);
+      return;
+    }
+    SpilledReadRange(lo, hi, out);
+  }
+
+  /// std::lower_bound over rows [lo, hi): first index whose row is not less
+  /// than `value`. Resident data searches in place; spilled data does a
+  /// Get-backed binary search (page cache keeps this at ~1 I/O per probe
+  /// for the short cascade-bounded windows the MST uses).
+  size_t LowerBound(size_t lo, size_t hi, const T& value) const {
+    HWF_DCHECK(lo <= hi && hi <= size_);
+    if (HWF_LIKELY(file_ == nullptr)) {
+      return static_cast<size_t>(
+          std::lower_bound(storage_.begin() + lo, storage_.begin() + hi,
+                           value) -
+          storage_.begin());
+    }
+    return SpilledLowerBound(lo, hi, value);
+  }
+
+  /// Writes the rows into a fresh region of `file`, frees the resident
+  /// vector, and releases the budget reservation. No-op when already
+  /// spilled or empty.
+  Status Spill(SpillFile* file) {
+    if (spilled() || size_ == 0) return Status::OK();
+    const uint64_t region =
+        file->AllocateRegion(RunWriter<T>::RegionBytesFor(size_));
+    RunWriter<T> writer(file, region);
+    Status status = writer.AppendBatch(storage_.data(), size_);
+    if (status.ok()) status = writer.Finish();
+    if (!status.ok()) return status;  // keep resident on I/O failure
+    file_ = file;
+    region_offset_ = region;
+    storage_.clear();
+    storage_.shrink_to_fit();
+    reservation_.Release();
+    return Status::OK();
+  }
+
+  /// Bytes currently held in RAM / on disk.
+  size_t resident_bytes() const { return storage_.capacity() * sizeof(T); }
+  size_t spilled_bytes() const {
+    return spilled() ? RunWriter<T>::RegionBytesFor(size_) : 0;
+  }
+
+ private:
+  HWF_NOINLINE_COLD T SpilledGet(size_t i) const {
+    const uint64_t page = i / kRowsPerPage;
+    const size_t in_page = i % kRowsPerPage;
+    const std::byte* bytes = SpillPageCacheLookup(
+        *file_, region_offset_ + page * kSpillPageBytes, kSpillPageBytes);
+    HWF_CHECK_MSG(bytes != nullptr, "spill page read failed");
+    T value;
+    std::memcpy(&value, bytes + in_page * sizeof(T), sizeof(T));
+    return value;
+  }
+
+  HWF_NOINLINE_COLD void SpilledReadRange(size_t lo, size_t hi, T* out) const {
+    size_t i = lo;
+    while (i < hi) {
+      const uint64_t page = i / kRowsPerPage;
+      const size_t in_page = i % kRowsPerPage;
+      const size_t take = std::min(kRowsPerPage - in_page, hi - i);
+      Status status = file_->ReadAt(
+          region_offset_ + page * kSpillPageBytes + in_page * sizeof(T), out,
+          take * sizeof(T));
+      HWF_CHECK_MSG(status.ok(), status.message().c_str());
+      out += take;
+      i += take;
+    }
+  }
+
+  HWF_NOINLINE_COLD size_t SpilledLowerBound(size_t lo, size_t hi,
+                                             const T& value) const {
+    size_t count = hi - lo;
+    size_t first = lo;
+    while (count > 0) {
+      const size_t step = count / 2;
+      if (Get(first + step) < value) {
+        first += step + 1;
+        count -= step + 1;
+      } else {
+        count = step;
+      }
+    }
+    return first;
+  }
+
+  std::vector<T> storage_;
+  size_t size_ = 0;
+  MemoryBudget* budget_ = nullptr;
+  MemoryReservation reservation_;
+  const SpillFile* file_ = nullptr;
+  uint64_t region_offset_ = 0;
+};
+
+}  // namespace mem
+}  // namespace hwf
+
+#endif  // HWF_MEM_SPILLABLE_VECTOR_H_

@@ -2,11 +2,15 @@
 #define HWF_MST_ANNOTATED_MST_H_
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "mem/memory_budget.h"
+#include "mem/spill_file.h"
+#include "mem/spillable_vector.h"
 #include "mst/merge_sort_tree.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -35,12 +39,18 @@ class AnnotatedMergeSortTree {
 
   /// Builds the tree over `keys` with one aggregate `input` per key (both
   /// consumed). Prefix states are computed level by level in parallel.
+  ///
+  /// Under a memory budget (options.mem) the per-level input permutations
+  /// and prefix-state arrays are accounted; inputs are freed as soon as
+  /// their level's prefixes exist, and prefix levels are evicted to a spill
+  /// file (lowest level first) when the budget is over its soft limit.
   static AnnotatedMergeSortTree Build(std::vector<Index> keys,
                                       std::vector<Input> inputs,
                                       const Options& options = {},
                                       ThreadPool& pool = ThreadPool::Default()) {
     HWF_CHECK(keys.size() == inputs.size());
     AnnotatedMergeSortTree result;
+    mem::MemoryBudget* budget = options.mem.budget;
     std::vector<std::vector<Input>> level_inputs;
     result.tree_ = MergeSortTree<Index>::template BuildWithPayload<Input>(
         std::move(keys), options, pool, &inputs, &level_inputs);
@@ -52,12 +62,20 @@ class AnnotatedMergeSortTree {
     if (options.profile != nullptr) {
       annotate_start = std::chrono::steady_clock::now();
     }
-    result.prefixes_.resize(level_inputs.size());
     const size_t n = result.tree_.size();
+    // The level input permutations were built un-accounted inside
+    // BuildWithPayload (they are transient); account them here for the
+    // stretch they still live.
+    mem::MemoryReservation inputs_bytes;
+    inputs_bytes.ForceReserve(budget,
+                              level_inputs.size() * n * sizeof(Input));
+    result.prefixes_.resize(level_inputs.size());
     for (size_t level = 0; level < level_inputs.size(); ++level) {
-      const std::vector<Input>& in = level_inputs[level];
-      std::vector<State>& pref = result.prefixes_[level];
-      pref.resize(n);
+      std::vector<Input>& in = level_inputs[level];
+      mem::SpillableVector<State>& pref = result.prefixes_[level];
+      pref.Attach(budget);
+      pref.ResizeResident(n);
+      State* pref_data = pref.MutableData();
       const size_t run_len = RunLen(options.fanout, level);
       const size_t num_runs = run_len == 0 ? 1 : (n + run_len - 1) / run_len;
       ParallelFor(
@@ -68,14 +86,35 @@ class AnnotatedMergeSortTree {
               const size_t end = std::min(n, begin + run_len);
               if (begin >= end) continue;
               State acc = Ops::MakeState(in[begin]);
-              pref[begin] = acc;
+              pref_data[begin] = acc;
               for (size_t i = begin + 1; i < end; ++i) {
                 Ops::Merge(acc, Ops::MakeState(in[i]));
-                pref[i] = acc;
+                pref_data[i] = acc;
               }
             }
           },
           pool, /*morsel_size=*/1);
+      // This level's inputs are no longer needed — free them eagerly so
+      // peak memory tracks (prefix levels + remaining inputs), not both in
+      // full.
+      in.clear();
+      in.shrink_to_fit();
+      inputs_bytes.ReleasePartial(n * sizeof(Input));
+    }
+    // Shed prefix levels (lowest first — lower levels are probed via the
+    // page cache anyway) while over the soft limit.
+    if (options.mem.can_spill()) {
+      for (size_t level = 0; level + 1 < result.prefixes_.size() &&
+                             budget->over_soft_limit();
+           ++level) {
+        if (!result.EnsureSpillFile()) break;
+        obs::ScopedPhaseTimer spill_timer(options.mem.profile,
+                                          obs::ProfilePhase::kSpill);
+        if (!result.prefixes_[level].Spill(result.spill_file_.get()).ok()) {
+          break;
+        }
+        obs::Add(obs::Counter::kMemMstLevelsEvicted);
+      }
     }
     if (options.profile != nullptr) {
       options.profile->AddPhaseSeconds(
@@ -101,7 +140,7 @@ class AnnotatedMergeSortTree {
     tree_.VisitCountCover(
         pos_lo, pos_hi, threshold,
         [&](size_t level, size_t run_begin, size_t count) {
-          const State& piece = prefixes_[level][run_begin + count - 1];
+          const State piece = prefixes_[level].Get(run_begin + count - 1);
           if (result.has_value()) {
             Ops::Merge(*result, piece);
           } else {
@@ -111,11 +150,11 @@ class AnnotatedMergeSortTree {
     return result;
   }
 
-  /// Bytes held by tree levels plus prefix annotations.
+  /// Bytes held in RAM by tree levels plus prefix annotations.
   size_t MemoryUsageBytes() const {
     size_t bytes = tree_.MemoryUsageBytes();
-    for (const std::vector<State>& pref : prefixes_) {
-      bytes += pref.capacity() * sizeof(State);
+    for (const mem::SpillableVector<State>& pref : prefixes_) {
+      bytes += pref.resident_bytes();
     }
     return bytes;
   }
@@ -127,8 +166,17 @@ class AnnotatedMergeSortTree {
     return len;
   }
 
+  bool EnsureSpillFile() {
+    if (spill_file_ != nullptr) return true;
+    StatusOr<std::unique_ptr<mem::SpillFile>> file = mem::SpillFile::Create();
+    if (!file.ok()) return false;
+    spill_file_ = std::move(file).value();
+    return true;
+  }
+
   MergeSortTree<Index> tree_;
-  std::vector<std::vector<State>> prefixes_;
+  std::vector<mem::SpillableVector<State>> prefixes_;
+  std::unique_ptr<mem::SpillFile> spill_file_;
 };
 
 }  // namespace hwf

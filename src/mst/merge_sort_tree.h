@@ -6,12 +6,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "mem/memory_budget.h"
+#include "mem/spill_file.h"
+#include "mem/spillable_vector.h"
 #include "mst/loser_tree.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
@@ -59,6 +63,16 @@ struct MergeSortTreeOptions {
   /// total. The window executor points this at the profile handed to it via
   /// WindowExecutorOptions; benchmarks attach their own.
   obs::ExecutionProfile* profile = nullptr;
+
+  /// Memory governance. When `mem.budget` is set, every level's data and
+  /// cascade bytes are reserved against it; when `mem.can_spill()`, the
+  /// build evicts completed lower levels to a spill file whenever the next
+  /// level's allocation would not fit, and probes re-materialize evicted
+  /// entries page-wise through the thread-local spill cache (at most one
+  /// page read per level per probe — the cascading windows never span a
+  /// page more than once). The level currently being merged from and the
+  /// top level are never evicted.
+  mem::MemoryContext mem{};
 };
 
 /// A half-open key interval [lo, hi) used in tree queries.
@@ -297,19 +311,31 @@ class MergeSortTree {
   /// Number of entries in the tree.
   size_t size() const { return n_; }
 
-  /// The level-0 array (input order).
-  const std::vector<Index>& keys() const { return levels_.front().data; }
+  /// Entry `i` of the level-0 array (input order). Spill-aware: resident
+  /// level 0 is a plain vector index, an evicted level 0 costs at most one
+  /// page read through the thread-local spill cache.
+  Index KeyAt(size_t i) const { return levels_.front().data.Get(i); }
 
-  /// Bytes held by all levels including cascading pointers.
+  /// Copies level-0 entries [lo, hi) into `out` (bulk, page-at-a-time when
+  /// spilled — for sequential consumers like LEAD/LAG's rank scan).
+  void CopyKeys(size_t lo, size_t hi, Index* out) const {
+    levels_.front().data.ReadRange(lo, hi, out);
+  }
+
+  /// Bytes held in RAM by all levels including cascading pointers.
   size_t MemoryUsageBytes() const;
+
+  /// Bytes of levels currently evicted to the spill file.
+  size_t SpilledBytes() const;
 
   /// Number of levels (including level 0).
   size_t num_levels() const { return levels_.size(); }
 
   /// Read-only access to a level's concatenated run data (tests/debugging).
+  /// Resident levels only — budgeted trees may have evicted lower levels.
   const std::vector<Index>& level_data(size_t level) const {
     HWF_CHECK(level < levels_.size());
-    return levels_[level].data;
+    return levels_[level].data.Vector();
   }
 
   /// Counts entries at positions [pos_lo, pos_hi) with key < threshold.
@@ -356,12 +382,14 @@ class MergeSortTree {
 
  private:
   struct Level {
-    /// All runs of this level, concatenated; size n.
-    std::vector<Index> data;
+    /// All runs of this level, concatenated; size n. Spillable: lower
+    /// levels of a budgeted tree may live in the spill file.
+    mem::SpillableVector<Index> data;
     /// Cascading pointers: for every run, for sample s (output offset s·k),
     /// `fanout` child offsets. Runs are strided by samples_per_full_run.
-    /// Empty for levels 0 and 1 and when cascading is disabled.
-    std::vector<Index> cascade;
+    /// Empty for levels 0 and 1 and when cascading is disabled. Evicted
+    /// together with `data` (at f = k they are the same order of size).
+    mem::SpillableVector<Index> cascade;
     /// Run length fanout^level (last run may be shorter).
     size_t run_len = 1;
     /// Cascade samples per full run: floor((run_len-1)/k) + 1.
@@ -374,10 +402,44 @@ class MergeSortTree {
   }
 
   /// Lower-bound position of `t` in the (single, fully sorted) top run.
+  /// The top level is never evicted, so this is always a resident search.
   size_t TopLowerBoundImpl(Index t) const {
-    const std::vector<Index>& top = levels_.back().data;
-    return static_cast<size_t>(
-        std::lower_bound(top.begin(), top.end(), t) - top.begin());
+    return levels_.back().data.LowerBound(0, n_, t);
+  }
+
+  /// Evicts the lowest resident level with index <= `max_level` (data +
+  /// cascade) to the spill file. Returns false when nothing is evictable.
+  bool EvictOneLevel(size_t max_level) {
+    if (spill_file_ == nullptr) {
+      StatusOr<std::unique_ptr<mem::SpillFile>> file =
+          mem::SpillFile::Create();
+      if (!file.ok()) return false;
+      spill_file_ = std::move(file).value();
+    }
+    for (size_t l = 0; l <= max_level && l < levels_.size(); ++l) {
+      Level& level = levels_[l];
+      if (level.data.spilled() || level.data.empty()) continue;
+      obs::ScopedPhaseTimer spill_timer(opts_.mem.profile,
+                                        obs::ProfilePhase::kSpill);
+      if (!level.data.Spill(spill_file_.get()).ok()) return false;
+      // Cascade eviction failing after data eviction is fine: probes
+      // handle mixed residency per vector.
+      (void)level.cascade.Spill(spill_file_.get());
+      obs::Add(obs::Counter::kMemMstLevelsEvicted);
+      return true;
+    }
+    return false;
+  }
+
+  /// Sheds completed levels (lowest first, up to `max_level`) until the
+  /// budget could grant `need_bytes` more. Best-effort: when nothing is
+  /// left to evict the caller proceeds with ForceReserve and the overshoot
+  /// shows up in the forced-over-budget counter.
+  void EnsureRoom(size_t need_bytes, size_t max_level) {
+    if (!opts_.mem.can_spill()) return;
+    while (opts_.mem.budget->available_bytes() < need_bytes) {
+      if (!EvictOneLevel(max_level)) break;
+    }
   }
 
   /// Given the lower-bound position `p` of `t` within the run of `level`
@@ -398,6 +460,8 @@ class MergeSortTree {
   size_t n_ = 0;
   Options opts_;
   std::vector<Level> levels_;
+  /// Shared destination of all evicted levels; created on first eviction.
+  std::unique_ptr<mem::SpillFile> spill_file_;
 };
 
 // ---------------------------------------------------------------------------
@@ -417,7 +481,14 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
   MergeSortTree tree;
   tree.n_ = keys.size();
   tree.opts_ = options;
-  tree.levels_.push_back(Level{std::move(keys), {}, 1, 0});
+  mem::MemoryBudget* budget = options.mem.budget;
+  {
+    Level level0;
+    level0.run_len = 1;
+    level0.data.Attach(budget);
+    level0.data.AssignResident(std::move(keys));
+    tree.levels_.push_back(std::move(level0));
+  }
   if (has_payload && level_payloads != nullptr) {
     level_payloads->clear();
     level_payloads->push_back(std::move(*payload));
@@ -443,19 +514,31 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
     const bool want_cascade = options.use_cascading && level >= 2;
     Level out;
     out.run_len = run_len;
-    out.data.resize(n);
+    const size_t num_runs = (n + run_len - 1) / run_len;
+    size_t cascade_elems = 0;
+    if (want_cascade) {
+      out.samples_per_full_run = tree.SamplesForLen(std::min(run_len, n));
+      // The last (possibly short) run still reserves a full stride; the
+      // surplus slots are never read.
+      cascade_elems = num_runs * out.samples_per_full_run * f;
+    }
+    // Make room for this level under the budget by evicting completed
+    // levels below the merge source (level - 2 and down). The source level
+    // must stay resident — it is being read by every merge task.
+    {
+      size_t need = (n + cascade_elems) * sizeof(Index);
+      if (has_payload) need += n * sizeof(Payload);
+      if (level >= 2) tree.EnsureRoom(need, level - 2);
+    }
+    out.data.Attach(budget);
+    out.data.ResizeResident(n);
+    out.cascade.Attach(budget);
+    if (want_cascade) out.cascade.ResizeResident(cascade_elems);
     std::vector<Payload> out_payload;
     const Payload* src_payload_data = nullptr;
     if (has_payload) {
       out_payload.resize(n);
       src_payload_data = (*level_payloads)[level - 1].data();
-    }
-    const size_t num_runs = (n + run_len - 1) / run_len;
-    if (want_cascade) {
-      out.samples_per_full_run = tree.SamplesForLen(std::min(run_len, n));
-      // The last (possibly short) run still reserves a full stride; the
-      // surplus slots are never read.
-      out.cascade.resize(num_runs * out.samples_per_full_run * f);
     }
     const Level& src = tree.levels_.back();
     const size_t parallelism = static_cast<size_t>(pool.parallelism());
@@ -480,7 +563,7 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                 const size_t cb = begin + c * child_run_len;
                 if (cb >= end) break;
                 const size_t ce = std::min(end, cb + child_run_len);
-                scratch.child_data[num_children] = src.data.data() + cb;
+                scratch.child_data[num_children] = src.data.ResidentData() + cb;
                 scratch.child_lens[num_children] = ce - cb;
                 if (has_payload) {
                   scratch.child_payload[num_children] = src_payload_data + cb;
@@ -489,13 +572,13 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
               }
               Index* cascade_out =
                   want_cascade
-                      ? out.cascade.data() + r * out.samples_per_full_run * f
+                      ? out.cascade.MutableData() + r * out.samples_per_full_run * f
                       : nullptr;
               if (has_payload) {
                 internal_mst::MergeRunDispatch<Index, Payload, true>(
                     kernel, leaf_children, scratch, scratch.child_data.data(),
                     scratch.child_lens.data(), num_children,
-                    out.data.data() + begin, end - begin, cascade_out, k, f,
+                    out.data.MutableData() + begin, end - begin, cascade_out, k, f,
                     scratch.child_payload.data(), out_payload.data() + begin);
               } else if (kernel == MergeKernel::kHeap && leaf_children &&
                          cascade_out == nullptr) {
@@ -504,13 +587,13 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                 // still measures what the seed implementation measured.)
                 std::copy(scratch.child_data[0],
                           scratch.child_data[0] + (end - begin),
-                          out.data.data() + begin);
-                std::sort(out.data.data() + begin, out.data.data() + end);
+                          out.data.MutableData() + begin);
+                std::sort(out.data.MutableData() + begin, out.data.MutableData() + end);
               } else {
                 internal_mst::MergeRunDispatch<Index, Payload, false>(
                     kernel, leaf_children, scratch, scratch.child_data.data(),
                     scratch.child_lens.data(), num_children,
-                    out.data.data() + begin, end - begin, cascade_out, k, f,
+                    out.data.MutableData() + begin, end - begin, cascade_out, k, f,
                     nullptr, nullptr);
               }
             }
@@ -536,14 +619,14 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
           const size_t cb = begin + c * child_run_len;
           if (cb >= end) break;
           const size_t ce = std::min(end, cb + child_run_len);
-          child_data[num_children] = src.data.data() + cb;
+          child_data[num_children] = src.data.ResidentData() + cb;
           child_lens[num_children] = ce - cb;
           if (has_payload) child_payload[num_children] = src_payload_data + cb;
           ++num_children;
         }
         Index* cascade_out =
             want_cascade
-                ? out.cascade.data() + r * out.samples_per_full_run * f
+                ? out.cascade.MutableData() + r * out.samples_per_full_run * f
                 : nullptr;
         const size_t num_chunks =
             std::min(parallelism, std::max<size_t>(1, run_actual / 4096));
@@ -561,14 +644,14 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
               internal_mst::MergeRunDispatch<Index, Payload, true>(
                   kernel, leaf_children, chunk_scratch[chunk],
                   child_data.data(), child_lens.data(), num_children,
-                  out.data.data() + begin, k1 - k0, cascade_out, k, f,
+                  out.data.MutableData() + begin, k1 - k0, cascade_out, k, f,
                   child_payload.data(), out_payload.data() + begin, k0,
                   chunk_offsets[chunk].data());
             } else {
               internal_mst::MergeRunDispatch<Index, Payload, false>(
                   kernel, leaf_children, chunk_scratch[chunk],
                   child_data.data(), child_lens.data(), num_children,
-                  out.data.data() + begin, k1 - k0, cascade_out, k, f,
+                  out.data.MutableData() + begin, k1 - k0, cascade_out, k, f,
                   nullptr, nullptr, k0, chunk_offsets[chunk].data());
             }
           });
@@ -579,7 +662,7 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
     obs::Add(obs::Counter::kMstLevelsBuilt);
     obs::Add(obs::Counter::kMstMergeElementsMoved, n);
     obs::Add(obs::Counter::kMstLevelBytesAllocated,
-             (out.data.capacity() + out.cascade.capacity()) * sizeof(Index));
+             out.data.resident_bytes() + out.cascade.resident_bytes());
     tree.levels_.push_back(std::move(out));
     if (has_payload) {
       level_payloads->push_back(std::move(out_payload));
@@ -592,6 +675,14 @@ MergeSortTree<Index> MergeSortTree<Index>::BuildWithPayload(
                          .count());
     }
   }
+  // Post-build shed: the merge frontier is gone, so every level below the
+  // top is evictable. Bring reservations back under the soft limit so the
+  // probe phase (and sibling partitions) have headroom.
+  if (options.mem.can_spill()) {
+    while (options.mem.budget->over_soft_limit() &&
+           tree.EvictOneLevel(tree.levels_.size() - 2)) {
+    }
+  }
   return tree;
 }
 
@@ -599,8 +690,18 @@ template <typename Index>
 size_t MergeSortTree<Index>::MemoryUsageBytes() const {
   size_t bytes = 0;
   for (const Level& level : levels_) {
-    bytes += level.data.capacity() * sizeof(Index);
-    bytes += level.cascade.capacity() * sizeof(Index);
+    bytes += level.data.resident_bytes();
+    bytes += level.cascade.resident_bytes();
+  }
+  return bytes;
+}
+
+template <typename Index>
+size_t MergeSortTree<Index>::SpilledBytes() const {
+  size_t bytes = 0;
+  for (const Level& level : levels_) {
+    bytes += level.data.spilled_bytes();
+    bytes += level.cascade.spilled_bytes();
   }
   return bytes;
 }
@@ -613,7 +714,6 @@ size_t MergeSortTree<Index>::CascadeToChild(size_t level, size_t run_begin,
   const Level& lvl = levels_[level];
   const Level& child_lvl = levels_[level - 1];
   const size_t child_begin = run_begin + child * child_lvl.run_len;
-  const Index* child_data = child_lvl.data.data() + child_begin;
 
   size_t window_lo = 0;
   size_t window_hi = child_len;
@@ -624,20 +724,18 @@ size_t MergeSortTree<Index>::CascadeToChild(size_t level, size_t run_begin,
     const size_t run_index = run_begin / lvl.run_len;
     const size_t num_samples = SamplesForLen(run_len_actual);
     const size_t s = std::min(p / k, num_samples - 1);
-    const Index* base =
-        lvl.cascade.data() + (run_index * lvl.samples_per_full_run + s) * f;
-    window_lo = static_cast<size_t>(base[child]);
+    const size_t base = (run_index * lvl.samples_per_full_run + s) * f;
+    window_lo = static_cast<size_t>(lvl.cascade.Get(base + child));
     if (s + 1 < num_samples) {
-      window_hi = std::min<size_t>(static_cast<size_t>(base[f + child]),
-                                   child_len);
+      window_hi = std::min<size_t>(
+          static_cast<size_t>(lvl.cascade.Get(base + f + child)), child_len);
     }
   } else {
     obs::Add(obs::Counter::kMstBinarySearchFallbacks);
   }
-  return window_lo + static_cast<size_t>(
-                         std::lower_bound(child_data + window_lo,
-                                          child_data + window_hi, t) -
-                         (child_data + window_lo));
+  return child_lvl.data.LowerBound(child_begin + window_lo,
+                                   child_begin + window_hi, t) -
+         child_begin;
 }
 
 template <typename Index>
@@ -667,7 +765,7 @@ void MergeSortTree<Index>::VisitCountCoverInRun(size_t level, size_t run_begin,
     size_t pc;
     if (level == 1) {
       // Children are single elements: direct comparison.
-      pc = levels_[0].data[cb] < t ? 1 : 0;
+      pc = levels_[0].data.Get(cb) < t ? 1 : 0;
     } else {
       pc = CascadeToChild(level, run_begin, run_len_actual, p, t, c, ce - cb);
     }
@@ -688,7 +786,9 @@ void MergeSortTree<Index>::VisitCountCover(size_t pos_lo, size_t pos_hi,
   HWF_CHECK(pos_hi <= n_);
   if (pos_lo >= pos_hi) return;
   if (n_ == 1) {
-    if (levels_[0].data[0] < threshold) visit(size_t{0}, size_t{0}, size_t{1});
+    if (levels_[0].data.Get(0) < threshold) {
+      visit(size_t{0}, size_t{0}, size_t{1});
+    }
     return;
   }
   const size_t top = levels_.size() - 1;
@@ -699,13 +799,13 @@ void MergeSortTree<Index>::VisitCountCover(size_t pos_lo, size_t pos_hi,
 template <typename Index>
 size_t MergeSortTree<Index>::CountKeysInRanges(
     std::span<const KeyRange<Index>> ranges) const {
-  const std::vector<Index>& top = levels_.back().data;
+  const mem::SpillableVector<Index>& top = levels_.back().data;
   size_t count = 0;
   for (const KeyRange<Index>& range : ranges) {
     if (range.lo >= range.hi) continue;
-    auto lo_it = std::lower_bound(top.begin(), top.end(), range.lo);
-    auto hi_it = std::lower_bound(lo_it, top.end(), range.hi);
-    count += static_cast<size_t>(hi_it - lo_it);
+    const size_t lo = top.LowerBound(0, n_, range.lo);
+    const size_t hi = top.LowerBound(lo, n_, range.hi);
+    count += hi - lo;
   }
   return count;
 }
@@ -722,14 +822,10 @@ size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
   size_t pos_lo[kMaxRanges];
   size_t pos_hi[kMaxRanges];
 
-  const std::vector<Index>& top_data = levels_.back().data;
+  const mem::SpillableVector<Index>& top_data = levels_.back().data;
   for (size_t r = 0; r < ranges.size(); ++r) {
-    pos_lo[r] = static_cast<size_t>(
-        std::lower_bound(top_data.begin(), top_data.end(), ranges[r].lo) -
-        top_data.begin());
-    pos_hi[r] = static_cast<size_t>(
-        std::lower_bound(top_data.begin(), top_data.end(), ranges[r].hi) -
-        top_data.begin());
+    pos_lo[r] = top_data.LowerBound(0, n_, ranges[r].lo);
+    pos_hi[r] = top_data.LowerBound(0, n_, ranges[r].hi);
   }
 
   size_t level = levels_.size() - 1;
@@ -750,7 +846,7 @@ size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
       size_t count = 0;
       for (size_t r = 0; r < ranges.size(); ++r) {
         if (level == 1) {
-          const Index key = levels_[0].data[cb];
+          const Index key = levels_[0].data.Get(cb);
           const bool in = key >= ranges[r].lo && key < ranges[r].hi;
           child_lo[r] = 0;
           child_hi[r] = in ? 1 : 0;

@@ -35,6 +35,20 @@ const char* CounterName(Counter counter) {
       return "executor.index32_dispatches";
     case Counter::kExecutorIndex64Dispatches:
       return "executor.index64_dispatches";
+    case Counter::kMemSpillFilesCreated:
+      return "mem.spill_files_created";
+    case Counter::kMemSpillBytesWritten:
+      return "mem.spill_bytes_written";
+    case Counter::kMemSpillBytesRead:
+      return "mem.spill_bytes_read";
+    case Counter::kMemBudgetDeniedReservations:
+      return "mem.budget_denied_reservations";
+    case Counter::kMemForcedOverBudgetBytes:
+      return "mem.forced_over_budget_bytes";
+    case Counter::kMemMstLevelsEvicted:
+      return "mem.mst_levels_evicted";
+    case Counter::kMemExternalSortRuns:
+      return "mem.external_sort_runs";
     case Counter::kNumCounters:
       break;
   }

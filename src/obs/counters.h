@@ -38,6 +38,15 @@ enum class Counter : size_t {
   kExecutorIndex32Dispatches, // per-partition 32-bit index-width decisions
   kExecutorIndex64Dispatches, // per-partition 64-bit index-width decisions
 
+  // Memory governance / spilling.
+  kMemSpillFilesCreated,          // temp files opened for spilled runs/levels
+  kMemSpillBytesWritten,          // bytes written to spill files
+  kMemSpillBytesRead,             // bytes read back from spill files
+  kMemBudgetDeniedReservations,   // TryReserve calls rejected by the budget
+  kMemForcedOverBudgetBytes,      // bytes reserved past the limit (degrade)
+  kMemMstLevelsEvicted,           // MST levels evicted to spill files
+  kMemExternalSortRuns,           // sorted runs written by the external sort
+
   kNumCounters,
 };
 

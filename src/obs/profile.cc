@@ -19,6 +19,8 @@ const char* ProfilePhaseName(ProfilePhase phase) {
       return "tree_build";
     case ProfilePhase::kProbe:
       return "probe";
+    case ProfilePhase::kSpill:
+      return "spill";
     case ProfilePhase::kNumPhases:
       break;
   }
@@ -39,6 +41,8 @@ const char* ScopedPhaseTimer::ProfilePhaseTraceName(ProfilePhase phase) {
       return "window.tree_build";
     case ProfilePhase::kProbe:
       return "window.probe";
+    case ProfilePhase::kSpill:
+      return "window.spill";
     case ProfilePhase::kNumPhases:
       break;
   }
@@ -52,6 +56,8 @@ void ExecutionProfile::Clear() {
   total_seconds_ = 0;
   rows_ = 0;
   partitions_ = 0;
+  memory_limit_bytes_ = 0;
+  peak_reserved_bytes_ = 0;
   engine_.clear();
   counters_ = CounterSnapshot{};
 }
@@ -91,6 +97,16 @@ void ExecutionProfile::SetTotalSeconds(double seconds) {
   total_seconds_ = seconds;
 }
 
+void ExecutionProfile::SetMemoryLimitBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_limit_bytes_ = bytes;
+}
+
+void ExecutionProfile::SetPeakReservedBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peak_reserved_bytes_ = bytes;
+}
+
 void ExecutionProfile::CaptureCountersSince(const CounterSnapshot& before) {
   const CounterSnapshot after = SnapshotCounters();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -122,6 +138,16 @@ size_t ExecutionProfile::partitions() const {
   return partitions_;
 }
 
+size_t ExecutionProfile::memory_limit_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_limit_bytes_;
+}
+
+size_t ExecutionProfile::peak_reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_reserved_bytes_;
+}
+
 CounterSnapshot ExecutionProfile::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
@@ -145,6 +171,8 @@ std::string ExecutionProfile::ToJson() const {
   json += ", \"engine\": \"" + engine_ + "\"";
   json += ", \"total_seconds\": ";
   AppendDouble(&json, total_seconds_);
+  json += ", \"memory_limit_bytes\": " + std::to_string(memory_limit_bytes_);
+  json += ", \"peak_reserved_bytes\": " + std::to_string(peak_reserved_bytes_);
   json += ", \"phases\": {";
   for (size_t i = 0; i < kNumProfilePhases; ++i) {
     if (i > 0) json += ", ";
@@ -196,6 +224,13 @@ std::string ExecutionProfile::Explain() const {
   if (total_seconds_ > 0) {
     std::snprintf(line, sizeof line, "  %-15s %10.6f\n", "total",
                   total_seconds_);
+    out += line;
+  }
+
+  if (memory_limit_bytes_ > 0 || peak_reserved_bytes_ > 0) {
+    std::snprintf(line, sizeof line,
+                  "  memory: limit %zu bytes, peak reserved %zu bytes\n",
+                  memory_limit_bytes_, peak_reserved_bytes_);
     out += line;
   }
 

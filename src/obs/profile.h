@@ -25,6 +25,9 @@ namespace obs {
 ///   - kTreeBuild: merge sort tree level construction (per-level detail in
 ///     tree_level_seconds()).
 ///   - kProbe: computing results from the built structures.
+///   - kSpill: writing sorted runs / evicted tree levels to spill files and
+///     reading them back (only non-zero when a memory budget forces the
+///     out-of-core path).
 enum class ProfilePhase : size_t {
   kPartition,
   kSort,
@@ -32,6 +35,7 @@ enum class ProfilePhase : size_t {
   kFrameResolve,
   kTreeBuild,
   kProbe,
+  kSpill,
   kNumPhases,
 };
 
@@ -71,6 +75,13 @@ class ExecutionProfile {
   void SetEngine(const std::string& engine);
   void SetTotalSeconds(double seconds);
 
+  /// Memory-governance summary: the budget the run was given (0 =
+  /// unlimited) and the high-water mark of reserved bytes. Peaks are a
+  /// maximum, not a monotonic counter, so they live here instead of in the
+  /// counter table (snapshot deltas would corrupt them).
+  void SetMemoryLimitBytes(size_t bytes);
+  void SetPeakReservedBytes(size_t bytes);
+
   /// Stores the counter activity since `before` (captured via
   /// SnapshotCounters() when the execution started).
   void CaptureCountersSince(const CounterSnapshot& before);
@@ -80,6 +91,8 @@ class ExecutionProfile {
   double total_seconds() const;
   size_t rows() const;
   size_t partitions() const;
+  size_t memory_limit_bytes() const;
+  size_t peak_reserved_bytes() const;
   CounterSnapshot counters() const;
 
   /// Serializes the profile as one JSON object:
@@ -99,6 +112,8 @@ class ExecutionProfile {
   double total_seconds_ = 0;
   size_t rows_ = 0;
   size_t partitions_ = 0;
+  size_t memory_limit_bytes_ = 0;
+  size_t peak_reserved_bytes_ = 0;
   std::string engine_;
   CounterSnapshot counters_{};
 };

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "mem/chunk_arena.h"
+#include "mem/memory_budget.h"
 #include "mst/loser_tree.h"
 #include "obs/trace.h"
 #include "parallel/introsort.h"
@@ -93,31 +95,35 @@ void MergeParallel(const T* a, size_t na, const T* b, size_t nb, T* out,
 /// per element — the same kernel and fanout the merge sort tree build uses.
 inline constexpr size_t kSortMergeFanout = 32;
 
-/// Sorts `data` in parallel: thread-local introsort runs followed by
-/// loser-tree multiway merge rounds (fanout kSortMergeFanout).
-///
-/// This mirrors the paper's preprocessing sort (§5.2): each task sorts a
-/// fixed-size run with introsort (3-way quicksort partitioning by default,
-/// see PartitionScheme), then sorted runs are combined with balanced
-/// multiway merges — whole groups per task while groups are plentiful,
-/// co-selected chunks (MultiwaySelectGeneric splits) once they are not.
-/// Ties break toward the lower run index, so the result is bit-identical
-/// to the earlier pairwise merge cascade. `less` must be a strict weak
-/// order; for deterministic results across thread counts, make it a strict
-/// total order (e.g., break ties on a row id), which all library call
-/// sites do.
+namespace internal_sort {
+
+/// Conservative byte estimate of one merge task's loser-tree internals
+/// (key/loser/live arrays), charged alongside the ChunkArena scratch so the
+/// budget sees the whole per-task footprint.
+template <typename T>
+constexpr size_t LoserTreeScratchBytes() {
+  return kSortMergeFanout *
+         (sizeof(T) + 2 * sizeof(uint32_t) + sizeof(unsigned char) + 16);
+}
+
+}  // namespace internal_sort
+
+/// Sorts `data[0..n)` in parallel into itself, using `scratch` (>= n
+/// elements) as the merge ping-pong buffer. This is the allocation-free core
+/// of ParallelSort: callers own both buffers, so external sorts can run it
+/// over budget-reserved chunks. Per-task merge scratch is drawn from
+/// ChunkArenas accounted against `budget` (null = unaccounted).
 template <typename T, typename Less>
-void ParallelSort(std::vector<T>& data, Less less,
-                  ThreadPool& pool = ThreadPool::Default(),
-                  size_t run_size = kDefaultMorselSize,
-                  PartitionScheme scheme = PartitionScheme::kThreeWay) {
-  const size_t n = data.size();
+void ParallelSortRange(T* data, size_t n, Less less, ThreadPool& pool,
+                       size_t run_size, PartitionScheme scheme, T* scratch,
+                       mem::MemoryBudget* budget = nullptr) {
   HWF_CHECK(run_size > 0);
   HWF_TRACE_SCOPE_ARG("sort.parallel_sort", "n", n);
   if (n <= run_size || pool.num_workers() == 0) {
-    Introsort(data.begin(), data.end(), less, scheme);
+    Introsort(data, data + n, less, scheme);
     return;
   }
+  HWF_CHECK_MSG(scratch != nullptr, "ParallelSortRange needs merge scratch");
 
   {
     // Phase 1: sort fixed-size runs in parallel.
@@ -125,8 +131,7 @@ void ParallelSort(std::vector<T>& data, Less less,
     ParallelFor(
         0, n,
         [&](size_t lo, size_t hi) {
-          Introsort(data.begin() + static_cast<ptrdiff_t>(lo),
-                    data.begin() + static_cast<ptrdiff_t>(hi), less, scheme);
+          Introsort(data + lo, data + hi, less, scheme);
         },
         pool, run_size);
   }
@@ -136,9 +141,8 @@ void ParallelSort(std::vector<T>& data, Less less,
   // into one run with a loser tree.
   HWF_TRACE_SCOPE("sort.merge_phase");
   const size_t parallelism = static_cast<size_t>(pool.parallelism());
-  std::vector<T> buffer(n);
-  T* src = data.data();
-  T* dst = buffer.data();
+  T* src = data;
+  T* dst = scratch;
   for (size_t width = run_size; width < n; width *= kSortMergeFanout) {
     const size_t group_len = width * kSortMergeFanout;
     const size_t num_groups = (n + group_len - 1) / group_len;
@@ -162,18 +166,23 @@ void ParallelSort(std::vector<T>& data, Less less,
       ParallelFor(
           0, num_groups,
           [&](size_t g_lo, size_t g_hi) {
-            std::vector<const T*> child_data(kSortMergeFanout);
-            std::vector<size_t> child_lens(kSortMergeFanout);
-            std::vector<size_t> pos(kSortMergeFanout);
+            mem::ChunkArena arena(budget, /*min_chunk_bytes=*/4096);
+            mem::MemoryReservation tree_scratch;
+            tree_scratch.ForceReserve(
+                budget, internal_sort::LoserTreeScratchBytes<T>());
+            const T** child_data =
+                arena.template AllocateArray<const T*>(kSortMergeFanout);
+            size_t* child_lens =
+                arena.template AllocateArray<size_t>(kSortMergeFanout);
+            size_t* pos = arena.template AllocateArray<size_t>(kSortMergeFanout);
             LoserTree<T, Less> tree;
             for (size_t g = g_lo; g < g_hi; ++g) {
               const size_t begin = g * group_len;
               const size_t end = std::min(n, begin + group_len);
-              const size_t m =
-                  collect_group(g, child_data.data(), child_lens.data());
-              std::fill(pos.begin(), pos.begin() + m, 0);
-              LoserTreeMerge(tree, child_data.data(), child_lens.data(), m,
-                             pos.data(), dst + begin, end - begin, less);
+              const size_t m = collect_group(g, child_data, child_lens);
+              std::fill(pos, pos + m, 0);
+              LoserTreeMerge(tree, child_data, child_lens, m, pos, dst + begin,
+                             end - begin, less);
             }
           },
           pool, /*morsel_size=*/1);
@@ -195,12 +204,16 @@ void ParallelSort(std::vector<T>& data, Less less,
           const size_t k1 = group_actual * (chunk + 1) / num_chunks;
           if (k0 >= k1) continue;
           group.Run([&, k0, k1] {
-            std::vector<size_t> pos(m);
+            mem::ChunkArena arena(budget, /*min_chunk_bytes=*/4096);
+            mem::MemoryReservation tree_scratch;
+            tree_scratch.ForceReserve(
+                budget, internal_sort::LoserTreeScratchBytes<T>());
+            size_t* pos = arena.template AllocateArray<size_t>(m);
             MultiwaySelectGeneric(child_data.data(), child_lens.data(), m, k0,
-                                  less, pos.data());
+                                  less, pos);
             LoserTree<T, Less> tree;
-            LoserTreeMerge(tree, child_data.data(), child_lens.data(), m,
-                           pos.data(), dst + begin + k0, k1 - k0, less);
+            LoserTreeMerge(tree, child_data.data(), child_lens.data(), m, pos,
+                           dst + begin + k0, k1 - k0, less);
           });
         }
         group.Wait();
@@ -208,9 +221,45 @@ void ParallelSort(std::vector<T>& data, Less less,
     }
     std::swap(src, dst);
   }
-  if (src != data.data()) {
-    std::copy(src, src + n, data.data());
+  if (src != data) {
+    std::copy(src, src + n, data);
   }
+}
+
+/// Sorts `data` in parallel: thread-local introsort runs followed by
+/// loser-tree multiway merge rounds (fanout kSortMergeFanout).
+///
+/// This mirrors the paper's preprocessing sort (§5.2): each task sorts a
+/// fixed-size run with introsort (3-way quicksort partitioning by default,
+/// see PartitionScheme), then sorted runs are combined with balanced
+/// multiway merges — whole groups per task while groups are plentiful,
+/// co-selected chunks (MultiwaySelectGeneric splits) once they are not.
+/// Ties break toward the lower run index, so the result is bit-identical
+/// to the earlier pairwise merge cascade. `less` must be a strict weak
+/// order; for deterministic results across thread counts, make it a strict
+/// total order (e.g., break ties on a row id), which all library call
+/// sites do.
+///
+/// When `budget` is non-null the merge buffer and per-task scratch are
+/// accounted against it (ForceReserve — this entry point never spills; use
+/// mem::SortWithBudget for the budget-respecting external path).
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>& data, Less less,
+                  ThreadPool& pool = ThreadPool::Default(),
+                  size_t run_size = kDefaultMorselSize,
+                  PartitionScheme scheme = PartitionScheme::kThreeWay,
+                  mem::MemoryBudget* budget = nullptr) {
+  const size_t n = data.size();
+  HWF_CHECK(run_size > 0);
+  if (n <= run_size || pool.num_workers() == 0) {
+    Introsort(data.begin(), data.end(), less, scheme);
+    return;
+  }
+  mem::MemoryReservation buffer_bytes;
+  buffer_bytes.ForceReserve(budget, n * sizeof(T));
+  std::vector<T> buffer(n);
+  ParallelSortRange(data.data(), n, less, pool, run_size, scheme,
+                    buffer.data(), budget);
 }
 
 }  // namespace hwf

@@ -15,71 +15,98 @@ struct Cell {
   bool quoted = false;  // Quoted empty fields are empty strings, not NULL.
 };
 
-/// Splits CSV content into records of cells. Handles quoted fields with
-/// doubled-quote escapes and embedded delimiters/newlines.
-StatusOr<std::vector<std::vector<Cell>>> Tokenize(const std::string& content,
-                                                  char delimiter) {
-  std::vector<std::vector<Cell>> records;
-  std::vector<Cell> record;
-  Cell cell;
-  bool in_quotes = false;
-  bool cell_started = false;
+/// Incremental CSV tokenizer: feed it the input in arbitrary chunks, then
+/// call Finish() once for the tokenized records. Handles quoted fields with
+/// doubled-quote escapes and embedded delimiters/newlines; all state —
+/// including the lookahead for a doubled quote — survives chunk boundaries,
+/// so file readers never need to materialize the whole input in memory.
+class CsvTokenizer {
+ public:
+  explicit CsvTokenizer(char delimiter) : delimiter_(delimiter) {}
 
-  auto end_cell = [&] {
-    record.push_back(std::move(cell));
-    cell = Cell();
-    cell_started = false;
-  };
-  auto end_record = [&] {
-    end_cell();
-    records.push_back(std::move(record));
-    record.clear();
-  };
+  void Feed(const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) Process(data[i]);
+  }
 
-  for (size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < content.size() && content[i + 1] == '"') {
-          cell.text.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        cell.text.push_back(c);
-      }
-      continue;
+  StatusOr<std::vector<std::vector<Cell>>> Finish() {
+    // A pending quote at end of input is the field's closing quote.
+    if (quote_pending_) {
+      quote_pending_ = false;
+      in_quotes_ = false;
     }
-    if (c == '"' && !cell_started) {
-      in_quotes = true;
-      cell.quoted = true;
-      cell_started = true;
-    } else if (c == delimiter) {
-      end_cell();
+    if (in_quotes_) {
+      return Status::InvalidArgument("CSV ends inside a quoted field");
+    }
+    if (cell_started_ || !record_.empty()) {
+      if (!cell_.text.empty() && cell_.text.back() == '\r') {
+        cell_.text.pop_back();
+      }
+      EndRecord();
+    }
+    return std::move(records_);
+  }
+
+ private:
+  void Process(char c) {
+    if (quote_pending_) {
+      // The previous character was a quote inside a quoted field: a second
+      // quote is an escaped literal quote, anything else closed the field.
+      quote_pending_ = false;
+      if (c == '"') {
+        cell_.text.push_back('"');
+        return;
+      }
+      in_quotes_ = false;
+      // Fall through: c is re-examined in unquoted context.
+    } else if (in_quotes_) {
+      if (c == '"') {
+        quote_pending_ = true;
+      } else {
+        cell_.text.push_back(c);
+      }
+      return;
+    }
+    if (c == '"' && !cell_started_) {
+      in_quotes_ = true;
+      cell_.quoted = true;
+      cell_started_ = true;
+    } else if (c == delimiter_) {
+      EndCell();
     } else if (c == '\n') {
       // Swallow a preceding \r (CRLF).
-      if (!cell.text.empty() && cell.text.back() == '\r') {
-        cell.text.pop_back();
+      if (!cell_.text.empty() && cell_.text.back() == '\r') {
+        cell_.text.pop_back();
       }
-      if (record.empty() && !cell_started && cell.text.empty()) {
-        continue;  // Blank line (e.g. trailing newline) — skipped.
+      if (record_.empty() && !cell_started_ && cell_.text.empty()) {
+        return;  // Blank line (e.g. trailing newline) — skipped.
       }
-      end_record();
+      EndRecord();
     } else {
-      cell.text.push_back(c);
-      cell_started = true;
+      cell_.text.push_back(c);
+      cell_started_ = true;
     }
   }
-  if (in_quotes) {
-    return Status::InvalidArgument("CSV ends inside a quoted field");
+
+  void EndCell() {
+    record_.push_back(std::move(cell_));
+    cell_ = Cell();
+    cell_started_ = false;
   }
-  if (cell_started || !record.empty()) {
-    if (!cell.text.empty() && cell.text.back() == '\r') cell.text.pop_back();
-    end_record();
+
+  void EndRecord() {
+    EndCell();
+    records_.push_back(std::move(record_));
+    record_.clear();
   }
-  return records;
-}
+
+  const char delimiter_;
+  std::vector<std::vector<Cell>> records_;
+  std::vector<Cell> record_;
+  Cell cell_;
+  bool in_quotes_ = false;
+  bool cell_started_ = false;
+  bool quote_pending_ = false;
+};
 
 bool ParseInt(const std::string& text, int64_t* value) {
   if (text.empty()) return false;
@@ -106,13 +133,8 @@ bool NeedsQuoting(const std::string& text, char delimiter) {
          std::string::npos;
 }
 
-}  // namespace
-
-StatusOr<Table> ParseCsv(const std::string& content, char delimiter) {
-  StatusOr<std::vector<std::vector<Cell>>> tokenized =
-      Tokenize(content, delimiter);
-  if (!tokenized.ok()) return tokenized.status();
-  const std::vector<std::vector<Cell>>& records = *tokenized;
+/// Type inference + column materialization over tokenized records.
+StatusOr<Table> BuildTable(const std::vector<std::vector<Cell>>& records) {
   if (records.empty()) {
     return Status::InvalidArgument("CSV has no header record");
   }
@@ -182,20 +204,38 @@ StatusOr<Table> ParseCsv(const std::string& content, char delimiter) {
   return table;
 }
 
+}  // namespace
+
+StatusOr<Table> ParseCsv(const std::string& content, char delimiter) {
+  CsvTokenizer tokenizer(delimiter);
+  tokenizer.Feed(content.data(), content.size());
+  StatusOr<std::vector<std::vector<Cell>>> records = tokenizer.Finish();
+  if (!records.ok()) return records.status();
+  return BuildTable(*records);
+}
+
 StatusOr<Table> ReadCsvFile(const std::string& path, char delimiter) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::InvalidArgument("cannot open '" + path +
                                    "': " + std::strerror(errno));
   }
-  std::string content;
+  // Stream the file through the tokenizer chunk by chunk — peak memory is
+  // the tokenized cells, never cells plus a whole-file copy.
+  CsvTokenizer tokenizer(delimiter);
   char buffer[1 << 16];
   size_t bytes;
   while ((bytes = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    content.append(buffer, bytes);
+    tokenizer.Feed(buffer, bytes);
   }
+  const bool read_error = std::ferror(file) != 0;
   std::fclose(file);
-  return ParseCsv(content, delimiter);
+  if (read_error) {
+    return Status::InvalidArgument("error reading '" + path + "'");
+  }
+  StatusOr<std::vector<std::vector<Cell>>> records = tokenizer.Finish();
+  if (!records.ok()) return records.status();
+  return BuildTable(*records);
 }
 
 std::string ToCsv(const Table& table, char delimiter) {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <mutex>
 #include <optional>
 
+#include "mem/external_sort.h"
+#include "mem/memory_budget.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "parallel/parallel_sort.h"
@@ -235,6 +238,38 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     run_start = std::chrono::steady_clock::now();
   }
 
+  // Memory governance: one budget per execution. The limit comes from the
+  // options, or — when unset — from HWF_TEST_MEMORY_LIMIT, the hook the
+  // forced-spill CI job uses to route the whole regular test suite through
+  // the spill paths. Budgets that cannot cover even the irreducible working
+  // set (the sorted row permutation, which has no out-of-core
+  // representation) fail fast with a clean Status instead of thrashing.
+  // Above that floor the executor always completes: sort scratch and tree
+  // levels degrade to spill files, and the remaining unsheddable
+  // allocations (per-partition frame descriptors) use forced reservations
+  // whose overshoot is visible in mem.forced_over_budget_bytes.
+  size_t memory_limit = options.memory_limit_bytes;
+  if (memory_limit == 0) {
+    if (const char* env = std::getenv("HWF_TEST_MEMORY_LIMIT")) {
+      size_t parsed = 0;
+      if (mem::ParseMemorySize(env, &parsed)) memory_limit = parsed;
+    }
+  }
+  mem::MemoryBudget budget(memory_limit);
+  const mem::MemoryContext mem_ctx{&budget,
+                                   /*allow_spill=*/memory_limit > 0, profile};
+  if (memory_limit > 0) {
+    const size_t irreducible = n * sizeof(size_t) + (size_t{64} << 10);
+    if (irreducible > memory_limit) {
+      return Status::ResourceExhausted(
+          "memory limit of " + std::to_string(memory_limit) +
+          " bytes cannot cover the irreducible working set of " +
+          std::to_string(irreducible) + " bytes for " + std::to_string(n) +
+          " rows");
+    }
+  }
+  exec_options.tree.mem = mem_ctx;
+
   // Phase 1: one global sort by (partition keys, order keys, row id).
   // Partition keys use a fixed canonical order; the row-id tiebreak makes
   // the sort a deterministic total order (and thereby reproducible across
@@ -244,6 +279,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   for (size_t column : spec.partition_by) {
     partition_keys.push_back(SortKey{column, true, true});
   }
+  mem::MemoryReservation sorted_bytes;
+  sorted_bytes.ForceReserve(&budget, n * sizeof(size_t));
   std::vector<size_t> sorted(n);
   // The sort and partition phases are bracketed with an explicitly-reset
   // optional timer so the straight-line code needs no extra nesting.
@@ -271,6 +308,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
         return row < other.row;
       }
     };
+    mem::MemoryReservation records_bytes;
+    records_bytes.ForceReserve(&budget, n * sizeof(SortRec));
     std::vector<SortRec> records(n);
     ParallelFor(
         0, n,
@@ -291,9 +330,10 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
           }
         },
         pool, options.morsel_size);
-    ParallelSort(
+    Status sort_status = mem::SortWithBudget(
         records, [](const SortRec& a, const SortRec& b) { return a < b; },
-        pool, options.morsel_size);
+        pool, mem_ctx, options.morsel_size);
+    if (!sort_status.ok()) return sort_status;
     ParallelFor(
         0, n,
         [&](size_t lo, size_t hi) {
@@ -303,7 +343,7 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
         },
         pool, options.morsel_size);
   } else {
-    ParallelSort(
+    Status sort_status = mem::SortWithBudget(
         sorted,
         [&](size_t a, size_t b) {
           int cmp = CompareRowsBy(table, a, b, partition_keys);
@@ -312,7 +352,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
           if (cmp != 0) return cmp < 0;
           return a < b;
         },
-        pool, options.morsel_size);
+        pool, mem_ctx, options.morsel_size);
+    if (!sort_status.ok()) return sort_status;
   }
 
   // Phase 2: partition boundaries (equal partition keys).
@@ -448,6 +489,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     load_offsets(frame.end, &inputs.end_offsets, &inputs.end_offsets_numeric);
 
     FrameResolver resolver(std::move(inputs));
+    mem::MemoryReservation frames_bytes;
+    frames_bytes.ForceReserve(&budget, part_n * sizeof(FrameRanges));
     std::vector<FrameRanges> frames(part_n);
     ParallelFor(
         0, part_n,
@@ -532,6 +575,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     profile->SetRows(n);
     profile->SetPartitions(num_partitions);
     profile->SetEngine(EngineName(options.engine));
+    profile->SetMemoryLimitBytes(memory_limit);
+    profile->SetPeakReservedBytes(budget.peak_reserved_bytes());
     profile->SetTotalSeconds(std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - run_start)
                                  .count());

@@ -39,6 +39,21 @@ struct WindowExecutorOptions {
   /// when the partition fits, else 64-bit), 32 or 64 to override.
   int force_index_width = 0;
 
+  /// Memory budget for the execution in bytes; 0 = unlimited. When set,
+  /// every large allocation (sort scratch, tree levels, prefix-aggregate
+  /// annotations) is accounted against one process-local budget, and the
+  /// executor degrades to disk — external-merge sorts, tree-level eviction
+  /// with page-wise re-materialization — instead of exceeding it. Budgets
+  /// too small for the irreducible working set (the sorted row permutation)
+  /// fail fast with ResourceExhausted before any work is done; above that
+  /// floor execution always completes, with any unsheddable overshoot
+  /// (frame descriptors) recorded in mem.forced_over_budget_bytes. When 0,
+  /// the HWF_TEST_MEMORY_LIMIT environment
+  /// variable (same syntax as hwf_cli --memory_limit: bytes with an
+  /// optional K/M/G suffix) supplies the limit — a CI hook that forces the
+  /// spill path under the regular test suite.
+  size_t memory_limit_bytes = 0;
+
   /// When non-null, cleared on entry and filled with the execution's cost
   /// breakdown: per-phase wall seconds (sort, partition, frame resolution,
   /// tree build with per-level detail, probe), row/partition counts, and

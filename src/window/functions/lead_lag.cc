@@ -31,9 +31,14 @@ Status EvalLeadLagT(const PartitionView& view, const WindowFunctionCall& call,
   // permutation the tree was built over.
   const size_t m = sel.remap.num_surviving();
   std::vector<size_t> rank_of_filtered(m);
-  const auto& perm = sel.tree.keys();
-  for (size_t j = 0; j < m; ++j) {
-    rank_of_filtered[static_cast<size_t>(perm[j])] = j;
+  {
+    // Bulk-copy the permutation (level 0 of the tree): page-at-a-time when
+    // the level was evicted under a memory budget.
+    std::vector<Index> perm(m);
+    sel.tree.CopyKeys(0, m, perm.data());
+    for (size_t j = 0; j < m; ++j) {
+      rank_of_filtered[static_cast<size_t>(perm[j])] = j;
+    }
   }
 
   ParallelFor(

@@ -67,7 +67,7 @@ struct SelectionTree {
   size_t SelectPosition(std::span<const KeyRange<Index>> ranges,
                         size_t idx) const {
     const size_t tree_pos = tree.Select(ranges, idx);
-    const size_t filtered_pos = static_cast<size_t>(tree.keys()[tree_pos]);
+    const size_t filtered_pos = static_cast<size_t>(tree.KeyAt(tree_pos));
     return remap.ToOriginal(filtered_pos);
   }
 };

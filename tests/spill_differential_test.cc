@@ -1,0 +1,246 @@
+// Differential testing of the spill path: the same query must produce
+// bit-identical results with an unlimited budget and with a budget tight
+// enough to force external sorts and tree-level eviction. The engine's
+// algorithms are deterministic (total-order sorts with a row-id tiebreak,
+// fixed merge structure), so even floating-point results must match bit
+// for bit — any divergence means the spilled representation was re-read
+// incorrectly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/counters.h"
+#include "obs/profile.h"
+#include "tests/window_test_util.h"
+#include "window/executor.h"
+#include "window/frame.h"
+
+namespace hwf {
+namespace {
+
+using test::MakeRandomTable;
+
+// This suite manages its own budgets; the forced-spill CI job's
+// HWF_TEST_MEMORY_LIMIT would silently cap the "unlimited" baselines.
+const bool g_env_cleared = [] {
+  unsetenv("HWF_TEST_MEMORY_LIMIT");
+  return true;
+}();
+
+// MakeRandomTable schema.
+constexpr size_t kGrp = 0;
+constexpr size_t kOrd = 1;
+constexpr size_t kVal = 2;
+constexpr size_t kPrice = 3;
+constexpr size_t kFlag = 5;
+
+/// Bit-exact column comparison (ExpectColumnsEqual in the shared util uses
+/// a tolerance for doubles; the spill path must not need one).
+void ExpectColumnsIdentical(const Column& limited, const Column& unlimited,
+                            const std::string& context) {
+  ASSERT_EQ(limited.size(), unlimited.size()) << context;
+  ASSERT_EQ(limited.type(), unlimited.type()) << context;
+  for (size_t i = 0; i < limited.size(); ++i) {
+    ASSERT_EQ(limited.IsNull(i), unlimited.IsNull(i))
+        << context << " row " << i;
+    if (limited.IsNull(i)) continue;
+    switch (limited.type()) {
+      case DataType::kInt64:
+        ASSERT_EQ(limited.GetInt64(i), unlimited.GetInt64(i))
+            << context << " row " << i;
+        break;
+      case DataType::kDouble: {
+        const double a = limited.GetDouble(i);
+        const double b = unlimited.GetDouble(i);
+        ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+            << context << " row " << i << ": " << a << " vs " << b;
+        break;
+      }
+      case DataType::kString:
+        ASSERT_EQ(limited.GetString(i), unlimited.GetString(i))
+            << context << " row " << i;
+        break;
+    }
+  }
+}
+
+/// A budget sized to the executor's unsheddable per-row state (permutation
+/// + frame descriptors) plus `slack`: enough to run without forced
+/// overshoot dominating, tight enough that tree levels must spill.
+size_t TightLimit(size_t rows, size_t slack) {
+  return rows * (sizeof(size_t) + sizeof(FrameRanges)) + (size_t{64} << 10) +
+         slack;
+}
+
+struct RunOutcome {
+  Column column;
+  uint64_t spill_bytes_written = 0;
+  uint64_t levels_evicted = 0;
+  uint64_t external_runs = 0;
+  size_t peak_reserved = 0;
+};
+
+RunOutcome RunQuery(const Table& table, const WindowSpec& spec,
+               const WindowFunctionCall& call, size_t memory_limit) {
+  WindowExecutorOptions options;
+  options.memory_limit_bytes = memory_limit;
+  obs::ExecutionProfile profile;
+  options.profile = &profile;
+  const obs::CounterSnapshot before = obs::SnapshotCounters();
+  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  const obs::CounterSnapshot after = obs::SnapshotCounters();
+  RunOutcome outcome{std::move(*result),
+                     after[obs::Counter::kMemSpillBytesWritten] -
+                         before[obs::Counter::kMemSpillBytesWritten],
+                     after[obs::Counter::kMemMstLevelsEvicted] -
+                         before[obs::Counter::kMemMstLevelsEvicted],
+                     after[obs::Counter::kMemExternalSortRuns] -
+                         before[obs::Counter::kMemExternalSortRuns],
+                     profile.peak_reserved_bytes()};
+  return outcome;
+}
+
+TEST(SpillDifferential, MedianUnderTightBudgetIsBitIdentical) {
+  Table table = MakeRandomTable(30000, /*seed=*/11, /*partitions=*/1,
+                                /*null_fraction=*/0.1);
+  WindowSpec spec;
+  spec.order_by.push_back(SortKey{kOrd, true, true});
+  spec.frame.begin = FrameBound::Preceding(400);
+  spec.frame.end = FrameBound::CurrentRow();
+  WindowFunctionCall call;
+  call.kind = WindowFunctionKind::kMedian;
+  call.argument = kPrice;
+
+  RunOutcome unlimited = RunQuery(table, spec, call, /*memory_limit=*/0);
+  const size_t limit = TightLimit(table.num_rows(), /*slack=*/64 << 10);
+  RunOutcome limited = RunQuery(table, spec, call, limit);
+
+  ExpectColumnsIdentical(limited.column, unlimited.column, "median");
+  EXPECT_EQ(unlimited.spill_bytes_written, 0u);
+  EXPECT_GT(limited.spill_bytes_written, 0u);
+  EXPECT_GT(limited.levels_evicted, 0u);
+}
+
+TEST(SpillDifferential, ExternalSortPathIsBitIdentical) {
+  // No partitioning + one numeric key selects the encoded-record sort; a
+  // budget below the record array forces it through the external merge.
+  Table table = MakeRandomTable(50000, /*seed=*/12, /*partitions=*/1,
+                                /*null_fraction=*/0.05);
+  WindowSpec spec;
+  spec.order_by.push_back(SortKey{kPrice, true, true});
+  spec.frame.begin = FrameBound::Preceding(100);
+  spec.frame.end = FrameBound::Following(100);
+  WindowFunctionCall call;
+  call.kind = WindowFunctionKind::kSum;
+  call.argument = kVal;
+
+  RunOutcome unlimited = RunQuery(table, spec, call, /*memory_limit=*/0);
+  // The sort phase holds the permutation (8 B/row) and the encoded records
+  // (24 B/row); 40 B/row leaves too little for the 24 B/row merge buffer,
+  // denying the in-memory regime, while staying above the feasibility
+  // floor.
+  const size_t limit = table.num_rows() * 40;
+  RunOutcome limited = RunQuery(table, spec, call, limit);
+
+  ExpectColumnsIdentical(limited.column, unlimited.column, "sum");
+  EXPECT_GT(limited.external_runs, 0u);
+}
+
+TEST(SpillDifferential, PeakReservedStaysNearBudget) {
+  // With generous slack the shed loop keeps the steady state under the
+  // budget; forced irreducibles may overshoot transiently, so the peak is
+  // checked against the hard limit, which this configuration respects.
+  Table table = MakeRandomTable(50000, /*seed=*/13, /*partitions=*/1,
+                                /*null_fraction=*/0.0);
+  WindowSpec spec;
+  spec.order_by.push_back(SortKey{kOrd, true, true});
+  spec.frame.begin = FrameBound::Preceding(500);
+  spec.frame.end = FrameBound::CurrentRow();
+  WindowFunctionCall call;
+  call.kind = WindowFunctionKind::kMedian;
+  call.argument = kPrice;
+
+  const size_t limit = size_t{4} << 20;
+  RunOutcome limited = RunQuery(table, spec, call, limit);
+  RunOutcome unlimited = RunQuery(table, spec, call, 0);
+  ExpectColumnsIdentical(limited.column, unlimited.column, "median");
+  EXPECT_GT(limited.spill_bytes_written, 0u);
+  EXPECT_LE(limited.peak_reserved, limit);
+  EXPECT_GT(limited.peak_reserved, 0u);
+}
+
+TEST(SpillDifferential, FuzzedFramesAndFunctionsMatchUnlimited) {
+  // Sweep the function families whose probe paths read spilled levels:
+  // Select (percentile / value functions / lead-lag), CountLess (rank),
+  // and AggregateLess (distinct aggregates via the annotated tree).
+  struct Case {
+    WindowFunctionKind kind;
+    size_t argument;
+  };
+  const Case kCases[] = {
+      {WindowFunctionKind::kMedian, kPrice},
+      {WindowFunctionKind::kPercentileDisc, kVal},
+      {WindowFunctionKind::kRank, kVal},
+      {WindowFunctionKind::kCountDistinct, kVal},
+      {WindowFunctionKind::kSumDistinct, kPrice},
+      {WindowFunctionKind::kFirstValue, kPrice},
+      {WindowFunctionKind::kNthValue, kVal},
+      {WindowFunctionKind::kLead, kPrice},
+  };
+
+  Pcg32 rng(20260806);
+  uint64_t total_spill_bytes = 0;
+  for (int round = 0; round < 24; ++round) {
+    const Case& c = kCases[round % (sizeof(kCases) / sizeof(kCases[0]))];
+    const size_t rows = 6000 + rng.Bounded(6000);
+    Table table = MakeRandomTable(rows, /*seed=*/900 + round,
+                                  /*partitions=*/1 + rng.Bounded(2),
+                                  /*null_fraction=*/0.1);
+    WindowSpec spec;
+    if (rng.Bounded(3) == 0) spec.partition_by.push_back(kGrp);
+    spec.order_by.push_back(SortKey{kOrd, rng.Bounded(2) == 0, true});
+    // Random finite frames keep the naive-free comparison fast while still
+    // exercising multi-range exclusion paths.
+    spec.frame.begin = FrameBound::Preceding(
+        static_cast<int64_t>(1 + rng.Bounded(rows / 4)));
+    spec.frame.end = rng.Bounded(2) == 0
+                         ? FrameBound::CurrentRow()
+                         : FrameBound::Following(static_cast<int64_t>(
+                               rng.Bounded(rows / 8)));
+    if (rng.Bounded(4) == 0) {
+      spec.frame.exclusion = FrameExclusion::kCurrentRow;
+    }
+    WindowFunctionCall call;
+    call.kind = c.kind;
+    call.argument = c.argument;
+    call.fraction = 0.25 + 0.5 * rng.NextDouble();
+    call.param = 1 + rng.Bounded(4);
+    if (rng.Bounded(3) == 0) call.filter = kFlag;
+    if (!ValidateWindowSpec(table, spec).ok() ||
+        !ValidateWindowCall(table, spec, call).ok()) {
+      continue;
+    }
+
+    std::ostringstream context;
+    context << "round " << round << " kind "
+            << WindowFunctionKindName(call.kind) << " rows " << rows;
+    RunOutcome unlimited = RunQuery(table, spec, call, 0);
+    RunOutcome limited =
+        RunQuery(table, spec, call, TightLimit(rows, /*slack=*/32 << 10));
+    ExpectColumnsIdentical(limited.column, unlimited.column, context.str());
+    if (HasFatalFailure()) return;
+    total_spill_bytes += limited.spill_bytes_written;
+  }
+  // The tight budgets must actually have engaged the spill machinery over
+  // the sweep (individual rounds may stay resident).
+  EXPECT_GT(total_spill_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace hwf

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/memory_budget.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
@@ -56,6 +57,10 @@ void Usage() {
       "  --param N                  lead/lag offset, nth_value n, ntile "
       "buckets\n"
       "  --engine mst|naive|incremental|ost     (default mst)\n"
+      "  --memory_limit BYTES       memory budget with optional K/M/G\n"
+      "                             suffix (e.g. 256M); spills to disk\n"
+      "                             instead of exceeding it (default "
+      "unlimited)\n"
       "  --as NAME                  result column name\n"
       "  --output FILE              write CSV here (default stdout)\n"
       "  --explain                  print the execution profile to stderr\n"
@@ -191,6 +196,7 @@ int main(int argc, char** argv) {
   double fraction = 0.5;
   int64_t param = 1;
   bool explain = false;
+  size_t memory_limit_bytes = 0;
   std::string profile_path;
   std::string trace_path;
 
@@ -237,6 +243,12 @@ int main(int argc, char** argv) {
       param = std::atoll(next());
     } else if (flag == "--engine") {
       engine_name = next();
+    } else if (flag == "--memory_limit") {
+      const char* value = next();
+      if (!mem::ParseMemorySize(value, &memory_limit_bytes)) {
+        std::fprintf(stderr, "error: bad --memory_limit '%s'\n", value);
+        return 2;
+      }
     } else if (flag == "--as") {
       result_name = next();
     } else if (flag == "--explain") {
@@ -344,6 +356,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
+  options.memory_limit_bytes = memory_limit_bytes;
   obs::ExecutionProfile profile;
   const bool want_profile =
       explain || !profile_path.empty() || !trace_path.empty();

@@ -28,6 +28,7 @@ PHASE_KEYS = (
     "frame_resolve",
     "tree_build",
     "probe",
+    "spill",
 )
 
 
