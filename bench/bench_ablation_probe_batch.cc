@@ -1,0 +1,77 @@
+// Ablation: the batched, prefetch-pipelined probe kernel (group-at-a-time
+// Count/Select) against the scalar one-query-at-a-time descent.
+//
+// Workload: Figure 11's framed median at a large frame — the probe phase
+// is all tree descents, each one a chain of dependent cache misses, so the
+// group size directly controls how many independent misses the kernel
+// keeps in flight. Expected shape: throughput climbs steeply from group
+// size 1, saturates around the line-fill-buffer depth (10-16 on most
+// cores), and stays flat after; probe_batch=0 (kernel off, the seed path)
+// sets the baseline.
+//
+// Writes BENCH_probe_batch.json: one entry per group size with total
+// throughput, probe-phase seconds, the probe-phase speedup over the scalar
+// baseline, and the full phase profile.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/profile.h"
+#include "storage/tpch_gen.h"
+#include "window/executor.h"
+
+int main() {
+  using namespace hwf;
+
+  const size_t n = bench::Scaled(size_t{1} << 22);
+  Table lineitem = GenerateLineitem(n, /*seed=*/3);
+  const size_t price = lineitem.MustColumnIndex("l_extendedprice");
+  const size_t shipdate = lineitem.MustColumnIndex("l_shipdate");
+
+  WindowSpec spec;
+  spec.order_by = {SortKey{shipdate}};
+  spec.frame.begin = FrameBound::Preceding(262143);
+
+  WindowFunctionCall median;
+  median.kind = WindowFunctionKind::kMedian;
+  median.argument = price;
+
+  bench::PrintHeader(
+      "Ablation: probe batch size (framed median, 256Ki frame, n = " +
+      std::to_string(n) + ")");
+  std::printf("%-12s %14s %14s %14s %14s\n", "batch", "[M tuples/s]",
+              "probe [s]", "probe speedup", "total speedup");
+
+  bench::BenchJson json("probe_batch");
+  const std::vector<size_t> batch_sizes = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+  double scalar_probe = 0;
+  double scalar_total = 0;
+  for (const size_t batch : batch_sizes) {
+    WindowExecutorOptions options;
+    options.tree.probe_batch_size = batch;
+    obs::ExecutionProfile profile;
+    double seconds = 0;
+    const double mtps = bench::MeasureThroughput(lineitem, spec, median,
+                                                 options, &seconds, &profile);
+    const double probe = profile.phase_seconds(obs::ProfilePhase::kProbe);
+    if (batch == 0) {
+      scalar_probe = probe;
+      scalar_total = seconds;
+    }
+    const double probe_speedup = probe > 0 ? scalar_probe / probe : 0;
+    std::printf("%-12zu %14.3f %14.3f %13.2fx %13.2fx\n", batch, mtps, probe,
+                probe_speedup, seconds > 0 ? scalar_total / seconds : 0);
+    std::fflush(stdout);
+
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"label\": \"batch=%zu\", \"probe_batch\": %zu, "
+                  "\"throughput_mtps\": %.4f, \"probe_seconds\": %.4f, "
+                  "\"probe_speedup\": %.3f",
+                  batch, batch, mtps, probe, probe_speedup);
+    json.AddRaw(std::string(buf) + ", \"profile\": " + profile.ToJson() + "}");
+  }
+  json.WriteDefault();
+  return 0;
+}

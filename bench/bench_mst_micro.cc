@@ -8,11 +8,18 @@
 //   --levels_json=PATH      additionally writes per-level build timings for
 //                           both kernels as JSON to PATH, so kernel speedups
 //                           are reproducible and trackable (BENCH_*.json)
+//   --probe_batch=N         group size for the *Batch probe benchmarks
+//                           (default MergeSortTreeOptions{}.probe_batch_size;
+//                           0 answers the same query stream scalarly, for
+//                           apples-to-apples kernel-off numbers)
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -27,6 +34,7 @@ namespace {
 using namespace hwf;
 
 MergeKernel g_kernel = MergeKernel::kLoserTree;
+size_t g_probe_batch = MergeSortTreeOptions{}.probe_batch_size;
 
 const char* KernelName(MergeKernel kernel) {
   return kernel == MergeKernel::kHeap ? "heap" : "loser";
@@ -105,6 +113,77 @@ void BM_Select(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Select)->Range(1 << 10, 1 << 20);
+
+// The batched probe kernel over a stream of CountLess queries, group size
+// --probe_batch (0 = per-query scalar descent over the same stream). Items
+// processed = queries answered, so items/s comparisons across group sizes
+// show the pipelining win directly.
+void BM_CountLessBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys = RandomKeys(n);
+  ThreadPool single(0);
+  auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+  constexpr size_t kStream = 2048;
+  Pcg32 rng(13);
+  std::vector<MergeSortTree<uint32_t>::CountQuery> queries(kStream);
+  for (auto& q : queries) {
+    const size_t i = rng.Bounded(static_cast<uint32_t>(n));
+    q = {0, i + 1, keys[i]};
+  }
+  std::vector<size_t> out(kStream);
+  for (auto _ : state) {
+    if (g_probe_batch == 0) {
+      for (size_t q = 0; q < kStream; ++q) {
+        out[q] =
+            tree.CountLess(queries[q].pos_lo, queries[q].pos_hi,
+                           queries[q].threshold);
+      }
+    } else {
+      tree.CountLessBatch(queries, g_probe_batch, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kStream) * state.iterations());
+  state.SetLabel("batch=" + std::to_string(g_probe_batch));
+}
+BENCHMARK(BM_CountLessBatch)->Range(1 << 14, 1 << 22);
+
+void BM_SelectBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(i);
+  Pcg32 shuffle(3);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(keys[i - 1], keys[shuffle.Bounded(static_cast<uint32_t>(i))]);
+  }
+  ThreadPool single(0);
+  auto tree = MergeSortTree<uint32_t>::Build(keys, {}, single);
+  constexpr size_t kStream = 2048;
+  Pcg32 rng(17);
+  std::vector<KeyRange<uint32_t>> range_pool(kStream);
+  std::vector<MergeSortTree<uint32_t>::SelectQuery> queries(kStream);
+  for (size_t q = 0; q < kStream; ++q) {
+    // Median within a random key window of ~n/8 elements.
+    const uint32_t lo = rng.Bounded(static_cast<uint32_t>(n - n / 8));
+    range_pool[q] = {lo, lo + static_cast<uint32_t>(n / 8)};
+    queries[q] = {static_cast<uint32_t>(q), 1, n / 16};
+  }
+  std::vector<size_t> out(kStream);
+  for (auto _ : state) {
+    if (g_probe_batch == 0) {
+      for (size_t q = 0; q < kStream; ++q) {
+        std::span<const KeyRange<uint32_t>> span(&range_pool[q], 1);
+        out[q] = tree.Select(span, queries[q].rank);
+      }
+    } else {
+      tree.SelectBatch(range_pool, queries, g_probe_batch, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kStream) * state.iterations());
+  state.SetLabel("batch=" + std::to_string(g_probe_batch));
+}
+BENCHMARK(BM_SelectBatch)->Range(1 << 14, 1 << 22);
 
 void BM_PrevIndices(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -216,6 +295,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--levels_json=", 14) == 0) {
       levels_json = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--probe_batch=", 14) == 0) {
+      g_probe_batch = static_cast<size_t>(std::atoll(argv[i] + 14));
     } else {
       argv[out++] = argv[i];
     }

@@ -44,10 +44,16 @@
 // Keeps rarely-taken slow paths (spilled reads, error handling) out of hot
 // functions so the fast path stays small enough to inline.
 #define HWF_NOINLINE_COLD __attribute__((noinline, cold))
+// Read prefetch into all cache levels; the batched probe kernel issues these
+// for the next tree level's touch points while the current level computes.
+#define HWF_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
 #else
 #define HWF_LIKELY(x) (x)
 #define HWF_UNLIKELY(x) (x)
 #define HWF_NOINLINE_COLD
+#define HWF_PREFETCH(addr) \
+  do {                     \
+  } while (false)
 #endif
 
 #endif  // HWF_COMMON_MACROS_H_

@@ -1,0 +1,54 @@
+#ifndef HWF_COMMON_SEARCH_H_
+#define HWF_COMMON_SEARCH_H_
+
+#include <cstddef>
+
+/// \file search.h
+/// Branchless binary searches shared by the MST probe paths.
+///
+/// The MST descent performs a short bounded bisection per child run — over a
+/// cascade window of at most ~2k elements, or over a whole (cache-resident)
+/// child run when cascading is off. std::lower_bound compiles to a
+/// hard-to-predict branch per step, which costs a pipeline flush roughly
+/// every other step on random probe keys. The loop below keeps the interval
+/// as (base, len) and advances base with a conditional move, so the only
+/// branch left is the loop counter — perfectly predicted, and the loads can
+/// overlap across iterations of the surrounding batch kernel.
+///
+/// Both functions return exactly what std::lower_bound / std::upper_bound
+/// would (the batch kernel relies on bit-identical positions vs the scalar
+/// reference path).
+
+namespace hwf {
+
+template <typename T>
+inline size_t BranchlessLowerBound(const T* data, size_t n, const T& value) {
+  if (n == 0) return 0;
+  const T* base = data;
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    // Invariant: the lower bound lies in [base, base + len]. Probing the
+    // last element of the first half keeps both halves valid candidates.
+    base += (base[half - 1] < value) ? half : 0;
+    len -= half;
+  }
+  return static_cast<size_t>(base - data) + ((*base < value) ? 1 : 0);
+}
+
+template <typename T>
+inline size_t BranchlessUpperBound(const T* data, size_t n, const T& value) {
+  if (n == 0) return 0;
+  const T* base = data;
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    base += (!(value < base[half - 1])) ? half : 0;
+    len -= half;
+  }
+  return static_cast<size_t>(base - data) + ((!(value < *base)) ? 1 : 0);
+}
+
+}  // namespace hwf
+
+#endif  // HWF_COMMON_SEARCH_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/search.h"
 #include "common/status.h"
 #include "mem/memory_budget.h"
 #include "mem/spill_file.h"
@@ -115,19 +116,31 @@ class SpillableVector {
     SpilledReadRange(lo, hi, out);
   }
 
-  /// std::lower_bound over rows [lo, hi): first index whose row is not less
-  /// than `value`. Resident data searches in place; spilled data does a
-  /// Get-backed binary search (page cache keeps this at ~1 I/O per probe
-  /// for the short cascade-bounded windows the MST uses).
+  /// Lower bound over rows [lo, hi): first index whose row is not less
+  /// than `value`. Resident data runs the shared branchless bisection in
+  /// place; spilled data does a Get-backed binary search (page cache keeps
+  /// this at ~1 I/O per probe for the short cascade-bounded windows the MST
+  /// uses).
   size_t LowerBound(size_t lo, size_t hi, const T& value) const {
     HWF_DCHECK(lo <= hi && hi <= size_);
     if (HWF_LIKELY(file_ == nullptr)) {
-      return static_cast<size_t>(
-          std::lower_bound(storage_.begin() + lo, storage_.begin() + hi,
-                           value) -
-          storage_.begin());
+      return lo + BranchlessLowerBound(storage_.data() + lo, hi - lo, value);
     }
     return SpilledLowerBound(lo, hi, value);
+  }
+
+  /// Hints that element `i` is about to be read. Resident data issues a
+  /// hardware prefetch for its cache line; spilled data warms the page
+  /// through the thread-local spill cache (one pread if absent), so a batch
+  /// of probes resolves its page set in one pass instead of faulting
+  /// per-element mid-computation. Safe from any thread.
+  void PrefetchElement(size_t i) const {
+    HWF_DCHECK(i < size_);
+    if (HWF_LIKELY(file_ == nullptr)) {
+      HWF_PREFETCH(storage_.data() + i);
+      return;
+    }
+    WarmSpilledPage(i);
   }
 
   /// Writes the rows into a fresh region of `file`, frees the resident
@@ -179,6 +192,15 @@ class SpillableVector {
       HWF_CHECK_MSG(status.ok(), status.message().c_str());
       out += take;
       i += take;
+    }
+  }
+
+  HWF_NOINLINE_COLD void WarmSpilledPage(size_t i) const {
+    const uint64_t page = i / kRowsPerPage;
+    const std::byte* bytes = SpillPageCacheLookup(
+        *file_, region_offset_ + page * kSpillPageBytes, kSpillPageBytes);
+    if (bytes != nullptr) {
+      HWF_PREFETCH(bytes + (i % kRowsPerPage) * sizeof(T));
     }
   }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,30 @@ class AnnotatedMergeSortTree {
           }
         });
     return result;
+  }
+
+  using CountQuery = typename MergeSortTree<Index>::CountQuery;
+
+  /// Batched AggregateLess: answers `queries` through the prefetch-
+  /// pipelined cover kernel, keeping `group_size` queries in flight.
+  /// `out[q]` (which must start as nullopt) receives query q's merged
+  /// state, or stays nullopt when no entry qualifies. The kernel delivers
+  /// each query's cover pieces in exactly the scalar visit order, so
+  /// floating-point states are bit-identical to per-query AggregateLess.
+  void AggregateLessBatch(std::span<const CountQuery> queries,
+                          size_t group_size,
+                          std::optional<State>* out) const {
+    tree_.VisitCountCoverBatch(
+        queries, group_size,
+        [&](size_t q, size_t level, size_t run_begin, size_t count) {
+          const State piece = prefixes_[level].Get(run_begin + count - 1);
+          std::optional<State>& result = out[q];
+          if (result.has_value()) {
+            Ops::Merge(*result, piece);
+          } else {
+            result = piece;
+          }
+        });
   }
 
   /// Bytes held in RAM by tree levels plus prefix annotations.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/search.h"
 #include "mst/merge_sort_tree.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -147,9 +148,8 @@ class DenseRankTree {
   size_t CountDistinctLess(size_t pos_lo, size_t pos_hi, Index code) const {
     if (pos_lo >= pos_hi || n_ == 0) return 0;
     // Code-prefix length: number of V entries with a smaller code.
-    const size_t prefix = static_cast<size_t>(
-        std::lower_bound(sorted_codes_.begin(), sorted_codes_.end(), code) -
-        sorted_codes_.begin());
+    const size_t prefix =
+        BranchlessLowerBound(sorted_codes_.data(), sorted_codes_.size(), code);
     if (prefix == 0) return 0;
 
     const Index threshold = static_cast<Index>(pos_lo + 1);
@@ -169,6 +169,69 @@ class DenseRankTree {
     return count;
   }
 
+  /// One CountDistinctLess query: positions [pos_lo, pos_hi), code bound.
+  struct DistinctQuery {
+    size_t pos_lo;
+    size_t pos_hi;
+    Index code;
+  };
+
+  /// Batched CountDistinctLess. Decomposes every query's code prefix into
+  /// canonical blocks, groups the per-block 2-d counts by level, and
+  /// answers each level's group through the merge sort tree's batched
+  /// kernel (`group_size` probes in flight). Counts are integer sums, so
+  /// the result is identical to per-row CountDistinctLess.
+  void CountDistinctLessBatch(std::span<const DistinctQuery> queries,
+                              size_t group_size, size_t* out) const {
+    using CountQuery = typename MergeSortTree<Index>::CountQuery;
+    std::vector<std::vector<CountQuery>> level_items(levels_.size());
+    std::vector<std::vector<size_t>> level_query(levels_.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const DistinctQuery& dq = queries[q];
+      out[q] = 0;
+      if (dq.pos_lo >= dq.pos_hi || n_ == 0) continue;
+      const size_t prefix = BranchlessLowerBound(sorted_codes_.data(),
+                                                 sorted_codes_.size(), dq.code);
+      if (prefix == 0) continue;
+      const Index threshold = static_cast<Index>(dq.pos_lo + 1);
+      size_t l = 0;
+      size_t r = prefix;
+      size_t level = 0;
+      while (l < r) {
+        const size_t w = size_t{1} << level;
+        if (r & w) {
+          r -= w;
+          const Level& lvl = levels_[level];
+          const Index* block = lvl.positions.data() + r;
+          const size_t sub_lo =
+              r + BranchlessLowerBound(block, w, static_cast<Index>(dq.pos_lo));
+          const size_t sub_hi =
+              r + BranchlessLowerBound(block, w, static_cast<Index>(dq.pos_hi));
+          if (sub_lo < sub_hi) {
+            if (level == 0) {
+              out[q] += lvl.keys[sub_lo] < threshold ? 1 : 0;
+            } else {
+              level_items[level].push_back(
+                  CountQuery{sub_lo, sub_hi, threshold});
+              level_query[level].push_back(q);
+            }
+          }
+        }
+        ++level;
+      }
+    }
+    std::vector<size_t> counts;
+    for (size_t level = 1; level < levels_.size(); ++level) {
+      const std::vector<CountQuery>& items = level_items[level];
+      if (items.empty()) continue;
+      counts.resize(items.size());
+      levels_[level].tree.CountLessBatch(items, group_size, counts.data());
+      for (size_t j = 0; j < items.size(); ++j) {
+        out[level_query[level][j]] += counts[j];
+      }
+    }
+  }
+
  private:
   struct Level {
     std::vector<Index> positions;  // Block-concatenated, position-sorted.
@@ -182,13 +245,12 @@ class DenseRankTree {
   size_t CountInBlock(size_t level, size_t block_lo, size_t block_hi,
                       size_t pos_lo, size_t pos_hi, Index threshold) const {
     const Level& lvl = levels_[level];
-    const Index* positions = lvl.positions.data();
-    const Index* begin = positions + block_lo;
-    const Index* end = positions + block_hi;
-    const size_t sub_lo = static_cast<size_t>(
-        std::lower_bound(begin, end, static_cast<Index>(pos_lo)) - positions);
-    const size_t sub_hi = static_cast<size_t>(
-        std::lower_bound(begin, end, static_cast<Index>(pos_hi)) - positions);
+    const Index* block = lvl.positions.data() + block_lo;
+    const size_t len = block_hi - block_lo;
+    const size_t sub_lo =
+        block_lo + BranchlessLowerBound(block, len, static_cast<Index>(pos_lo));
+    const size_t sub_hi =
+        block_lo + BranchlessLowerBound(block, len, static_cast<Index>(pos_hi));
     if (sub_lo >= sub_hi) return 0;
     if (level == 0) {
       return lvl.keys[sub_lo] < threshold ? 1 : 0;

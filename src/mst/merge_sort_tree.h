@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/search.h"
 #include "mem/memory_budget.h"
 #include "mem/spill_file.h"
 #include "mem/spillable_vector.h"
@@ -56,6 +57,14 @@ struct MergeSortTreeOptions {
   /// Merge kernel for the build phase. kLoserTree is strictly faster;
   /// kHeap exists for differential testing and bench ablations.
   MergeKernel kernel = MergeKernel::kLoserTree;
+
+  /// Number of probe queries kept in flight by the batched probe kernel
+  /// (probe_batch.h): the window-function evaluators collect a morsel of
+  /// rows' queries and walk them through the tree level-by-level in
+  /// lockstep, prefetching every query's next touch points one round ahead.
+  /// 0 disables batching entirely — the scalar per-row descent is kept as
+  /// the differential reference path. Results are bit-identical either way.
+  size_t probe_batch_size = 16;
 
   /// When non-null, the build reports into this profile: per-level
   /// wall-clock seconds via AddTreeLevelSeconds (index 0 = level 1 and so
@@ -202,9 +211,7 @@ void MultiwaySelect(const Index* const* child_data, const size_t* child_lens,
   auto count_less = [&](Index v) {
     size_t count = 0;
     for (size_t c = 0; c < num_children; ++c) {
-      count += static_cast<size_t>(
-          std::lower_bound(child_data[c], child_data[c] + child_lens[c], v) -
-          child_data[c]);
+      count += BranchlessLowerBound(child_data[c], child_lens[c], v);
     }
     return count;
   };
@@ -241,19 +248,16 @@ void MultiwaySelect(const Index* const* child_data, const size_t* child_lens,
   const Index split_key = lo;
   size_t remaining = k;
   for (size_t c = 0; c < num_children; ++c) {
-    offsets_out[c] = static_cast<size_t>(
-        std::lower_bound(child_data[c], child_data[c] + child_lens[c],
-                         split_key) -
-        child_data[c]);
+    offsets_out[c] =
+        BranchlessLowerBound(child_data[c], child_lens[c], split_key);
     remaining -= offsets_out[c];
   }
   // Distribute the elements equal to split_key in child-index order, the
   // same order the tie-breaking merge emits them.
   for (size_t c = 0; c < num_children && remaining > 0; ++c) {
-    const size_t eq = static_cast<size_t>(
-        std::upper_bound(child_data[c] + offsets_out[c],
-                         child_data[c] + child_lens[c], split_key) -
-        (child_data[c] + offsets_out[c]));
+    const size_t eq =
+        BranchlessUpperBound(child_data[c] + offsets_out[c],
+                             child_lens[c] - offsets_out[c], split_key);
     const size_t take = std::min(remaining, eq);
     offsets_out[c] += take;
     remaining -= take;
@@ -316,6 +320,10 @@ class MergeSortTree {
   /// page read through the thread-local spill cache.
   Index KeyAt(size_t i) const { return levels_.front().data.Get(i); }
 
+  /// Hints that KeyAt(i) is about to be called: prefetches the resident
+  /// cache line, or warms the spill page when level 0 is evicted.
+  void PrefetchKey(size_t i) const { levels_.front().data.PrefetchElement(i); }
+
   /// Copies level-0 entries [lo, hi) into `out` (bulk, page-at-a-time when
   /// spilled — for sequential consumers like LEAD/LAG's rank scan).
   void CopyKeys(size_t lo, size_t hi, Index* out) const {
@@ -365,20 +373,85 @@ class MergeSortTree {
   void VisitCountCover(size_t pos_lo, size_t pos_hi, Index threshold,
                        Visitor&& visit) const;
 
+  /// Maximum number of disjoint key ranges a Select query may carry.
+  static constexpr size_t kSelectMaxRanges = 8;
+
+  /// Top-level descent state shared between CountKeysInRanges and Select
+  /// calls over the same ranges. Both queries start with one lower-bound
+  /// bisection of the fully-sorted top run per range boundary; a row that
+  /// counts its frame and then selects into it (percentile, value
+  /// functions) pays those ~2·log n dependent cache misses once instead of
+  /// twice by threading a cursor through the pair of calls.
+  struct ProbeCursor {
+    bool valid = false;
+    size_t pos_lo[kSelectMaxRanges];
+    size_t pos_hi[kSelectMaxRanges];
+  };
+
   /// Counts entries (over all positions) whose key lies in any of `ranges`.
-  /// The ranges must be disjoint. O(log n) per range.
-  size_t CountKeysInRanges(std::span<const KeyRange<Index>> ranges) const;
+  /// The ranges must be disjoint. O(log n) per range. When `cursor` is
+  /// non-null the per-range top positions are recorded (or reused when
+  /// already valid) so a following Select skips its top-level searches.
+  size_t CountKeysInRanges(std::span<const KeyRange<Index>> ranges,
+                           ProbeCursor* cursor = nullptr) const;
 
   /// Returns the position of the i-th entry (0-based, scanning positions
   /// left to right) whose key lies in any of `ranges` (disjoint). Requires
-  /// i < CountKeysInRanges(ranges). O(f·log n) with cascading.
-  size_t Select(std::span<const KeyRange<Index>> ranges, size_t i) const;
+  /// i < CountKeysInRanges(ranges). O(f·log n) with cascading. A valid
+  /// `cursor` (from CountKeysInRanges or a prior Select over the same
+  /// ranges) skips the top-level bisections; an invalid one is filled.
+  size_t Select(std::span<const KeyRange<Index>> ranges, size_t i,
+                ProbeCursor* cursor = nullptr) const;
 
   /// Convenience: Select with a single key range.
   size_t Select(Index key_lo, Index key_hi, size_t i) const {
     KeyRange<Index> range{key_lo, key_hi};
     return Select(std::span<const KeyRange<Index>>(&range, 1), i);
   }
+
+  // --- Batched probe kernel (probe_batch.h) ------------------------------
+
+  /// One Select query of a batch: the `rank`-th entry whose key lies in
+  /// ranges[range_begin, range_begin + num_ranges) of the shared range
+  /// pool. Queries may share range pool entries.
+  struct SelectQuery {
+    uint32_t range_begin;
+    uint32_t num_ranges;
+    size_t rank;
+  };
+
+  /// One CountLess / cover query of a batch: entries at positions
+  /// [pos_lo, pos_hi) with key < threshold.
+  struct CountQuery {
+    size_t pos_lo;
+    size_t pos_hi;
+    Index threshold;
+  };
+
+  /// Batched Select: out[q] = Select(ranges of queries[q], queries[q].rank)
+  /// for every q, bit-identical to the scalar path. Up to `group_size`
+  /// queries are walked through the tree in lockstep (AMAC-style state
+  /// machine): each round advances every in-flight query by one level and
+  /// prefetches its next level's cascade/data cache lines before any of
+  /// them is touched; retired queries are backfilled from the batch.
+  void SelectBatch(std::span<const KeyRange<Index>> range_pool,
+                   std::span<const SelectQuery> queries, size_t group_size,
+                   size_t* out) const;
+
+  /// Batched CountLess: out[q] = CountLess(queries[q]). Same lockstep
+  /// group-prefetching machinery as SelectBatch.
+  void CountLessBatch(std::span<const CountQuery> queries, size_t group_size,
+                      size_t* out) const;
+
+  /// Batched VisitCountCover: invokes visit(q, level, run_begin, count) for
+  /// every covered run piece of every query — per query in exactly the
+  /// order the scalar VisitCountCover emits (the annotated tree's
+  /// floating-point merges depend on it), though queries retire
+  /// interleaved. All of a query's pieces are delivered consecutively when
+  /// it retires.
+  template <typename Visitor>
+  void VisitCountCoverBatch(std::span<const CountQuery> queries,
+                            size_t group_size, Visitor&& visit) const;
 
  private:
   struct Level {
@@ -456,6 +529,12 @@ class MergeSortTree {
   void VisitCountCoverInRun(size_t level, size_t run_begin,
                             size_t run_len_actual, size_t p, Index t,
                             size_t lo, size_t hi, Visitor& visit) const;
+
+  /// Shared lockstep worker behind CountLessBatch / VisitCountCoverBatch
+  /// (probe_batch.h). The emitter receives the cover pieces.
+  template <typename Emitter>
+  void RunCountCoverBatch(std::span<const CountQuery> queries,
+                          size_t group_size, Emitter& emitter) const;
 
   size_t n_ = 0;
   Options opts_;
@@ -798,34 +877,56 @@ void MergeSortTree<Index>::VisitCountCover(size_t pos_lo, size_t pos_hi,
 
 template <typename Index>
 size_t MergeSortTree<Index>::CountKeysInRanges(
-    std::span<const KeyRange<Index>> ranges) const {
+    std::span<const KeyRange<Index>> ranges, ProbeCursor* cursor) const {
+  HWF_CHECK(ranges.size() <= kSelectMaxRanges);
   const mem::SpillableVector<Index>& top = levels_.back().data;
   size_t count = 0;
-  for (const KeyRange<Index>& range : ranges) {
-    if (range.lo >= range.hi) continue;
-    const size_t lo = top.LowerBound(0, n_, range.lo);
-    const size_t hi = top.LowerBound(lo, n_, range.hi);
-    count += hi - lo;
+  if (cursor != nullptr && cursor->valid) {
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      count += cursor->pos_hi[r] - cursor->pos_lo[r];
+    }
+    return count;
   }
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    const size_t lo = top.LowerBound(0, n_, ranges[r].lo);
+    const size_t hi = top.LowerBound(lo, n_, ranges[r].hi);
+    count += hi - lo;
+    if (cursor != nullptr) {
+      cursor->pos_lo[r] = lo;
+      cursor->pos_hi[r] = hi;
+    }
+  }
+  if (cursor != nullptr) cursor->valid = true;
   return count;
 }
 
 template <typename Index>
 size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
-                                    size_t i) const {
+                                    size_t i, ProbeCursor* cursor) const {
   HWF_CHECK(n_ > 0);
   if (n_ == 1) return 0;
   // Cascaded lower-bound positions for every range boundary within the
   // current run (2 per range).
-  constexpr size_t kMaxRanges = 8;
-  HWF_CHECK(ranges.size() <= kMaxRanges);
-  size_t pos_lo[kMaxRanges];
-  size_t pos_hi[kMaxRanges];
+  HWF_CHECK(ranges.size() <= kSelectMaxRanges);
+  size_t pos_lo[kSelectMaxRanges];
+  size_t pos_hi[kSelectMaxRanges];
 
   const mem::SpillableVector<Index>& top_data = levels_.back().data;
-  for (size_t r = 0; r < ranges.size(); ++r) {
-    pos_lo[r] = top_data.LowerBound(0, n_, ranges[r].lo);
-    pos_hi[r] = top_data.LowerBound(0, n_, ranges[r].hi);
+  if (cursor != nullptr && cursor->valid) {
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      pos_lo[r] = cursor->pos_lo[r];
+      pos_hi[r] = cursor->pos_hi[r];
+    }
+  } else {
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      pos_lo[r] = top_data.LowerBound(0, n_, ranges[r].lo);
+      pos_hi[r] = top_data.LowerBound(0, n_, ranges[r].hi);
+      if (cursor != nullptr) {
+        cursor->pos_lo[r] = pos_lo[r];
+        cursor->pos_hi[r] = pos_hi[r];
+      }
+    }
+    if (cursor != nullptr) cursor->valid = true;
   }
 
   size_t level = levels_.size() - 1;
@@ -841,8 +942,8 @@ size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
     for (size_t c = 0; c < num_children; ++c) {
       const size_t cb = run_begin + c * child_run_len;
       const size_t ce = std::min(run_end, cb + child_run_len);
-      size_t child_lo[kMaxRanges];
-      size_t child_hi[kMaxRanges];
+      size_t child_lo[kSelectMaxRanges];
+      size_t child_hi[kSelectMaxRanges];
       size_t count = 0;
       for (size_t r = 0; r < ranges.size(); ++r) {
         if (level == 1) {
@@ -878,5 +979,10 @@ size_t MergeSortTree<Index>::Select(std::span<const KeyRange<Index>> ranges,
 }
 
 }  // namespace hwf
+
+// Out-of-line definitions of the batched probe kernel (SelectBatch,
+// CountLessBatch, VisitCountCoverBatch). Tail-included so the kernel can
+// live in its own file while remaining member templates of MergeSortTree.
+#include "mst/probe_batch.h"  // IWYU pragma: keep
 
 #endif  // HWF_MST_MERGE_SORT_TREE_H_

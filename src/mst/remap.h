@@ -63,6 +63,12 @@ class IndexRemap {
     return survivors_[filtered];
   }
 
+  /// Hints that ToOriginal(filtered) is about to be called (no-op for the
+  /// identity remap, one cache-line prefetch otherwise).
+  void PrefetchToOriginal(size_t filtered) const {
+    if (!is_identity_) HWF_PREFETCH(survivors_.data() + filtered);
+  }
+
   /// Whether the original position survives the filter.
   bool Included(size_t orig) const {
     if (is_identity_) return true;

@@ -29,6 +29,14 @@ const char* CounterName(Counter counter) {
       return "mst.cascade_lookups";
     case Counter::kMstBinarySearchFallbacks:
       return "mst.binary_search_fallbacks";
+    case Counter::kMstProbeBatches:
+      return "mst.probe.batches";
+    case Counter::kMstProbeBatchQueries:
+      return "mst.probe.batch_queries";
+    case Counter::kMstProbeBatchRounds:
+      return "mst.probe.batch_rounds";
+    case Counter::kMstProbePrefetches:
+      return "mst.probe.prefetches";
     case Counter::kExecutorPartitions:
       return "executor.partitions";
     case Counter::kExecutorIndex32Dispatches:

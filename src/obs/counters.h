@@ -32,6 +32,10 @@ enum class Counter : size_t {
   // Merge sort tree probe.
   kMstCascadeLookups,           // child searches narrowed by cascade samples
   kMstBinarySearchFallbacks,    // child searches over the full child run
+  kMstProbeBatches,             // batched probe kernel invocations
+  kMstProbeBatchQueries,        // queries answered by the batch kernel
+  kMstProbeBatchRounds,         // lockstep rounds executed by the kernel
+  kMstProbePrefetches,          // software prefetches issued by the kernel
 
   // Window executor.
   kExecutorPartitions,        // partitions processed

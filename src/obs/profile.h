@@ -18,9 +18,10 @@ namespace obs {
 /// emitted profile decomposes the same way:
 ///   - kPartition: partition-boundary detection over the sorted input.
 ///   - kSort: the global (partition keys, order keys) sort.
-///   - kPreprocess: Algorithm 1 — hash-array population, hash sort,
-///     prevIdcs (recorded by benchmarks that run the pipeline unbundled;
-///     inside the executor this time is part of kProbe).
+///   - kPreprocess: Algorithm 1 — permutation / dense-code construction,
+///     hash-array population, prevIdcs. The evaluators record this
+///     themselves, and the executor subtracts it from kProbe, so kProbe
+///     measures query answering only.
 ///   - kFrameResolve: per-row frame-bound resolution.
 ///   - kTreeBuild: merge sort tree level construction (per-level detail in
 ///     tree_level_seconds()).

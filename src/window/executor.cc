@@ -507,10 +507,11 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     view.options = &exec_options;
     view.pool = &part_pool;
 
-    // The dispatch interval covers tree builds AND probing; the tree-build
-    // share is recorded separately by the builds themselves and subtracted
-    // from kProbe once at the end of the execution, keeping the two phases
-    // disjoint without a second clock read inside the build.
+    // The dispatch interval covers preprocessing, tree builds AND probing;
+    // the preprocessing and tree-build shares are recorded separately by
+    // the evaluators / builds themselves and subtracted from kProbe once at
+    // the end of the execution, keeping the phases disjoint without extra
+    // clock reads inside the dispatch.
     part_timer.reset();
     part_timer.emplace(profile, obs::ProfilePhase::kProbe);
     for (size_t c = 0; c < calls.size(); ++c) {
@@ -566,12 +567,14 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
 
   obs::Add(obs::Counter::kExecutorPartitions, num_partitions);
   if (profile != nullptr) {
-    // The dispatch timers above charged tree construction to kProbe as
-    // well; the builds recorded their own time into kTreeBuild, so remove
-    // it from kProbe to make the phases disjoint.
+    // The dispatch timers above charged tree construction and Algorithm-1
+    // preprocessing (permutation / code / prevIdcs construction) to kProbe
+    // as well; both recorded their own time into kTreeBuild / kPreprocess,
+    // so remove them from kProbe to make the phases disjoint.
     profile->AddPhaseSeconds(
         obs::ProfilePhase::kProbe,
-        -profile->phase_seconds(obs::ProfilePhase::kTreeBuild));
+        -profile->phase_seconds(obs::ProfilePhase::kTreeBuild) -
+            profile->phase_seconds(obs::ProfilePhase::kPreprocess));
     profile->SetRows(n);
     profile->SetPartitions(num_partitions);
     profile->SetEngine(EngineName(options.engine));

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "mst/remap.h"
 #include "obs/counters.h"
@@ -29,6 +30,31 @@ Status DispatchIndexWidth(size_t n, int force, Fn&& fn) {
     return fn(uint32_t{0});
   }
   return fn(uint64_t{0});
+}
+
+/// Rows per gather/probe/emit cycle in the batched window-function paths
+/// (MergeSortTreeOptions::probe_batch_size > 0). Bounds the per-thread
+/// query and range scratch while keeping enough queries around to refill
+/// the probe kernel's in-flight group many times over.
+inline constexpr size_t kProbeChunkRows = 512;
+
+/// Prefetch distance for the index hops that follow a batched probe
+/// (selected tree position → partition row → argument value). Each hop is
+/// a random access over an array far larger than cache; loading a few
+/// iterations ahead overlaps those misses like the kernel overlaps its
+/// descents.
+inline constexpr size_t kGatherLookahead = 8;
+
+/// dst[i] = table[src[i]] with the prefetch distance above. In-place
+/// (dst == src) is allowed.
+inline void GatherRowsWithPrefetch(const size_t* table, const size_t* src,
+                                   size_t n, size_t* dst) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kGatherLookahead < n) {
+      HWF_PREFETCH(table + src[i + kGatherLookahead]);
+    }
+    dst[i] = table[src[i]];
+  }
 }
 
 /// Value codes of the call argument over the filtered positions: 64-bit

@@ -1,8 +1,10 @@
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "mst/dense_rank_tree.h"
 #include "mst/permutation.h"
+#include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -23,20 +25,57 @@ Status EvalDenseRankT(const PartitionView& view,
   const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
   PositionLess less{&view, order};
   auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
-  const std::vector<Index> codes =
-      ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
-
+  // Dense-code construction is Algorithm 1 preprocessing (kPreprocess);
+  // kProbe then measures the per-row distinct counts only.
+  std::vector<Index> codes;
   std::vector<Index> filtered_codes(m);
-  for (size_t j = 0; j < m; ++j) {
-    filtered_codes[j] = codes[remap.ToOriginal(j)];
+  {
+    obs::ScopedPhaseTimer timer(view.options->profile,
+                                obs::ProfilePhase::kPreprocess);
+    codes = ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
+    for (size_t j = 0; j < m; ++j) {
+      filtered_codes[j] = codes[remap.ToOriginal(j)];
+    }
   }
   const DenseRankTree<Index> tree = DenseRankTree<Index>::Build(
       std::span<const Index>(filtered_codes), view.options->tree, *view.pool);
 
+  const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
       0, n,
       [&](size_t lo, size_t hi) {
         RowRange ranges[FrameRanges::kMaxRanges];
+        if (batch > 0) {
+          // Batched path: each chunk's distinct counts run through the
+          // range tree's grouped kernel (per-level batched MST counts).
+          std::vector<typename DenseRankTree<Index>::DistinctQuery> queries;
+          std::vector<size_t> rows;
+          std::vector<size_t> smaller;
+          for (size_t chunk = lo; chunk < hi; chunk += kProbeChunkRows) {
+            const size_t chunk_end = std::min(hi, chunk + kProbeChunkRows);
+            queries.clear();
+            rows.clear();
+            for (size_t i = chunk; i < chunk_end; ++i) {
+              const size_t num_ranges =
+                  MapRangesToFiltered(view.frames[i], remap, ranges);
+              HWF_CHECK_MSG(num_ranges <= 1,
+                            "dense_rank does not support frame exclusion");
+              if (num_ranges == 0) {
+                out->SetInt64(view.rows[i], 1);
+                continue;
+              }
+              queries.push_back(
+                  {ranges[0].begin, ranges[0].end, codes[i]});
+              rows.push_back(view.rows[i]);
+            }
+            smaller.resize(queries.size());
+            tree.CountDistinctLessBatch(queries, batch, smaller.data());
+            for (size_t q = 0; q < queries.size(); ++q) {
+              out->SetInt64(rows[q], static_cast<int64_t>(smaller[q]) + 1);
+            }
+          }
+          return;
+        }
         for (size_t i = lo; i < hi; ++i) {
           const size_t num_ranges =
               MapRangesToFiltered(view.frames[i], remap, ranges);

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -6,6 +7,7 @@
 #include "mst/annotated_mst.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/prev_index.h"
+#include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -78,21 +80,79 @@ template <typename Index>
 Status EvalCountDistinctT(const PartitionView& view,
                           const WindowFunctionCall& call, Column* out) {
   const IndexRemap remap = BuildCallRemap(view, call, /*drop_null_args=*/true);
-  const std::vector<uint64_t> codes =
-      GatherArgumentCodes(view, *call.argument, remap);
-  const std::vector<Index> prev = ComputePrevIndices<Index>(codes, *view.pool);
   const bool has_exclusion =
       view.spec->frame.exclusion != FrameExclusion::kNoOthers;
+  // Code/prevIdcs construction is Algorithm 1 preprocessing (kPreprocess);
+  // kProbe then measures the per-row counts only.
+  std::vector<uint64_t> codes;
+  std::vector<Index> prev;
   std::vector<Index> next;
-  if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
+  {
+    obs::ScopedPhaseTimer timer(view.options->profile,
+                                obs::ProfilePhase::kPreprocess);
+    codes = GatherArgumentCodes(view, *call.argument, remap);
+    prev = ComputePrevIndices<Index>(codes, *view.pool);
+    if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
+  }
 
   const MergeSortTree<Index> tree =
       MergeSortTree<Index>::Build(prev, view.options->tree, *view.pool);
 
+  const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
       0, view.size(),
       [&](size_t lo, size_t hi) {
         RowRange ranges[FrameRanges::kMaxRanges];
+        if (batch > 0) {
+          // Batched path: one CountLess query per frame range per chunk
+          // row; counts are integer sums, so the per-range addition order
+          // is immaterial. Gap corrections stay scalar (O(gap) walks).
+          struct RowTask {
+            size_t view_index;
+            uint32_t range_begin;
+            uint32_t num_ranges;
+          };
+          std::vector<typename MergeSortTree<Index>::CountQuery> queries;
+          std::vector<RowRange> range_pool;
+          std::vector<RowTask> tasks;
+          std::vector<size_t> counts;
+          for (size_t chunk = lo; chunk < hi; chunk += kProbeChunkRows) {
+            const size_t chunk_end = std::min(hi, chunk + kProbeChunkRows);
+            queries.clear();
+            range_pool.clear();
+            tasks.clear();
+            for (size_t i = chunk; i < chunk_end; ++i) {
+              const size_t num_ranges =
+                  MapRangesToFiltered(view.frames[i], remap, ranges);
+              if (num_ranges == 0) {
+                out->SetInt64(view.rows[i], 0);
+                continue;
+              }
+              const Index threshold = static_cast<Index>(ranges[0].begin + 1);
+              tasks.push_back({i, static_cast<uint32_t>(range_pool.size()),
+                               static_cast<uint32_t>(num_ranges)});
+              range_pool.insert(range_pool.end(), ranges,
+                                ranges + num_ranges);
+              for (size_t r = 0; r < num_ranges; ++r) {
+                queries.push_back(
+                    {ranges[r].begin, ranges[r].end, threshold});
+              }
+            }
+            counts.resize(queries.size());
+            tree.CountLessBatch(queries, batch, counts.data());
+            size_t q = 0;
+            for (const RowTask& task : tasks) {
+              size_t count = 0;
+              for (size_t r = 0; r < task.num_ranges; ++r) count += counts[q++];
+              ForEachGapCorrection<Index>(range_pool.data() + task.range_begin,
+                                          task.num_ranges, prev, next,
+                                          [&](size_t) { ++count; });
+              out->SetInt64(view.rows[task.view_index],
+                            static_cast<int64_t>(count));
+            }
+          }
+          return;
+        }
         for (size_t i = lo; i < hi; ++i) {
           const size_t num_ranges =
               MapRangesToFiltered(view.frames[i], remap, ranges);
@@ -123,16 +183,22 @@ Status EvalDistinctAggregateT(const PartitionView& view,
   using State = typename Ops::State;
   const IndexRemap remap = BuildCallRemap(view, call, /*drop_null_args=*/true);
   const size_t m = remap.num_surviving();
-  const std::vector<uint64_t> codes =
-      GatherArgumentCodes(view, *call.argument, remap);
-  std::vector<Index> prev = ComputePrevIndices<Index>(codes, *view.pool);
   const bool has_exclusion =
       view.spec->frame.exclusion != FrameExclusion::kNoOthers;
+  // Code/prevIdcs/input gathering is Algorithm 1 preprocessing
+  // (kPreprocess); kProbe then measures the per-row aggregation only.
+  std::vector<uint64_t> codes;
+  std::vector<Index> prev;
   std::vector<Index> next;
-  if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
-
   std::vector<typename Ops::Input> inputs(m);
-  for (size_t j = 0; j < m; ++j) inputs[j] = get_input(j);
+  {
+    obs::ScopedPhaseTimer timer(view.options->profile,
+                                obs::ProfilePhase::kPreprocess);
+    codes = GatherArgumentCodes(view, *call.argument, remap);
+    prev = ComputePrevIndices<Index>(codes, *view.pool);
+    if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
+    for (size_t j = 0; j < m; ++j) inputs[j] = get_input(j);
+  }
 
   // Keep a copy of prev for the correction walks (the build consumes it).
   std::vector<Index> prev_copy;
@@ -141,10 +207,78 @@ Status EvalDistinctAggregateT(const PartitionView& view,
       AnnotatedMergeSortTree<Index, Ops>::Build(
           std::move(prev), std::move(inputs), view.options->tree, *view.pool);
 
+  const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
       0, view.size(),
       [&](size_t lo, size_t hi) {
         RowRange ranges[FrameRanges::kMaxRanges];
+        if (batch > 0) {
+          // Batched path: one AggregateLess query per frame range per chunk
+          // row. The kernel merges each query's cover pieces in the scalar
+          // visit order and the per-row merge below folds the per-range
+          // states in range order, so floating-point states are
+          // bit-identical to the scalar path. Gap corrections stay scalar.
+          struct RowTask {
+            size_t view_index;
+            uint32_t range_begin;
+            uint32_t num_ranges;
+          };
+          std::vector<typename MergeSortTree<Index>::CountQuery> queries;
+          std::vector<RowRange> range_pool;
+          std::vector<RowTask> tasks;
+          std::vector<std::optional<State>> pieces;
+          for (size_t chunk = lo; chunk < hi; chunk += kProbeChunkRows) {
+            const size_t chunk_end = std::min(hi, chunk + kProbeChunkRows);
+            queries.clear();
+            range_pool.clear();
+            tasks.clear();
+            for (size_t i = chunk; i < chunk_end; ++i) {
+              const size_t num_ranges =
+                  MapRangesToFiltered(view.frames[i], remap, ranges);
+              if (num_ranges == 0) {
+                write(view.rows[i], std::optional<State>());
+                continue;
+              }
+              const Index threshold = static_cast<Index>(ranges[0].begin + 1);
+              tasks.push_back({i, static_cast<uint32_t>(range_pool.size()),
+                               static_cast<uint32_t>(num_ranges)});
+              range_pool.insert(range_pool.end(), ranges,
+                                ranges + num_ranges);
+              for (size_t r = 0; r < num_ranges; ++r) {
+                queries.push_back(
+                    {ranges[r].begin, ranges[r].end, threshold});
+              }
+            }
+            pieces.assign(queries.size(), std::optional<State>());
+            tree.AggregateLessBatch(queries, batch, pieces.data());
+            size_t q = 0;
+            for (const RowTask& task : tasks) {
+              std::optional<State> state;
+              for (size_t r = 0; r < task.num_ranges; ++r) {
+                const std::optional<State>& piece = pieces[q++];
+                if (piece.has_value()) {
+                  if (state.has_value()) {
+                    Ops::Merge(*state, *piece);
+                  } else {
+                    state = *piece;
+                  }
+                }
+              }
+              ForEachGapCorrection<Index>(
+                  range_pool.data() + task.range_begin, task.num_ranges,
+                  prev_copy, next, [&](size_t pos) {
+                    const State piece = Ops::MakeState(get_input(pos));
+                    if (state.has_value()) {
+                      Ops::Merge(*state, piece);
+                    } else {
+                      state = piece;
+                    }
+                  });
+              write(view.rows[task.view_index], state);
+            }
+          }
+          return;
+        }
         for (size_t i = lo; i < hi; ++i) {
           const size_t num_ranges =
               MapRangesToFiltered(view.frames[i], remap, ranges);

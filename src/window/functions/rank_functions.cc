@@ -3,6 +3,7 @@
 
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
+#include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -32,12 +33,17 @@ Status EvalRankT(const PartitionView& view, const WindowFunctionCall& call,
   const bool dense = call.kind == WindowFunctionKind::kRank ||
                      call.kind == WindowFunctionKind::kPercentRank ||
                      call.kind == WindowFunctionKind::kCumeDist;
-  std::vector<Index> codes =
-      dense ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
-            : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
-
+  // Code construction is Algorithm 1 preprocessing (kPreprocess); kProbe
+  // then measures the per-row rank counts only.
+  std::vector<Index> codes;
   std::vector<Index> keys(m);
-  for (size_t j = 0; j < m; ++j) keys[j] = codes[remap.ToOriginal(j)];
+  {
+    obs::ScopedPhaseTimer timer(view.options->profile,
+                                obs::ProfilePhase::kPreprocess);
+    codes = dense ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
+                  : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
+    for (size_t j = 0; j < m; ++j) keys[j] = codes[remap.ToOriginal(j)];
+  }
   const MergeSortTree<Index> tree =
       MergeSortTree<Index>::Build(std::move(keys), view.options->tree,
                                   *view.pool);

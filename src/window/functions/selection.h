@@ -8,6 +8,7 @@
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
 #include "mst/remap.h"
+#include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 
@@ -34,13 +35,21 @@ struct SelectionTree {
     const size_t m = result.remap.num_surviving();
     const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
     PositionLess less{&view, order};
-    // Compare filtered positions by their underlying rows.
-    std::vector<Index> perm = ComputePermutation<Index>(
-        m,
-        [&](size_t a, size_t b) {
-          return less(result.remap.ToOriginal(a), result.remap.ToOriginal(b));
-        },
-        *view.pool);
+    // Compare filtered positions by their underlying rows. The permutation
+    // sort is Algorithm 1 preprocessing, charged to kPreprocess so kProbe
+    // measures query answering only.
+    std::vector<Index> perm;
+    {
+      obs::ScopedPhaseTimer timer(view.options->profile,
+                                  obs::ProfilePhase::kPreprocess);
+      perm = ComputePermutation<Index>(
+          m,
+          [&](size_t a, size_t b) {
+            return less(result.remap.ToOriginal(a),
+                        result.remap.ToOriginal(b));
+          },
+          *view.pool);
+    }
     result.tree = MergeSortTree<Index>::Build(std::move(perm),
                                               view.options->tree, *view.pool);
     return result;
@@ -63,12 +72,43 @@ struct SelectionTree {
   }
 
   /// The original partition position of the idx-th (0-based, function
-  /// order) frame row. Requires idx < total.
-  size_t SelectPosition(std::span<const KeyRange<Index>> ranges,
-                        size_t idx) const {
-    const size_t tree_pos = tree.Select(ranges, idx);
+  /// order) frame row. Requires idx < total. `cursor` (optional) caches the
+  /// top-level descent state across calls with the same ranges, so a second
+  /// select on the same frame skips its boundary searches.
+  size_t SelectPosition(
+      std::span<const KeyRange<Index>> ranges, size_t idx,
+      typename MergeSortTree<Index>::ProbeCursor* cursor = nullptr) const {
+    const size_t tree_pos = tree.Select(ranges, idx, cursor);
     const size_t filtered_pos = static_cast<size_t>(tree.KeyAt(tree_pos));
     return remap.ToOriginal(filtered_pos);
+  }
+
+  using SelectQuery = typename MergeSortTree<Index>::SelectQuery;
+
+  /// Batched SelectPosition: answers `queries` (each referencing a slice of
+  /// `range_pool`) through the prefetch-pipelined probe kernel with
+  /// `group_size` queries in flight, then maps every selected tree position
+  /// back to an original partition position in `out`. Results are identical
+  /// to calling SelectPosition per query.
+  void SelectPositionsBatch(std::span<const KeyRange<Index>> range_pool,
+                            std::span<const SelectQuery> queries,
+                            size_t group_size, size_t* out) const {
+    tree.SelectBatch(range_pool, queries, group_size, out);
+    // Mapping the answered positions back is two more dependent random
+    // reads per query (the level-0 key, then the survivor table); pipeline
+    // each hop with a prefetch distance so those misses overlap too.
+    const size_t n = queries.size();
+    for (size_t q = 0; q < n; ++q) {
+      if (q + kGatherLookahead < n) tree.PrefetchKey(out[q + kGatherLookahead]);
+      out[q] = static_cast<size_t>(tree.KeyAt(out[q]));
+    }
+    if (remap.is_identity()) return;
+    for (size_t q = 0; q < n; ++q) {
+      if (q + kGatherLookahead < n) {
+        remap.PrefetchToOriginal(out[q + kGatherLookahead]);
+      }
+      out[q] = remap.ToOriginal(out[q]);
+    }
   }
 };
 

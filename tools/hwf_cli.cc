@@ -61,6 +61,9 @@ void Usage() {
       "                             suffix (e.g. 256M); spills to disk\n"
       "                             instead of exceeding it (default "
       "unlimited)\n"
+      "  --probe_batch N            tree probes kept in flight per thread by\n"
+      "                             the batched probe kernel (default 16;\n"
+      "                             0 = scalar probes)\n"
       "  --as NAME                  result column name\n"
       "  --output FILE              write CSV here (default stdout)\n"
       "  --explain                  print the execution profile to stderr\n"
@@ -197,6 +200,7 @@ int main(int argc, char** argv) {
   int64_t param = 1;
   bool explain = false;
   size_t memory_limit_bytes = 0;
+  size_t probe_batch = MergeSortTreeOptions{}.probe_batch_size;
   std::string profile_path;
   std::string trace_path;
 
@@ -249,6 +253,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: bad --memory_limit '%s'\n", value);
         return 2;
       }
+    } else if (flag == "--probe_batch") {
+      probe_batch = static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--as") {
       result_name = next();
     } else if (flag == "--explain") {
@@ -357,6 +363,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.memory_limit_bytes = memory_limit_bytes;
+  options.tree.probe_batch_size = probe_batch;
   obs::ExecutionProfile profile;
   const bool want_profile =
       explain || !profile_path.empty() || !trace_path.empty();
