@@ -1,0 +1,150 @@
+// Service-level throughput: queries/sec through the concurrent query
+// service as a function of session count, with the cross-query tree cache
+// on and off, plus the cold/warm latency split that shows a cache hit is
+// probe-only. Emits BENCH_service.json.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "service/service.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace {
+
+using service::QueryResult;
+using service::QueryService;
+using service::ServiceOptions;
+
+Table MakeTable(size_t rows) {
+  Pcg32 rng(42);
+  Column grp(DataType::kInt64);
+  Column ord(DataType::kInt64);
+  Column val(DataType::kInt64);
+  Column price(DataType::kDouble);
+  for (size_t i = 0; i < rows; ++i) {
+    grp.AppendInt64(static_cast<int64_t>(rng.Bounded(4)));
+    ord.AppendInt64(static_cast<int64_t>(rng.Bounded(1u << 20)));
+    val.AppendInt64(static_cast<int64_t>(rng.Bounded(100000)));
+    price.AppendDouble(rng.NextDouble() * 1000.0);
+  }
+  Table table;
+  table.AddColumn("grp", std::move(grp));
+  table.AddColumn("ord", std::move(ord));
+  table.AddColumn("val", std::move(val));
+  table.AddColumn("price", std::move(price));
+  return table;
+}
+
+/// A mix of holistic and distributive queries over a few distinct specs,
+/// so concurrent sessions contend for (and share) cached build artifacts.
+std::vector<std::string> QueryMix() {
+  return {
+      "select median(price) over (order by ord rows between 200 preceding "
+      "and current row) from t",
+      "select sum(val) over (partition by grp order by ord rows between 100 "
+      "preceding and 100 following) from t",
+      "select count(distinct val) over (order by ord rows between 150 "
+      "preceding and current row) from t",
+      "select rank() over (partition by grp order by ord groups between 50 "
+      "preceding and 50 following) from t",
+      "select percentile_disc(0.9 order by price) over (order by ord rows "
+      "between 300 preceding and current row) from t",
+  };
+}
+
+/// Fires `total` queries round-robin from `clients` threads; returns
+/// elapsed seconds. Every query must succeed.
+double RunWave(QueryService& svc, const std::vector<std::string>& queries,
+               size_t clients, size_t total) {
+  bench::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t q = c; q < total; q += clients) {
+        StatusOr<QueryResult> result = svc.Query(queries[q % queries.size()]);
+        HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.Seconds();
+}
+
+}  // namespace
+}  // namespace hwf
+
+int main() {
+  using namespace hwf;  // NOLINT
+
+  const size_t kRows = bench::Scaled(120000);
+  const size_t kQueriesPerConfig = bench::Scaled(40);
+  const std::vector<std::string> queries = QueryMix();
+  bench::BenchJson json("service");
+
+  bench::PrintHeader("service throughput: queries/sec vs sessions");
+  std::printf("%-10s %-8s %10s %12s\n", "sessions", "cache", "seconds",
+              "queries/s");
+  for (bool cache_on : {false, true}) {
+    for (size_t sessions : {1, 2, 4, 8}) {
+      ServiceOptions options;
+      options.num_sessions = sessions;
+      options.max_queued = kQueriesPerConfig + sessions;
+      options.enable_cache = cache_on;
+      QueryService svc(options);
+      svc.RegisterTable("t", MakeTable(kRows));
+      // Warm-up wave: primes the cache (when on) and faults the table in,
+      // so the measured wave reflects steady-state serving.
+      RunWave(svc, queries, sessions, queries.size());
+      const double seconds =
+          RunWave(svc, queries, sessions, kQueriesPerConfig);
+      const double qps = static_cast<double>(kQueriesPerConfig) / seconds;
+      std::printf("%-10zu %-8s %10.3f %12.1f\n", sessions,
+                  cache_on ? "on" : "off", seconds, qps);
+      char entry[256];
+      std::snprintf(entry, sizeof entry,
+                    "{\"label\": \"sessions=%zu cache=%s\", "
+                    "\"sessions\": %zu, \"cache\": %s, \"queries\": %zu, "
+                    "\"seconds\": %.4f, \"qps\": %.2f}",
+                    sessions, cache_on ? "on" : "off", sessions,
+                    cache_on ? "true" : "false", kQueriesPerConfig, seconds,
+                    qps);
+      json.AddRaw(entry);
+    }
+  }
+
+  // Cold vs warm latency for one repeated query: the warm run's profile
+  // must show no sort and no tree build — a cache hit is probe-only.
+  bench::PrintHeader("repeated-query latency: cold build vs cached probe");
+  {
+    QueryService svc;
+    svc.RegisterTable("t", MakeTable(kRows));
+    const std::string& sql = queries[0];
+    const char* labels[2] = {"repeat_cold", "repeat_warm"};
+    for (int run = 0; run < 2; ++run) {
+      bench::Timer timer;
+      StatusOr<QueryResult> result = svc.Query(sql);
+      const double seconds = timer.Seconds();
+      HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+      std::printf("%-12s %8.4f s  (sort %.4f s, build %.4f s, probe %.4f s)\n",
+                  labels[run], seconds,
+                  result->profile->phase_seconds(obs::ProfilePhase::kSort),
+                  result->profile->phase_seconds(obs::ProfilePhase::kTreeBuild),
+                  result->profile->phase_seconds(obs::ProfilePhase::kProbe));
+      char entry[192];
+      std::snprintf(entry, sizeof entry,
+                    "{\"label\": \"%s\", \"seconds\": %.4f, \"profile\": ",
+                    labels[run], seconds);
+      json.AddRaw(std::string(entry) + result->profile->ToJson() + "}");
+    }
+  }
+
+  json.WriteDefault();
+  return 0;
+}

@@ -20,6 +20,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kTypeMismatch,
   kInternal,
   kResourceExhausted,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error result, modeled after absl::Status.
@@ -55,6 +57,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,23 @@
+#include "common/stop_token.h"
+
+namespace hwf {
+
+namespace {
+
+StopToken& ThreadToken() {
+  thread_local StopToken token;
+  return token;
+}
+
+}  // namespace
+
+const StopToken& CurrentStopToken() { return ThreadToken(); }
+
+ScopedStopToken::ScopedStopToken(StopToken token)
+    : saved_(ThreadToken()) {
+  ThreadToken() = std::move(token);
+}
+
+ScopedStopToken::~ScopedStopToken() { ThreadToken() = saved_; }
+
+}  // namespace hwf

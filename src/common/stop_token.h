@@ -1,0 +1,126 @@
+#ifndef HWF_COMMON_STOP_TOKEN_H_
+#define HWF_COMMON_STOP_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace hwf {
+
+namespace internal_stop {
+
+/// Shared cancellation state: a sticky stop reason plus an optional
+/// deadline. The reason latches on first observation so a query that ran
+/// past its deadline keeps reporting kDeadlineExceeded even if a Cancel
+/// arrives later.
+struct StopState {
+  /// 0 = running, 1 = cancelled, 2 = deadline exceeded.
+  std::atomic<int> reason{0};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+}  // namespace internal_stop
+
+/// A cheap, copyable view onto a cancellation request (modeled after
+/// std::stop_token, which the library avoids only because it needs the
+/// deadline latch and Status integration).
+///
+/// A default-constructed token can never be stopped; checking it is a null
+/// test, so hot loops may poll unconditionally. Tokens are polled at morsel
+/// granularity by ParallelFor and at phase boundaries by the window
+/// executor, which bounds the reaction latency of a cancellation to one
+/// morsel of work.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True when a stop was requested or the deadline has passed. Latches
+  /// the deadline reason on first observation.
+  bool stop_requested() const {
+    if (state_ == nullptr) return false;
+    if (state_->reason.load(std::memory_order_relaxed) != 0) return true;
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      int expected = 0;
+      state_->reason.compare_exchange_strong(expected, 2,
+                                             std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while running; Cancelled / DeadlineExceeded once stopped.
+  Status status() const {
+    if (!stop_requested()) return Status::OK();
+    return state_->reason.load(std::memory_order_relaxed) == 2
+               ? Status::DeadlineExceeded("query deadline exceeded")
+               : Status::Cancelled("query cancelled");
+  }
+
+  bool can_stop() const { return state_ != nullptr; }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<internal_stop::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal_stop::StopState> state_;
+};
+
+/// The owning side of a cancellation channel. The service creates one per
+/// query; RequestStop() (operator cancel) and the deadline (admission
+/// timeout) both funnel into the same token.
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<internal_stop::StopState>()) {}
+
+  /// Marks the token cancelled. Idempotent; a deadline that already fired
+  /// wins (the first reason sticks).
+  void RequestStop() {
+    int expected = 0;
+    state_->reason.compare_exchange_strong(expected, 1,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Sets the deadline. Must be called before the token is handed to
+  /// workers (the field is unsynchronized by design: it is written once
+  /// during setup).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    state_->deadline = deadline;
+    state_->has_deadline = true;
+  }
+
+  StopToken token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<internal_stop::StopState> state_;
+};
+
+/// The calling thread's ambient stop token (empty by default). ParallelFor
+/// captures it on entry and re-installs it on every pool worker that runs
+/// its morsels, so cancellation propagates through nested parallel regions
+/// without threading a token parameter through every call site.
+const StopToken& CurrentStopToken();
+
+/// Installs `token` as the current thread's ambient token for the scope.
+class ScopedStopToken {
+ public:
+  explicit ScopedStopToken(StopToken token);
+  ~ScopedStopToken();
+
+  ScopedStopToken(const ScopedStopToken&) = delete;
+  ScopedStopToken& operator=(const ScopedStopToken&) = delete;
+
+ private:
+  StopToken saved_;
+};
+
+/// Shorthand for CurrentStopToken().status() at cooperative check points.
+inline Status CheckStop() { return CurrentStopToken().status(); }
+
+}  // namespace hwf
+
+#endif  // HWF_COMMON_STOP_TOKEN_H_

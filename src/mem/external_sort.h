@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/stop_token.h"
 #include "mem/memory_budget.h"
 #include "mem/spill_file.h"
 #include "mst/loser_tree.h"
@@ -42,9 +43,13 @@ Status SortWithBudget(std::vector<T>& data, Less less, ThreadPool& pool,
                       PartitionScheme scheme = PartitionScheme::kThreeWay) {
   const size_t n = data.size();
   MemoryBudget* budget = ctx.budget;
+  // Cooperative cancellation: a stopped token aborts before the sort (and
+  // the internal ParallelFor morsels stop claiming mid-sort; the caller
+  // discards the partially-sorted data on the non-OK Status).
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
   if (!ctx.limited() || n <= run_size) {
     ParallelSort(data, less, pool, run_size, scheme, budget);
-    return Status::OK();
+    return CheckStop();
   }
 
   // Regime 2: the whole merge buffer fits.
@@ -53,7 +58,7 @@ Status SortWithBudget(std::vector<T>& data, Less less, ThreadPool& pool,
     std::vector<T> buffer(n);
     ParallelSortRange(data.data(), n, less, pool, run_size, scheme,
                       buffer.data(), budget);
-    return Status::OK();
+    return CheckStop();
   }
 
   if constexpr (!std::is_trivially_copyable_v<T>) {
@@ -103,6 +108,7 @@ Status SortWithBudget(std::vector<T>& data, Less less, ThreadPool& pool,
     std::vector<Run> runs(num_chunks);
 
     for (size_t c = 0; c < num_chunks; ++c) {
+      if (Status stop = CheckStop(); !stop.ok()) return stop;
       const size_t lo = c * chunk_elems;
       const size_t hi = std::min(n, lo + chunk_elems);
       ParallelSortRange(data.data() + lo, hi - lo, less, pool, run_size,

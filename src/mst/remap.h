@@ -75,6 +75,11 @@ class IndexRemap {
     return prefix_[orig + 1] > prefix_[orig];
   }
 
+  /// Approximate resident footprint, for cache accounting.
+  size_t ApproxBytes() const {
+    return (prefix_.capacity() + survivors_.capacity()) * sizeof(size_t);
+  }
+
  private:
   std::vector<size_t> prefix_;
   std::vector<size_t> survivors_;

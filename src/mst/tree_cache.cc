@@ -1,0 +1,78 @@
+#include "mst/tree_cache.h"
+
+#include <utility>
+
+#include "obs/counters.h"
+
+namespace hwf {
+namespace mst {
+
+std::shared_ptr<const void> TreeCache::GetRaw(const std::string& key,
+                                              std::type_index type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.type != type) {
+    ++misses_;
+    obs::Add(obs::Counter::kCacheMisses);
+    return nullptr;
+  }
+  it->second.tick = ++tick_;
+  ++hits_;
+  obs::Add(obs::Counter::kCacheHits);
+  return it->second.value;
+}
+
+void TreeCache::PutRaw(const std::string& key,
+                       std::shared_ptr<const void> value, std::type_index type,
+                       size_t bytes) {
+  if (bytes > capacity_) return;  // Would evict everything and still thrash.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  EvictToFitLocked(bytes);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.type = type;
+  entry.bytes = bytes;
+  entry.tick = ++tick_;
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  obs::Add(obs::Counter::kCacheInsertBytes, bytes);
+}
+
+void TreeCache::EvictToFitLocked(size_t need) {
+  while (!entries_.empty() && bytes_ + need > capacity_) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.tick < victim->second.tick) victim = it;
+    }
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    obs::Add(obs::Counter::kCacheEvictions);
+  }
+}
+
+TreeCache::Stats TreeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_;
+  return stats;
+}
+
+void TreeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace mst
+}  // namespace hwf

@@ -1,0 +1,158 @@
+#ifndef HWF_MST_TREE_CACHE_H_
+#define HWF_MST_TREE_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace hwf {
+namespace mst {
+
+/// Cross-query cache for merge-sort-tree build artifacts.
+///
+/// The paper's cost split (build O(n log n), probe O(log^2 n) per row) makes
+/// the tree the natural unit of reuse: when the same table version is queried
+/// repeatedly with the same PARTITION BY / ORDER BY, every build-phase
+/// artifact — the global sort permutation, the per-partition merge sort
+/// trees, rank code arrays — is identical across queries, and caching them
+/// turns repeat queries into probe-only work.
+///
+/// Design:
+///   - EXACT string keys. Keys embed the table version (a globally monotonic
+///     epoch assigned at registration), the sort specification and every
+///     build parameter (fanout, sampling, cascading, index width, filter,
+///     argument). Two different configurations can never alias: there is no
+///     hashing of semantic content into the key, only of the key into the
+///     map.
+///   - Type-erased values. Entries hold shared_ptr<const void> plus the
+///     std::type_index of the stored T; a lookup with the wrong T is a miss,
+///     never a reinterpretation.
+///   - Byte-capped LRU. Each entry carries its caller-declared footprint;
+///     inserts evict least-recently-used entries until the new entry fits.
+///     Entries larger than the whole cap are returned to the caller but not
+///     retained.
+///   - Singleflight builds. GetOrBuild serializes concurrent builders of the
+///     same key on a striped lock, so N sessions issuing the same query
+///     build the tree once and share it (the other N-1 block, then hit).
+///
+/// Memory-safety rule for cached trees: values must be self-contained — in
+/// particular they must NOT hold MemoryReservations against a per-query
+/// budget, which dies with the query. The window executor enforces this by
+/// only engaging the cache for unbudgeted executions and clearing the tree
+/// MemoryContext for cached builds.
+///
+/// Thread-safe; all public members may be called concurrently.
+class TreeCache {
+ public:
+  /// `capacity_bytes` caps the sum of declared entry footprints; 0 means
+  /// "cache nothing" (every lookup misses, every insert is dropped), which
+  /// gives benchmarks a cache-off mode with identical code paths.
+  explicit TreeCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  TreeCache(const TreeCache&) = delete;
+  TreeCache& operator=(const TreeCache&) = delete;
+
+  /// A value admitted to (or produced for) the cache: the artifact plus its
+  /// approximate resident footprint in bytes.
+  template <typename T>
+  struct Built {
+    std::shared_ptr<const T> value;
+    size_t bytes = 0;
+  };
+
+  /// Returns the cached value for `key`, or nullptr on a miss (absent key or
+  /// mismatched type). Refreshes recency on a hit.
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) {
+    return std::static_pointer_cast<const T>(GetRaw(key, typeid(T)));
+  }
+
+  /// Inserts `built` under `key`, evicting LRU entries to fit. Replaces any
+  /// existing entry for the key.
+  template <typename T>
+  void Put(const std::string& key, const Built<T>& built) {
+    PutRaw(key, std::static_pointer_cast<const void>(built.value), typeid(T),
+           built.bytes);
+  }
+
+  /// Hit: returns the cached value. Miss: runs `build` — at most once per
+  /// key across concurrent callers — inserts the result and returns it.
+  /// Build errors are returned to every caller waiting on the flight's
+  /// stripe and nothing is cached.
+  template <typename T>
+  StatusOr<std::shared_ptr<const T>> GetOrBuild(
+      const std::string& key,
+      const std::function<StatusOr<Built<T>>()>& build) {
+    if (std::shared_ptr<const T> hit = Get<T>(key)) return hit;
+    std::lock_guard<std::mutex> flight(StripeFor(key));
+    // A concurrent flight on the same stripe may have built it meanwhile.
+    if (std::shared_ptr<const T> hit = Get<T>(key)) return hit;
+    StatusOr<Built<T>> built = build();
+    if (!built.ok()) return built.status();
+    Put<T>(key, *built);
+    return std::move(built->value);
+  }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every entry (stats counters are retained).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::type_index type = typeid(void);
+    size_t bytes = 0;
+    uint64_t tick = 0;
+  };
+
+  std::shared_ptr<const void> GetRaw(const std::string& key,
+                                     std::type_index type);
+  void PutRaw(const std::string& key, std::shared_ptr<const void> value,
+              std::type_index type, size_t bytes);
+  /// Evicts LRU entries until `need` more bytes fit. Caller holds mutex_.
+  void EvictToFitLocked(size_t need);
+  std::mutex& StripeFor(const std::string& key) {
+    return flights_[std::hash<std::string>{}(key) % kFlightStripes].mutex;
+  }
+
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  size_t bytes_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+
+  /// Build-flight stripes. Distinct keys that share a stripe serialize
+  /// their builds — harmless (builds are rare) and far simpler than per-key
+  /// flight bookkeeping.
+  static constexpr size_t kFlightStripes = 16;
+  struct FlightStripe {
+    std::mutex mutex;
+  };
+  std::array<FlightStripe, kFlightStripes> flights_;
+};
+
+}  // namespace mst
+}  // namespace hwf
+
+#endif  // HWF_MST_TREE_CACHE_H_

@@ -57,6 +57,22 @@ const char* CounterName(Counter counter) {
       return "mem.mst_levels_evicted";
     case Counter::kMemExternalSortRuns:
       return "mem.external_sort_runs";
+    case Counter::kCacheHits:
+      return "cache.hits";
+    case Counter::kCacheMisses:
+      return "cache.misses";
+    case Counter::kCacheEvictions:
+      return "cache.evictions";
+    case Counter::kCacheInsertBytes:
+      return "cache.insert_bytes";
+    case Counter::kServiceQueriesAdmitted:
+      return "service.queries_admitted";
+    case Counter::kServiceQueriesRejected:
+      return "service.queries_rejected";
+    case Counter::kServiceQueriesCancelled:
+      return "service.queries_cancelled";
+    case Counter::kServiceQueriesCompleted:
+      return "service.queries_completed";
     case Counter::kNumCounters:
       break;
   }

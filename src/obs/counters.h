@@ -51,6 +51,18 @@ enum class Counter : size_t {
   kMemMstLevelsEvicted,           // MST levels evicted to spill files
   kMemExternalSortRuns,           // sorted runs written by the external sort
 
+  // Cross-query tree cache (src/mst/tree_cache.h).
+  kCacheHits,         // lookups answered from the cache
+  kCacheMisses,       // lookups that had to build
+  kCacheEvictions,    // entries evicted by the byte cap
+  kCacheInsertBytes,  // bytes admitted into the cache
+
+  // Query service (src/service/).
+  kServiceQueriesAdmitted,   // queries accepted into the run queue
+  kServiceQueriesRejected,   // queries refused by admission control
+  kServiceQueriesCancelled,  // queries stopped by cancel or deadline
+  kServiceQueriesCompleted,  // queries finished successfully
+
   kNumCounters,
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
+#include <mutex>
 
 #include "common/macros.h"
 #include "obs/counters.h"
@@ -16,6 +18,7 @@ void ParallelFor(size_t begin, size_t end,
   HWF_CHECK(morsel_size > 0);
   const size_t total = end - begin;
   if (total == 0) return;
+  const StopToken stop = CurrentStopToken();
   if (total <= morsel_size || pool.num_workers() == 0) {
     // Serial fast path: either a single morsel or no helper threads. Note
     // that even the serial path processes morsel-by-morsel so that
@@ -23,6 +26,7 @@ void ParallelFor(size_t begin, size_t end,
     // baselines) are identical regardless of worker count.
     size_t morsels = 0;
     for (size_t lo = begin; lo < end; lo += morsel_size) {
+      if (stop.stop_requested()) break;
       body(lo, std::min(end, lo + morsel_size));
       ++morsels;
     }
@@ -31,11 +35,15 @@ void ParallelFor(size_t begin, size_t end,
   }
 
   auto next = std::make_shared<std::atomic<size_t>>(begin);
-  auto runner = [next, end, morsel_size, &body] {
+  auto runner = [next, end, morsel_size, &body, stop] {
+    // Re-install the submitter's token so nested parallel regions and
+    // cooperative checks inside `body` observe the same cancellation.
+    ScopedStopToken scope(stop);
     // Batch the morsel counter per runner, not per claim: one relaxed add
     // per task instead of one per 20k-tuple morsel.
     size_t morsels = 0;
     for (;;) {
+      if (stop.stop_requested()) break;
       size_t lo = next->fetch_add(morsel_size, std::memory_order_relaxed);
       if (lo >= end) break;
       body(lo, std::min(end, lo + morsel_size));
@@ -53,6 +61,93 @@ void ParallelFor(size_t begin, size_t end,
   }
   runner();  // The caller is the final runner.
   group.Wait();
+}
+
+Status ParallelForStatus(size_t begin, size_t end,
+                         const std::function<Status(size_t, size_t)>& body,
+                         ThreadPool& pool, size_t morsel_size) {
+  HWF_CHECK(begin <= end);
+  HWF_CHECK(morsel_size > 0);
+  constexpr size_t kNoError = std::numeric_limits<size_t>::max();
+  const size_t total = end - begin;
+  if (total == 0) return Status::OK();
+  const StopToken stop = CurrentStopToken();
+
+  if (total <= morsel_size || pool.num_workers() == 0) {
+    // Serial path: in-order execution already yields the lowest-index
+    // error first.
+    size_t morsels = 0;
+    Status status;
+    for (size_t lo = begin; lo < end; lo += morsel_size) {
+      if (stop.stop_requested()) {
+        if (status.ok()) status = stop.status();
+        break;
+      }
+      status = body(lo, std::min(end, lo + morsel_size));
+      ++morsels;
+      if (!status.ok()) break;
+    }
+    obs::Add(obs::Counter::kParallelForMorsels, morsels);
+    return status;
+  }
+
+  // Shared error slot: the winning error is the one with the smallest
+  // morsel start index. `error_watermark` mirrors `first_lo` lock-free so
+  // runners can short-circuit without taking the mutex per claim.
+  //
+  // Determinism argument: the watermark only ever decreases. A morsel is
+  // skipped only when its start index exceeds the watermark at claim time,
+  // so every morsel below the FINAL watermark was executed — the reported
+  // error is therefore always the globally smallest failing morsel's, no
+  // matter how claims interleave.
+  struct Shared {
+    std::atomic<size_t> next;
+    std::atomic<size_t> error_watermark{kNoError};
+    std::mutex mutex;
+    size_t first_lo = kNoError;
+    Status first_status;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin, std::memory_order_relaxed);
+
+  auto runner = [shared, end, morsel_size, &body, stop] {
+    ScopedStopToken scope(stop);
+    size_t morsels = 0;
+    for (;;) {
+      if (stop.stop_requested()) break;
+      size_t lo = shared->next.fetch_add(morsel_size,
+                                         std::memory_order_relaxed);
+      if (lo >= end) break;
+      // Claims are monotonic: once this claim passes the watermark every
+      // later claim will too, so stop claiming outright.
+      if (lo > shared->error_watermark.load(std::memory_order_acquire)) break;
+      Status status = body(lo, std::min(end, lo + morsel_size));
+      ++morsels;
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (lo < shared->first_lo) {
+          shared->first_lo = lo;
+          shared->first_status = std::move(status);
+          shared->error_watermark.store(lo, std::memory_order_release);
+        }
+      }
+    }
+    if (morsels > 0) obs::Add(obs::Counter::kParallelForMorsels, morsels);
+  };
+
+  const size_t num_morsels = (total + morsel_size - 1) / morsel_size;
+  const int num_runners = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(pool.parallelism()), num_morsels));
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < num_runners - 1; ++i) {
+      group.Run(runner);
+    }
+    runner();  // The caller is the final runner.
+    group.Wait();
+  }
+  if (shared->first_lo != kNoError) return shared->first_status;
+  return stop.status();
 }
 
 void ParallelForEach(size_t begin, size_t end,

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/status.h"
+#include "common/stop_token.h"
 #include "parallel/thread_pool.h"
 
 namespace hwf {
@@ -20,10 +22,34 @@ inline constexpr size_t kDefaultMorselSize = 20000;
 /// thread participates, so this never deadlocks and is efficient even on a
 /// pool without workers. `body` must be safe to invoke concurrently on
 /// disjoint subranges.
+///
+/// Cancellation: the caller's ambient StopToken (CurrentStopToken()) is
+/// captured on entry and re-installed on every runner, so nested parallel
+/// regions inherit it. Once the token stops, runners cease claiming new
+/// morsels — already-running morsels finish, so at most `parallelism`
+/// morsels of work follow a stop request. The loop's output may then be
+/// INCOMPLETE: callers that installed a token must check it afterwards
+/// (CheckStop()) and discard partial results on a non-OK status.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& body,
                  ThreadPool& pool = ThreadPool::Default(),
                  size_t morsel_size = kDefaultMorselSize);
+
+/// ParallelFor with per-morsel Status results and deterministic error
+/// selection: the returned error is always the one produced by the failing
+/// morsel with the LOWEST start index, regardless of thread count or
+/// scheduling — every morsel below that index is guaranteed to have run,
+/// and morsels above it short-circuit (they are skipped once an error at a
+/// lower index is known). This makes concurrent failures reproducible:
+/// N morsels failing with distinct Statuses always report the same one.
+///
+/// A stopped ambient StopToken short-circuits the loop the same way and
+/// yields Cancelled / DeadlineExceeded — unless a morsel error was already
+/// recorded, which takes precedence.
+Status ParallelForStatus(size_t begin, size_t end,
+                         const std::function<Status(size_t, size_t)>& body,
+                         ThreadPool& pool = ThreadPool::Default(),
+                         size_t morsel_size = kDefaultMorselSize);
 
 /// Convenience overload iterating element-wise: calls `body(i)` for each i.
 /// Prefer the range form when per-element dispatch overhead matters.

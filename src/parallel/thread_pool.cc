@@ -11,8 +11,9 @@ ThreadPool::ThreadPool(int num_threads) {
   if (num_threads == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     num_threads = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+  } else if (num_threads < 0) {
+    num_threads = 0;  // explicitly worker-less: ParallelFor runs inline
   }
-  HWF_CHECK(num_threads >= 0);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

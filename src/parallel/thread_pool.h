@@ -23,7 +23,10 @@ class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers. `num_threads == 0` uses
   /// std::thread::hardware_concurrency() - 1 (the caller thread acts as the
-  /// remaining worker in ParallelFor).
+  /// remaining worker in ParallelFor). A negative count creates a
+  /// worker-less pool: every ParallelFor over it runs inline on the
+  /// calling thread, which is the deterministic serial baseline used by
+  /// differential tests and the executor's per-partition tasks.
   explicit ThreadPool(int num_threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;

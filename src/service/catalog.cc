@@ -1,0 +1,40 @@
+#include "service/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hwf {
+namespace service {
+
+std::atomic<uint64_t> Catalog::next_epoch_{1};
+
+uint64_t Catalog::RegisterTable(const std::string& name, Table table) {
+  const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  Snapshot snapshot{std::make_shared<const Table>(std::move(table)), epoch};
+  std::lock_guard<std::mutex> lock(mutex_);
+  tables_[name] = std::move(snapshot);
+  return epoch;
+}
+
+StatusOr<Catalog::Snapshot> Catalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(tables_.size());
+    for (const auto& [name, snapshot] : tables_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace service
+}  // namespace hwf

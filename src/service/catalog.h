@@ -1,0 +1,56 @@
+#ifndef HWF_SERVICE_CATALOG_H_
+#define HWF_SERVICE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace service {
+
+/// A versioned registry of named tables.
+///
+/// Registration replaces the previous version atomically; queries that are
+/// already executing keep their shared_ptr snapshot alive, so a table can
+/// be re-registered under concurrent readers without synchronizing with
+/// them. Every registration is stamped with a process-wide monotonic epoch
+/// that the service uses as the tree-cache key prefix: replacing a table's
+/// rows changes the epoch, so cached build artifacts of the old version
+/// can never be served for the new one (they simply stop being referenced
+/// and age out of the LRU).
+class Catalog {
+ public:
+  struct Snapshot {
+    std::shared_ptr<const Table> table;
+    uint64_t epoch = 0;
+  };
+
+  /// Registers (or replaces) `name`. Returns the new version's epoch.
+  uint64_t RegisterTable(const std::string& name, Table table);
+
+  /// Immutable snapshot of the current version, or InvalidArgument when no
+  /// table with that name is registered.
+  StatusOr<Snapshot> Lookup(const std::string& name) const;
+
+  /// Registered names, sorted, for diagnostics (STATS, error messages).
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Snapshot> tables_;
+
+  /// Process-wide so two services sharing one TreeCache cannot collide.
+  static std::atomic<uint64_t> next_epoch_;
+};
+
+}  // namespace service
+}  // namespace hwf
+
+#endif  // HWF_SERVICE_CATALOG_H_

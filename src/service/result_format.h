@@ -1,0 +1,38 @@
+#ifndef HWF_SERVICE_RESULT_FORMAT_H_
+#define HWF_SERVICE_RESULT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace service {
+
+/// Wire formats for query results. Shared between the query service, the
+/// TCP front door and hwf_cli --format.
+enum class ResultFormat {
+  kCsv,   // RFC-4180 CSV with a header row (storage/csv.h)
+  kJson,  // {"columns":[...],"rows":[[...],...]} — NULL as null, strings
+          // escaped, doubles rendered round-trip-exactly
+};
+
+/// Parses "csv" / "json" (case-insensitive).
+StatusOr<ResultFormat> ParseResultFormat(std::string_view name);
+
+/// Serializes a table in the requested format. The output always ends
+/// with a newline, so line-oriented clients can frame on byte count.
+std::string FormatTable(const Table& table, ResultFormat format);
+
+/// Maps a Status to a distinct process exit code, shared by the CLI tools:
+/// 0 OK, 3 InvalidArgument, 4 OutOfRange, 5 NotImplemented,
+/// 6 TypeMismatch, 7 Internal, 8 ResourceExhausted, 9 Cancelled,
+/// 10 DeadlineExceeded. (2 is reserved for usage errors, 1 for unmapped
+/// failures, matching conventional CLI practice.)
+int ExitCodeForStatus(const Status& status);
+
+}  // namespace service
+}  // namespace hwf
+
+#endif  // HWF_SERVICE_RESULT_FORMAT_H_

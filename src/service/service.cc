@@ -1,0 +1,295 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "obs/counters.h"
+
+namespace hwf {
+namespace service {
+
+/// Everything the service tracks about one query. The result slot is
+/// guarded by `mutex`; the StopSource is wait-free and shared with the
+/// executing session via the ambient-token mechanism.
+struct QueryService::QueryState {
+  uint64_t id = 0;
+  std::string sql;
+  QueryOptions options;
+  StopSource stop;
+  /// Admission reservation; held from Submit until the query finishes
+  /// (success, error or cancellation), then released before the waiter
+  /// is woken so "done" implies "budget returned".
+  mem::MemoryReservation reservation;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  QueryResult result;
+};
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options),
+      cache_(options.enable_cache ? options.cache_capacity_bytes : 0),
+      admission_budget_(options.memory_limit_bytes),
+      pool_(options.pool != nullptr ? *options.pool : ThreadPool::Default()) {
+  if (options_.num_sessions == 0) options_.num_sessions = 1;
+  sessions_.reserve(options_.num_sessions);
+  for (size_t i = 0; i < options_.num_sessions; ++i) {
+    sessions_.emplace_back([this] { SessionLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+uint64_t QueryService::RegisterTable(const std::string& name, Table table) {
+  return catalog_.RegisterTable(name, std::move(table));
+}
+
+StatusOr<uint64_t> QueryService::Submit(std::string sql,
+                                        QueryOptions options) {
+  auto state = std::make_shared<QueryState>();
+  state->sql = std::move(sql);
+  state->options = options;
+
+  const double timeout = options.timeout_seconds < 0
+                             ? options_.default_timeout_seconds
+                             : options.timeout_seconds;
+  if (timeout > 0) {
+    state->stop.SetDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::InvalidArgument("service is shut down");
+    }
+    if (queue_.size() >= options_.max_queued) {
+      ++rejected_;
+      obs::Add(obs::Counter::kServiceQueriesRejected);
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) +
+          " queries queued)");
+    }
+    if (admission_budget_.limited()) {
+      Status reserve = state->reservation.Reserve(
+          &admission_budget_, options_.per_query_reservation_bytes);
+      if (!reserve.ok()) {
+        ++rejected_;
+        obs::Add(obs::Counter::kServiceQueriesRejected);
+        return Status::ResourceExhausted(
+            "admission memory budget exhausted: " + reserve.message());
+      }
+    }
+    state->id = next_id_++;
+    queries_[state->id] = state;
+    queue_.push_back(state);
+    ++admitted_;
+    obs::Add(obs::Counter::kServiceQueriesAdmitted);
+  }
+  queue_cv_.notify_one();
+  return state->id;
+}
+
+Status QueryService::Cancel(uint64_t query_id) {
+  std::shared_ptr<QueryState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::InvalidArgument("unknown query id " +
+                                     std::to_string(query_id));
+    }
+    state = it->second;
+  }
+  state->stop.RequestStop();
+  return Status::OK();
+}
+
+StatusOr<QueryResult> QueryService::Wait(uint64_t query_id) {
+  std::shared_ptr<QueryState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::InvalidArgument("unknown query id " +
+                                     std::to_string(query_id));
+    }
+    state = it->second;
+    queries_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done; });
+  if (!state->status.ok()) return state->status;
+  return std::move(state->result);
+}
+
+StatusOr<QueryResult> QueryService::Query(std::string sql,
+                                          QueryOptions options) {
+  StatusOr<uint64_t> id = Submit(std::move(sql), options);
+  if (!id.ok()) return id.status();
+  return Wait(*id);
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.queued = queue_.size();
+    stats.executing = executing_;
+    stats.admitted = admitted_;
+    stats.rejected = rejected_;
+    stats.cancelled = cancelled_;
+    stats.completed = completed_;
+  }
+  stats.reserved_bytes = admission_budget_.reserved_bytes();
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+void QueryService::Shutdown() {
+  std::deque<std::shared_ptr<QueryState>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    drained.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  // Queued-but-never-started queries fail over to Cancelled so waiters
+  // are not stranded.
+  for (const std::shared_ptr<QueryState>& state : drained) {
+    state->stop.RequestStop();
+    FinishQuery(*state, Status::Cancelled("service shut down"), QueryResult{});
+  }
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+  sessions_.clear();
+}
+
+void QueryService::SessionLoop() {
+  for (;;) {
+    std::shared_ptr<QueryState> state;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      state = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+
+    Status status;
+    {
+      // Install the query's token for the whole execution: ParallelFor
+      // re-installs it on every pool worker, so cancellation reaches
+      // every morsel without explicit plumbing.
+      ScopedStopToken scope(state->stop.token());
+      status = ExecuteQuery(*state);
+    }
+    FinishQuery(*state, std::move(status), std::move(state->result));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    --executing_;
+  }
+}
+
+Status QueryService::ExecuteQuery(QueryState& state) {
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
+
+  StatusOr<ParsedStatement> statement = ParseStatement(state.sql);
+  if (!statement.ok()) return statement.status();
+
+  StatusOr<Catalog::Snapshot> snapshot = catalog_.Lookup(statement->table_name);
+  if (!snapshot.ok()) return snapshot.status();
+  const Table& table = *snapshot->table;
+
+  StatusOr<PlannedQuery> plan = BindStatement(*statement, table);
+  if (!plan.ok()) return plan.status();
+
+  auto profile = std::make_shared<obs::ExecutionProfile>();
+  const bool cache_on = options_.enable_cache &&
+                        options_.cache_capacity_bytes > 0 &&
+                        state.options.use_cache &&
+                        options_.query_memory_limit_bytes == 0;
+
+  // Evaluate each spec group with one shared partition/sort pass. Results
+  // land in select-list order via the recorded output slots.
+  std::vector<std::optional<Column>> slots(plan->output_names.size());
+  bool first_group = true;
+  for (const PlannedGroup& group : plan->groups) {
+    if (Status stop = CheckStop(); !stop.ok()) return stop;
+    WindowExecutorOptions exec = options_.executor;
+    exec.memory_limit_bytes = options_.query_memory_limit_bytes;
+    if (cache_on) {
+      exec.tree_cache = &cache_;
+      // The epoch is globally monotonic, so it alone identifies the table
+      // version; the spec/call structure is appended by the executor.
+      exec.cache_key = "t" + std::to_string(snapshot->epoch);
+    }
+    // The executor clears its profile on entry, so only the first group
+    // writes into the query profile directly; later groups run with a
+    // scratch profile that is merged in afterwards.
+    obs::ExecutionProfile scratch;
+    exec.profile = first_group ? profile.get() : &scratch;
+    StatusOr<std::vector<Column>> columns = EvaluateWindowFunctions(
+        table, group.spec, group.calls, exec, pool_);
+    if (!columns.ok()) return columns.status();
+    for (size_t i = 0; i < columns->size(); ++i) {
+      slots[group.output_slots[i]] = std::move((*columns)[i]);
+    }
+    if (!first_group) {
+      for (size_t p = 0; p < obs::kNumProfilePhases; ++p) {
+        const auto phase = static_cast<obs::ProfilePhase>(p);
+        profile->AddPhaseSeconds(phase, scratch.phase_seconds(phase));
+      }
+      profile->SetTotalSeconds(profile->total_seconds() +
+                               scratch.total_seconds());
+    }
+    first_group = false;
+  }
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
+
+  QueryResult result;
+  for (size_t slot = 0; slot < slots.size(); ++slot) {
+    result.table.AddColumn(plan->output_names[slot],
+                           std::move(*slots[slot]));
+  }
+  result.profile = std::move(profile);
+  state.result = std::move(result);
+  return Status::OK();
+}
+
+void QueryService::FinishQuery(QueryState& state, Status status,
+                               QueryResult result) {
+  // Release the admission reservation before publishing completion:
+  // a waiter observing "done" must also observe the budget returned.
+  state.reservation.Release();
+  const bool was_cancelled = status.code() == StatusCode::kCancelled ||
+                             status.code() == StatusCode::kDeadlineExceeded;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (was_cancelled) {
+      ++cancelled_;
+    } else {
+      ++completed_;
+    }
+  }
+  obs::Add(was_cancelled ? obs::Counter::kServiceQueriesCancelled
+                         : obs::Counter::kServiceQueriesCompleted);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.status = std::move(status);
+    state.result = std::move(result);
+    state.done = true;
+  }
+  state.cv.notify_all();
+}
+
+}  // namespace service
+}  // namespace hwf

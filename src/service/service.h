@@ -1,0 +1,168 @@
+#ifndef HWF_SERVICE_SERVICE_H_
+#define HWF_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stop_token.h"
+#include "mem/memory_budget.h"
+#include "mst/tree_cache.h"
+#include "obs/profile.h"
+#include "parallel/thread_pool.h"
+#include "service/catalog.h"
+#include "service/sql_parser.h"
+#include "storage/table.h"
+#include "window/executor.h"
+
+namespace hwf {
+namespace service {
+
+struct ServiceOptions {
+  /// Session worker threads: the number of queries executing concurrently.
+  /// Each executing query additionally fans out over the shared pool.
+  size_t num_sessions = 2;
+
+  /// Admitted-but-not-yet-executing queries the service will hold. A full
+  /// queue rejects new submissions with ResourceExhausted (admission
+  /// control) instead of building an unbounded backlog.
+  size_t max_queued = 16;
+
+  /// Service-wide admission budget (0 = unlimited). Every admitted query
+  /// reserves `per_query_reservation_bytes` from it for its lifetime;
+  /// when the budget cannot cover another reservation, the submission is
+  /// rejected with ResourceExhausted.
+  size_t memory_limit_bytes = 0;
+  size_t per_query_reservation_bytes = 64ull << 20;
+
+  /// Per-query execution budget handed to the executor (0 = unlimited;
+  /// non-zero forces the spill paths and disables the tree cache for the
+  /// query, see WindowExecutorOptions).
+  size_t query_memory_limit_bytes = 0;
+
+  /// Cross-query build-artifact cache capacity (0 disables reuse; the
+  /// code path is identical, every lookup just misses).
+  size_t cache_capacity_bytes = 256ull << 20;
+  bool enable_cache = true;
+
+  /// Default per-query deadline in seconds (0 = none). Queries past the
+  /// deadline unwind cooperatively with DeadlineExceeded.
+  double default_timeout_seconds = 0;
+
+  /// Execution pool shared by all sessions; nullptr = ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+
+  /// Engine/tree tuning forwarded to the executor. `memory_limit_bytes`,
+  /// `tree_cache`, `cache_key` and `profile` are overridden per query.
+  WindowExecutorOptions executor;
+};
+
+struct QueryOptions {
+  /// Seconds until the query's deadline; <0 = service default, 0 = none.
+  double timeout_seconds = -1;
+  /// Allows a client to opt out of cached build artifacts.
+  bool use_cache = true;
+};
+
+struct QueryResult {
+  /// One column per select item, aligned with the source table's rows.
+  Table table;
+  /// The execution's cost breakdown (phase timings summed over the
+  /// query's spec groups). Shared-ptr because ExecutionProfile is pinned.
+  std::shared_ptr<obs::ExecutionProfile> profile;
+};
+
+/// The in-process query service: SQL front-end, admission control,
+/// cooperative cancellation and cross-query merge-sort-tree reuse.
+///
+/// Lifecycle of a query:
+///   Submit(sql)  — admission: bounded queue + memory reservation; returns
+///                  a query id or ResourceExhausted immediately.
+///   [session]    — a worker parses, plans and executes the query on the
+///                  shared thread pool, under the query's StopToken.
+///   Cancel(id)   — requests cooperative stop; the query unwinds at the
+///                  next morsel/phase boundary with Cancelled and its
+///                  admission reservation is released.
+///   Wait(id)     — blocks for the result (or the error) and forgets the
+///                  query. Each id can be waited on exactly once.
+///
+/// Query(sql) is the synchronous convenience wrapper. All methods are
+/// thread-safe; the destructor cancels queued work and joins the sessions.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers (or replaces) a table; returns its version epoch. Running
+  /// queries keep executing against the snapshot they started with.
+  uint64_t RegisterTable(const std::string& name, Table table);
+
+  StatusOr<uint64_t> Submit(std::string sql, QueryOptions options = {});
+  Status Cancel(uint64_t query_id);
+  StatusOr<QueryResult> Wait(uint64_t query_id);
+  StatusOr<QueryResult> Query(std::string sql, QueryOptions options = {});
+
+  struct Stats {
+    size_t queued = 0;
+    size_t executing = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t cancelled = 0;
+    uint64_t completed = 0;
+    size_t reserved_bytes = 0;  // live admission reservations
+    mst::TreeCache::Stats cache;
+  };
+  Stats stats() const;
+
+  mst::TreeCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Stops accepting work, cancels queued queries and joins the session
+  /// threads. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct QueryState;
+
+  void SessionLoop();
+  Status ExecuteQuery(QueryState& state);
+  void FinishQuery(QueryState& state, Status status, QueryResult result);
+
+  ServiceOptions options_;
+  Catalog catalog_;
+  mst::TreeCache cache_;
+  mem::MemoryBudget admission_budget_;
+  ThreadPool& pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<QueryState>> queue_;
+  std::unordered_map<uint64_t, std::shared_ptr<QueryState>> queries_;
+  uint64_t next_id_ = 1;
+  size_t executing_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t completed_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> sessions_;
+};
+
+/// The in-process client-facing alias (the TCP front door wraps one).
+using ServiceHandle = QueryService;
+
+}  // namespace service
+}  // namespace hwf
+
+#endif  // HWF_SERVICE_SERVICE_H_

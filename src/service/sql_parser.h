@@ -1,0 +1,144 @@
+#ifndef HWF_SERVICE_SQL_PARSER_H_
+#define HWF_SERVICE_SQL_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "window/spec.h"
+
+namespace hwf {
+namespace service {
+
+/// SQL-subset front-end for the window-function engine.
+///
+/// The accepted statement shape is
+///
+///   SELECT <call> [AS alias] [, <call> [AS alias]]... FROM <table>
+///
+/// where every select item is a window function call:
+///
+///   fn(args) [WITHIN GROUP (ORDER BY keys)] [FILTER (WHERE col)]
+///            [IGNORE NULLS | RESPECT NULLS]
+///            OVER ([PARTITION BY cols] [ORDER BY keys] [frame])
+///
+/// The frame clause covers every form in window/spec.h:
+///
+///   ROWS|RANGE|GROUPS [BETWEEN] <bound> [AND <bound>]
+///     [EXCLUDE NO OTHERS|CURRENT ROW|GROUP|TIES]
+///   bound := UNBOUNDED PRECEDING | <int> PRECEDING | <col> PRECEDING
+///          | CURRENT ROW | <int> FOLLOWING | <col> FOLLOWING
+///          | UNBOUNDED FOLLOWING
+///
+/// Column-valued bound offsets (`<col> PRECEDING`) are the paper's
+/// arbitrarily-framed extension (§2.2); together with the DISTINCT
+/// aggregates, the function-level ORDER BY accepted inside the call parens
+/// (e.g. `percentile_disc(0.5 ORDER BY price)`, the paper's Fig. 9
+/// syntax, equivalent to WITHIN GROUP) and FILTER on every function, the
+/// grammar covers the paper's §2.4 query space.
+///
+/// Deliberate dialect choices, documented rather than configurable:
+///  - Keywords are case-insensitive; identifiers are case-sensitive and
+///    must match a registered column name exactly.
+///  - An omitted NULLS clause follows PostgreSQL: NULLS LAST for ASC,
+///    NULLS FIRST for DESC.
+///  - An omitted frame clause means the SQL default: the whole partition
+///    when there is no ORDER BY, otherwise "up to and including the
+///    current row's peer group" (lowered to GROUPS BETWEEN UNBOUNDED
+///    PRECEDING AND CURRENT ROW, which is exactly the standard's RANGE
+///    UNBOUNDED PRECEDING ... CURRENT ROW semantics without requiring a
+///    numeric ORDER BY key).
+
+/// One unbound ORDER BY key (column still a name).
+struct RawSortKey {
+  std::string column;
+  bool ascending = true;
+  bool nulls_first = false;  // resolved default already applied
+};
+
+/// One unbound frame bound.
+struct RawFrameBound {
+  FrameBoundKind kind = FrameBoundKind::kUnboundedPreceding;
+  int64_t offset = 0;
+  std::string offset_column;  // non-empty for per-row column offsets
+};
+
+/// One unbound OVER clause.
+struct RawWindow {
+  std::vector<std::string> partition_by;
+  std::vector<RawSortKey> order_by;
+  bool has_frame = false;
+  FrameMode mode = FrameMode::kRows;
+  RawFrameBound begin;
+  RawFrameBound end;
+  FrameExclusion exclusion = FrameExclusion::kNoOthers;
+};
+
+/// One positional argument inside the call parens: a column name or a
+/// numeric literal.
+struct RawArg {
+  bool is_number = false;
+  std::string column;
+  double number = 0;
+  bool is_integer = false;
+  int64_t integer = 0;
+};
+
+/// One parsed (unbound) select item.
+struct RawCall {
+  std::string function;  // lower-cased
+  bool star = false;     // count(*)
+  bool distinct = false;
+  std::vector<RawArg> args;
+  std::vector<RawSortKey> order_by;  // inline or WITHIN GROUP
+  std::string filter_column;         // empty = no FILTER clause
+  bool ignore_nulls = false;
+  RawWindow window;
+  std::string alias;  // empty = use the function name
+};
+
+/// A parsed statement before column binding. `table_name` lets the caller
+/// resolve the target table (e.g. from a catalog) and then bind.
+struct ParsedStatement {
+  std::vector<RawCall> items;
+  std::string table_name;
+};
+
+/// Parses one statement (a trailing ';' is allowed). Errors carry the
+/// character position of the offending token.
+StatusOr<ParsedStatement> ParseStatement(std::string_view sql);
+
+/// Calls sharing one OVER clause, evaluated in a single executor pass.
+struct PlannedGroup {
+  WindowSpec spec;
+  std::vector<WindowFunctionCall> calls;
+  /// Select-list position of each call (result-column assembly order).
+  std::vector<size_t> output_slots;
+};
+
+/// An executable plan: groups of calls keyed by identical window specs.
+struct PlannedQuery {
+  std::string table_name;
+  std::vector<std::string> output_names;  // one per select item
+  std::vector<PlannedGroup> groups;
+};
+
+/// Structural equality of fully-bound window specs (grouping key).
+bool WindowSpecsEqual(const WindowSpec& a, const WindowSpec& b);
+
+/// Resolves column names against `table`, maps function names to
+/// WindowFunctionKind (including the DISTINCT variants), folds numeric
+/// arguments into fraction/param, and groups the calls by identical spec.
+StatusOr<PlannedQuery> BindStatement(const ParsedStatement& statement,
+                                     const Table& table);
+
+/// Parse + bind in one step, for callers that already hold the table.
+StatusOr<PlannedQuery> PlanQuery(std::string_view sql, const Table& table);
+
+}  // namespace service
+}  // namespace hwf
+
+#endif  // HWF_SERVICE_SQL_PARSER_H_

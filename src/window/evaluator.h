@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "mst/remap.h"
+#include "mst/tree_cache.h"
 #include "parallel/thread_pool.h"
 #include "storage/table.h"
 #include "window/executor.h"
@@ -27,6 +28,14 @@ struct PartitionView {
   std::span<const FrameRanges> frames;
   const WindowExecutorOptions* options = nullptr;
   ThreadPool* pool = nullptr;
+
+  /// Cross-query artifact cache; null when caching is disabled. When set,
+  /// `cache_prefix` identifies the (table version, sort spec, partition row
+  /// range) and evaluators append their own build parameters to form exact
+  /// keys. Cached artifacts must be self-contained (no per-query budget
+  /// reservations) and are shared across threads, so probes must be const.
+  mst::TreeCache* cache = nullptr;
+  std::string cache_prefix;
 
   size_t size() const { return rows.size(); }
   const Column& col(size_t index) const { return table->column(index); }
@@ -55,6 +64,13 @@ IndexRemap BuildCallRemap(const PartitionView& view,
 /// mapped ranges are dropped.
 size_t MapRangesToFiltered(const FrameRanges& frames, const IndexRemap& remap,
                            RowRange* out);
+
+/// Serializes every call property that determines a build artifact (the
+/// effective ORDER BY, FILTER, argument/NULL handling, and the tree build
+/// parameters) into a cache-key fragment. Evaluators append a site tag and
+/// the index width to form the full key under `view.cache_prefix`.
+std::string CallCacheKey(const PartitionView& view,
+                         const WindowFunctionCall& call, bool drop_null_args);
 
 // -- Per-family evaluators (window/functions/*.cc), merge sort tree engine --
 

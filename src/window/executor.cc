@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
+#include <memory>
 #include <optional>
+#include <string>
 
+#include "common/stop_token.h"
 #include "mem/external_sort.h"
 #include "mem/memory_budget.h"
 #include "obs/counters.h"
@@ -133,6 +135,37 @@ Status DispatchEngine(const PartitionView& view,
   return Status::Internal("unhandled window engine");
 }
 
+/// The shared, input-order-independent result of the executor's phases 1–2:
+/// the globally sorted row permutation and the partition boundaries. This is
+/// the coarsest cacheable artifact — identical for every query against the
+/// same table version with the same PARTITION BY / ORDER BY.
+struct SortArtifact {
+  std::vector<size_t> sorted;
+  std::vector<size_t> partition_starts;
+
+  size_t ApproxBytes() const {
+    return (sorted.capacity() + partition_starts.capacity()) * sizeof(size_t);
+  }
+};
+
+/// Serializes the sort specification (partition keys + order keys with
+/// direction and NULL placement) into a cache-key fragment.
+std::string SortSpecKey(const WindowSpec& spec) {
+  std::string key = "pb";
+  for (size_t column : spec.partition_by) {
+    key += ':';
+    key += std::to_string(column);
+  }
+  key += "|ob";
+  for (const SortKey& sort_key : spec.order_by) {
+    key += ':';
+    key += std::to_string(sort_key.column);
+    key += sort_key.ascending ? 'a' : 'd';
+    key += sort_key.nulls_first ? 'f' : 'l';
+  }
+  return key;
+}
+
 const char* EngineName(WindowEngine engine) {
   switch (engine) {
     case WindowEngine::kMergeSortTree:
@@ -210,6 +243,26 @@ size_t MapRangesToFiltered(const FrameRanges& frames, const IndexRemap& remap,
   return count;
 }
 
+std::string CallCacheKey(const PartitionView& view,
+                         const WindowFunctionCall& call, bool drop_null_args) {
+  const bool drop_nulls = drop_null_args && call.argument.has_value();
+  std::string key;
+  key += drop_nulls ? "|dn:" + std::to_string(*call.argument) : "|dn-";
+  key += call.filter.has_value() ? "|f:" + std::to_string(*call.filter)
+                                 : "|f-";
+  key += "|eo";
+  for (const SortKey& sort_key : EffectiveOrder(*view.spec, call)) {
+    key += ':';
+    key += std::to_string(sort_key.column);
+    key += sort_key.ascending ? 'a' : 'd';
+    key += sort_key.nulls_first ? 'f' : 'l';
+  }
+  const MergeSortTreeOptions& tree = view.options->tree;
+  key += "|t:" + std::to_string(tree.fanout) + ":" +
+         std::to_string(tree.sampling) + ":" + (tree.use_cascading ? "c" : "n");
+  return key;
+}
+
 StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     const Table& table, const WindowSpec& spec,
     std::span<const WindowFunctionCall> calls,
@@ -270,104 +323,145 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   }
   exec_options.tree.mem = mem_ctx;
 
-  // Phase 1: one global sort by (partition keys, order keys, row id).
-  // Partition keys use a fixed canonical order; the row-id tiebreak makes
-  // the sort a deterministic total order (and thereby reproducible across
-  // thread counts).
-  std::vector<SortKey> partition_keys;
-  partition_keys.reserve(spec.partition_by.size());
-  for (size_t column : spec.partition_by) {
-    partition_keys.push_back(SortKey{column, true, true});
-  }
-  mem::MemoryReservation sorted_bytes;
-  sorted_bytes.ForceReserve(&budget, n * sizeof(size_t));
-  std::vector<size_t> sorted(n);
-  // The sort and partition phases are bracketed with an explicitly-reset
-  // optional timer so the straight-line code needs no extra nesting.
-  std::optional<obs::ScopedPhaseTimer> phase_timer;
-  phase_timer.emplace(profile, obs::ProfilePhase::kSort);
-  for (size_t i = 0; i < n; ++i) sorted[i] = i;
-  // Fast path standing in for Hyper's generated comparators (§5.4): with
-  // no partitioning and a single numeric ORDER BY key, sort fixed-width
-  // encoded records instead of dispatching a generic comparator per
-  // comparison.
-  const bool encoded_sort =
-      spec.partition_by.empty() && spec.order_by.size() == 1 &&
-      table.column(spec.order_by[0].column).type() != DataType::kString;
-  if (encoded_sort) {
-    const SortKey& key = spec.order_by[0];
-    const Column& column = table.column(key.column);
-    const bool is_int = column.type() == DataType::kInt64;
-    struct SortRec {
-      uint8_t null_rank;
-      uint64_t key;
-      uint64_t row;
-      bool operator<(const SortRec& other) const {
-        if (null_rank != other.null_rank) return null_rank < other.null_rank;
-        if (key != other.key) return key < other.key;
-        return row < other.row;
-      }
-    };
-    mem::MemoryReservation records_bytes;
-    records_bytes.ForceReserve(&budget, n * sizeof(SortRec));
-    std::vector<SortRec> records(n);
-    ParallelFor(
-        0, n,
-        [&](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            if (column.IsNull(i)) {
-              records[i] = {static_cast<uint8_t>(key.nulls_first ? 0 : 2), 0,
-                            i};
-            } else {
-              records[i] = {
-                  1,
-                  is_int ? internal_window::EncodeInt64Key(column.GetInt64(i),
-                                                           key.ascending)
-                         : internal_window::EncodeDoubleKey(
-                               column.GetDouble(i), key.ascending),
-                  i};
-            }
-          }
-        },
-        pool, options.morsel_size);
-    Status sort_status = mem::SortWithBudget(
-        records, [](const SortRec& a, const SortRec& b) { return a < b; },
-        pool, mem_ctx, options.morsel_size);
-    if (!sort_status.ok()) return sort_status;
-    ParallelFor(
-        0, n,
-        [&](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            sorted[i] = static_cast<size_t>(records[i].row);
-          }
-        },
-        pool, options.morsel_size);
-  } else {
-    Status sort_status = mem::SortWithBudget(
-        sorted,
-        [&](size_t a, size_t b) {
-          int cmp = CompareRowsBy(table, a, b, partition_keys);
-          if (cmp != 0) return cmp < 0;
-          cmp = CompareRowsBy(table, a, b, spec.order_by);
-          if (cmp != 0) return cmp < 0;
-          return a < b;
-        },
-        pool, mem_ctx, options.morsel_size);
-    if (!sort_status.ok()) return sort_status;
-  }
+  // Cross-query caching is engaged only for unbudgeted executions: cached
+  // artifacts outlive the query, so they must neither be charged to nor
+  // spill through the per-query budget. Cached tree builds therefore get an
+  // empty MemoryContext (no budget pointer to dangle).
+  const bool cache_enabled = options.tree_cache != nullptr &&
+                             !options.cache_key.empty() && memory_limit == 0;
+  if (cache_enabled) exec_options.tree.mem = {};
+  const std::string sort_key =
+      cache_enabled ? options.cache_key + "|sort|" + SortSpecKey(spec)
+                    : std::string();
 
-  // Phase 2: partition boundaries (equal partition keys).
-  phase_timer.reset();
-  phase_timer.emplace(profile, obs::ProfilePhase::kPartition);
-  std::vector<size_t> partition_starts;
-  partition_starts.push_back(0);
-  for (size_t i = 1; i < n; ++i) {
-    if (CompareRowsBy(table, sorted[i - 1], sorted[i], partition_keys) != 0) {
-      partition_starts.push_back(i);
+  // Phases 1–2, as a builder so the cache can skip them entirely on a hit.
+  auto build_sort_artifact = [&]() -> StatusOr<SortArtifact> {
+    SortArtifact artifact;
+    // Phase 1: one global sort by (partition keys, order keys, row id).
+    // Partition keys use a fixed canonical order; the row-id tiebreak makes
+    // the sort a deterministic total order (and thereby reproducible across
+    // thread counts).
+    std::vector<SortKey> partition_keys;
+    partition_keys.reserve(spec.partition_by.size());
+    for (size_t column : spec.partition_by) {
+      partition_keys.push_back(SortKey{column, true, true});
     }
+    mem::MemoryReservation sorted_bytes;
+    sorted_bytes.ForceReserve(&budget, n * sizeof(size_t));
+    std::vector<size_t>& sorted = artifact.sorted;
+    sorted.resize(n);
+    // The sort and partition phases are bracketed with an explicitly-reset
+    // optional timer so the straight-line code needs no extra nesting.
+    std::optional<obs::ScopedPhaseTimer> phase_timer;
+    phase_timer.emplace(profile, obs::ProfilePhase::kSort);
+    for (size_t i = 0; i < n; ++i) sorted[i] = i;
+    // Fast path standing in for Hyper's generated comparators (§5.4): with
+    // no partitioning and a single numeric ORDER BY key, sort fixed-width
+    // encoded records instead of dispatching a generic comparator per
+    // comparison.
+    const bool encoded_sort =
+        spec.partition_by.empty() && spec.order_by.size() == 1 &&
+        table.column(spec.order_by[0].column).type() != DataType::kString;
+    if (encoded_sort) {
+      const SortKey& key = spec.order_by[0];
+      const Column& column = table.column(key.column);
+      const bool is_int = column.type() == DataType::kInt64;
+      struct SortRec {
+        uint8_t null_rank;
+        uint64_t key;
+        uint64_t row;
+        bool operator<(const SortRec& other) const {
+          if (null_rank != other.null_rank) return null_rank < other.null_rank;
+          if (key != other.key) return key < other.key;
+          return row < other.row;
+        }
+      };
+      mem::MemoryReservation records_bytes;
+      records_bytes.ForceReserve(&budget, n * sizeof(SortRec));
+      std::vector<SortRec> records(n);
+      ParallelFor(
+          0, n,
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              if (column.IsNull(i)) {
+                records[i] = {static_cast<uint8_t>(key.nulls_first ? 0 : 2), 0,
+                              i};
+              } else {
+                records[i] = {
+                    1,
+                    is_int ? internal_window::EncodeInt64Key(column.GetInt64(i),
+                                                             key.ascending)
+                           : internal_window::EncodeDoubleKey(
+                                 column.GetDouble(i), key.ascending),
+                    i};
+              }
+            }
+          },
+          pool, options.morsel_size);
+      Status sort_status = mem::SortWithBudget(
+          records, [](const SortRec& a, const SortRec& b) { return a < b; },
+          pool, mem_ctx, options.morsel_size);
+      if (!sort_status.ok()) return sort_status;
+      ParallelFor(
+          0, n,
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              sorted[i] = static_cast<size_t>(records[i].row);
+            }
+          },
+          pool, options.morsel_size);
+    } else {
+      Status sort_status = mem::SortWithBudget(
+          sorted,
+          [&](size_t a, size_t b) {
+            int cmp = CompareRowsBy(table, a, b, partition_keys);
+            if (cmp != 0) return cmp < 0;
+            cmp = CompareRowsBy(table, a, b, spec.order_by);
+            if (cmp != 0) return cmp < 0;
+            return a < b;
+          },
+          pool, mem_ctx, options.morsel_size);
+      if (!sort_status.ok()) return sort_status;
+    }
+
+    // Phase 2: partition boundaries (equal partition keys).
+    phase_timer.reset();
+    phase_timer.emplace(profile, obs::ProfilePhase::kPartition);
+    std::vector<size_t>& partition_starts = artifact.partition_starts;
+    partition_starts.push_back(0);
+    for (size_t i = 1; i < n; ++i) {
+      if (CompareRowsBy(table, sorted[i - 1], sorted[i], partition_keys) != 0) {
+        partition_starts.push_back(i);
+      }
+    }
+    partition_starts.push_back(n);
+    phase_timer.reset();
+    if (Status stop = CheckStop(); !stop.ok()) return stop;
+    return artifact;
+  };
+
+  std::shared_ptr<const SortArtifact> sort_artifact;
+  if (cache_enabled) {
+    StatusOr<std::shared_ptr<const SortArtifact>> artifact_or =
+        options.tree_cache->GetOrBuild<SortArtifact>(
+            sort_key,
+            [&]() -> StatusOr<mst::TreeCache::Built<SortArtifact>> {
+              StatusOr<SortArtifact> built = build_sort_artifact();
+              if (!built.ok()) return built.status();
+              const size_t bytes = built->ApproxBytes();
+              return mst::TreeCache::Built<SortArtifact>{
+                  std::make_shared<const SortArtifact>(std::move(*built)),
+                  bytes};
+            });
+    if (!artifact_or.ok()) return artifact_or.status();
+    sort_artifact = std::move(*artifact_or);
+  } else {
+    StatusOr<SortArtifact> built = build_sort_artifact();
+    if (!built.ok()) return built.status();
+    sort_artifact = std::make_shared<const SortArtifact>(std::move(*built));
   }
-  partition_starts.push_back(n);
-  phase_timer.reset();
+  const std::vector<size_t>& sorted = sort_artifact->sorted;
+  const std::vector<size_t>& partition_starts = sort_artifact->partition_starts;
 
   // Result columns, all NULL until written.
   std::vector<Column> results;
@@ -394,6 +488,7 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
 
   // Phase 3: per partition — frame resolution, then function evaluation.
   auto process_partition = [&](size_t p, ThreadPool& part_pool) -> Status {
+    if (Status stop = CheckStop(); !stop.ok()) return stop;
     const size_t part_begin = partition_starts[p];
     const size_t part_end = partition_starts[p + 1];
     const size_t part_n = part_end - part_begin;
@@ -506,6 +601,11 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     view.frames = frames;
     view.options = &exec_options;
     view.pool = &part_pool;
+    if (cache_enabled) {
+      view.cache = options.tree_cache;
+      view.cache_prefix = sort_key + "|p" + std::to_string(part_begin) + "-" +
+                          std::to_string(part_end);
+    }
 
     // The dispatch interval covers preprocessing, tree builds AND probing;
     // the preprocessing and tree-build shares are recorded separately by
@@ -536,26 +636,14 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     // initialization race-free, and the object (a worker-less pool, so its
     // destructor joins nothing) is destroyed at exit — TSan- and
     // LeakSanitizer-clean, unlike the previous intentional `new` leak.
-    static ThreadPool serial_pool(0);
-    std::mutex error_mutex;
-    Status first_error;
-    ParallelFor(
+    // ParallelForStatus guarantees the reported error is always the one
+    // from the lowest-indexed failing partition, regardless of scheduling.
+    static ThreadPool serial_pool(-1);
+    Status loop_status = ParallelForStatus(
         0, num_partitions,
-        [&](size_t lo, size_t hi) {
-          for (size_t p = lo; p < hi; ++p) {
-            {
-              std::lock_guard<std::mutex> lock(error_mutex);
-              if (!first_error.ok()) return;
-            }
-            Status partition_status = process_partition(p, serial_pool);
-            if (!partition_status.ok()) {
-              std::lock_guard<std::mutex> lock(error_mutex);
-              if (first_error.ok()) first_error = partition_status;
-            }
-          }
-        },
+        [&](size_t p, size_t) { return process_partition(p, serial_pool); },
         pool, /*morsel_size=*/1);
-    if (!first_error.ok()) return first_error;
+    if (!loop_status.ok()) return loop_status;
   } else {
     // Few (or large) partitions: evaluate sequentially with intra-
     // partition parallelism.
@@ -564,6 +652,9 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
       if (!status.ok()) return status;
     }
   }
+  // A cancellation that landed mid-evaluation leaves partially-written
+  // result columns; surface it before anyone can observe them.
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
 
   obs::Add(obs::Counter::kExecutorPartitions, num_partitions);
   if (profile != nullptr) {

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "mst/merge_sort_tree.h"
+#include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -53,6 +54,17 @@ struct WindowExecutorOptions {
   /// optional K/M/G suffix) supplies the limit — a CI hook that forces the
   /// spill path under the regular test suite.
   size_t memory_limit_bytes = 0;
+
+  /// Cross-query build-artifact cache (sort permutations, merge sort trees,
+  /// rank codes). Engaged only when BOTH `tree_cache` is non-null and
+  /// `cache_key` is non-empty — the key must uniquely identify the table
+  /// *contents* (the service uses a globally monotonic table-version epoch;
+  /// reusing a key after the rows change serves stale results). Caching is
+  /// additionally disabled for budgeted executions (memory_limit_bytes > 0
+  /// or HWF_TEST_MEMORY_LIMIT): cached artifacts outlive the query, so they
+  /// must not be accounted against — or spill through — a per-query budget.
+  mst::TreeCache* tree_cache = nullptr;
+  std::string cache_key;
 
   /// When non-null, cleared on entry and filled with the execution's cost
   /// breakdown: per-phase wall seconds (sort, partition, frame resolution,

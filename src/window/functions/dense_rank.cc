@@ -1,9 +1,14 @@
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/stop_token.h"
 #include "mst/dense_rank_tree.h"
 #include "mst/permutation.h"
+#include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
@@ -12,6 +17,66 @@ namespace hwf {
 namespace internal_window {
 namespace {
 
+/// The cacheable build product of DENSE_RANK: the FILTER remap, the dense
+/// codes over all partition positions and the 3-d range tree over the
+/// surviving positions' codes.
+template <typename Index>
+struct DenseRankArtifact {
+  IndexRemap remap;
+  std::vector<Index> codes;
+  DenseRankTree<Index> tree;
+
+  static DenseRankArtifact Build(const PartitionView& view,
+                                 const WindowFunctionCall& call) {
+    DenseRankArtifact result;
+    const size_t n = view.size();
+    result.remap = BuildCallRemap(view, call, /*drop_null_args=*/false);
+    const size_t m = result.remap.num_surviving();
+    const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
+    PositionLess less{&view, order};
+    auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
+    // Dense-code construction is Algorithm 1 preprocessing (kPreprocess);
+    // kProbe then measures the per-row distinct counts only.
+    std::vector<Index> filtered_codes(m);
+    {
+      obs::ScopedPhaseTimer timer(view.options->profile,
+                                  obs::ProfilePhase::kPreprocess);
+      result.codes = ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
+      for (size_t j = 0; j < m; ++j) {
+        filtered_codes[j] = result.codes[result.remap.ToOriginal(j)];
+      }
+    }
+    result.tree = DenseRankTree<Index>::Build(
+        std::span<const Index>(filtered_codes), view.options->tree,
+        *view.pool);
+    return result;
+  }
+
+  static StatusOr<std::shared_ptr<const DenseRankArtifact>> Obtain(
+      const PartitionView& view, const WindowFunctionCall& call) {
+    if (view.cache == nullptr) {
+      DenseRankArtifact built = Build(view, call);
+      if (Status stop = CheckStop(); !stop.ok()) return stop;
+      return std::make_shared<const DenseRankArtifact>(std::move(built));
+    }
+    const std::string key =
+        view.cache_prefix + "|drank" +
+        CallCacheKey(view, call, /*drop_null_args=*/false) + "|w" +
+        std::to_string(sizeof(Index));
+    return view.cache->GetOrBuild<DenseRankArtifact>(
+        key, [&]() -> StatusOr<mst::TreeCache::Built<DenseRankArtifact>> {
+          DenseRankArtifact built = Build(view, call);
+          if (Status stop = CheckStop(); !stop.ok()) return stop;
+          const size_t bytes = built.tree.MemoryUsageBytes() +
+                               built.remap.ApproxBytes() +
+                               built.codes.capacity() * sizeof(Index);
+          return mst::TreeCache::Built<DenseRankArtifact>{
+              std::make_shared<const DenseRankArtifact>(std::move(built)),
+              bytes};
+        });
+  }
+};
+
 /// Framed DENSE_RANK (§4.4): count of distinct values ordered strictly
 /// before the current row within the frame, plus one. Backed by the 3-d
 /// range tree; exclusion clauses are rejected during validation.
@@ -19,26 +84,12 @@ template <typename Index>
 Status EvalDenseRankT(const PartitionView& view,
                       const WindowFunctionCall& call, Column* out) {
   const size_t n = view.size();
-  const IndexRemap remap =
-      BuildCallRemap(view, call, /*drop_null_args=*/false);
-  const size_t m = remap.num_surviving();
-  const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
-  PositionLess less{&view, order};
-  auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
-  // Dense-code construction is Algorithm 1 preprocessing (kPreprocess);
-  // kProbe then measures the per-row distinct counts only.
-  std::vector<Index> codes;
-  std::vector<Index> filtered_codes(m);
-  {
-    obs::ScopedPhaseTimer timer(view.options->profile,
-                                obs::ProfilePhase::kPreprocess);
-    codes = ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
-    for (size_t j = 0; j < m; ++j) {
-      filtered_codes[j] = codes[remap.ToOriginal(j)];
-    }
-  }
-  const DenseRankTree<Index> tree = DenseRankTree<Index>::Build(
-      std::span<const Index>(filtered_codes), view.options->tree, *view.pool);
+  StatusOr<std::shared_ptr<const DenseRankArtifact<Index>>> artifact_or =
+      DenseRankArtifact<Index>::Obtain(view, call);
+  if (!artifact_or.ok()) return artifact_or.status();
+  const IndexRemap& remap = (*artifact_or)->remap;
+  const std::vector<Index>& codes = (*artifact_or)->codes;
+  const DenseRankTree<Index>& tree = (*artifact_or)->tree;
 
   const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
@@ -90,7 +141,7 @@ Status EvalDenseRankT(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 }  // namespace

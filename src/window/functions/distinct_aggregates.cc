@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/stop_token.h"
 #include "mst/aggregate_ops.h"
 #include "mst/annotated_mst.h"
 #include "mst/merge_sort_tree.h"
@@ -97,6 +98,9 @@ Status EvalCountDistinctT(const PartitionView& view,
 
   const MergeSortTree<Index> tree =
       MergeSortTree<Index>::Build(prev, view.options->tree, *view.pool);
+  // A build cut short by cancellation must never be probed: its level data
+  // and cascade offsets are garbage.
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
 
   const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
@@ -170,7 +174,7 @@ Status EvalCountDistinctT(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 /// Generic distinct aggregate: annotated tree + per-range prefix merging +
@@ -206,6 +210,8 @@ Status EvalDistinctAggregateT(const PartitionView& view,
   const AnnotatedMergeSortTree<Index, Ops> tree =
       AnnotatedMergeSortTree<Index, Ops>::Build(
           std::move(prev), std::move(inputs), view.options->tree, *view.pool);
+  // A build cut short by cancellation must never be probed (see above).
+  if (Status stop = CheckStop(); !stop.ok()) return stop;
 
   const size_t batch = view.options->tree.probe_batch_size;
   ParallelFor(
@@ -310,7 +316,7 @@ Status EvalDistinctAggregateT(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 template <typename Index>

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "baselines/segment_tree.h"
+#include "common/stop_token.h"
 #include "mst/aggregate_ops.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
@@ -50,7 +51,7 @@ Status EvalSegmentAggregate(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 Status EvalCount(const PartitionView& view, const WindowFunctionCall& call,
@@ -70,7 +71,7 @@ Status EvalCount(const PartitionView& view, const WindowFunctionCall& call,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 }  // namespace

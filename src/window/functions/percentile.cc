@@ -18,8 +18,10 @@ namespace {
 template <typename Index>
 Status EvalPercentileT(const PartitionView& view,
                        const WindowFunctionCall& call, Column* out) {
-  const SelectionTree<Index> sel =
-      SelectionTree<Index>::Build(view, call, /*drop_null_args=*/true);
+  StatusOr<std::shared_ptr<const SelectionTree<Index>>> sel_or =
+      SelectionTree<Index>::Obtain(view, call, /*drop_null_args=*/true);
+  if (!sel_or.ok()) return sel_or.status();
+  const SelectionTree<Index>& sel = **sel_or;
   const Column& arg = view.col(*call.argument);
   const bool cont = call.kind == WindowFunctionKind::kPercentileCont;
   const double fraction =
@@ -166,7 +168,7 @@ Status EvalPercentileT(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 }  // namespace

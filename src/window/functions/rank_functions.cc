@@ -1,8 +1,13 @@
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/stop_token.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
+#include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
@@ -10,6 +15,66 @@
 namespace hwf {
 namespace internal_window {
 namespace {
+
+/// The cacheable build product of the rank functions: the FILTER remap, the
+/// function-order codes over all partition positions (the per-row query
+/// thresholds) and the tree over the surviving positions' codes.
+template <typename Index>
+struct RankArtifact {
+  IndexRemap remap;
+  std::vector<Index> codes;
+  MergeSortTree<Index> tree;
+
+  static RankArtifact Build(const PartitionView& view,
+                            const WindowFunctionCall& call, bool dense) {
+    RankArtifact result;
+    const size_t n = view.size();
+    result.remap = BuildCallRemap(view, call, /*drop_null_args=*/false);
+    const size_t m = result.remap.num_surviving();
+    const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
+    PositionLess less{&view, order};
+    auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
+    // Code construction is Algorithm 1 preprocessing (kPreprocess); kProbe
+    // then measures the per-row rank counts only.
+    std::vector<Index> keys(m);
+    {
+      obs::ScopedPhaseTimer timer(view.options->profile,
+                                  obs::ProfilePhase::kPreprocess);
+      result.codes = dense
+                         ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
+                         : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
+      for (size_t j = 0; j < m; ++j) {
+        keys[j] = result.codes[result.remap.ToOriginal(j)];
+      }
+    }
+    result.tree = MergeSortTree<Index>::Build(std::move(keys),
+                                              view.options->tree, *view.pool);
+    return result;
+  }
+
+  static StatusOr<std::shared_ptr<const RankArtifact>> Obtain(
+      const PartitionView& view, const WindowFunctionCall& call, bool dense) {
+    if (view.cache == nullptr) {
+      RankArtifact built = Build(view, call, dense);
+      if (Status stop = CheckStop(); !stop.ok()) return stop;
+      return std::make_shared<const RankArtifact>(std::move(built));
+    }
+    const std::string key =
+        view.cache_prefix + "|rank" +
+        CallCacheKey(view, call, /*drop_null_args=*/false) +
+        (dense ? "|d" : "|u") + "|w" + std::to_string(sizeof(Index));
+    return view.cache->GetOrBuild<RankArtifact>(
+        key, [&]() -> StatusOr<mst::TreeCache::Built<RankArtifact>> {
+          RankArtifact built = Build(view, call, dense);
+          if (Status stop = CheckStop(); !stop.ok()) return stop;
+          const size_t bytes = built.tree.MemoryUsageBytes() +
+                               built.remap.ApproxBytes() +
+                               built.codes.capacity() * sizeof(Index);
+          return mst::TreeCache::Built<RankArtifact>{
+              std::make_shared<const RankArtifact>(std::move(built)), bytes};
+        });
+  }
+};
 
 /// Shared machinery of the MST-based rank functions (§4.4).
 ///
@@ -23,30 +88,15 @@ template <typename Index>
 Status EvalRankT(const PartitionView& view, const WindowFunctionCall& call,
                  Column* out) {
   const size_t n = view.size();
-  const IndexRemap remap =
-      BuildCallRemap(view, call, /*drop_null_args=*/false);
-  const size_t m = remap.num_surviving();
-  const std::vector<SortKey> order = EffectiveOrder(*view.spec, call);
-  PositionLess less{&view, order};
-  auto cmp = [&less](size_t a, size_t b) { return less(a, b); };
-
   const bool dense = call.kind == WindowFunctionKind::kRank ||
                      call.kind == WindowFunctionKind::kPercentRank ||
                      call.kind == WindowFunctionKind::kCumeDist;
-  // Code construction is Algorithm 1 preprocessing (kPreprocess); kProbe
-  // then measures the per-row rank counts only.
-  std::vector<Index> codes;
-  std::vector<Index> keys(m);
-  {
-    obs::ScopedPhaseTimer timer(view.options->profile,
-                                obs::ProfilePhase::kPreprocess);
-    codes = dense ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
-                  : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
-    for (size_t j = 0; j < m; ++j) keys[j] = codes[remap.ToOriginal(j)];
-  }
-  const MergeSortTree<Index> tree =
-      MergeSortTree<Index>::Build(std::move(keys), view.options->tree,
-                                  *view.pool);
+  StatusOr<std::shared_ptr<const RankArtifact<Index>>> artifact_or =
+      RankArtifact<Index>::Obtain(view, call, dense);
+  if (!artifact_or.ok()) return artifact_or.status();
+  const IndexRemap& remap = (*artifact_or)->remap;
+  const std::vector<Index>& codes = (*artifact_or)->codes;
+  const MergeSortTree<Index>& tree = (*artifact_or)->tree;
 
   ParallelFor(
       0, n,
@@ -135,7 +185,7 @@ Status EvalRankT(const PartitionView& view, const WindowFunctionCall& call,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 }  // namespace

@@ -2,12 +2,17 @@
 #define HWF_WINDOW_FUNCTIONS_SELECTION_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "common/stop_token.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
 #include "mst/remap.h"
+#include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
 #include "window/functions/common.h"
@@ -53,6 +58,35 @@ struct SelectionTree {
     result.tree = MergeSortTree<Index>::Build(std::move(perm),
                                               view.options->tree, *view.pool);
     return result;
+  }
+
+  /// Build, routed through the partition's cross-query cache when one is
+  /// attached. The tree depends only on the remap inputs (FILTER, NULL
+  /// dropping), the effective order and the tree build parameters — all
+  /// serialized into the key — so every call with the same configuration
+  /// shares one tree, across functions and across queries. Returns a non-OK
+  /// Status when the build was cut short by cancellation (a partially-built
+  /// tree must never be probed or cached: its cascade offsets are garbage).
+  static StatusOr<std::shared_ptr<const SelectionTree>> Obtain(
+      const PartitionView& view, const WindowFunctionCall& call,
+      bool drop_null_args) {
+    if (view.cache == nullptr) {
+      SelectionTree built = Build(view, call, drop_null_args);
+      if (Status stop = CheckStop(); !stop.ok()) return stop;
+      return std::make_shared<const SelectionTree>(std::move(built));
+    }
+    const std::string key = view.cache_prefix + "|sel" +
+                            CallCacheKey(view, call, drop_null_args) + "|w" +
+                            std::to_string(sizeof(Index));
+    return view.cache->GetOrBuild<SelectionTree>(
+        key, [&]() -> StatusOr<mst::TreeCache::Built<SelectionTree>> {
+          SelectionTree built = Build(view, call, drop_null_args);
+          if (Status stop = CheckStop(); !stop.ok()) return stop;
+          const size_t bytes =
+              built.tree.MemoryUsageBytes() + built.remap.ApproxBytes();
+          return mst::TreeCache::Built<SelectionTree>{
+              std::make_shared<const SelectionTree>(std::move(built)), bytes};
+        });
   }
 
   /// Maps the frame of position i to filtered key ranges. Returns the

@@ -17,8 +17,11 @@ namespace {
 template <typename Index>
 Status EvalValueFunctionT(const PartitionView& view,
                           const WindowFunctionCall& call, Column* out) {
-  const SelectionTree<Index> sel = SelectionTree<Index>::Build(
-      view, call, /*drop_null_args=*/call.ignore_nulls);
+  StatusOr<std::shared_ptr<const SelectionTree<Index>>> sel_or =
+      SelectionTree<Index>::Obtain(view, call,
+                                   /*drop_null_args=*/call.ignore_nulls);
+  if (!sel_or.ok()) return sel_or.status();
+  const SelectionTree<Index>& sel = **sel_or;
   const Column& arg = view.col(*call.argument);
 
   const size_t batch = view.options->tree.probe_batch_size;
@@ -117,7 +120,7 @@ Status EvalValueFunctionT(const PartitionView& view,
         }
       },
       *view.pool, view.options->morsel_size);
-  return Status::OK();
+  return CheckStop();
 }
 
 }  // namespace

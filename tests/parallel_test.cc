@@ -155,6 +155,137 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0, 2, 5),       // threads
                        ::testing::Values<size_t>(64, 1000, 20000)));
 
+TEST(ParallelForStatus, OkWhenEveryMorselSucceeds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  Status status = ParallelForStatus(
+      0, hits.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        return Status::OK();
+      },
+      pool, 97);
+  EXPECT_TRUE(status.ok());
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForStatus, ConcurrentFailuresReportLowestMorselDeterministically) {
+  // Many morsels fail with distinct messages; the reported error must always
+  // be the failing morsel with the smallest start index, for every thread
+  // count and across repeated runs (first-error-wins must not be a race).
+  for (int threads : {0, 1, 4, 7}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 20; ++round) {
+      Status status = ParallelForStatus(
+          0, 100000,
+          [](size_t lo, size_t) {
+            if (lo >= 30000 && lo % 3 == 0) {
+              return Status::Internal("fail@" + std::to_string(lo));
+            }
+            return Status::OK();
+          },
+          pool, 1000);
+      ASSERT_FALSE(status.ok());
+      EXPECT_EQ(status.code(), StatusCode::kInternal);
+      // Lowest failing morsel start: 30000 (30000 % 3 == 0).
+      EXPECT_EQ(status.message(), "fail@30000")
+          << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+TEST(ParallelForStatus, ErrorShortCircuitsRemainingMorsels) {
+  // After the first morsel fails, later morsels must stop being claimed:
+  // with an error at the very first morsel, far fewer than all morsels run.
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  Status status = ParallelForStatus(
+      0, 1000000,
+      [&](size_t lo, size_t) {
+        ran.fetch_add(1);
+        if (lo == 0) return Status::InvalidArgument("boom");
+        return Status::OK();
+      },
+      pool, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "boom");
+  // 10000 morsels total; in-flight runners may finish a handful each, but
+  // the claim loop must break well before the full range.
+  EXPECT_LT(ran.load(), 10000u / 2);
+}
+
+TEST(ParallelForStatus, MorselErrorBeatsCancellation) {
+  // A recorded morsel error takes precedence over the stop token's status.
+  ThreadPool pool(2);
+  StopSource source;
+  ScopedStopToken scope(source.token());
+  Status status = ParallelForStatus(
+      0, 100000,
+      [&](size_t lo, size_t) {
+        if (lo == 0) {
+          Status err = Status::Internal("real error");
+          source.RequestStop();
+          return err;
+        }
+        return Status::OK();
+      },
+      pool, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "real error");
+}
+
+TEST(ParallelForStatus, CancellationStopsClaimingAndReturnsCancelled) {
+  ThreadPool pool(4);
+  StopSource source;
+  ScopedStopToken scope(source.token());
+  std::atomic<size_t> ran{0};
+  Status status = ParallelForStatus(
+      0, 1000000,
+      [&](size_t, size_t) {
+        if (ran.fetch_add(1) == 0) source.RequestStop();
+        return Status::OK();
+      },
+      pool, 100);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(ran.load(), 10000u / 2);
+}
+
+TEST(ParallelFor, CancellationPropagatesToNestedRegions) {
+  // The ambient token installed by the caller must be observed by morsels
+  // running on pool workers (ParallelFor re-installs it per runner).
+  ThreadPool pool(4);
+  StopSource source;
+  source.RequestStop();
+  ScopedStopToken scope(source.token());
+  std::atomic<size_t> ran{0};
+  ParallelFor(
+      0, 1000000, [&](size_t, size_t) { ran.fetch_add(1); }, pool, 100);
+  // Stopped before entry: nothing should run.
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(CheckStop().code(), StatusCode::kCancelled);
+}
+
+TEST(StopToken, DeadlineLatchesDeadlineExceeded) {
+  StopSource source;
+  source.SetDeadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  StopToken token = source.token();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+  // A later cancel must not overwrite the latched deadline reason.
+  source.RequestStop();
+  EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  StopToken token;
+  EXPECT_FALSE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.status().ok());
+}
+
 TEST(ParallelSort, DeterministicAcrossThreadCounts) {
   // With a strict total order, results must be bit-identical regardless of
   // parallelism.

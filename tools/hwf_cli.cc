@@ -9,10 +9,12 @@
 //
 //   hwf_cli --input orders.csv --function count_distinct --arg custkey
 //           --order-by orderdate --range --frame-begin preceding:30
-//           --frame-end current --output with_mau.csv
+//           --frame-end current --output with_mau.csv --format json
 //
 // The result is the input table plus one column (named after the
-// function, or --as NAME), written as CSV to stdout or --output.
+// function, or --as NAME), written to stdout or --output as CSV or JSON
+// (--format). Every failure exits with the Status-code-specific exit code
+// documented in service/result_format.h (2 = usage error).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -22,6 +24,7 @@
 #include "mem/memory_budget.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "service/result_format.h"
 #include "storage/csv.h"
 #include "window/executor.h"
 
@@ -65,11 +68,17 @@ void Usage() {
       "                             the batched probe kernel (default 16;\n"
       "                             0 = scalar probes)\n"
       "  --as NAME                  result column name\n"
-      "  --output FILE              write CSV here (default stdout)\n"
+      "  --format csv|json          output format (default csv)\n"
+      "  --output FILE              write the result here (default stdout)\n"
       "  --explain                  print the execution profile to stderr\n"
       "  --profile FILE             write the execution profile as JSON\n"
       "  --trace FILE               write a Chrome trace_event JSON of the "
-      "run\n");
+      "run\n"
+      "\n"
+      "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 out of range,\n"
+      "            5 not implemented, 6 type mismatch, 7 internal,\n"
+      "            8 resource exhausted, 9 cancelled, 10 deadline "
+      "exceeded\n");
 }
 
 std::optional<WindowFunctionKind> ParseFunction(const std::string& name) {
@@ -121,13 +130,11 @@ std::vector<std::string> Split(const std::string& text, char sep) {
   }
 }
 
-bool ParseSortKey(const Table& table, const std::string& spec, SortKey* key) {
+Status ParseSortKey(const Table& table, const std::string& spec,
+                    SortKey* key) {
   std::vector<std::string> parts = Split(spec, ':');
   StatusOr<size_t> column = table.ColumnIndex(parts[0]);
-  if (!column.ok()) {
-    std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
-    return false;
-  }
+  if (!column.ok()) return column.status();
   key->column = *column;
   for (size_t i = 1; i < parts.size(); ++i) {
     if (parts[i] == "desc") {
@@ -139,16 +146,15 @@ bool ParseSortKey(const Table& table, const std::string& spec, SortKey* key) {
     } else if (parts[i] == "nulls_last") {
       key->nulls_first = false;
     } else {
-      std::fprintf(stderr, "error: unknown sort modifier '%s'\n",
-                   parts[i].c_str());
-      return false;
+      return Status::InvalidArgument("unknown sort modifier '" + parts[i] +
+                                     "'");
     }
   }
-  return true;
+  return Status::OK();
 }
 
-bool ParseFrameBound(const Table& table, const std::string& spec,
-                     FrameBound* bound) {
+Status ParseFrameBound(const Table& table, const std::string& spec,
+                       FrameBound* bound) {
   std::vector<std::string> parts = Split(spec, ':');
   const std::string& kind = parts[0];
   if (kind == "unbounded" || kind == "unbounded_preceding") {
@@ -165,25 +171,21 @@ bool ParseFrameBound(const Table& table, const std::string& spec,
   } else if ((kind == "preceding-col" || kind == "following-col") &&
              parts.size() == 2) {
     StatusOr<size_t> column = table.ColumnIndex(parts[1]);
-    if (!column.ok()) {
-      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
-      return false;
-    }
+    if (!column.ok()) return column.status();
     *bound = kind == "preceding-col" ? FrameBound::PrecedingColumn(*column)
                                      : FrameBound::FollowingColumn(*column);
   } else {
-    std::fprintf(stderr, "error: bad frame bound '%s'\n", spec.c_str());
-    return false;
+    return Status::InvalidArgument("bad frame bound '" + spec + "'");
   }
-  return true;
+  return Status::OK();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Everything main() parsed from argv; column names still unresolved.
+struct CliArgs {
   std::string input_path;
   std::string output_path;
   std::string function_name;
+  WindowFunctionKind kind = WindowFunctionKind::kCountStar;
   std::string result_name;
   std::string engine_name = "mst";
   std::vector<std::string> order_specs;
@@ -194,6 +196,7 @@ int main(int argc, char** argv) {
   std::string begin_spec = "unbounded";
   std::string end_spec = "current";
   std::string exclude_spec;
+  std::string format_name = "csv";
   FrameMode mode = FrameMode::kRows;
   bool ignore_nulls = false;
   double fraction = 0.5;
@@ -203,7 +206,137 @@ int main(int argc, char** argv) {
   size_t probe_batch = MergeSortTreeOptions{}.probe_batch_size;
   std::string profile_path;
   std::string trace_path;
+};
 
+/// The fallible part of the CLI: every failure is a Status, so main() can
+/// map it to a distinct exit code.
+Status RunCli(const CliArgs& args) {
+  StatusOr<service::ResultFormat> format =
+      service::ParseResultFormat(args.format_name);
+  if (!format.ok()) return format.status();
+
+  StatusOr<Table> table_or = ReadCsvFile(args.input_path);
+  if (!table_or.ok()) return table_or.status();
+  Table table = std::move(*table_or);
+
+  WindowSpec spec;
+  spec.frame.mode = args.mode;
+  for (const std::string& name : args.partition_names) {
+    StatusOr<size_t> column = table.ColumnIndex(name);
+    if (!column.ok()) return column.status();
+    spec.partition_by.push_back(*column);
+  }
+  for (const std::string& order : args.order_specs) {
+    SortKey key;
+    if (Status s = ParseSortKey(table, order, &key); !s.ok()) return s;
+    spec.order_by.push_back(key);
+  }
+  if (Status s = ParseFrameBound(table, args.begin_spec, &spec.frame.begin);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ParseFrameBound(table, args.end_spec, &spec.frame.end);
+      !s.ok()) {
+    return s;
+  }
+  if (!args.exclude_spec.empty()) {
+    if (args.exclude_spec == "current") {
+      spec.frame.exclusion = FrameExclusion::kCurrentRow;
+    } else if (args.exclude_spec == "group") {
+      spec.frame.exclusion = FrameExclusion::kGroup;
+    } else if (args.exclude_spec == "ties") {
+      spec.frame.exclusion = FrameExclusion::kTies;
+    } else {
+      return Status::InvalidArgument("bad --exclude '" + args.exclude_spec +
+                                     "'");
+    }
+  }
+
+  WindowFunctionCall call;
+  call.kind = args.kind;
+  call.ignore_nulls = args.ignore_nulls;
+  call.fraction = args.fraction;
+  call.param = args.param;
+  if (!args.arg_name.empty()) {
+    StatusOr<size_t> column = table.ColumnIndex(args.arg_name);
+    if (!column.ok()) return column.status();
+    call.argument = *column;
+  }
+  for (const std::string& order : args.func_order_specs) {
+    SortKey key;
+    if (Status s = ParseSortKey(table, order, &key); !s.ok()) return s;
+    call.order_by.push_back(key);
+  }
+  if (!args.filter_name.empty()) {
+    StatusOr<size_t> column = table.ColumnIndex(args.filter_name);
+    if (!column.ok()) return column.status();
+    call.filter = *column;
+  }
+
+  WindowExecutorOptions options;
+  if (args.engine_name == "mst") {
+    options.engine = WindowEngine::kMergeSortTree;
+  } else if (args.engine_name == "naive") {
+    options.engine = WindowEngine::kNaive;
+  } else if (args.engine_name == "incremental") {
+    options.engine = WindowEngine::kIncremental;
+  } else if (args.engine_name == "ost") {
+    options.engine = WindowEngine::kOrderStatisticTree;
+  } else {
+    return Status::InvalidArgument("unknown engine '" + args.engine_name +
+                                   "'");
+  }
+  options.memory_limit_bytes = args.memory_limit_bytes;
+  options.tree.probe_batch_size = args.probe_batch;
+  obs::ExecutionProfile profile;
+  const bool want_profile = args.explain || !args.profile_path.empty() ||
+                            !args.trace_path.empty();
+  if (want_profile) options.profile = &profile;
+  if (!args.trace_path.empty()) obs::Tracer::Get().Enable();
+
+  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
+  if (!result.ok()) return result.status();
+  if (args.explain) {
+    std::fprintf(stderr, "%s", profile.Explain().c_str());
+  }
+  if (!args.profile_path.empty()) {
+    const std::string json = profile.ToJson();
+    if (std::FILE* f = std::fopen(args.profile_path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      return Status::Internal("cannot open " + args.profile_path);
+    }
+  }
+  if (!args.trace_path.empty()) {
+    if (Status s = obs::Tracer::Get().WriteChromeTrace(args.trace_path);
+        !s.ok()) {
+      return s;
+    }
+  }
+  table.AddColumn(
+      args.result_name.empty() ? args.function_name : args.result_name,
+      std::move(*result));
+
+  const std::string rendered = service::FormatTable(table, *format);
+  if (args.output_path.empty()) {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(args.output_path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::Internal("cannot open " + args.output_path);
+    }
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -214,55 +347,57 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--input") {
-      input_path = next();
+      args.input_path = next();
     } else if (flag == "--output") {
-      output_path = next();
+      args.output_path = next();
     } else if (flag == "--function") {
-      function_name = next();
+      args.function_name = next();
     } else if (flag == "--arg") {
-      arg_name = next();
+      args.arg_name = next();
     } else if (flag == "--order-by") {
-      order_specs.push_back(next());
+      args.order_specs.push_back(next());
     } else if (flag == "--func-order-by") {
-      func_order_specs.push_back(next());
+      args.func_order_specs.push_back(next());
     } else if (flag == "--partition-by") {
-      partition_names.push_back(next());
+      args.partition_names.push_back(next());
     } else if (flag == "--frame-begin") {
-      begin_spec = next();
+      args.begin_spec = next();
     } else if (flag == "--frame-end") {
-      end_spec = next();
+      args.end_spec = next();
     } else if (flag == "--range") {
-      mode = FrameMode::kRange;
+      args.mode = FrameMode::kRange;
     } else if (flag == "--groups") {
-      mode = FrameMode::kGroups;
+      args.mode = FrameMode::kGroups;
     } else if (flag == "--exclude") {
-      exclude_spec = next();
+      args.exclude_spec = next();
     } else if (flag == "--filter") {
-      filter_name = next();
+      args.filter_name = next();
     } else if (flag == "--ignore-nulls") {
-      ignore_nulls = true;
+      args.ignore_nulls = true;
     } else if (flag == "--fraction") {
-      fraction = std::atof(next());
+      args.fraction = std::atof(next());
     } else if (flag == "--param") {
-      param = std::atoll(next());
+      args.param = std::atoll(next());
     } else if (flag == "--engine") {
-      engine_name = next();
+      args.engine_name = next();
     } else if (flag == "--memory_limit") {
       const char* value = next();
-      if (!mem::ParseMemorySize(value, &memory_limit_bytes)) {
+      if (!mem::ParseMemorySize(value, &args.memory_limit_bytes)) {
         std::fprintf(stderr, "error: bad --memory_limit '%s'\n", value);
         return 2;
       }
     } else if (flag == "--probe_batch") {
-      probe_batch = static_cast<size_t>(std::atoll(next()));
+      args.probe_batch = static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--as") {
-      result_name = next();
+      args.result_name = next();
+    } else if (flag == "--format") {
+      args.format_name = next();
     } else if (flag == "--explain") {
-      explain = true;
+      args.explain = true;
     } else if (flag == "--profile") {
-      profile_path = next();
+      args.profile_path = next();
     } else if (flag == "--trace") {
-      trace_path = next();
+      args.trace_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       return 0;
@@ -273,141 +408,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (input_path.empty() || function_name.empty()) {
+  if (args.input_path.empty() || args.function_name.empty()) {
     Usage();
     return 2;
   }
-  std::optional<WindowFunctionKind> kind = ParseFunction(function_name);
+  std::optional<WindowFunctionKind> kind = ParseFunction(args.function_name);
   if (!kind.has_value()) {
     std::fprintf(stderr, "error: unknown function '%s'\n",
-                 function_name.c_str());
+                 args.function_name.c_str());
     return 2;
   }
+  args.kind = *kind;
 
-  StatusOr<Table> table_or = ReadCsvFile(input_path);
-  if (!table_or.ok()) {
-    std::fprintf(stderr, "error: %s\n", table_or.status().ToString().c_str());
-    return 1;
+  const Status status = RunCli(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   }
-  Table table = std::move(*table_or);
-
-  WindowSpec spec;
-  spec.frame.mode = mode;
-  for (const std::string& name : partition_names) {
-    StatusOr<size_t> column = table.ColumnIndex(name);
-    if (!column.ok()) {
-      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
-      return 1;
-    }
-    spec.partition_by.push_back(*column);
-  }
-  for (const std::string& order : order_specs) {
-    SortKey key;
-    if (!ParseSortKey(table, order, &key)) return 1;
-    spec.order_by.push_back(key);
-  }
-  if (!ParseFrameBound(table, begin_spec, &spec.frame.begin)) return 1;
-  if (!ParseFrameBound(table, end_spec, &spec.frame.end)) return 1;
-  if (!exclude_spec.empty()) {
-    if (exclude_spec == "current") {
-      spec.frame.exclusion = FrameExclusion::kCurrentRow;
-    } else if (exclude_spec == "group") {
-      spec.frame.exclusion = FrameExclusion::kGroup;
-    } else if (exclude_spec == "ties") {
-      spec.frame.exclusion = FrameExclusion::kTies;
-    } else {
-      std::fprintf(stderr, "error: bad --exclude '%s'\n",
-                   exclude_spec.c_str());
-      return 2;
-    }
-  }
-
-  WindowFunctionCall call;
-  call.kind = *kind;
-  call.ignore_nulls = ignore_nulls;
-  call.fraction = fraction;
-  call.param = param;
-  if (!arg_name.empty()) {
-    StatusOr<size_t> column = table.ColumnIndex(arg_name);
-    if (!column.ok()) {
-      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
-      return 1;
-    }
-    call.argument = *column;
-  }
-  for (const std::string& order : func_order_specs) {
-    SortKey key;
-    if (!ParseSortKey(table, order, &key)) return 1;
-    call.order_by.push_back(key);
-  }
-  if (!filter_name.empty()) {
-    StatusOr<size_t> column = table.ColumnIndex(filter_name);
-    if (!column.ok()) {
-      std::fprintf(stderr, "error: %s\n", column.status().ToString().c_str());
-      return 1;
-    }
-    call.filter = *column;
-  }
-
-  WindowExecutorOptions options;
-  if (engine_name == "mst") {
-    options.engine = WindowEngine::kMergeSortTree;
-  } else if (engine_name == "naive") {
-    options.engine = WindowEngine::kNaive;
-  } else if (engine_name == "incremental") {
-    options.engine = WindowEngine::kIncremental;
-  } else if (engine_name == "ost") {
-    options.engine = WindowEngine::kOrderStatisticTree;
-  } else {
-    std::fprintf(stderr, "error: unknown engine '%s'\n", engine_name.c_str());
-    return 2;
-  }
-  options.memory_limit_bytes = memory_limit_bytes;
-  options.tree.probe_batch_size = probe_batch;
-  obs::ExecutionProfile profile;
-  const bool want_profile =
-      explain || !profile_path.empty() || !trace_path.empty();
-  if (want_profile) options.profile = &profile;
-  if (!trace_path.empty()) obs::Tracer::Get().Enable();
-
-  StatusOr<Column> result = EvaluateWindowFunction(table, spec, call, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  if (explain) {
-    std::fprintf(stderr, "%s", profile.Explain().c_str());
-  }
-  if (!profile_path.empty()) {
-    const std::string json = profile.ToJson();
-    if (std::FILE* f = std::fopen(profile_path.c_str(), "w")) {
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "error: cannot open %s\n", profile_path.c_str());
-      return 1;
-    }
-  }
-  if (!trace_path.empty()) {
-    Status status = obs::Tracer::Get().WriteChromeTrace(trace_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-  table.AddColumn(result_name.empty() ? function_name : result_name,
-                  std::move(*result));
-
-  if (output_path.empty()) {
-    const std::string csv = ToCsv(table);
-    std::fwrite(csv.data(), 1, csv.size(), stdout);
-  } else {
-    Status status = WriteCsvFile(table, output_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return hwf::service::ExitCodeForStatus(status);
 }

@@ -1,0 +1,254 @@
+// hwf_client — command-line client for the hwf_serve line protocol.
+//
+//   hwf_client --port 4140 "select sum(price) over (order by day rows \
+//       between 6 preceding and current row) from trades"
+//
+//   hwf_client --port 4140 --format json --timeout 5 "select ..."
+//   hwf_client --port 4140 --cancel-after-ms 50 "select ..."   # SUBMIT,
+//       CANCEL mid-flight, then WAIT; exits 9 when cancellation won
+//   hwf_client --port 4140 --stats
+//
+// Exit codes mirror the service's Status codes (see result_format.h):
+// 0 success, 2 usage, 9 cancelled, 10 deadline exceeded, ...
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/result_format.h"
+
+namespace {
+
+using namespace hwf;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hwf_client [options] \"SQL\"\n"
+               "\n"
+               "options:\n"
+               "  --host HOST           server host (default 127.0.0.1)\n"
+               "  --port N              server port (required)\n"
+               "  --format csv|json     result format (default csv)\n"
+               "  --timeout SECONDS     per-query deadline\n"
+               "  --cancel-after-ms N   submit, cancel after N ms, wait\n"
+               "  --stats               print service statistics instead\n"
+               "  --ping                liveness check instead of a query\n");
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return !line->empty();
+    if (c == '\n') return true;
+    if (c != '\r') line->push_back(c);
+  }
+}
+
+bool ReadExact(int fd, size_t bytes, std::string* out) {
+  out->assign(bytes, '\0');
+  size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, out->data() + got, bytes - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// One protocol exchange. Returns the server's status; on OK, `payload`
+/// holds the framed response body (empty for plain "OK" acks).
+Status Exchange(int fd, const std::string& command, std::string* payload) {
+  payload->clear();
+  if (!WriteAll(fd, command + "\n")) {
+    return Status::Internal("connection closed while sending");
+  }
+  std::string header;
+  if (!ReadLine(fd, &header)) {
+    return Status::Internal("connection closed while awaiting response");
+  }
+  if (header.rfind("ERR ", 0) == 0) {
+    // "ERR <code> <message>"
+    const size_t space = header.find(' ', 4);
+    const int code = std::atoi(header.substr(4).c_str());
+    std::string message = space == std::string::npos
+                              ? std::string("server error")
+                              : header.substr(space + 1);
+    // Reconstruct a Status with the matching code so the exit code
+    // round-trips through the client.
+    static const StatusCode kCodes[] = {
+        StatusCode::kInternal,          StatusCode::kInternal,
+        StatusCode::kInternal,          StatusCode::kInvalidArgument,
+        StatusCode::kOutOfRange,        StatusCode::kNotImplemented,
+        StatusCode::kTypeMismatch,      StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded,
+    };
+    const StatusCode status_code =
+        code >= 0 && code < static_cast<int>(std::size(kCodes))
+            ? kCodes[code]
+            : StatusCode::kInternal;
+    return Status(status_code, std::move(message));
+  }
+  if (header == "OK") return Status::OK();
+  if (header.rfind("OK ", 0) == 0) {
+    const size_t bytes =
+        static_cast<size_t>(std::strtoull(header.c_str() + 3, nullptr, 10));
+    if (!ReadExact(fd, bytes, payload)) {
+      return Status::Internal("connection closed mid-payload");
+    }
+    return Status::OK();
+  }
+  return Status::Internal("malformed response header: " + header);
+}
+
+int Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string format;
+  std::string sql;
+  double timeout_seconds = -1;
+  int cancel_after_ms = -1;
+  bool stats = false;
+  bool ping = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      host = next();
+    } else if (flag == "--port") {
+      port = std::atoi(next());
+    } else if (flag == "--format") {
+      format = next();
+    } else if (flag == "--timeout") {
+      timeout_seconds = std::atof(next());
+    } else if (flag == "--cancel-after-ms") {
+      cancel_after_ms = std::atoi(next());
+    } else if (flag == "--stats") {
+      stats = true;
+    } else if (flag == "--ping") {
+      ping = true;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      Usage();
+      return 2;
+    } else {
+      sql = flag;
+    }
+  }
+  if (port == 0 || (sql.empty() && !stats && !ping)) {
+    Usage();
+    return 2;
+  }
+
+  const int fd = Connect(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s:%d\n", host.c_str(),
+                 port);
+    return 1;
+  }
+
+  auto run = [&]() -> Status {
+    std::string payload;
+    if (ping) {
+      Status status = Exchange(fd, "PING", &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    if (stats) {
+      Status status = Exchange(fd, "STATS", &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    if (!format.empty()) {
+      if (Status s = Exchange(fd, "FORMAT " + format, &payload); !s.ok()) {
+        return s;
+      }
+    }
+    if (timeout_seconds >= 0) {
+      if (Status s = Exchange(fd, "TIMEOUT " + std::to_string(timeout_seconds),
+                              &payload);
+          !s.ok()) {
+        return s;
+      }
+    }
+    if (cancel_after_ms < 0) {
+      Status status = Exchange(fd, "QUERY " + sql, &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    // Cancellation exercise: SUBMIT, sleep, CANCEL, WAIT.
+    Status status = Exchange(fd, "SUBMIT " + sql, &payload);
+    if (!status.ok()) return status;
+    if (payload.rfind("ID ", 0) != 0) {
+      return Status::Internal("unexpected SUBMIT response: " + payload);
+    }
+    const std::string id = payload.substr(3, payload.find('\n') - 3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
+    if (Status s = Exchange(fd, "CANCEL " + id, &payload); !s.ok()) return s;
+    status = Exchange(fd, "WAIT " + id, &payload);
+    if (!status.ok()) return status;
+    std::fputs(payload.c_str(), stdout);
+    return Status::OK();
+  };
+
+  const Status status = run();
+  std::string quit_payload;
+  Exchange(fd, "QUIT", &quit_payload);
+  ::close(fd);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  }
+  return service::ExitCodeForStatus(status);
+}

@@ -1,0 +1,336 @@
+// hwf_serve — line-protocol TCP front door for the query service.
+//
+//   hwf_serve --port 0 --table lineitem=lineitem.csv --sessions 4
+//
+// Prints "LISTENING <port>" on stdout once the socket is bound (with
+// --port 0 the kernel picks the port), then serves each connection on its
+// own thread. Protocol: one command per line, responses framed as
+//
+//   OK <nbytes>\n<nbytes of payload>      (results, stats)
+//   OK\n                                  (acknowledgements)
+//   ERR <code> <message>\n
+//
+// Commands:
+//   QUERY <sql>        execute synchronously, respond with the result
+//   SUBMIT <sql>       enqueue; respond with framed payload "ID <n>\n"
+//   WAIT <id>          block for a submitted query's result
+//   CANCEL <id>        request cooperative cancellation
+//   FORMAT csv|json    set this connection's result format (default csv)
+//   TIMEOUT <seconds>  set this connection's per-query deadline (0 = none)
+//   STATS              service + cache statistics as JSON
+//   PING               liveness check, responds "OK 5\nPONG\n"
+//   QUIT               close the connection
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mem/memory_budget.h"
+#include "service/result_format.h"
+#include "service/service.h"
+#include "storage/csv.h"
+
+namespace {
+
+using namespace hwf;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hwf_serve --table NAME=FILE.csv [options]\n"
+      "\n"
+      "options:\n"
+      "  --port N              listen port (default 0 = kernel-assigned;\n"
+      "                        the chosen port is printed as LISTENING N)\n"
+      "  --table NAME=FILE     register a CSV file as table NAME "
+      "(repeatable)\n"
+      "  --sessions N          concurrent query executions (default 2)\n"
+      "  --queue N             admission queue depth (default 16)\n"
+      "  --memory_limit BYTES  admission budget, K/M/G suffix ok "
+      "(default unlimited)\n"
+      "  --reservation BYTES   per-query admission reservation (default "
+      "64M)\n"
+      "  --cache_bytes BYTES   tree cache capacity, 0 disables (default "
+      "256M)\n"
+      "  --timeout SECONDS     default per-query deadline (default none)\n");
+}
+
+/// Reads one \n-terminated line; false on EOF/error.
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return !line->empty();
+    if (c == '\n') return true;
+    if (c != '\r') line->push_back(c);
+  }
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendPayload(int fd, const std::string& payload) {
+  return WriteAll(fd,
+                  "OK " + std::to_string(payload.size()) + "\n" + payload);
+}
+
+bool SendOk(int fd) { return WriteAll(fd, "OK\n"); }
+
+bool SendError(int fd, const Status& status) {
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return WriteAll(fd, "ERR " + std::to_string(service::ExitCodeForStatus(
+                                   status)) +
+                          " " + message + "\n");
+}
+
+std::string StatsJson(const service::QueryService& svc) {
+  const service::QueryService::Stats s = svc.stats();
+  std::string out = "{";
+  auto field = [&out](const char* name, uint64_t value, bool comma = true) {
+    out += std::string("\"") + name + "\":" + std::to_string(value);
+    if (comma) out += ",";
+  };
+  field("queued", s.queued);
+  field("executing", s.executing);
+  field("admitted", s.admitted);
+  field("rejected", s.rejected);
+  field("cancelled", s.cancelled);
+  field("completed", s.completed);
+  field("reserved_bytes", s.reserved_bytes);
+  out += "\"cache\":{";
+  field("hits", s.cache.hits);
+  field("misses", s.cache.misses);
+  field("evictions", s.cache.evictions);
+  field("entries", s.cache.entries);
+  field("bytes", s.cache.bytes);
+  field("capacity_bytes", s.cache.capacity_bytes, /*comma=*/false);
+  out += "}}\n";
+  return out;
+}
+
+void ServeConnection(int fd, service::QueryService* svc) {
+  service::ResultFormat format = service::ResultFormat::kCsv;
+  double timeout_seconds = -1;  // service default
+  std::string line;
+  while (ReadLine(fd, &line)) {
+    const size_t space = line.find(' ');
+    std::string command = line.substr(0, space);
+    for (char& c : command) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    const std::string rest =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+
+    if (command == "QUIT") {
+      SendOk(fd);
+      break;
+    }
+    if (command == "PING") {
+      SendPayload(fd, "PONG\n");
+      continue;
+    }
+    if (command == "STATS") {
+      SendPayload(fd, StatsJson(*svc));
+      continue;
+    }
+    if (command == "FORMAT") {
+      StatusOr<service::ResultFormat> parsed =
+          service::ParseResultFormat(rest);
+      if (!parsed.ok()) {
+        SendError(fd, parsed.status());
+        continue;
+      }
+      format = *parsed;
+      SendOk(fd);
+      continue;
+    }
+    if (command == "TIMEOUT") {
+      timeout_seconds = std::atof(rest.c_str());
+      SendOk(fd);
+      continue;
+    }
+    if (command == "QUERY" || command == "SUBMIT") {
+      if (rest.empty()) {
+        SendError(fd, Status::InvalidArgument(command + " needs SQL text"));
+        continue;
+      }
+      service::QueryOptions options;
+      options.timeout_seconds = timeout_seconds;
+      if (command == "SUBMIT") {
+        StatusOr<uint64_t> id = svc->Submit(rest, options);
+        if (!id.ok()) {
+          SendError(fd, id.status());
+        } else {
+          SendPayload(fd, "ID " + std::to_string(*id) + "\n");
+        }
+        continue;
+      }
+      StatusOr<service::QueryResult> result = svc->Query(rest, options);
+      if (!result.ok()) {
+        SendError(fd, result.status());
+      } else {
+        SendPayload(fd, service::FormatTable(result->table, format));
+      }
+      continue;
+    }
+    if (command == "WAIT" || command == "CANCEL") {
+      char* end = nullptr;
+      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) {
+        SendError(fd, Status::InvalidArgument(command + " needs a query id"));
+        continue;
+      }
+      if (command == "CANCEL") {
+        Status status = svc->Cancel(id);
+        if (status.ok()) {
+          SendOk(fd);
+        } else {
+          SendError(fd, status);
+        }
+        continue;
+      }
+      StatusOr<service::QueryResult> result = svc->Wait(id);
+      if (!result.ok()) {
+        SendError(fd, result.status());
+      } else {
+        SendPayload(fd, service::FormatTable(result->table, format));
+      }
+      continue;
+    }
+    SendError(fd, Status::InvalidArgument("unknown command '" + command +
+                                          "'"));
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::vector<std::pair<std::string, std::string>> tables;
+  service::ServiceOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--port") {
+      port = std::atoi(next());
+    } else if (flag == "--table") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "error: --table wants NAME=FILE, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--sessions") {
+      options.num_sessions = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--queue") {
+      options.max_queued = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--memory_limit") {
+      if (!mem::ParseMemorySize(next(), &options.memory_limit_bytes)) {
+        std::fprintf(stderr, "error: bad --memory_limit\n");
+        return 2;
+      }
+    } else if (flag == "--reservation") {
+      if (!mem::ParseMemorySize(next(),
+                                &options.per_query_reservation_bytes)) {
+        std::fprintf(stderr, "error: bad --reservation\n");
+        return 2;
+      }
+    } else if (flag == "--cache_bytes") {
+      if (!mem::ParseMemorySize(next(), &options.cache_capacity_bytes)) {
+        std::fprintf(stderr, "error: bad --cache_bytes\n");
+        return 2;
+      }
+      options.enable_cache = options.cache_capacity_bytes > 0;
+    } else if (flag == "--timeout") {
+      options.default_timeout_seconds = std::atof(next());
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (tables.empty()) {
+    Usage();
+    return 2;
+  }
+
+  service::QueryService svc(options);
+  for (const auto& [name, path] : tables) {
+    StatusOr<Table> table = ReadCsvFile(path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return service::ExitCodeForStatus(table.status());
+    }
+    svc.RegisterTable(name, std::move(*table));
+    std::fprintf(stderr, "registered table %s from %s\n", name.c_str(),
+                 path.c_str());
+  }
+
+  ::signal(SIGPIPE, SIG_IGN);
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::perror("bind");
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(listener, 64) < 0) {
+    std::perror("listen");
+    return 1;
+  }
+  std::printf("LISTENING %d\n", ntohs(addr.sin_port));
+  std::fflush(stdout);
+
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    std::thread(ServeConnection, fd, &svc).detach();
+  }
+  ::close(listener);
+  return 0;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the query service front door: starts hwf_serve, runs
+# eight concurrent hwf_client queries (one cancelled mid-flight), diffs one
+# of them against the direct-executor path (hwf_cli), and exercises
+# admission rejection on a second, deliberately tiny service instance.
+#
+# Usage: tools/service_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+SERVE=$BUILD/tools/hwf_serve
+CLIENT=$BUILD/tools/hwf_client
+CLI=$BUILD/tools/hwf_cli
+WORK=$(mktemp -d)
+SERVE_PID=""
+SERVE2_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$SERVE2_PID" ] && kill "$SERVE2_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- data -----------------------------------------------------------------
+python3 - "$WORK/t.csv" <<'EOF'
+import random, sys
+random.seed(7)
+with open(sys.argv[1], "w") as f:
+    f.write("grp,ord,val,price\n")
+    for _ in range(200000):
+        f.write("%d,%d,%d,%.6f\n" % (random.randrange(4),
+                random.randrange(1 << 20), random.randrange(100000),
+                random.random() * 1000))
+EOF
+
+# Heavy enough that a client-side cancel 100 ms in always lands mid-flight
+# and that the admission test below can observe it still executing: six
+# distinct window specs means six separate sort + build + probe pipelines.
+SLOW_SQL="select $(for k in 1 2 3 4 5 6; do
+  printf 'percentile_disc(0.5 order by val) over (order by ord rows between 14000%d preceding and current row), ' "$k"
+done) count(distinct val) over (order by ord rows between 149999 preceding \
+and current row) from t"
+
+start_server() {  # start_server OUT_FILE ARGS... ; echoes the port
+  local out=$1; shift
+  "$SERVE" --port 0 --table "t=$WORK/t.csv" "$@" >"$out" 2>"$out.err" &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(awk '/^LISTENING/{print $2; exit}' "$out" 2>/dev/null || true)
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "server exited: $(cat "$out.err")"
+    sleep 0.1
+  done
+  [ -n "$port" ] || fail "server did not report a port"
+  echo "$pid $port"
+}
+
+# --- main service: 8 concurrent clients, one cancelled mid-flight ---------
+read -r SERVE_PID PORT < <(start_server "$WORK/serve.out" --sessions 4 --queue 32)
+echo "serving on port $PORT"
+
+QUERIES=(
+  "select median(price) over (order by ord rows between 100 preceding and current row) from t"
+  "select sum(val) over (partition by grp order by ord rows between 100 preceding and 100 following) from t"
+  "select count(distinct val) over (order by ord rows between 150 preceding and current row) from t"
+  "select rank() over (partition by grp order by ord groups between 50 preceding and 50 following) from t"
+  "select percentile_disc(0.9 order by price) over (order by ord rows between 300 preceding and current row) from t"
+  "select dense_rank() over (order by ord rows between 1000 preceding and current row) from t"
+  "select first_value(val) over (order by ord rows between 10 preceding and 10 following exclude current row) from t"
+)
+PIDS=()
+for i in "${!QUERIES[@]}"; do
+  "$CLIENT" --port "$PORT" "${QUERIES[$i]}" >"$WORK/q$i.csv" 2>"$WORK/q$i.err" &
+  PIDS+=($!)
+done
+# Client #8: cancelled 100 ms into the slow query; must exit 9 (Cancelled).
+set +e
+"$CLIENT" --port "$PORT" --cancel-after-ms 100 "$SLOW_SQL" \
+  >"$WORK/cancelled.out" 2>&1
+CANCEL_RC=$?
+set -e
+[ "$CANCEL_RC" -eq 9 ] || fail "cancelled query exited $CANCEL_RC, want 9 ($(cat "$WORK/cancelled.out"))"
+
+for i in "${!PIDS[@]}"; do
+  wait "${PIDS[$i]}" || fail "query $i failed: $(cat "$WORK/q$i.err")"
+  rows=$(($(wc -l <"$WORK/q$i.csv") - 1))
+  [ "$rows" -eq 200000 ] || fail "query $i returned $rows rows, want 200000"
+done
+
+# Differential: the served result of query 0 must match the direct
+# executor byte for byte (hwf_cli appends the result as the last column).
+"$CLI" --input "$WORK/t.csv" --function median --arg price --order-by ord \
+  --frame-begin preceding:100 --frame-end current >"$WORK/direct.csv"
+tail -n +2 "$WORK/q0.csv" >"$WORK/served.col"
+tail -n +2 "$WORK/direct.csv" | awk -F, '{print $NF}' >"$WORK/direct.col"
+cmp "$WORK/served.col" "$WORK/direct.col" \
+  || fail "served result differs from direct executor"
+echo "differential vs direct executor: identical"
+
+# Stats must reflect the cancellation and report no leaked reservations.
+"$CLIENT" --port "$PORT" --stats >"$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats["cancelled"] >= 1, stats
+assert stats["completed"] >= 7, stats
+assert stats["reserved_bytes"] == 0, stats
+EOF
+echo "stats: cancellation recorded, reservations drained"
+
+# --- admission control: tiny instance rejects the overflow query ----------
+# HWF_THREADS=1 makes execution serial, so the occupant query holds its
+# session for seconds — long enough that the overflow submission below
+# deterministically finds the queue and the admission budget full.
+export HWF_THREADS=1
+read -r SERVE2_PID PORT2 < <(start_server "$WORK/serve2.out" \
+  --sessions 1 --queue 1 --memory_limit 2M --reservation 1M)
+unset HWF_THREADS
+"$CLIENT" --port "$PORT2" "$SLOW_SQL" >/dev/null 2>&1 &
+OCCUPANT=$!
+sleep 0.5  # the occupant is now executing (or at least queued first)
+"$CLIENT" --port "$PORT2" "$SLOW_SQL" >/dev/null 2>&1 &
+QUEUED=$!
+sleep 0.3
+set +e
+"$CLIENT" --port "$PORT2" "$SLOW_SQL" >"$WORK/rejected.out" 2>&1
+REJECT_RC=$?
+set -e
+[ "$REJECT_RC" -eq 8 ] || fail "overflow query exited $REJECT_RC, want 8 ($(head -c 300 "$WORK/rejected.out"))"
+echo "admission control: overflow rejected with ResourceExhausted"
+kill "$SERVE2_PID" 2>/dev/null || true
+SERVE2_PID=""
+wait "$OCCUPANT" 2>/dev/null || true
+wait "$QUEUED" 2>/dev/null || true
+
+echo "service smoke: PASS"
