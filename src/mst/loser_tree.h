@@ -7,9 +7,11 @@
 #include <functional>
 #include <optional>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/counters.h"
 
 namespace hwf {
 
@@ -237,6 +239,369 @@ class PackedLoserTree {
   std::vector<Packed> node_;     // Loser values, nodes [1, k_).
   std::vector<Packed> winners_;  // Init-time scratch.
 };
+
+// ---------------------------------------------------------------------------
+// Offset-value coding (Do & Graefe, "Robust and Efficient Sorting with
+// Offset-Value Coding").
+// ---------------------------------------------------------------------------
+//
+// Every element in a sorted run carries a code describing its first
+// difference from its predecessor: (arity - offset, value at offset),
+// packed into one 128-bit integer so that for two elements coded against a
+// COMMON base, the smaller code identifies the smaller element. Most merge
+// comparisons therefore resolve on a single integer compare; only
+// equal-code matches fall back to comparing key words — and then only the
+// words past the shared offset. The PackedLoserTree above is the
+// degenerate single-word case of the same idea (key and tie-break in one
+// integer); the coded tree below generalizes it to multi-word records.
+//
+// Code algebra (proofs in DESIGN.md §10). For a and b coded against the
+// same base, with base <= a and base <= b:
+//   - codes differ: the smaller code wins, and the loser's code is
+//     ALREADY its code relative to the winner (no update needed).
+//   - codes equal and non-zero: a and b agree with the base — hence with
+//     each other — through the code's offset word; compare the remaining
+//     words. The loser's new code is (first differing word, its value)
+//     relative to the winner. Full equality ties break by source index
+//     and the loser's code becomes 0 ("equal to base").
+// A freshly computed code is only valid against the element it was
+// computed against: replacement elements entering a tournament mid-merge
+// MUST use their precomputed in-run code (relative to the run predecessor,
+// which is exactly the element just emitted); recomputing "fresh" codes
+// against -inf mid-merge gives wrong merge orders.
+
+#if defined(__SIZEOF_INT128__)
+#define HWF_HAS_OVC 1
+
+/// 128-bit offset-value code: ((arity - offset) << 64) | value. Offset 0
+/// relative to the conceptual -inf element yields the largest offset
+/// component, code 0 means "equal to base".
+using OvcCode = unsigned __int128;
+
+/// Key-word access for offset-value coding. Types opt in either through
+/// this specialization or by exposing `static constexpr size_t kOvcWords`
+/// and `uint64_t OvcWord(size_t) const` members (picked up generically
+/// below). The word sequence must order exactly like the comparator the
+/// sort is invoked with: word 0 compares first, ties fall through to word
+/// 1, and so on. Callers assert that contract by passing use_ovc = true.
+template <typename T, typename = void>
+struct OvcTraits;
+
+template <typename T>
+struct OvcTraits<T, std::void_t<decltype(T::kOvcWords)>> {
+  static constexpr size_t kNumWords = T::kOvcWords;
+  static uint64_t Word(const T& v, size_t w) { return v.OvcWord(w); }
+};
+
+/// (code, position) pairs — the preprocessing record sorts.
+template <typename F, typename S>
+struct OvcTraits<std::pair<F, S>,
+                 std::enable_if_t<std::is_unsigned_v<F> &&
+                                  std::is_unsigned_v<S> && sizeof(F) <= 8 &&
+                                  sizeof(S) <= 8>> {
+  static constexpr size_t kNumWords = 2;
+  static uint64_t Word(const std::pair<F, S>& v, size_t w) {
+    return w == 0 ? static_cast<uint64_t>(v.first)
+                  : static_cast<uint64_t>(v.second);
+  }
+};
+
+template <typename T, typename = void>
+inline constexpr bool kHasOvcTraits = false;
+template <typename T>
+inline constexpr bool
+    kHasOvcTraits<T, std::void_t<decltype(OvcTraits<T>::kNumWords)>> = true;
+
+/// Code for an element whose first difference from its base is at word
+/// `offset` with word value `value`.
+template <typename T>
+constexpr OvcCode OvcEncode(size_t offset, uint64_t value) {
+  return (static_cast<OvcCode>(OvcTraits<T>::kNumWords - offset) << 64) |
+         static_cast<OvcCode>(value);
+}
+
+/// Code of `v` relative to the conceptual -inf element (smaller than
+/// everything): first difference at word 0. Valid as a common base for any
+/// set of elements, so tournaments are initialized with it.
+template <typename T>
+OvcCode OvcInitialCode(const T& v) {
+  return OvcEncode<T>(0, OvcTraits<T>::Word(v, 0));
+}
+
+/// Code of `v` relative to `base`; requires base <= v in the word order.
+template <typename T>
+OvcCode OvcCodeAgainst(const T& v, const T& base) {
+  constexpr size_t kWords = OvcTraits<T>::kNumWords;
+  for (size_t w = 0; w < kWords; ++w) {
+    const uint64_t x = OvcTraits<T>::Word(v, w);
+    if (x != OvcTraits<T>::Word(base, w)) return OvcEncode<T>(w, x);
+  }
+  return 0;
+}
+
+/// In-run codes of a sorted run: codes[0] relative to -inf, codes[i]
+/// relative to data[i-1]. One linear pass, run by run, in parallel — this
+/// is where merge rounds get their replacement codes from.
+template <typename T>
+void ComputeOvcRunCodes(const T* data, size_t n, OvcCode* codes) {
+  if (n == 0) return;
+  codes[0] = OvcInitialCode(data[0]);
+  for (size_t i = 1; i < n; ++i) {
+    codes[i] = OvcCodeAgainst(data[i], data[i - 1]);
+  }
+}
+
+/// Comparison tallies of one merge, flushed to the global counters in one
+/// add per merge (not per element).
+struct OvcStats {
+  uint64_t comparisons = 0;
+  uint64_t code_resolved = 0;
+
+  void Flush() {
+    if (comparisons > 0) {
+      obs::Add(obs::Counter::kSortComparisons, comparisons);
+      obs::Add(obs::Counter::kSortOvcResolved, code_resolved);
+    }
+    comparisons = 0;
+    code_resolved = 0;
+  }
+};
+
+/// Three-way compare of two elements coded against a common base (-1: a
+/// precedes, 1: b precedes, 0: equal). Implements the code algebra above:
+/// the loser's code is rewritten in place to be relative to the winner.
+/// On a full tie the caller picks the winner by source index and must set
+/// the loser's code to 0.
+template <typename T>
+int OvcCompare(const T& a, OvcCode& ca, const T& b, OvcCode& cb,
+               OvcStats& stats) {
+  ++stats.comparisons;
+  if (ca != cb) {
+    ++stats.code_resolved;
+    return ca < cb ? -1 : 1;
+  }
+  constexpr size_t kWords = OvcTraits<T>::kNumWords;
+  // Equal codes (including 0): agreement through the offset word; compare
+  // the rest. ca >> 64 is kWords - offset, so the first word to look at is
+  // offset + 1; for code 0 that lands past the end and falls straight to
+  // the tie return.
+  for (size_t w = kWords - static_cast<size_t>(ca >> 64) + 1; w < kWords;
+       ++w) {
+    const uint64_t x = OvcTraits<T>::Word(a, w);
+    const uint64_t y = OvcTraits<T>::Word(b, w);
+    if (x == y) continue;
+    if (x < y) {
+      cb = OvcEncode<T>(w, y);
+      return -1;
+    }
+    ca = OvcEncode<T>(w, x);
+    return 1;
+  }
+  return 0;
+}
+
+/// Loser tree over offset-value-coded runs: same external contract as
+/// LoserTree (stable tie-break by source index, caller-owned `pos`
+/// cursors), but each head carries its code relative to the last emitted
+/// element, so a tournament match is usually one 128-bit compare.
+///
+/// Init codes every head against -inf (the one base all runs share).
+/// Pop's replacement head takes its PRECOMPUTED in-run code from
+/// `in_codes` — its run predecessor is the element just emitted, which is
+/// exactly the base every code in the tree is relative to. The loser
+/// stored at each node is coded relative to the winner of that node's
+/// subtree; since the emitted winner won every match on its leaf-to-root
+/// path, all codes the replay touches share the emitted element as base.
+template <typename T>
+class OvcLoserTree {
+ public:
+  /// Run c spans data[c][pos[c], lens[c]); in_codes[c] aligns with data[c]
+  /// and holds in-run codes (ComputeOvcRunCodes). Heads are re-coded
+  /// against -inf here, so chunked merges starting at pos[c] > 0 are fine.
+  void Init(const T* const* data, const size_t* lens, size_t num_sources,
+            size_t* pos, const OvcCode* const* in_codes) {
+    HWF_DCHECK(num_sources >= 1);
+    data_ = data;
+    lens_ = lens;
+    pos_ = pos;
+    in_codes_ = in_codes;
+    k_ = 1;
+    while (k_ < num_sources) k_ <<= 1;
+    loser_.resize(k_);
+    key_.resize(k_);
+    code_.assign(k_, 0);
+    live_.assign(k_, 0);
+    for (size_t c = 0; c < num_sources; ++c) {
+      if (pos[c] < lens[c]) {
+        key_[c] = data[c][pos[c]];
+        code_[c] = OvcInitialCode(key_[c]);
+        live_[c] = 1;
+      }
+    }
+    winners_.resize(2 * k_);
+    for (size_t c = 0; c < k_; ++c) {
+      winners_[k_ + c] = static_cast<uint32_t>(c);
+    }
+    for (size_t node = k_ - 1; node >= 1; --node) {
+      const uint32_t a = winners_[2 * node];
+      const uint32_t b = winners_[2 * node + 1];
+      if (Beats(a, b)) {
+        winners_[node] = a;
+        loser_[node] = b;
+      } else {
+        winners_[node] = b;
+        loser_[node] = a;
+      }
+    }
+    winner_ = winners_[1];
+  }
+
+  bool Empty() const { return !live_[winner_]; }
+
+  uint32_t TopSource() const { return winner_; }
+
+  const T& TopKey() const { return key_[winner_]; }
+
+  /// Code of the current minimum relative to the previously popped
+  /// element — by construction the in-run code of the merged output, so a
+  /// merge round emits the codes its successor round consumes for free.
+  OvcCode TopCode() const { return code_[winner_]; }
+
+  void Pop() {
+    const uint32_t c = winner_;
+    const size_t next = ++pos_[c];
+    if (next < lens_[c]) {
+      key_[c] = data_[c][next];
+      code_[c] = in_codes_[c][next];
+    } else {
+      live_[c] = 0;
+    }
+    uint32_t s = c;
+    for (size_t node = (k_ + c) >> 1; node >= 1; node >>= 1) {
+      const uint32_t t = loser_[node];
+      if (Beats(t, s)) {
+        loser_[node] = s;
+        s = t;
+      }
+    }
+    winner_ = s;
+  }
+
+  /// Accumulated comparison tallies; callers flush once per merge.
+  OvcStats& stats() { return stats_; }
+
+ private:
+  bool Beats(uint32_t a, uint32_t b) {
+    if (!live_[a]) return false;
+    if (!live_[b]) return true;
+    const int cmp = OvcCompare(key_[a], code_[a], key_[b], code_[b], stats_);
+    if (cmp != 0) return cmp < 0;
+    // Full tie: the lower source wins (stability); the loser equals the
+    // winner, i.e. code 0 against the new base.
+    if (a < b) {
+      code_[b] = 0;
+      return true;
+    }
+    code_[a] = 0;
+    return false;
+  }
+
+  const T* const* data_ = nullptr;
+  const size_t* lens_ = nullptr;
+  size_t* pos_ = nullptr;
+  const OvcCode* const* in_codes_ = nullptr;
+  size_t k_ = 0;
+  uint32_t winner_ = 0;
+  std::vector<uint32_t> loser_;
+  std::vector<uint32_t> winners_;
+  std::vector<T> key_;
+  std::vector<OvcCode> code_;  // Head code per source, base = last emitted.
+  std::vector<uint8_t> live_;
+  OvcStats stats_;
+};
+
+/// Coded counterpart of LoserTreeMerge: merges `m` coded runs into `out`
+/// and writes the outputs' in-run codes to `out_codes` (out_codes[0] is
+/// relative to -inf — valid when the merge output starts a run; chunked
+/// merges fix their first boundary up afterwards, see ParallelSortRange).
+/// Output order is bit-identical to LoserTreeMerge under the natural word
+/// order.
+template <typename T>
+void OvcLoserTreeMerge(OvcLoserTree<T>& tree, const T* const* data,
+                       const size_t* lens, size_t m, size_t* pos,
+                       const OvcCode* const* in_codes, T* out,
+                       OvcCode* out_codes, size_t out_len) {
+  if (m == 1) {
+    std::copy(data[0] + pos[0], data[0] + pos[0] + out_len, out);
+    std::copy(in_codes[0] + pos[0], in_codes[0] + pos[0] + out_len, out_codes);
+    pos[0] += out_len;
+    return;
+  }
+  if (m == 2) {
+    const T* a = data[0];
+    const T* b = data[1];
+    const size_t la = lens[0];
+    const size_t lb = lens[1];
+    size_t i = pos[0];
+    size_t j = pos[1];
+    OvcStats& stats = tree.stats();
+    // Heads coded against -inf; every later head uses its in-run code,
+    // whose base is the element emitted right before it.
+    OvcCode ca = i < la ? OvcInitialCode(a[i]) : OvcCode{0};
+    OvcCode cb = j < lb ? OvcInitialCode(b[j]) : OvcCode{0};
+    size_t o = 0;
+    while (o < out_len && i < la && j < lb) {
+      const int cmp = OvcCompare(a[i], ca, b[j], cb, stats);
+      if (cmp <= 0) {
+        out[o] = a[i];
+        out_codes[o] = ca;
+        if (cmp == 0) cb = 0;  // Tie: run 0 wins, b's head equals the base.
+        ++i;
+        if (i < la) ca = in_codes[0][i];
+      } else {
+        out[o] = b[j];
+        out_codes[o] = cb;
+        ++j;
+        if (j < lb) cb = in_codes[1][j];
+      }
+      ++o;
+    }
+    while (o < out_len && i < la) {
+      out[o] = a[i];
+      out_codes[o] = ca;
+      ++o;
+      ++i;
+      if (i < la) ca = in_codes[0][i];
+    }
+    while (o < out_len && j < lb) {
+      out[o] = b[j];
+      out_codes[o] = cb;
+      ++o;
+      ++j;
+      if (j < lb) cb = in_codes[1][j];
+    }
+    pos[0] = i;
+    pos[1] = j;
+    stats.Flush();
+    return;
+  }
+  tree.Init(data, lens, m, pos, in_codes);
+  for (size_t o = 0; o < out_len; ++o) {
+    out[o] = tree.TopKey();
+    out_codes[o] = tree.TopCode();
+    tree.Pop();
+  }
+  tree.stats().Flush();
+}
+
+#endif  // defined(__SIZEOF_INT128__)
+
+#if !defined(HWF_HAS_OVC)
+/// Without 128-bit integers the coded path is unavailable; sorts fall back
+/// to the uncoded reference merge (use_ovc is ignored).
+template <typename T, typename = void>
+inline constexpr bool kHasOvcTraits = false;
+#endif
 
 /// Splits the stable (tie-by-source-index) k-way merge of `m` sorted runs at
 /// global rank `k`, for an arbitrary strict weak order: on return,

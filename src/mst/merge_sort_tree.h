@@ -66,6 +66,21 @@ struct MergeSortTreeOptions {
   /// the differential reference path. Results are bit-identical either way.
   size_t probe_batch_size = 16;
 
+  /// Runs the preprocessing sorts (and the external-sort run merge under a
+  /// memory budget) through the offset-value-coded merge kernel
+  /// (loser_tree.h): bit-identical order, most comparisons resolved by one
+  /// integer compare. Disable to run the uncoded reference merges; ignored
+  /// where 128-bit integer support is unavailable.
+  bool use_ovc = true;
+
+  /// Derives prevIdcs / nextIdcs / permutation / dense & unique codes from
+  /// ONE shared record sort (mst/preprocess.h) instead of re-sorting per
+  /// artifact. Disable to run the legacy per-artifact pipeline
+  /// (prev_index.h / permutation.h), kept as the differential reference.
+  /// Evaluators whose comparator cannot be encoded into sortable records
+  /// fall back to the legacy path regardless of this flag.
+  bool fuse_preprocess = true;
+
   /// When non-null, the build reports into this profile: per-level
   /// wall-clock seconds via AddTreeLevelSeconds (index 0 = level 1 and so
   /// on, accumulating across multiple builds) and the kTreeBuild phase

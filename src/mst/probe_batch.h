@@ -332,15 +332,12 @@ void MergeSortTree<Index>::SelectBatch(
         size_t lo = 0;
         size_t hi = child_len;
         if (slot.casc_valid) {
-          ++stats.cascade_lookups;
           lo = static_cast<size_t>(lvl.cascade.Get(slot.casc_base[b] + c));
           if (slot.casc_next[b]) {
             hi = std::min<size_t>(
                 static_cast<size_t>(lvl.cascade.Get(slot.casc_base[b] + f + c)),
                 child_len);
           }
-        } else {
-          ++stats.fallbacks;
         }
         wlo[b] = lo;
         whi[b] = hi;
@@ -363,6 +360,14 @@ void MergeSortTree<Index>::SelectBatch(
       const size_t ce = std::min(run_end, cb + child_run_len);
       const size_t* wlo = window_lo[c % kChildRing];
       const size_t* whi = window_hi[c % kChildRing];
+      // Count the child searches actually performed, not the speculatively
+      // decoded lookahead windows, so the counters match the scalar Select
+      // (which stops counting at the descend child) exactly.
+      if (slot.casc_valid) {
+        stats.cascade_lookups += slot.num_bounds;
+      } else {
+        stats.fallbacks += slot.num_bounds;
+      }
       size_t count = 0;
       for (size_t b = 0; b < slot.num_bounds; b += 2) {
         child_pos[b] =

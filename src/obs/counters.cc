@@ -19,12 +19,18 @@ const char* CounterName(Counter counter) {
       return "pool.idle_wakeups";
     case Counter::kParallelForMorsels:
       return "parallel_for.morsels";
+    case Counter::kSortComparisons:
+      return "sort.comparisons";
+    case Counter::kSortOvcResolved:
+      return "sort.ovc_resolved";
     case Counter::kMstLevelsBuilt:
       return "mst.levels_built";
     case Counter::kMstMergeElementsMoved:
       return "mst.merge_elements_moved";
     case Counter::kMstLevelBytesAllocated:
       return "mst.level_bytes_allocated";
+    case Counter::kMstPreprocessFusedRows:
+      return "mst.preprocess_fused_rows";
     case Counter::kMstCascadeLookups:
       return "mst.cascade_lookups";
     case Counter::kMstBinarySearchFallbacks:

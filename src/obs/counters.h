@@ -24,10 +24,15 @@ enum class Counter : size_t {
   kPoolIdleWakeups,       // waits that woke up and found nothing to do
   kParallelForMorsels,    // morsels claimed by ParallelFor runners
 
+  // Parallel sort (offset-value-coded merge kernel).
+  kSortComparisons,   // element comparisons performed by OVC-coded merges
+  kSortOvcResolved,   // comparisons resolved by the code compare alone
+
   // Merge sort tree build.
   kMstLevelsBuilt,          // tree levels constructed (above level 0)
   kMstMergeElementsMoved,   // elements written by level merges
   kMstLevelBytesAllocated,  // bytes allocated for level data + cascades
+  kMstPreprocessFusedRows,  // rows preprocessed by the fused pipeline
 
   // Merge sort tree probe.
   kMstCascadeLookups,           // child searches narrowed by cascade samples

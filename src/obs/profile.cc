@@ -27,6 +27,38 @@ const char* ProfilePhaseName(ProfilePhase phase) {
   return "unknown";
 }
 
+const char* PreprocessStepName(PreprocessStep step) {
+  switch (step) {
+    case PreprocessStep::kGatherCodes:
+      return "gather_codes";
+    case PreprocessStep::kRecordSort:
+      return "record_sort";
+    case PreprocessStep::kEmitArtifacts:
+      return "emit_artifacts";
+    case PreprocessStep::kLegacy:
+      return "legacy";
+    case PreprocessStep::kNumSteps:
+      break;
+  }
+  return "unknown";
+}
+
+const char* ScopedPreprocessStepTimer::StepTraceName(PreprocessStep step) {
+  switch (step) {
+    case PreprocessStep::kGatherCodes:
+      return "window.preprocess.gather_codes";
+    case PreprocessStep::kRecordSort:
+      return "window.preprocess.record_sort";
+    case PreprocessStep::kEmitArtifacts:
+      return "window.preprocess.emit_artifacts";
+    case PreprocessStep::kLegacy:
+      return "window.preprocess.legacy";
+    case PreprocessStep::kNumSteps:
+      break;
+  }
+  return "window.preprocess.unknown";
+}
+
 const char* ScopedPhaseTimer::ProfilePhaseTraceName(ProfilePhase phase) {
   switch (phase) {
     case ProfilePhase::kPartition:
@@ -52,6 +84,7 @@ const char* ScopedPhaseTimer::ProfilePhaseTraceName(ProfilePhase phase) {
 void ExecutionProfile::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (double& seconds : phases_) seconds = 0;
+  for (double& seconds : preprocess_steps_) seconds = 0;
   tree_levels_.clear();
   total_seconds_ = 0;
   rows_ = 0;
@@ -75,6 +108,12 @@ void ExecutionProfile::AddTreeLevelSeconds(size_t level_index,
   }
   tree_levels_[level_index] += seconds;
   phases_[static_cast<size_t>(ProfilePhase::kTreeBuild)] += seconds;
+}
+
+void ExecutionProfile::AddPreprocessStepSeconds(PreprocessStep step,
+                                                double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  preprocess_steps_[static_cast<size_t>(step)] += seconds;
 }
 
 void ExecutionProfile::SetRows(size_t rows) {
@@ -116,6 +155,11 @@ void ExecutionProfile::CaptureCountersSince(const CounterSnapshot& before) {
 double ExecutionProfile::phase_seconds(ProfilePhase phase) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return phases_[static_cast<size_t>(phase)];
+}
+
+double ExecutionProfile::preprocess_step_seconds(PreprocessStep step) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return preprocess_steps_[static_cast<size_t>(step)];
 }
 
 std::vector<double> ExecutionProfile::tree_level_seconds() const {
@@ -181,6 +225,14 @@ std::string ExecutionProfile::ToJson() const {
     json += "\": ";
     AppendDouble(&json, phases_[i]);
   }
+  json += "}, \"preprocess_steps\": {";
+  for (size_t i = 0; i < kNumPreprocessSteps; ++i) {
+    if (i > 0) json += ", ";
+    json += "\"";
+    json += PreprocessStepName(static_cast<PreprocessStep>(i));
+    json += "\": ";
+    AppendDouble(&json, preprocess_steps_[i]);
+  }
   json += "}, \"tree_build_levels\": [";
   for (size_t i = 0; i < tree_levels_.size(); ++i) {
     if (i > 0) json += ", ";
@@ -225,6 +277,21 @@ std::string ExecutionProfile::Explain() const {
     std::snprintf(line, sizeof line, "  %-15s %10.6f\n", "total",
                   total_seconds_);
     out += line;
+  }
+
+  {
+    bool steps_header = false;
+    for (size_t i = 0; i < kNumPreprocessSteps; ++i) {
+      if (preprocess_steps_[i] == 0) continue;
+      if (!steps_header) {
+        out += "  preprocess sub-steps:\n";
+        steps_header = true;
+      }
+      std::snprintf(line, sizeof line, "    %-15s %10.6f s\n",
+                    PreprocessStepName(static_cast<PreprocessStep>(i)),
+                    preprocess_steps_[i]);
+      out += line;
+    }
   }
 
   if (memory_limit_bytes_ > 0 || peak_reserved_bytes_ > 0) {

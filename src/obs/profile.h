@@ -46,6 +46,30 @@ inline constexpr size_t kNumProfilePhases =
 /// Stable snake_case name ("partition", "sort", ...), used as JSON key.
 const char* ProfilePhaseName(ProfilePhase phase);
 
+/// Sub-steps of kPreprocess, so the fused pipeline's internals are
+/// individually visible (kPreprocess itself is unchanged — sub-step
+/// seconds are an orthogonal breakdown recorded alongside it):
+///   - kGatherCodes: hashing/encoding argument or order-key columns into
+///     the sortable records.
+///   - kRecordSort: the one shared (key, position) record sort.
+///   - kEmitArtifacts: the morsel-parallel pass emitting permutation,
+///     dense/unique codes, prevIdcs and nextIdcs from the sorted records.
+///   - kLegacy: evaluators that fell back to the unfused reference path
+///     (generic comparators the fused pipeline cannot encode).
+enum class PreprocessStep : size_t {
+  kGatherCodes,
+  kRecordSort,
+  kEmitArtifacts,
+  kLegacy,
+  kNumSteps,
+};
+
+inline constexpr size_t kNumPreprocessSteps =
+    static_cast<size_t>(PreprocessStep::kNumSteps);
+
+/// Stable snake_case name ("gather_codes", ...), used as JSON key.
+const char* PreprocessStepName(PreprocessStep step);
+
 /// Aggregated cost profile of one window-function execution (or one
 /// benchmark pipeline): per-phase wall seconds, per-tree-level build
 /// seconds, and the counter activity between start and finish.
@@ -71,6 +95,11 @@ class ExecutionProfile {
   /// merged level) and to the kTreeBuild phase.
   void AddTreeLevelSeconds(size_t level_index, double seconds);
 
+  /// Adds wall seconds to a kPreprocess sub-step (does NOT touch the
+  /// kPreprocess phase total — evaluators time that separately around the
+  /// whole preprocessing block).
+  void AddPreprocessStepSeconds(PreprocessStep step, double seconds);
+
   void SetRows(size_t rows);
   void SetPartitions(size_t partitions);
   void SetEngine(const std::string& engine);
@@ -88,6 +117,7 @@ class ExecutionProfile {
   void CaptureCountersSince(const CounterSnapshot& before);
 
   double phase_seconds(ProfilePhase phase) const;
+  double preprocess_step_seconds(PreprocessStep step) const;
   std::vector<double> tree_level_seconds() const;
   double total_seconds() const;
   size_t rows() const;
@@ -109,6 +139,7 @@ class ExecutionProfile {
  private:
   mutable std::mutex mutex_;
   double phases_[kNumProfilePhases] = {};
+  double preprocess_steps_[kNumPreprocessSteps] = {};
   std::vector<double> tree_levels_;
   double total_seconds_ = 0;
   size_t rows_ = 0;
@@ -150,6 +181,38 @@ class ScopedPhaseTimer {
  private:
   ExecutionProfile* profile_;
   ProfilePhase phase_;
+  TraceScope trace_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer for a kPreprocess sub-step: adds the scope's wall time to the
+/// sub-step breakdown and emits a "window.preprocess.<step>" trace span.
+/// Nested inside the evaluators' kPreprocess ScopedPhaseTimer.
+class ScopedPreprocessStepTimer {
+ public:
+  ScopedPreprocessStepTimer(ExecutionProfile* profile, PreprocessStep step)
+      : profile_(profile), step_(step), trace_(StepTraceName(step)) {
+    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedPreprocessStepTimer(const ScopedPreprocessStepTimer&) = delete;
+  ScopedPreprocessStepTimer& operator=(const ScopedPreprocessStepTimer&) =
+      delete;
+
+  ~ScopedPreprocessStepTimer() {
+    if (profile_ != nullptr) {
+      profile_->AddPreprocessStepSeconds(
+          step_, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+
+  static const char* StepTraceName(PreprocessStep step);
+
+ private:
+  ExecutionProfile* profile_;
+  PreprocessStep step_;
   TraceScope trace_;
   std::chrono::steady_clock::time_point start_;
 };

@@ -375,6 +375,13 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
           if (key != other.key) return key < other.key;
           return row < other.row;
         }
+        // The comparison above is exactly this word order, which opts the
+        // record into the offset-value-coded merge kernel. (Enum, not a
+        // static member: local classes cannot have those until C++23.)
+        enum : size_t { kOvcWords = 3 };
+        uint64_t OvcWord(size_t w) const {
+          return w == 0 ? null_rank : w == 1 ? key : row;
+        }
       };
       mem::MemoryReservation records_bytes;
       records_bytes.ForceReserve(&budget, n * sizeof(SortRec));
@@ -400,7 +407,8 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
           pool, options.morsel_size);
       Status sort_status = mem::SortWithBudget(
           records, [](const SortRec& a, const SortRec& b) { return a < b; },
-          pool, mem_ctx, options.morsel_size);
+          pool, mem_ctx, options.morsel_size, PartitionScheme::kThreeWay,
+          exec_options.tree.use_ovc);
       if (!sort_status.ok()) return sort_status;
       ParallelFor(
           0, n,

@@ -120,6 +120,16 @@ class PositionLess {
                          order_) < 0;
   }
 
+  /// True when the order is pre-encoded — (null_rank, key) pairs fully
+  /// determine the comparison, which is what lets the fused preprocessing
+  /// pipeline sort records instead of calling this comparator.
+  bool encoded() const { return !encoded_.empty(); }
+
+  /// The position's (null rank, encoded key); only valid when encoded().
+  std::pair<uint8_t, uint64_t> EncodedKey(size_t i) const {
+    return {null_rank_[i], encoded_[i]};
+  }
+
  private:
   const PartitionView* view_;
   std::span<const SortKey> order_;

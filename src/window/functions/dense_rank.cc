@@ -8,6 +8,7 @@
 #include "common/stop_token.h"
 #include "mst/dense_rank_tree.h"
 #include "mst/permutation.h"
+#include "mst/preprocess.h"
 #include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
@@ -41,7 +42,18 @@ struct DenseRankArtifact {
     {
       obs::ScopedPhaseTimer timer(view.options->profile,
                                   obs::ProfilePhase::kPreprocess);
-      result.codes = ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
+      if (view.options->tree.fuse_preprocess && less.encoded()) {
+        PreprocessRequest req;
+        req.want_dense = true;
+        PreprocessResult<Index> pre = PreprocessOrderKeys<Index>(
+            n, [&less](size_t i) { return less.EncodedKey(i); }, req,
+            *view.pool, view.options->tree.use_ovc, view.options->profile);
+        result.codes = std::move(pre.dense_codes);
+      } else {
+        obs::ScopedPreprocessStepTimer legacy_timer(
+            view.options->profile, obs::PreprocessStep::kLegacy);
+        result.codes = ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool);
+      }
       for (size_t j = 0; j < m; ++j) {
         filtered_codes[j] = result.codes[result.remap.ToOriginal(j)];
       }

@@ -7,6 +7,7 @@
 #include "mst/aggregate_ops.h"
 #include "mst/annotated_mst.h"
 #include "mst/merge_sort_tree.h"
+#include "mst/preprocess.h"
 #include "mst/prev_index.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
@@ -22,11 +23,51 @@ std::vector<uint64_t> GatherArgumentCodes(const PartitionView& view,
   const Column& column = view.col(argument);
   const size_t m = remap.num_surviving();
   std::vector<uint64_t> codes(m);
-  for (size_t j = 0; j < m; ++j) {
-    codes[j] = column.Hash(view.rows[remap.ToOriginal(j)]);
-  }
+  ParallelFor(
+      0, m,
+      [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          codes[j] = column.Hash(view.rows[remap.ToOriginal(j)]);
+        }
+      },
+      *view.pool);
   return codes;
 }
+
+namespace {
+
+/// Shared preprocessing front half of the distinct evaluators: hash the
+/// argument column, then derive prevIdcs (and nextIdcs under exclusion)
+/// either through the fused single-sort pipeline or the legacy per-artifact
+/// sorts, as configured. Caller wraps this in the kPreprocess phase timer.
+template <typename Index>
+void DistinctPreprocess(const PartitionView& view, size_t argument,
+                        const IndexRemap& remap, bool has_exclusion,
+                        std::vector<uint64_t>* codes, std::vector<Index>* prev,
+                        std::vector<Index>* next) {
+  obs::ExecutionProfile* profile = view.options->profile;
+  {
+    obs::ScopedPreprocessStepTimer gather_timer(
+        profile, obs::PreprocessStep::kGatherCodes);
+    *codes = GatherArgumentCodes(view, argument, remap);
+  }
+  if (view.options->tree.fuse_preprocess) {
+    PreprocessRequest req;
+    req.want_prev = true;
+    req.want_next = has_exclusion;
+    PreprocessResult<Index> pre = PreprocessHashedCodes<Index>(
+        *codes, req, *view.pool, view.options->tree.use_ovc, profile);
+    *prev = std::move(pre.prev);
+    *next = std::move(pre.next);
+  } else {
+    obs::ScopedPreprocessStepTimer legacy_timer(profile,
+                                                obs::PreprocessStep::kLegacy);
+    *prev = ComputePrevIndices<Index>(*codes, *view.pool);
+    if (has_exclusion) *next = ComputeNextIndices<Index>(*codes, *view.pool);
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -91,9 +132,8 @@ Status EvalCountDistinctT(const PartitionView& view,
   {
     obs::ScopedPhaseTimer timer(view.options->profile,
                                 obs::ProfilePhase::kPreprocess);
-    codes = GatherArgumentCodes(view, *call.argument, remap);
-    prev = ComputePrevIndices<Index>(codes, *view.pool);
-    if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
+    DistinctPreprocess<Index>(view, *call.argument, remap, has_exclusion,
+                              &codes, &prev, &next);
   }
 
   const MergeSortTree<Index> tree =
@@ -198,9 +238,8 @@ Status EvalDistinctAggregateT(const PartitionView& view,
   {
     obs::ScopedPhaseTimer timer(view.options->profile,
                                 obs::ProfilePhase::kPreprocess);
-    codes = GatherArgumentCodes(view, *call.argument, remap);
-    prev = ComputePrevIndices<Index>(codes, *view.pool);
-    if (has_exclusion) next = ComputeNextIndices<Index>(codes, *view.pool);
+    DistinctPreprocess<Index>(view, *call.argument, remap, has_exclusion,
+                              &codes, &prev, &next);
     for (size_t j = 0; j < m; ++j) inputs[j] = get_input(j);
   }
 

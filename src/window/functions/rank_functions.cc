@@ -7,6 +7,7 @@
 #include "common/stop_token.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
+#include "mst/preprocess.h"
 #include "mst/tree_cache.h"
 #include "obs/profile.h"
 #include "window/evaluator.h"
@@ -40,9 +41,22 @@ struct RankArtifact {
     {
       obs::ScopedPhaseTimer timer(view.options->profile,
                                   obs::ProfilePhase::kPreprocess);
-      result.codes = dense
-                         ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
-                         : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
+      if (view.options->tree.fuse_preprocess && less.encoded()) {
+        PreprocessRequest req;
+        req.want_dense = dense;
+        req.want_unique = !dense;
+        PreprocessResult<Index> pre = PreprocessOrderKeys<Index>(
+            n, [&less](size_t i) { return less.EncodedKey(i); }, req,
+            *view.pool, view.options->tree.use_ovc, view.options->profile);
+        result.codes =
+            dense ? std::move(pre.dense_codes) : std::move(pre.unique_codes);
+      } else {
+        obs::ScopedPreprocessStepTimer legacy_timer(
+            view.options->profile, obs::PreprocessStep::kLegacy);
+        result.codes =
+            dense ? ComputeDenseCodes<Index>(n, cmp, nullptr, *view.pool)
+                  : ComputeUniqueCodes<Index>(n, cmp, *view.pool);
+      }
       for (size_t j = 0; j < m; ++j) {
         keys[j] = result.codes[result.remap.ToOriginal(j)];
       }

@@ -11,6 +11,7 @@
 #include "common/stop_token.h"
 #include "mst/merge_sort_tree.h"
 #include "mst/permutation.h"
+#include "mst/preprocess.h"
 #include "mst/remap.h"
 #include "mst/tree_cache.h"
 #include "obs/profile.h"
@@ -47,13 +48,28 @@ struct SelectionTree {
     {
       obs::ScopedPhaseTimer timer(view.options->profile,
                                   obs::ProfilePhase::kPreprocess);
-      perm = ComputePermutation<Index>(
-          m,
-          [&](size_t a, size_t b) {
-            return less(result.remap.ToOriginal(a),
-                        result.remap.ToOriginal(b));
-          },
-          *view.pool);
+      if (view.options->tree.fuse_preprocess && less.encoded()) {
+        PreprocessRequest req;
+        req.want_perm = true;
+        PreprocessResult<Index> pre = PreprocessOrderKeys<Index>(
+            m,
+            [&](size_t j) {
+              return less.EncodedKey(result.remap.ToOriginal(j));
+            },
+            req, *view.pool, view.options->tree.use_ovc,
+            view.options->profile);
+        perm = std::move(pre.perm);
+      } else {
+        obs::ScopedPreprocessStepTimer legacy_timer(
+            view.options->profile, obs::PreprocessStep::kLegacy);
+        perm = ComputePermutation<Index>(
+            m,
+            [&](size_t a, size_t b) {
+              return less(result.remap.ToOriginal(a),
+                          result.remap.ToOriginal(b));
+            },
+            *view.pool);
+      }
     }
     result.tree = MergeSortTree<Index>::Build(std::move(perm),
                                               view.options->tree, *view.pool);

@@ -21,6 +21,7 @@
 #include "mst/annotated_mst.h"
 #include "mst/dense_rank_tree.h"
 #include "mst/merge_sort_tree.h"
+#include "obs/counters.h"
 #include "tests/window_test_util.h"
 #include "window/executor.h"
 #include "window/spec.h"
@@ -286,6 +287,56 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<size_t>(1, 4, 32),
                        ::testing::Bool(),
                        ::testing::Values<size_t>(1, 7, 64)));
+
+// Regression for the batch-vs-scalar cascade accounting discrepancy seen
+// in BENCH_probe_batch.json (456M scalar vs 542M batched cascade lookups
+// at n=2^22): the batch kernel used to count every speculatively decoded
+// lookahead window as a lookup, while the scalar descent only counts the
+// child searches it actually performs. The two paths do identical search
+// work, so their counter deltas must match exactly.
+TEST(ProbeBatch, CascadeLookupCountsMatchScalar) {
+  for (const bool cascading : {true, false}) {
+    const size_t n = 5000;
+    MergeSortTreeOptions options;
+    options.fanout = 8;
+    options.sampling = 4;
+    options.use_cascading = cascading;
+    options.probe_batch_size = 16;
+    const auto keys =
+        RandomKeys<uint32_t>(n, static_cast<uint32_t>(n / 2), 1234);
+    const auto tree = MergeSortTree<uint32_t>::Build(keys, options);
+
+    Pcg32 rng(4321);
+    std::vector<MergeSortTree<uint32_t>::CountQuery> queries;
+    for (int q = 0; q < 500; ++q) {
+      size_t lo = rng.Bounded(static_cast<uint32_t>(n + 1));
+      size_t hi = rng.Bounded(static_cast<uint32_t>(n + 1));
+      if (lo > hi) std::swap(lo, hi);
+      queries.push_back({lo, hi, rng.Bounded(static_cast<uint32_t>(n / 2))});
+    }
+
+    const obs::CounterSnapshot before_scalar = obs::SnapshotCounters();
+    for (const auto& q : queries) {
+      tree.CountLess(q.pos_lo, q.pos_hi, q.threshold);
+    }
+    const obs::CounterSnapshot after_scalar = obs::SnapshotCounters();
+
+    std::vector<size_t> batched(queries.size());
+    tree.CountLessBatch(queries, options.probe_batch_size, batched.data());
+    const obs::CounterSnapshot after_batch = obs::SnapshotCounters();
+
+    const obs::CounterSnapshot scalar_delta =
+        obs::SnapshotDelta(before_scalar, after_scalar);
+    const obs::CounterSnapshot batch_delta =
+        obs::SnapshotDelta(after_scalar, after_batch);
+    EXPECT_EQ(scalar_delta[obs::Counter::kMstCascadeLookups],
+              batch_delta[obs::Counter::kMstCascadeLookups])
+        << "cascading=" << cascading;
+    EXPECT_EQ(scalar_delta[obs::Counter::kMstBinarySearchFallbacks],
+              batch_delta[obs::Counter::kMstBinarySearchFallbacks])
+        << "cascading=" << cascading;
+  }
+}
 
 // 64-bit index width takes the same kernel through the other template
 // instantiation (uint64 keys change the prefetch strides and line counts).

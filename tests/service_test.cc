@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,15 @@ using service::QueryResult;
 using service::QueryService;
 using service::ServiceOptions;
 using service::WindowSpecsEqual;
+
+// This suite manages budgets through ServiceOptions/QueryOptions; the
+// forced-spill CI job's HWF_TEST_MEMORY_LIMIT would act as a per-query
+// limit, which (by design) disables cross-query tree caching and breaks
+// the cache-hit assertions.
+const bool g_env_cleared = [] {
+  unsetenv("HWF_TEST_MEMORY_LIMIT");
+  return true;
+}();
 
 /// Exact equality, including doubles bit-for-bit (the service differential
 /// tests claim determinism, not approximation).
