@@ -119,6 +119,54 @@ int main() {
     }
   }
 
+  // Telemetry overhead A/B: per-query warm latency with the telemetry
+  // record path on vs off. The ratio entry is hardware-independent, so the
+  // regression gate can hold it to a tight band; the acceptance criterion
+  // is "no measurable warm-latency regression".
+  bench::PrintHeader("telemetry overhead: warm latency on vs off");
+  {
+    const size_t kWarmQueries = bench::Scaled(60);
+    double p50_seconds[2] = {0, 0};
+    for (const bool telemetry_on : {true, false}) {
+      ServiceOptions options;
+      options.num_sessions = 1;
+      options.max_queued = 4;
+      options.enable_telemetry = telemetry_on;
+      QueryService svc(options);
+      svc.RegisterTable("t", MakeTable(kRows));
+      RunWave(svc, queries, 1, queries.size());  // warm the cache
+      obs::LatencyHistogram latency;
+      for (size_t q = 0; q < kWarmQueries; ++q) {
+        bench::Timer timer;
+        StatusOr<QueryResult> result =
+            svc.Query(queries[q % queries.size()]);
+        HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+        latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e6));
+      }
+      const obs::HistogramSnapshot snap = latency.Snapshot();
+      p50_seconds[telemetry_on ? 0 : 1] = snap.Quantile(0.5) * 1e-6;
+      std::printf("telemetry=%-4s p50 %.6f s  p99 %.6f s\n",
+                  telemetry_on ? "on" : "off", snap.Quantile(0.5) * 1e-6,
+                  snap.Quantile(0.99) * 1e-6);
+      char entry[160];
+      std::snprintf(entry, sizeof entry,
+                    "{\"label\": \"warm_telemetry_%s\", \"queries\": %zu, "
+                    "\"p50_seconds\": %.6f, \"latency\": ",
+                    telemetry_on ? "on" : "off", kWarmQueries,
+                    snap.Quantile(0.5) * 1e-6);
+      json.AddRaw(std::string(entry) +
+                  bench::HistogramQuantilesJson(snap, 1e-6) + "}");
+    }
+    const double ratio =
+        p50_seconds[1] > 0 ? p50_seconds[0] / p50_seconds[1] : 1.0;
+    std::printf("overhead ratio (on/off) %.4f\n", ratio);
+    char entry[96];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"telemetry_overhead\", \"ratio\": %.4f}",
+                  ratio);
+    json.AddRaw(entry);
+  }
+
   // Cold vs warm latency for one repeated query: the warm run's profile
   // must show no sort and no tree build — a cache hit is probe-only.
   bench::PrintHeader("repeated-query latency: cold build vs cached probe");

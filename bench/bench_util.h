@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/histogram.h"
 #include "obs/profile.h"
 #include "storage/table.h"
 #include "window/executor.h"
@@ -67,6 +68,22 @@ inline double MeasureThroughput(const Table& table, const WindowSpec& spec,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Serializes a latency-histogram snapshot as one JSON object with the
+/// standard quantiles. Recorded values are multiplied by `scale` (e.g.
+/// 1e-6 when the histogram holds microseconds and the JSON wants seconds).
+inline std::string HistogramQuantilesJson(const obs::HistogramSnapshot& snap,
+                                          double scale) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\": %llu, \"p50\": %.6f, \"p90\": %.6f, "
+                "\"p99\": %.6f, \"p999\": %.6f, \"mean\": %.6f}",
+                static_cast<unsigned long long>(snap.count),
+                snap.Quantile(0.5) * scale, snap.Quantile(0.9) * scale,
+                snap.Quantile(0.99) * scale, snap.Quantile(0.999) * scale,
+                snap.Mean() * scale);
+  return buf;
 }
 
 /// Unified BENCH_*.json emission: every figure benchmark that records

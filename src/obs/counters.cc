@@ -79,6 +79,10 @@ const char* CounterName(Counter counter) {
       return "service.queries_cancelled";
     case Counter::kServiceQueriesCompleted:
       return "service.queries_completed";
+    case Counter::kServiceRejectedQueueFull:
+      return "service.rejected_queue_full";
+    case Counter::kServiceRejectedMemory:
+      return "service.rejected_memory";
     case Counter::kNumCounters:
       break;
   }

@@ -67,6 +67,8 @@ enum class Counter : size_t {
   kServiceQueriesRejected,   // queries refused by admission control
   kServiceQueriesCancelled,  // queries stopped by cancel or deadline
   kServiceQueriesCompleted,  // queries finished successfully
+  kServiceRejectedQueueFull, // rejections caused by a full admission queue
+  kServiceRejectedMemory,    // rejections caused by the memory reservation
 
   kNumCounters,
 };
@@ -123,6 +125,35 @@ CounterSnapshot SnapshotDelta(const CounterSnapshot& before,
 /// reset are not atomically accounted; production readers should use
 /// snapshots + deltas instead.
 void ResetCountersForTest() noexcept;
+
+/// Tracks counter activity since a baseline snapshot.
+///
+/// The shared snapshot-diff helper behind per-query attribution (what did
+/// THIS query add to the process counters?) and the STATS / slow-query-log
+/// reporting paths. Construction captures the baseline; Delta() reads the
+/// live counters and subtracts; Rebase() moves the baseline to "now".
+class CounterDeltaTracker {
+ public:
+  CounterDeltaTracker() : baseline_(SnapshotCounters()) {}
+
+  /// Activity on every counter since the baseline.
+  CounterSnapshot Delta() const {
+    return SnapshotDelta(baseline_, SnapshotCounters());
+  }
+
+  /// Activity on one counter since the baseline.
+  uint64_t DeltaOf(Counter counter) const {
+    return Value(counter) - baseline_[counter];
+  }
+
+  /// Moves the baseline to the current counter values.
+  void Rebase() { baseline_ = SnapshotCounters(); }
+
+  const CounterSnapshot& baseline() const { return baseline_; }
+
+ private:
+  CounterSnapshot baseline_;
+};
 
 }  // namespace obs
 }  // namespace hwf

@@ -1,0 +1,73 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace hwf {
+namespace obs {
+
+using histogram_buckets::BucketLowerBound;
+using histogram_buckets::BucketUpperBound;
+using histogram_buckets::kNumBuckets;
+
+HistogramSnapshot::HistogramSnapshot() : buckets(kNumBuckets, 0) {}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile among the recorded values, 1-based: the same
+  // ceil(q * n) rule an exact sorted reference uses, so histogram and
+  // reference always land in the same bucket.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const uint64_t lower = BucketLowerBound(i);
+      const uint64_t upper = BucketUpperBound(i);
+      // Midpoint of [lower, upper): exact for width-1 buckets, at most the
+      // half-width off otherwise.
+      return static_cast<double>(lower) +
+             (static_cast<double>(upper - lower) - 1.0) / 2.0;
+    }
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
+}
+
+double HistogramSnapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    snapshot.buckets[i] = n;
+    total += n;
+  }
+  snapshot.count = total;
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace hwf

@@ -1,0 +1,119 @@
+#ifndef HWF_OBS_HISTOGRAM_H_
+#define HWF_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hwf {
+namespace obs {
+
+/// Log-bucketed latency histogram bucket geometry, shared by the recording
+/// side (LatencyHistogram) and the read side (HistogramSnapshot).
+///
+/// Values 0..63 get one exact bucket each; larger values are bucketed by
+/// their binary exponent with 64 linear sub-buckets per octave (the
+/// HdrHistogram scheme). A bucket for values around 2^e is 2^(e-6) wide, so
+/// reporting its midpoint bounds the relative quantile error by
+/// (width/2)/lower = 2^-7 < 0.8% — comfortably inside the ~1% target —
+/// while the whole table stays a fixed 3776 buckets covering all of
+/// uint64_t (30 KiB of counts per histogram).
+namespace histogram_buckets {
+
+inline constexpr int kSubBucketBits = 6;
+inline constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+inline constexpr size_t kNumBuckets =
+    kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+/// Bucket index of `value`; total order, no branches beyond the small-value
+/// split.
+inline size_t BucketIndex(uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int exponent = 63 - __builtin_clzll(value);
+  const int shift = exponent - kSubBucketBits;
+  const uint64_t sub = (value >> shift) & (kSubBuckets - 1);
+  return kSubBuckets +
+         static_cast<size_t>(exponent - kSubBucketBits) * kSubBuckets + sub;
+}
+
+/// Smallest value that lands in bucket `index` (inclusive).
+inline uint64_t BucketLowerBound(size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const size_t octave = (index - kSubBuckets) / kSubBuckets;
+  const uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + sub) << octave;
+}
+
+/// One past the largest value that lands in bucket `index` (exclusive;
+/// saturates at UINT64_MAX for the final bucket).
+inline uint64_t BucketUpperBound(size_t index) noexcept {
+  if (index < kSubBuckets) return index + 1;
+  const size_t octave = (index - kSubBuckets) / kSubBuckets;
+  const uint64_t width = uint64_t{1} << octave;
+  const uint64_t lower = BucketLowerBound(index);
+  const uint64_t upper = lower + width;
+  return upper > lower ? upper : UINT64_MAX;  // overflow on the last bucket
+}
+
+}  // namespace histogram_buckets
+
+/// A plain, mergeable copy of a histogram at one point in time. Obtained
+/// from LatencyHistogram::Snapshot(); all queries are answered here so the
+/// recording side stays nothing but relaxed atomic adds.
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;  // kNumBuckets counts
+  uint64_t count = 0;             // sum of buckets (consistent by construction)
+  uint64_t sum = 0;               // sum of recorded values (mean support)
+
+  HistogramSnapshot();
+
+  /// Per-bucket addition; merging snapshots from N histograms (e.g. one per
+  /// shard) yields the distribution of their union.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Value at quantile `q` in [0, 1]: the midpoint of the bucket holding
+  /// the ceil(q * count)-th smallest recorded value (exact for values < 64,
+  /// within the bucket's half-width — <0.8% relative — above). 0 when empty.
+  double Quantile(double q) const;
+
+  /// sum / count; 0 when empty.
+  double Mean() const;
+};
+
+/// Lock-free log-bucketed histogram: Record is two relaxed fetch_adds (one
+/// bucket, one value-sum), safe from any thread, no locks anywhere on the
+/// write path. Readers take a Snapshot and query that.
+///
+/// The value unit is the caller's choice; the service records microseconds
+/// and scales to seconds at the metrics-exposition boundary.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value) noexcept {
+    buckets_[histogram_buckets::BucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Copies all buckets. The count is derived from the copied buckets, so
+  /// a snapshot racing concurrent Records is internally consistent (it just
+  /// may miss the newest events); `sum` is read separately and can be off
+  /// by in-flight records, which only perturbs the mean.
+  HistogramSnapshot Snapshot() const;
+
+  /// Total records so far (relaxed sum over buckets).
+  uint64_t Count() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[histogram_buckets::kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace hwf
+
+#endif  // HWF_OBS_HISTOGRAM_H_

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/counters.h"
+
+namespace hwf {
+namespace obs {
+
+namespace {
+
+/// Quantiles every summary exports, matching the service-grade defaults
+/// (median, tail, deep tail).
+constexpr double kSummaryQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kSummaryQuantileLabels[] = {"0.5", "0.9", "0.99",
+                                                  "0.999"};
+
+void AppendMetricValue(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out->append(buf);
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+void AppendEscapedLabelValue(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+/// Renders `name{labels...}` with an optional extra label appended (the
+/// summary quantile). An empty label set renders as a bare name.
+void AppendSeriesName(std::string* out, const std::string& name,
+                      const MetricLabels& labels, const char* extra_key,
+                      const char* extra_value) {
+  out->append(name);
+  const bool any = !labels.empty() || extra_key != nullptr;
+  if (!any) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(key);
+    out->append("=\"");
+    AppendEscapedLabelValue(out, value);
+    out->push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out->push_back(',');
+    out->append(extra_key);
+    out->append("=\"");
+    out->append(extra_value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+/// Escapes a HELP string: backslash and newline (quotes are fine there).
+void AppendEscapedHelp(std::string* out, const std::string& help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    const char* type) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return families_[it->second];
+  index_.emplace(name, families_.size());
+  families_.push_back(Family{name, help, type, {}});
+  return families_.back();
+}
+
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const std::string& help, MetricLabels labels,
+                                 ValueFn value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, "counter");
+  family.series.push_back(Series{std::move(labels), std::move(value),
+                                 nullptr, 1.0});
+}
+
+void MetricsRegistry::AddGauge(const std::string& name,
+                               const std::string& help, MetricLabels labels,
+                               ValueFn value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, "gauge");
+  family.series.push_back(Series{std::move(labels), std::move(value),
+                                 nullptr, 1.0});
+}
+
+void MetricsRegistry::AddSummary(const std::string& name,
+                                 const std::string& help, MetricLabels labels,
+                                 const LatencyHistogram* histogram,
+                                 double value_scale) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, "summary");
+  family.series.push_back(
+      Series{std::move(labels), ValueFn(), histogram, value_scale});
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const Family& family : families_) {
+    out.append("# HELP ");
+    out.append(family.name);
+    out.push_back(' ');
+    AppendEscapedHelp(&out, family.help);
+    out.push_back('\n');
+    out.append("# TYPE ");
+    out.append(family.name);
+    out.push_back(' ');
+    out.append(family.type);
+    out.push_back('\n');
+    for (const Series& series : family.series) {
+      if (series.histogram == nullptr) {
+        AppendSeriesName(&out, family.name, series.labels, nullptr, nullptr);
+        out.push_back(' ');
+        AppendMetricValue(&out, series.value ? series.value() : 0.0);
+        out.push_back('\n');
+        continue;
+      }
+      // Summary: one snapshot per scrape keeps the quantiles, sum and
+      // count mutually consistent.
+      const HistogramSnapshot snapshot = series.histogram->Snapshot();
+      for (size_t q = 0; q < std::size(kSummaryQuantiles); ++q) {
+        AppendSeriesName(&out, family.name, series.labels, "quantile",
+                         kSummaryQuantileLabels[q]);
+        out.push_back(' ');
+        AppendMetricValue(
+            &out, snapshot.Quantile(kSummaryQuantiles[q]) * series.value_scale);
+        out.push_back('\n');
+      }
+      AppendSeriesName(&out, family.name + "_sum", series.labels, nullptr,
+                       nullptr);
+      out.push_back(' ');
+      AppendMetricValue(&out,
+                        static_cast<double>(snapshot.sum) * series.value_scale);
+      out.push_back('\n');
+      AppendSeriesName(&out, family.name + "_count", series.labels, nullptr,
+                       nullptr);
+      out.push_back(' ');
+      AppendMetricValue(&out, static_cast<double>(snapshot.count));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void RegisterProcessCounters(MetricsRegistry* registry) {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const Counter counter = static_cast<Counter>(i);
+    const std::string dotted = CounterName(counter);
+    registry->AddCounter("hwf_" + SanitizeMetricName(dotted) + "_total",
+                         "process-wide counter " + dotted, {},
+                         [counter] { return static_cast<double>(Value(counter)); });
+  }
+}
+
+}  // namespace obs
+}  // namespace hwf

@@ -1,0 +1,97 @@
+#ifndef HWF_OBS_METRICS_H_
+#define HWF_OBS_METRICS_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace hwf {
+namespace obs {
+
+/// Label set of one time series, rendered as {k="v",...} in registration
+/// order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// A Prometheus text-exposition (version 0.0.4) metric registry.
+///
+/// Sources are registered once (typically at server startup) and sampled
+/// lazily on every RenderText() call, so a scrape always reflects the
+/// current state without any push-side bookkeeping:
+///   - counters and gauges are std::function<double()> callbacks;
+///   - summaries wrap a LatencyHistogram and render p50/p90/p99/p999 plus
+///     _sum and _count from one snapshot per scrape.
+///
+/// Series with the same metric name form one family: a single # HELP /
+/// # TYPE header followed by every series, which is exactly the grouping
+/// the exposition format requires. Registering the same name with a
+/// different type is a programming error and is surfaced by RenderText()
+/// rendering only the first-registered type.
+class MetricsRegistry {
+ public:
+  using ValueFn = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// A monotonically non-decreasing value. `name` must end in "_total"
+  /// (Prometheus counter convention; the bundled linter enforces it).
+  void AddCounter(const std::string& name, const std::string& help,
+                  MetricLabels labels, ValueFn value);
+
+  /// A point-in-time value that can go up and down.
+  void AddGauge(const std::string& name, const std::string& help,
+                MetricLabels labels, ValueFn value);
+
+  /// A latency distribution rendered as a summary. Recorded values are
+  /// multiplied by `value_scale` on export (e.g. 1e-6 for histograms that
+  /// record microseconds but export seconds). The histogram must outlive
+  /// the registry.
+  void AddSummary(const std::string& name, const std::string& help,
+                  MetricLabels labels, const LatencyHistogram* histogram,
+                  double value_scale);
+
+  /// Renders every registered family in Prometheus text exposition format.
+  /// Thread-safe against concurrent renders and registrations.
+  std::string RenderText() const;
+
+ private:
+  struct Series {
+    MetricLabels labels;
+    ValueFn value;                              // counter / gauge
+    const LatencyHistogram* histogram = nullptr;  // summary
+    double value_scale = 1.0;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    const char* type;  // "counter" | "gauge" | "summary"
+    std::vector<Series> series;
+  };
+
+  Family& FamilyFor(const std::string& name, const std::string& help,
+                    const char* type);
+
+  mutable std::mutex mutex_;
+  std::vector<Family> families_;  // render order = registration order
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Replaces every character outside [a-zA-Z0-9_] with '_' (Prometheus
+/// metric-name alphabet; dotted obs counter names become snake paths).
+std::string SanitizeMetricName(const std::string& name);
+
+/// Registers every process-wide obs::Counter as a counter named
+/// "hwf_<sanitized dotted name>_total" (e.g. "pool.tasks_submitted" ->
+/// "hwf_pool_tasks_submitted_total").
+void RegisterProcessCounters(MetricsRegistry* registry);
+
+}  // namespace obs
+}  // namespace hwf
+
+#endif  // HWF_OBS_METRICS_H_

@@ -1,0 +1,76 @@
+#include "obs/slow_query_log.h"
+
+namespace hwf {
+namespace obs {
+
+SlowQueryLog::~SlowQueryLog() { Close(); }
+
+Status SlowQueryLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("cannot open slow-query log: " + path);
+  }
+  return Status::OK();
+}
+
+bool SlowQueryLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_ != nullptr;
+}
+
+void SlowQueryLog::Append(std::string_view json_object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void SlowQueryLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+std::string JsonEscaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hwf

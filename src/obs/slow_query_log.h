@@ -1,0 +1,55 @@
+#ifndef HWF_OBS_SLOW_QUERY_LOG_H_
+#define HWF_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hwf {
+namespace obs {
+
+/// Append-only JSON-lines sink for slow-query records.
+///
+/// Each Append writes exactly one newline-terminated line under a mutex and
+/// flushes it, so concurrent sessions never interleave bytes and a crashed
+/// (or killed) process leaves no truncated record behind the last flush.
+/// Close() is idempotent and also run by the destructor, giving the server's
+/// graceful-shutdown path a clean final flush.
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens `path` for appending (creating it if needed). Reopening an open
+  /// log closes the previous file first.
+  Status Open(const std::string& path);
+
+  bool enabled() const;
+
+  /// Writes one record (a complete JSON object, no trailing newline) as a
+  /// single line. No-op when the log is not open.
+  void Append(std::string_view json_object);
+
+  /// Flushes and closes the file. Idempotent.
+  void Close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Escapes `text` for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the slow-query log record
+/// builder and the retained-profile serializer.
+std::string JsonEscaped(std::string_view text);
+
+}  // namespace obs
+}  // namespace hwf
+
+#endif  // HWF_OBS_SLOW_QUERY_LOG_H_

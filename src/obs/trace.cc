@@ -10,6 +10,18 @@ namespace obs {
 
 std::atomic<bool> Tracer::enabled_{false};
 
+namespace {
+thread_local uint64_t t_query_id = 0;
+}  // namespace
+
+uint64_t CurrentQueryId() { return t_query_id; }
+
+ScopedQueryId::ScopedQueryId(uint64_t query_id) : previous_(t_query_id) {
+  t_query_id = query_id;
+}
+
+ScopedQueryId::~ScopedQueryId() { t_query_id = previous_; }
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -136,10 +148,18 @@ std::string Tracer::ToChromeTraceJson() const {
     json += ", \"dur\": ";
     AppendMicros(&json, event.dur_ns);
     json += ", \"pid\": 1, \"tid\": " + std::to_string(event.tid);
-    if (event.arg_name != nullptr) {
-      json += ", \"args\": {\"";
-      AppendJsonEscaped(&json, event.arg_name);
-      json += "\": " + std::to_string(event.arg_value) + "}";
+    if (event.arg_name != nullptr || event.query_id != 0) {
+      json += ", \"args\": {";
+      if (event.arg_name != nullptr) {
+        json += "\"";
+        AppendJsonEscaped(&json, event.arg_name);
+        json += "\": " + std::to_string(event.arg_value);
+        if (event.query_id != 0) json += ", ";
+      }
+      if (event.query_id != 0) {
+        json += "\"query\": " + std::to_string(event.query_id);
+      }
+      json += "}";
     }
     json += "}";
   }
@@ -166,6 +186,7 @@ void TraceScope::Start(const char* name, const char* arg_name,
   name_ = name;
   arg_name_ = arg_name;
   arg_value_ = arg_value;
+  query_id_ = t_query_id;
   start_ns_ = NowNs();
 }
 
@@ -177,6 +198,7 @@ void TraceScope::Finish() {
   event.arg_value = arg_value_;
   event.start_ns = start_ns_;
   event.dur_ns = NowNs() - start_ns_;
+  event.query_id = query_id_;
   Tracer::Get().Record(event);
 }
 

@@ -42,6 +42,27 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
   uint32_t tid = 0;  // sequential registration id, 0 = first tracing thread
+  uint64_t query_id = 0;  // ambient query attribution; 0 = outside any query
+};
+
+/// The query id ambiently attached to spans recorded by this thread
+/// (0 when the thread is not executing on behalf of any query). Set with
+/// ScopedQueryId; propagated across ThreadPool::Submit so worker-side
+/// spans carry the submitting query's id.
+uint64_t CurrentQueryId();
+
+/// Sets the calling thread's ambient query id for the current scope and
+/// restores the previous value on destruction (scopes nest).
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(uint64_t query_id);
+  ~ScopedQueryId();
+
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 /// Nanoseconds on the steady clock (an arbitrary epoch; only differences
@@ -140,6 +161,7 @@ class TraceScope {
   const char* arg_name_ = nullptr;
   int64_t arg_value_ = 0;
   uint64_t start_ns_ = 0;
+  uint64_t query_id_ = 0;
 };
 
 }  // namespace obs

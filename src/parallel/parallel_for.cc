@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace hwf {
 
@@ -36,6 +37,7 @@ void ParallelFor(size_t begin, size_t end,
 
   auto next = std::make_shared<std::atomic<size_t>>(begin);
   auto runner = [next, end, morsel_size, &body, stop] {
+    HWF_TRACE_SCOPE("parallel.runner");
     // Re-install the submitter's token so nested parallel regions and
     // cooperative checks inside `body` observe the same cancellation.
     ScopedStopToken scope(stop);
@@ -111,6 +113,7 @@ Status ParallelForStatus(size_t begin, size_t end,
   shared->next.store(begin, std::memory_order_relaxed);
 
   auto runner = [shared, end, morsel_size, &body, stop] {
+    HWF_TRACE_SCOPE("parallel.runner");
     ScopedStopToken scope(stop);
     size_t morsels = 0;
     for (;;) {

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace hwf {
 
@@ -44,6 +45,15 @@ ThreadPool& ThreadPool::Default() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Carry the submitter's ambient query id into the task so spans recorded
+  // on whichever thread runs it attribute to the same query. Free for tasks
+  // submitted outside any query (the common library-only case).
+  if (const uint64_t query_id = obs::CurrentQueryId(); query_id != 0) {
+    task = [query_id, inner = std::move(task)] {
+      obs::ScopedQueryId scope(query_id);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

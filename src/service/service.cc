@@ -1,13 +1,76 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
 #include "obs/counters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hwf {
 namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+uint64_t SecondsToMicros(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<uint64_t>(seconds * 1e6);
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kQueueWait:
+      return "queue_wait";
+    case QueryStage::kParsePlan:
+      return "parse_plan";
+    case QueryStage::kSort:
+      return "sort";
+    case QueryStage::kTreeBuild:
+      return "build";
+    case QueryStage::kProbe:
+      return "probe";
+    case QueryStage::kTotal:
+      return "total";
+    case QueryStage::kNumStages:
+      break;
+  }
+  return "unknown";
+}
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kDeadline:
+      return "deadline";
+    case QueryOutcome::kError:
+      return "error";
+    case QueryOutcome::kRejected:
+      return "rejected";
+    case QueryOutcome::kNumOutcomes:
+      break;
+  }
+  return "unknown";
+}
 
 /// Everything the service tracks about one query. The result slot is
 /// guarded by `mutex`; the StopSource is wait-free and shared with the
@@ -22,6 +85,23 @@ struct QueryService::QueryState {
   /// is woken so "done" implies "budget returned".
   mem::MemoryReservation reservation;
 
+  /// Lifecycle timestamps: admission (set in Submit) and the moment a
+  /// session dequeued the query. total = finish - admit; the difference of
+  /// the two timestamps is the queue wait, which is SUBTRACTED from total
+  /// to get execution time — a query that waited is not "slow to execute".
+  Clock::time_point admit_time;
+  Clock::time_point dequeue_time;
+  bool dequeued = false;
+
+  /// Wall seconds spent in parse + bind (filled by ExecuteQuery).
+  double parse_plan_seconds = 0;
+  size_t plan_groups = 0;
+
+  /// Process-counter baseline, rebased at dequeue: the delta at finish is
+  /// this query's counter activity (approximate under concurrency — other
+  /// executing queries' activity lands in the same window).
+  obs::CounterDeltaTracker counters;
+
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
@@ -35,6 +115,15 @@ QueryService::QueryService(ServiceOptions options)
       admission_budget_(options.memory_limit_bytes),
       pool_(options.pool != nullptr ? *options.pool : ThreadPool::Default()) {
   if (options_.num_sessions == 0) options_.num_sessions = 1;
+  if (options_.enable_telemetry) {
+    telemetry_ = std::make_unique<ServiceTelemetry>();
+  }
+  if (!options_.slow_query_log_path.empty()) {
+    Status opened = slow_log_.Open(options_.slow_query_log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "warning: %s\n", opened.ToString().c_str());
+    }
+  }
   sessions_.reserve(options_.num_sessions);
   for (size_t i = 0; i < options_.num_sessions; ++i) {
     sessions_.emplace_back([this] { SessionLoop(); });
@@ -52,6 +141,7 @@ StatusOr<uint64_t> QueryService::Submit(std::string sql,
   auto state = std::make_shared<QueryState>();
   state->sql = std::move(sql);
   state->options = options;
+  state->admit_time = Clock::now();
 
   const double timeout = options.timeout_seconds < 0
                              ? options_.default_timeout_seconds
@@ -70,7 +160,16 @@ StatusOr<uint64_t> QueryService::Submit(std::string sql,
     }
     if (queue_.size() >= options_.max_queued) {
       ++rejected_;
+      ++rejected_queue_full_;
       obs::Add(obs::Counter::kServiceQueriesRejected);
+      obs::Add(obs::Counter::kServiceRejectedQueueFull);
+      if (telemetry_ != nullptr) {
+        constexpr size_t kRejected =
+            static_cast<size_t>(QueryOutcome::kRejected);
+        telemetry_->outcomes[kRejected].Record(0);
+        telemetry_->outcome_counts[kRejected].fetch_add(
+            1, std::memory_order_relaxed);
+      }
       return Status::ResourceExhausted(
           "admission queue full (" + std::to_string(queue_.size()) +
           " queries queued)");
@@ -80,7 +179,16 @@ StatusOr<uint64_t> QueryService::Submit(std::string sql,
           &admission_budget_, options_.per_query_reservation_bytes);
       if (!reserve.ok()) {
         ++rejected_;
+        ++rejected_memory_;
         obs::Add(obs::Counter::kServiceQueriesRejected);
+        obs::Add(obs::Counter::kServiceRejectedMemory);
+        if (telemetry_ != nullptr) {
+          constexpr size_t kRejected =
+              static_cast<size_t>(QueryOutcome::kRejected);
+          telemetry_->outcomes[kRejected].Record(0);
+          telemetry_->outcome_counts[kRejected].fetch_add(
+              1, std::memory_order_relaxed);
+        }
         return Status::ResourceExhausted(
             "admission memory budget exhausted: " + reserve.message());
       }
@@ -88,6 +196,7 @@ StatusOr<uint64_t> QueryService::Submit(std::string sql,
     state->id = next_id_++;
     queries_[state->id] = state;
     queue_.push_back(state);
+    peak_queued_ = std::max(peak_queued_, queue_.size());
     ++admitted_;
     obs::Add(obs::Counter::kServiceQueriesAdmitted);
   }
@@ -140,15 +249,145 @@ QueryService::Stats QueryService::stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.queued = queue_.size();
+    stats.peak_queued = peak_queued_;
     stats.executing = executing_;
     stats.admitted = admitted_;
     stats.rejected = rejected_;
+    stats.rejected_queue_full = rejected_queue_full_;
+    stats.rejected_memory = rejected_memory_;
     stats.cancelled = cancelled_;
     stats.completed = completed_;
+    stats.slow_queries = slow_queries_;
   }
   stats.reserved_bytes = admission_budget_.reserved_bytes();
   stats.cache = cache_.stats();
   return stats;
+}
+
+std::string QueryService::StatsJson() const {
+  const Stats s = stats();
+  std::string out = "{";
+  auto field = [&out](const char* name, uint64_t value, bool comma = true) {
+    out += std::string("\"") + name + "\":" + std::to_string(value);
+    if (comma) out += ",";
+  };
+  field("queued", s.queued);
+  field("peak_queued", s.peak_queued);
+  field("executing", s.executing);
+  field("admitted", s.admitted);
+  field("rejected", s.rejected);
+  field("rejected_queue_full", s.rejected_queue_full);
+  field("rejected_memory", s.rejected_memory);
+  field("cancelled", s.cancelled);
+  field("completed", s.completed);
+  field("slow_queries", s.slow_queries);
+  field("reserved_bytes", s.reserved_bytes);
+  out += "\"cache\":{";
+  field("hits", s.cache.hits);
+  field("misses", s.cache.misses);
+  field("evictions", s.cache.evictions);
+  field("entries", s.cache.entries);
+  field("bytes", s.cache.bytes);
+  field("capacity_bytes", s.cache.capacity_bytes, /*comma=*/false);
+  out += "}";
+  if (telemetry_ != nullptr) {
+    out += ",\"latency\":{";
+    for (size_t i = 0; i < kNumQueryStages; ++i) {
+      const obs::HistogramSnapshot snapshot = telemetry_->stages[i].Snapshot();
+      if (i != 0) out += ",";
+      out += std::string("\"") +
+             QueryStageName(static_cast<QueryStage>(i)) + "\":{";
+      out += "\"count\":" + std::to_string(snapshot.count);
+      out += ",\"p50_seconds\":";
+      AppendDouble(&out, snapshot.Quantile(0.5) * 1e-6);
+      out += ",\"p99_seconds\":";
+      AppendDouble(&out, snapshot.Quantile(0.99) * 1e-6);
+      out += "}";
+    }
+    out += "},\"outcomes\":{";
+    for (size_t i = 0; i < kNumQueryOutcomes; ++i) {
+      if (i != 0) out += ",";
+      out += std::string("\"") +
+             QueryOutcomeName(static_cast<QueryOutcome>(i)) + "\":" +
+             std::to_string(telemetry_->outcome_counts[i].load(
+                 std::memory_order_relaxed));
+    }
+    out += "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+void QueryService::RegisterMetrics(obs::MetricsRegistry* registry) {
+  auto gauge = [&](const char* name, const char* help, auto getter) {
+    registry->AddGauge(name, help, {}, [this, getter] {
+      return static_cast<double>(getter(stats()));
+    });
+  };
+  gauge("hwf_service_queued", "queries admitted but not yet executing",
+        [](const Stats& s) { return s.queued; });
+  gauge("hwf_service_queue_peak", "high-water mark of the admission queue",
+        [](const Stats& s) { return s.peak_queued; });
+  gauge("hwf_service_executing", "queries currently executing",
+        [](const Stats& s) { return s.executing; });
+  gauge("hwf_service_reserved_bytes", "live admission reservations in bytes",
+        [](const Stats& s) { return s.reserved_bytes; });
+  gauge("hwf_service_cache_bytes", "bytes held by the tree cache",
+        [](const Stats& s) { return s.cache.bytes; });
+  gauge("hwf_service_cache_entries", "entries held by the tree cache",
+        [](const Stats& s) { return s.cache.entries; });
+  gauge("hwf_service_cache_capacity_bytes", "tree cache capacity in bytes",
+        [](const Stats& s) { return s.cache.capacity_bytes; });
+
+  auto counter = [&](const char* name, const char* help, auto getter) {
+    registry->AddCounter(name, help, {}, [this, getter] {
+      return static_cast<double>(getter(stats()));
+    });
+  };
+  counter("hwf_service_cache_hits_total", "tree cache hits",
+          [](const Stats& s) { return s.cache.hits; });
+  counter("hwf_service_cache_misses_total", "tree cache misses",
+          [](const Stats& s) { return s.cache.misses; });
+  counter("hwf_service_cache_evictions_total", "tree cache evictions",
+          [](const Stats& s) { return s.cache.evictions; });
+  counter("hwf_service_slow_queries_total",
+          "queries at or over the slow-query threshold",
+          [](const Stats& s) { return s.slow_queries; });
+  registry->AddCounter("hwf_service_rejected_by_cause_total",
+                       "admission rejections by cause",
+                       {{"cause", "queue_full"}}, [this] {
+                         return static_cast<double>(
+                             stats().rejected_queue_full);
+                       });
+  registry->AddCounter("hwf_service_rejected_by_cause_total",
+                       "admission rejections by cause", {{"cause", "memory"}},
+                       [this] {
+                         return static_cast<double>(stats().rejected_memory);
+                       });
+
+  if (telemetry_ == nullptr) return;
+  for (size_t i = 0; i < kNumQueryOutcomes; ++i) {
+    registry->AddCounter(
+        "hwf_service_queries_by_outcome_total", "finished queries by outcome",
+        {{"outcome", QueryOutcomeName(static_cast<QueryOutcome>(i))}},
+        [this, i] {
+          return static_cast<double>(
+              telemetry_->outcome_counts[i].load(std::memory_order_relaxed));
+        });
+  }
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    registry->AddSummary(
+        "hwf_query_stage_seconds", "query latency by lifecycle stage",
+        {{"stage", QueryStageName(static_cast<QueryStage>(i))}},
+        &telemetry_->stages[i], 1e-6);
+  }
+  for (size_t i = 0; i < kNumQueryOutcomes; ++i) {
+    registry->AddSummary(
+        "hwf_query_outcome_seconds",
+        "admission-to-completion latency by outcome",
+        {{"outcome", QueryOutcomeName(static_cast<QueryOutcome>(i))}},
+        &telemetry_->outcomes[i], 1e-6);
+  }
 }
 
 void QueryService::Shutdown() {
@@ -170,6 +409,9 @@ void QueryService::Shutdown() {
     if (session.joinable()) session.join();
   }
   sessions_.clear();
+  // Every in-flight query has finished and recorded; the log can close
+  // with no truncated lines.
+  slow_log_.Close();
 }
 
 void QueryService::SessionLoop() {
@@ -183,13 +425,22 @@ void QueryService::SessionLoop() {
       queue_.pop_front();
       ++executing_;
     }
+    state->dequeue_time = Clock::now();
+    state->dequeued = true;
+    // Rebase the counter baseline to the start of execution so the delta
+    // at finish excludes time spent queued (other queries ran meanwhile).
+    state->counters.Rebase();
 
     Status status;
     {
       // Install the query's token for the whole execution: ParallelFor
       // re-installs it on every pool worker, so cancellation reaches
-      // every morsel without explicit plumbing.
+      // every morsel without explicit plumbing. The ambient query id rides
+      // the same way (ThreadPool::Submit re-installs it), attributing every
+      // span recorded on any thread on the query's behalf.
       ScopedStopToken scope(state->stop.token());
+      obs::ScopedQueryId query_scope(state->id);
+      HWF_TRACE_SCOPE_ARG("service.query", "query", state->id);
       status = ExecuteQuery(*state);
     }
     FinishQuery(*state, std::move(status), std::move(state->result));
@@ -202,6 +453,7 @@ void QueryService::SessionLoop() {
 Status QueryService::ExecuteQuery(QueryState& state) {
   if (Status stop = CheckStop(); !stop.ok()) return stop;
 
+  const Clock::time_point parse_start = Clock::now();
   StatusOr<ParsedStatement> statement = ParseStatement(state.sql);
   if (!statement.ok()) return statement.status();
 
@@ -210,7 +462,9 @@ Status QueryService::ExecuteQuery(QueryState& state) {
   const Table& table = *snapshot->table;
 
   StatusOr<PlannedQuery> plan = BindStatement(*statement, table);
+  state.parse_plan_seconds = SecondsBetween(parse_start, Clock::now());
   if (!plan.ok()) return plan.status();
+  state.plan_groups = plan->groups.size();
 
   auto profile = std::make_shared<obs::ExecutionProfile>();
   const bool cache_on = options_.enable_cache &&
@@ -261,6 +515,7 @@ Status QueryService::ExecuteQuery(QueryState& state) {
                            std::move(*slots[slot]));
   }
   result.profile = std::move(profile);
+  result.query_id = state.id;
   state.result = std::move(result);
   return Status::OK();
 }
@@ -270,8 +525,17 @@ void QueryService::FinishQuery(QueryState& state, Status status,
   // Release the admission reservation before publishing completion:
   // a waiter observing "done" must also observe the budget returned.
   state.reservation.Release();
-  const bool was_cancelled = status.code() == StatusCode::kCancelled ||
-                             status.code() == StatusCode::kDeadlineExceeded;
+  QueryOutcome outcome = QueryOutcome::kError;
+  if (status.ok()) {
+    outcome = QueryOutcome::kOk;
+  } else if (status.code() == StatusCode::kCancelled) {
+    outcome = QueryOutcome::kCancelled;
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    outcome = QueryOutcome::kDeadline;
+  }
+  const bool was_cancelled = outcome == QueryOutcome::kCancelled ||
+                             outcome == QueryOutcome::kDeadline;
+  RecordOutcome(state, outcome, result);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (was_cancelled) {
@@ -289,6 +553,111 @@ void QueryService::FinishQuery(QueryState& state, Status status,
     state.done = true;
   }
   state.cv.notify_all();
+}
+
+void QueryService::RecordOutcome(const QueryState& state, QueryOutcome outcome,
+                                 const QueryResult& result) {
+  const Clock::time_point now = Clock::now();
+  const double total_seconds = SecondsBetween(state.admit_time, now);
+  const double queue_wait_seconds =
+      state.dequeued ? SecondsBetween(state.admit_time, state.dequeue_time)
+                     : total_seconds;
+  const double exec_seconds = total_seconds - queue_wait_seconds;
+  const obs::ExecutionProfile* profile = result.profile.get();
+
+  if (telemetry_ != nullptr) {
+    auto stage = [&](QueryStage s) -> obs::LatencyHistogram& {
+      return telemetry_->stages[static_cast<size_t>(s)];
+    };
+    stage(QueryStage::kQueueWait).Record(SecondsToMicros(queue_wait_seconds));
+    stage(QueryStage::kTotal).Record(SecondsToMicros(total_seconds));
+    if (state.dequeued) {
+      stage(QueryStage::kParsePlan)
+          .Record(SecondsToMicros(state.parse_plan_seconds));
+    }
+    if (profile != nullptr) {
+      using obs::ProfilePhase;
+      stage(QueryStage::kSort).Record(SecondsToMicros(
+          profile->phase_seconds(ProfilePhase::kPartition) +
+          profile->phase_seconds(ProfilePhase::kSort) +
+          profile->phase_seconds(ProfilePhase::kPreprocess)));
+      stage(QueryStage::kTreeBuild).Record(SecondsToMicros(
+          profile->phase_seconds(ProfilePhase::kTreeBuild)));
+      stage(QueryStage::kProbe).Record(SecondsToMicros(
+          profile->phase_seconds(ProfilePhase::kFrameResolve) +
+          profile->phase_seconds(ProfilePhase::kProbe)));
+    }
+    const size_t slot = static_cast<size_t>(outcome);
+    telemetry_->outcomes[slot].Record(SecondsToMicros(total_seconds));
+    telemetry_->outcome_counts[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const bool retain = options_.retained_profiles > 0;
+  const bool slow = slow_log_.enabled() &&
+                    total_seconds >= options_.slow_query_seconds;
+  if (!retain && !slow) return;
+
+  RetainedQuery record;
+  record.id = state.id;
+  record.sql = state.sql;
+  record.outcome = outcome;
+  record.total_seconds = total_seconds;
+  record.queue_wait_seconds = queue_wait_seconds;
+  record.exec_seconds = exec_seconds;
+  record.parse_plan_seconds = state.parse_plan_seconds;
+  record.plan_groups = state.plan_groups;
+  record.cache_hits = state.counters.DeltaOf(obs::Counter::kCacheHits);
+  record.cache_misses = state.counters.DeltaOf(obs::Counter::kCacheMisses);
+  record.peak_reserved_bytes =
+      profile != nullptr ? profile->peak_reserved_bytes() : 0;
+  record.profile = result.profile;
+
+  if (slow) {
+    slow_log_.Append(RetainedQueryJson(record));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slow) ++slow_queries_;
+  if (retain) {
+    retained_.push_back(std::move(record));
+    while (retained_.size() > options_.retained_profiles) {
+      retained_.pop_front();
+    }
+  }
+}
+
+std::string QueryService::RetainedQueryJson(const RetainedQuery& record) {
+  std::string out = "{\"query_id\": " + std::to_string(record.id);
+  out += ", \"sql\": \"" + obs::JsonEscaped(record.sql) + "\"";
+  out += std::string(", \"outcome\": \"") + QueryOutcomeName(record.outcome) +
+         "\"";
+  out += ", \"total_seconds\": ";
+  AppendDouble(&out, record.total_seconds);
+  out += ", \"queue_wait_seconds\": ";
+  AppendDouble(&out, record.queue_wait_seconds);
+  out += ", \"exec_seconds\": ";
+  AppendDouble(&out, record.exec_seconds);
+  out += ", \"parse_plan_seconds\": ";
+  AppendDouble(&out, record.parse_plan_seconds);
+  out += ", \"groups\": " + std::to_string(record.plan_groups);
+  out += ", \"cache_hits\": " + std::to_string(record.cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(record.cache_misses);
+  out += ", \"peak_reserved_bytes\": " +
+         std::to_string(record.peak_reserved_bytes);
+  out += ", \"profile\": ";
+  out += record.profile != nullptr ? record.profile->ToJson() : "null";
+  out += "}";
+  return out;
+}
+
+StatusOr<std::string> QueryService::RetainedProfileJson(
+    uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->id == query_id) return RetainedQueryJson(*it);
+  }
+  return Status::InvalidArgument("no retained profile for query id " +
+                                 std::to_string(query_id) +
+                                 " (never finished, or aged out of retention)");
 }
 
 }  // namespace service

@@ -15,7 +15,10 @@
 #include "common/stop_token.h"
 #include "mem/memory_budget.h"
 #include "mst/tree_cache.h"
+#include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/profile.h"
+#include "obs/slow_query_log.h"
 #include "parallel/thread_pool.h"
 #include "service/catalog.h"
 #include "service/sql_parser.h"
@@ -23,7 +26,55 @@
 #include "window/executor.h"
 
 namespace hwf {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 namespace service {
+
+/// Lifecycle stages a query's latency is attributed to. Stage histograms
+/// answer "where does time go" per stage across all queries; kTotal is
+/// admission-to-completion wall time (includes queue wait).
+enum class QueryStage : size_t {
+  kQueueWait,   // admission -> dequeued by a session
+  kParsePlan,   // parse + bind
+  kSort,        // executor kPartition+kSort+kPreprocess (order pipeline)
+  kTreeBuild,   // executor kTreeBuild
+  kProbe,       // executor kFrameResolve+kProbe
+  kTotal,       // admission -> finished
+  kNumStages,
+};
+inline constexpr size_t kNumQueryStages =
+    static_cast<size_t>(QueryStage::kNumStages);
+
+/// Stable label of a stage ("queue_wait", "parse_plan", ...).
+const char* QueryStageName(QueryStage stage);
+
+/// How a query left the service.
+enum class QueryOutcome : size_t {
+  kOk,
+  kCancelled,  // client Cancel or shutdown
+  kDeadline,   // deadline exceeded
+  kError,      // parse/bind/execution error
+  kRejected,   // refused at admission (never entered the queue)
+  kNumOutcomes,
+};
+inline constexpr size_t kNumQueryOutcomes =
+    static_cast<size_t>(QueryOutcome::kNumOutcomes);
+
+/// Stable label of an outcome ("ok", "cancelled", ...).
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// Per-service latency histograms (microsecond resolution) and outcome
+/// tallies. Recording is lock-free; snapshots are taken per scrape.
+/// Heap-allocated by the service (the bucket arrays are a few hundred KB).
+struct ServiceTelemetry {
+  /// Latency per lifecycle stage, all outcomes combined, in microseconds.
+  obs::LatencyHistogram stages[kNumQueryStages];
+  /// Admission-to-completion latency per outcome, in microseconds.
+  obs::LatencyHistogram outcomes[kNumQueryOutcomes];
+  std::atomic<uint64_t> outcome_counts[kNumQueryOutcomes] = {};
+};
 
 struct ServiceOptions {
   /// Session worker threads: the number of queries executing concurrently.
@@ -59,6 +110,22 @@ struct ServiceOptions {
   /// Execution pool shared by all sessions; nullptr = ThreadPool::Default().
   ThreadPool* pool = nullptr;
 
+  /// Records per-stage / per-outcome latency histograms and retains recent
+  /// query profiles. Off only for overhead measurement (the record path is
+  /// a handful of relaxed atomics per query).
+  bool enable_telemetry = true;
+
+  /// JSON-lines slow-query log ("" disables). Queries whose
+  /// admission-to-completion time reaches `slow_query_seconds` append one
+  /// record (sql, outcome, queue wait, phase breakdown, cache activity,
+  /// peak memory).
+  std::string slow_query_log_path;
+  double slow_query_seconds = 0.1;
+
+  /// Finished-query profiles retained for PROFILE <id> lookups (ring of
+  /// the most recent N; 0 disables retention).
+  size_t retained_profiles = 64;
+
   /// Engine/tree tuning forwarded to the executor. `memory_limit_bytes`,
   /// `tree_cache`, `cache_key` and `profile` are overridden per query.
   WindowExecutorOptions executor;
@@ -77,6 +144,9 @@ struct QueryResult {
   /// The execution's cost breakdown (phase timings summed over the
   /// query's spec groups). Shared-ptr because ExecutionProfile is pinned.
   std::shared_ptr<obs::ExecutionProfile> profile;
+  /// The service-assigned id, echoed so clients can correlate results
+  /// with traces, the slow-query log and PROFILE lookups.
+  uint64_t query_id = 0;
 };
 
 /// The in-process query service: SQL front-end, admission control,
@@ -114,15 +184,35 @@ class QueryService {
 
   struct Stats {
     size_t queued = 0;
+    size_t peak_queued = 0;  // high-water mark since construction
     size_t executing = 0;
     uint64_t admitted = 0;
     uint64_t rejected = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_memory = 0;
     uint64_t cancelled = 0;
     uint64_t completed = 0;
+    uint64_t slow_queries = 0;  // queries at/over the slow threshold
     size_t reserved_bytes = 0;  // live admission reservations
     mst::TreeCache::Stats cache;
   };
   Stats stats() const;
+
+  /// stats() plus histogram summaries (p50/p99 per stage) as one JSON
+  /// object — the payload behind the protocol's STATS command.
+  std::string StatsJson() const;
+
+  /// Registers this service's gauges, counters and latency summaries on
+  /// `registry`. The registry must not outlive the service.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// The retained record of a finished query as JSON (query_id, sql,
+  /// outcome, stage timings, phase profile), or NotFound once it has
+  /// aged out of the retention ring.
+  StatusOr<std::string> RetainedProfileJson(uint64_t query_id) const;
+
+  /// Telemetry sink, shared with tests; null when telemetry is disabled.
+  const ServiceTelemetry* telemetry() const { return telemetry_.get(); }
 
   mst::TreeCache& cache() { return cache_; }
   const ServiceOptions& options() const { return options_; }
@@ -134,26 +224,53 @@ class QueryService {
  private:
   struct QueryState;
 
+  /// One finished query's retained telemetry record (PROFILE <id> and the
+  /// slow-query log both serialize from it).
+  struct RetainedQuery {
+    uint64_t id = 0;
+    std::string sql;
+    QueryOutcome outcome = QueryOutcome::kOk;
+    double total_seconds = 0;
+    double queue_wait_seconds = 0;
+    double exec_seconds = 0;
+    double parse_plan_seconds = 0;
+    size_t plan_groups = 0;
+    uint64_t cache_hits = 0;    // this query's cache activity
+    uint64_t cache_misses = 0;
+    size_t peak_reserved_bytes = 0;
+    std::shared_ptr<obs::ExecutionProfile> profile;  // null for non-ok
+  };
+
   void SessionLoop();
   Status ExecuteQuery(QueryState& state);
   void FinishQuery(QueryState& state, Status status, QueryResult result);
+  void RecordOutcome(const QueryState& state, QueryOutcome outcome,
+                     const QueryResult& result);
+  static std::string RetainedQueryJson(const RetainedQuery& record);
 
   ServiceOptions options_;
   Catalog catalog_;
   mst::TreeCache cache_;
   mem::MemoryBudget admission_budget_;
   ThreadPool& pool_;
+  std::unique_ptr<ServiceTelemetry> telemetry_;
+  obs::SlowQueryLog slow_log_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<QueryState>> queue_;
   std::unordered_map<uint64_t, std::shared_ptr<QueryState>> queries_;
+  std::deque<RetainedQuery> retained_;  // ring of the most recent finishes
   uint64_t next_id_ = 1;
   size_t executing_ = 0;
+  size_t peak_queued_ = 0;
   uint64_t admitted_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t rejected_queue_full_ = 0;
+  uint64_t rejected_memory_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t completed_ = 0;
+  uint64_t slow_queries_ = 0;
   bool shutdown_ = false;
 
   std::vector<std::thread> sessions_;

@@ -1,0 +1,213 @@
+// Tests for the lock-free log-bucketed latency histogram: bucket geometry,
+// quantile error against an exact sorted reference, merging, and
+// concurrent recording.
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace hwf {
+namespace obs {
+namespace {
+
+namespace hb = histogram_buckets;
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  // Values below kSubBuckets get a bucket of width 1: lower == value and
+  // upper == value + 1.
+  for (uint64_t v = 0; v < hb::kSubBuckets; ++v) {
+    const size_t index = hb::BucketIndex(v);
+    EXPECT_EQ(hb::BucketLowerBound(index), v);
+    EXPECT_EQ(hb::BucketUpperBound(index), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, BucketsContainTheirValues) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform draw covering every octave.
+    const int bits = static_cast<int>(rng.Bounded(64));
+    uint64_t value = rng.Next64();
+    if (bits < 63) value >>= (63 - bits);
+    const size_t index = hb::BucketIndex(value);
+    ASSERT_LT(index, hb::kNumBuckets);
+    EXPECT_LE(hb::BucketLowerBound(index), value);
+    EXPECT_GT(hb::BucketUpperBound(index), value);
+  }
+}
+
+TEST(HistogramBuckets, IndicesAreMonotone) {
+  // Bucket index must never decrease as values grow: check all the octave
+  // boundaries and their neighborhoods, in value order.
+  std::vector<uint64_t> probes;
+  for (int shift = 0; shift < 63; ++shift) {
+    for (int64_t delta = -2; delta <= 2; ++delta) {
+      const int64_t base = static_cast<int64_t>(1ull << shift) + delta;
+      if (base >= 0) probes.push_back(static_cast<uint64_t>(base));
+    }
+  }
+  std::sort(probes.begin(), probes.end());
+  size_t last = 0;
+  for (const uint64_t value : probes) {
+    const size_t index = hb::BucketIndex(value);
+    EXPECT_GE(index, last) << "value " << value;
+    last = std::max(last, index);
+  }
+  EXPECT_LT(hb::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            hb::kNumBuckets);
+}
+
+TEST(HistogramBuckets, RelativeWidthBounded) {
+  // Above the exact range, bucket width / lower bound <= 1/64: quantile
+  // midpoints are within ~0.8% of any value in the bucket.
+  for (size_t index = hb::kSubBuckets; index < hb::kNumBuckets; ++index) {
+    const uint64_t lower = hb::BucketLowerBound(index);
+    const uint64_t upper = hb::BucketUpperBound(index);
+    if (upper == std::numeric_limits<uint64_t>::max()) continue;  // last
+    const double relative_width =
+        static_cast<double>(upper - lower) / static_cast<double>(lower);
+    EXPECT_LE(relative_width, 1.0 / 64 + 1e-12) << "bucket " << index;
+  }
+}
+
+TEST(LatencyHistogram, EmptySnapshot) {
+  LatencyHistogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_EQ(snapshot.Quantile(0.5), 0.0);
+  EXPECT_EQ(snapshot.Mean(), 0.0);
+  EXPECT_EQ(histogram.Count(), 0u);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram histogram;
+  histogram.Record(42);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_EQ(snapshot.sum, 42u);
+  // 42 < 64 lands in a width-1 bucket: every quantile is exact.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 42.0);
+}
+
+TEST(LatencyHistogram, QuantilesTrackSortedReference) {
+  // Compare every interesting quantile against the exact value from a
+  // sorted copy; the histogram must be within the bucket's relative width.
+  Pcg32 rng(99);
+  LatencyHistogram histogram;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    // Mix of magnitudes: microsecond-ish latencies with a heavy tail.
+    uint64_t v = 1 + rng.Bounded(1000);
+    if (rng.Bounded(10) == 0) v *= 1000;
+    if (rng.Bounded(100) == 0) v *= 50000;
+    values.push_back(v);
+    histogram.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.count, values.size());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double estimate = snapshot.Quantile(q);
+    EXPECT_NEAR(estimate, exact, exact / 64.0 + 0.5)
+        << "quantile " << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  Pcg32 rng(5);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Bounded(1u << 20);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot expected = combined.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+}
+
+TEST(LatencyHistogram, OverflowValuesLandInLastBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(std::numeric_limits<uint64_t>::max());
+  histogram.Record(std::numeric_limits<uint64_t>::max() - 1);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 2u);
+  EXPECT_GT(snapshot.Quantile(1.0), 1e18);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersLoseNothing) {
+  // N threads hammer one histogram; relaxed atomics must still account
+  // for every single record in both count and sum.
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> thread_sums(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, &thread_sums, t] {
+      Pcg32 rng(static_cast<uint64_t>(t) + 1);
+      uint64_t sum = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t v = rng.Bounded(1u << 16);
+        histogram.Record(v);
+        sum += v;
+      }
+      thread_sums[static_cast<size_t>(t)] = sum;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t expected_sum = 0;
+  for (const uint64_t s : thread_sums) expected_sum += s;
+  EXPECT_EQ(snapshot.sum, expected_sum);
+}
+
+TEST(LatencyHistogram, SnapshotDuringConcurrentRecordingIsSane) {
+  // Snapshots race with recorders by design; they must still be internally
+  // consistent (count == sum of buckets) and monotone over time.
+  LatencyHistogram histogram;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    Pcg32 rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      histogram.Record(rng.Bounded(1000));
+    }
+  });
+  uint64_t last_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot snapshot = histogram.Snapshot();
+    uint64_t bucket_total = 0;
+    for (const uint64_t b : snapshot.buckets) bucket_total += b;
+    EXPECT_EQ(snapshot.count, bucket_total);
+    EXPECT_GE(snapshot.count, last_count);
+    last_count = snapshot.count;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hwf

@@ -1,0 +1,396 @@
+// Tests for the Prometheus metrics registry, query-id trace attribution,
+// the slow-query log, retained profiles (PROFILE <id>), and the service's
+// per-stage telemetry.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+#include "service/service.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using service::QueryResult;
+using service::QueryService;
+using service::ServiceOptions;
+
+Table MakeTable(size_t rows) {
+  Pcg32 rng(21);
+  Column ord(DataType::kInt64);
+  Column price(DataType::kDouble);
+  for (size_t i = 0; i < rows; ++i) {
+    ord.AppendInt64(static_cast<int64_t>(rng.Bounded(1u << 16)));
+    price.AppendDouble(rng.NextDouble() * 100.0);
+  }
+  Table table;
+  table.AddColumn("ord", std::move(ord));
+  table.AddColumn("price", std::move(price));
+  return table;
+}
+
+constexpr char kSql[] =
+    "select median(price) over (order by ord rows between 50 preceding "
+    "and current row) from t";
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(MetricsRegistry, RendersCounterAndGauge) {
+  MetricsRegistry registry;
+  registry.AddCounter("test_events_total", "events seen", {},
+                      [] { return 41.0; });
+  registry.AddGauge("test_depth", "current depth", {{"queue", "main"}},
+                    [] { return 7.0; });
+  const std::string text = registry.RenderText();
+  EXPECT_TRUE(Contains(text, "# HELP test_events_total events seen\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE test_events_total counter\n"));
+  EXPECT_TRUE(Contains(text, "test_events_total 41\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE test_depth gauge\n"));
+  EXPECT_TRUE(Contains(text, "test_depth{queue=\"main\"} 7\n"));
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MetricsRegistry, LabeledSeriesShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  registry.AddCounter("multi_total", "by kind", {{"kind", "a"}},
+                      [] { return 1.0; });
+  registry.AddCounter("multi_total", "by kind", {{"kind", "b"}},
+                      [] { return 2.0; });
+  const std::string text = registry.RenderText();
+  // One TYPE header, two series, contiguous.
+  size_t first = text.find("# TYPE multi_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE multi_total", first + 1), std::string::npos);
+  EXPECT_TRUE(Contains(text, "multi_total{kind=\"a\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "multi_total{kind=\"b\"} 2\n"));
+}
+
+TEST(MetricsRegistry, SummaryRendersQuantilesSumCount) {
+  LatencyHistogram histogram;
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v * 1000);
+  MetricsRegistry registry;
+  registry.AddSummary("test_latency_seconds", "latency", {}, &histogram,
+                      1e-6);
+  const std::string text = registry.RenderText();
+  EXPECT_TRUE(Contains(text, "# TYPE test_latency_seconds summary\n"));
+  EXPECT_TRUE(Contains(text, "test_latency_seconds{quantile=\"0.5\"}"));
+  EXPECT_TRUE(Contains(text, "test_latency_seconds{quantile=\"0.99\"}"));
+  EXPECT_TRUE(Contains(text, "test_latency_seconds{quantile=\"0.999\"}"));
+  EXPECT_TRUE(Contains(text, "test_latency_seconds_count 100\n"));
+  // Sum: 1000 * (1+...+100) us = 5.05 s.
+  EXPECT_TRUE(Contains(text, "test_latency_seconds_sum 5.05"));
+}
+
+TEST(MetricsRegistry, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.AddGauge("esc", "x", {{"v", "a\"b\\c\nd"}}, [] { return 1.0; });
+  EXPECT_TRUE(Contains(registry.RenderText(), "{v=\"a\\\"b\\\\c\\nd\"}"));
+}
+
+TEST(MetricsRegistry, SanitizeMetricName) {
+  EXPECT_EQ(obs::SanitizeMetricName("pool.tasks_submitted"),
+            "pool_tasks_submitted");
+  EXPECT_EQ(obs::SanitizeMetricName("a-b c"), "a_b_c");
+}
+
+TEST(MetricsRegistry, ProcessCountersAllExposed) {
+  MetricsRegistry registry;
+  obs::RegisterProcessCounters(&registry);
+  const std::string text = registry.RenderText();
+  EXPECT_TRUE(Contains(text, "hwf_pool_tasks_submitted_total"));
+  EXPECT_TRUE(Contains(text, "hwf_cache_hits_total"));
+  EXPECT_TRUE(Contains(text, "hwf_service_rejected_queue_full_total"));
+}
+
+TEST(TraceQueryId, ScopedQueryIdNestsAndRestores) {
+  EXPECT_EQ(obs::CurrentQueryId(), 0u);
+  {
+    obs::ScopedQueryId outer(7);
+    EXPECT_EQ(obs::CurrentQueryId(), 7u);
+    {
+      obs::ScopedQueryId inner(9);
+      EXPECT_EQ(obs::CurrentQueryId(), 9u);
+    }
+    EXPECT_EQ(obs::CurrentQueryId(), 7u);
+  }
+  EXPECT_EQ(obs::CurrentQueryId(), 0u);
+}
+
+TEST(TraceQueryId, SpansCarryTheAmbientId) {
+  obs::Tracer::Get().Clear();
+  obs::Tracer::Get().Enable();
+  {
+    obs::ScopedQueryId scope(1234);
+    HWF_TRACE_SCOPE("test.attributed");
+  }
+  { HWF_TRACE_SCOPE("test.unattributed"); }
+  obs::Tracer::Get().Disable();
+  bool found_attributed = false;
+  for (const obs::TraceEvent& event : obs::Tracer::Get().Snapshot()) {
+    if (std::string(event.name) == "test.attributed") {
+      EXPECT_EQ(event.query_id, 1234u);
+      found_attributed = true;
+    }
+    if (std::string(event.name) == "test.unattributed") {
+      EXPECT_EQ(event.query_id, 0u);
+    }
+  }
+  EXPECT_TRUE(found_attributed);
+  const std::string json = obs::Tracer::Get().ToChromeTraceJson();
+  EXPECT_TRUE(Contains(json, "\"query\": 1234"));
+  obs::Tracer::Get().Clear();
+}
+
+TEST(TraceQueryId, ThreadPoolSubmitPropagatesTheSubmittersId) {
+  // The worker must observe the submitter's ambient id. Raw Submit + own
+  // condition variable so the task cannot be helped by this thread (which
+  // would trivially share its TLS).
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ran = false;
+  uint64_t observed = 0;
+  {
+    obs::ScopedQueryId scope(555);
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      observed = obs::CurrentQueryId();
+      ran = true;
+      cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return ran; });
+  EXPECT_EQ(observed, 555u);
+  // And the worker's TLS must be restored: a task submitted outside any
+  // query sees id 0 even on the same worker thread.
+  ran = false;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> inner_lock(mutex);
+    observed = obs::CurrentQueryId();
+    ran = true;
+    cv.notify_one();
+  });
+  cv.wait(lock, [&] { return ran; });
+  EXPECT_EQ(observed, 0u);
+}
+
+TEST(ServiceTelemetry, StageHistogramsRecordQueries) {
+  ServiceOptions options;
+  options.num_sessions = 1;
+  QueryService svc(options);
+  svc.RegisterTable("t", MakeTable(4000));
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<QueryResult> result = svc.Query(kSql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->query_id, 0u);
+  }
+  const service::ServiceTelemetry* telemetry = svc.telemetry();
+  ASSERT_NE(telemetry, nullptr);
+  using service::QueryStage;
+  auto count = [&](QueryStage stage) {
+    return telemetry->stages[static_cast<size_t>(stage)].Count();
+  };
+  EXPECT_EQ(count(QueryStage::kTotal), 3u);
+  EXPECT_EQ(count(QueryStage::kQueueWait), 3u);
+  EXPECT_EQ(count(QueryStage::kParsePlan), 3u);
+  EXPECT_EQ(count(QueryStage::kSort), 3u);
+  EXPECT_EQ(count(QueryStage::kTreeBuild), 3u);
+  EXPECT_EQ(count(QueryStage::kProbe), 3u);
+  // p99 >= p50 >= 0 for total latency.
+  const obs::HistogramSnapshot total =
+      telemetry->stages[static_cast<size_t>(QueryStage::kTotal)].Snapshot();
+  EXPECT_GE(total.Quantile(0.99), total.Quantile(0.5));
+  EXPECT_GE(total.Quantile(0.5), 0.0);
+  // Outcome tally: 3 ok, nothing else.
+  using service::QueryOutcome;
+  EXPECT_EQ(telemetry->outcomes[static_cast<size_t>(QueryOutcome::kOk)]
+                .Count(),
+            3u);
+  EXPECT_EQ(
+      telemetry->outcome_counts[static_cast<size_t>(QueryOutcome::kOk)].load(),
+      3u);
+}
+
+TEST(ServiceTelemetry, RejectionsAreCountedByCause) {
+  ServiceOptions options;
+  options.num_sessions = 1;
+  options.max_queued = 0;  // every submission bounces off the queue
+  QueryService svc(options);
+  svc.RegisterTable("t", MakeTable(100));
+  StatusOr<uint64_t> id = svc.Submit(kSql);
+  EXPECT_FALSE(id.ok());
+  const QueryService::Stats stats = svc.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.rejected_memory, 0u);
+  using service::QueryOutcome;
+  EXPECT_EQ(svc.telemetry()
+                ->outcome_counts[static_cast<size_t>(QueryOutcome::kRejected)]
+                .load(),
+            1u);
+}
+
+TEST(ServiceTelemetry, RegisterMetricsRendersServiceFamilies) {
+  ServiceOptions options;
+  options.num_sessions = 1;
+  QueryService svc(options);
+  svc.RegisterTable("t", MakeTable(2000));
+  MetricsRegistry registry;
+  svc.RegisterMetrics(&registry);
+  ASSERT_TRUE(svc.Query(kSql).ok());
+  const std::string text = registry.RenderText();
+  EXPECT_TRUE(Contains(text, "# TYPE hwf_service_queued gauge"));
+  EXPECT_TRUE(Contains(text, "# TYPE hwf_query_stage_seconds summary"));
+  EXPECT_TRUE(Contains(text, "hwf_query_stage_seconds_count{stage=\"total\"} 1"));
+  EXPECT_TRUE(
+      Contains(text, "hwf_service_queries_by_outcome_total{outcome=\"ok\"} 1"));
+  EXPECT_TRUE(Contains(
+      text, "hwf_service_rejected_by_cause_total{cause=\"queue_full\"} 0"));
+}
+
+TEST(ServiceTelemetry, StatsJsonIncludesLatencyAndOutcomes) {
+  ServiceOptions options;
+  options.num_sessions = 1;
+  QueryService svc(options);
+  svc.RegisterTable("t", MakeTable(2000));
+  ASSERT_TRUE(svc.Query(kSql).ok());
+  const std::string json = svc.StatsJson();
+  EXPECT_TRUE(Contains(json, "\"latency\""));
+  EXPECT_TRUE(Contains(json, "\"total\""));
+  EXPECT_TRUE(Contains(json, "\"p99_seconds\""));
+  EXPECT_TRUE(Contains(json, "\"outcomes\""));
+  EXPECT_TRUE(Contains(json, "\"peak_queued\""));
+  EXPECT_TRUE(Contains(json, "\"ok\":1"));
+}
+
+TEST(ServiceTelemetry, RetainedProfileRoundTrips) {
+  ServiceOptions options;
+  options.num_sessions = 1;
+  options.retained_profiles = 2;
+  QueryService svc(options);
+  svc.RegisterTable("t", MakeTable(2000));
+  StatusOr<QueryResult> result = svc.Query(kSql);
+  ASSERT_TRUE(result.ok());
+  StatusOr<std::string> profile = svc.RetainedProfileJson(result->query_id);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_TRUE(Contains(*profile, "\"query_id\": " +
+                                     std::to_string(result->query_id)));
+  EXPECT_TRUE(Contains(*profile, "\"outcome\": \"ok\""));
+  EXPECT_TRUE(Contains(*profile, "\"queue_wait_seconds\""));
+  EXPECT_TRUE(Contains(*profile, "\"exec_seconds\""));
+  EXPECT_TRUE(Contains(*profile, "\"phases\""));  // embedded profile JSON
+  EXPECT_FALSE(svc.RetainedProfileJson(999999).ok());
+  // The ring retains only the most recent N.
+  ASSERT_TRUE(svc.Query(kSql).ok());
+  ASSERT_TRUE(svc.Query(kSql).ok());
+  EXPECT_FALSE(svc.RetainedProfileJson(result->query_id).ok());
+}
+
+TEST(ServiceTelemetry, SlowQueryLogWritesSchemaCompleteLines) {
+  const std::string path = ::testing::TempDir() + "/slow_query_test.jsonl";
+  std::remove(path.c_str());
+  {
+    ServiceOptions options;
+    options.num_sessions = 2;
+    options.slow_query_log_path = path;
+    options.slow_query_seconds = 0;  // every query is "slow"
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(2000));
+    ASSERT_TRUE(svc.Query(kSql).ok());
+    ASSERT_TRUE(svc.Query(kSql).ok());
+    EXPECT_FALSE(svc.Query("select nope from t").ok());  // error outcome too
+    svc.Shutdown();
+    EXPECT_EQ(svc.stats().slow_queries, 3u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');  // complete record, no truncation
+    for (const char* key :
+         {"\"query_id\"", "\"sql\"", "\"outcome\"", "\"total_seconds\"",
+          "\"queue_wait_seconds\"", "\"exec_seconds\"", "\"cache_hits\"",
+          "\"cache_misses\"", "\"peak_reserved_bytes\"", "\"profile\""}) {
+      EXPECT_TRUE(Contains(line, key)) << "line " << lines << ": " << line;
+    }
+  }
+  EXPECT_EQ(lines, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceTelemetry, QueueWaitIsSubtractedFromExecTime) {
+  // One session + a first query occupying it: the second query's record
+  // must show queue wait > 0 and exec_seconds ~= total - queue_wait.
+  const std::string path = ::testing::TempDir() + "/queue_wait_test.jsonl";
+  std::remove(path.c_str());
+  {
+    ServiceOptions options;
+    options.num_sessions = 1;
+    options.slow_query_log_path = path;
+    options.slow_query_seconds = 0;
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(30000));
+    StatusOr<uint64_t> first = svc.Submit(kSql);
+    ASSERT_TRUE(first.ok());
+    StatusOr<uint64_t> second = svc.Submit(kSql);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(svc.Wait(*first).ok());
+    ASSERT_TRUE(svc.Wait(*second).ok());
+    StatusOr<std::string> record = svc.RetainedProfileJson(*second);
+    ASSERT_TRUE(record.ok());
+    // Parse the three numbers back out of the JSON record.
+    auto number = [&](const char* key) {
+      const size_t pos = record->find(key);
+      EXPECT_NE(pos, std::string::npos) << key;
+      return std::atof(record->c_str() + pos + std::strlen(key) + 1);
+    };
+    const double total = number("\"total_seconds\":");
+    const double queue_wait = number("\"queue_wait_seconds\":");
+    const double exec = number("\"exec_seconds\":");
+    EXPECT_GT(queue_wait, 0.0);
+    EXPECT_NEAR(exec, total - queue_wait, 1e-5);
+    EXPECT_LT(exec, total);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLog, JsonEscaped) {
+  EXPECT_EQ(obs::JsonEscaped("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(obs::JsonEscaped(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(CounterDeltaTracker, TracksAndRebases) {
+  obs::CounterDeltaTracker tracker;
+  obs::Add(obs::Counter::kCacheHits, 3);
+  EXPECT_EQ(tracker.DeltaOf(obs::Counter::kCacheHits), 3u);
+  tracker.Rebase();
+  EXPECT_EQ(tracker.DeltaOf(obs::Counter::kCacheHits), 0u);
+  obs::Add(obs::Counter::kCacheHits, 2);
+  const obs::CounterSnapshot delta = tracker.Delta();
+  EXPECT_EQ(delta[obs::Counter::kCacheHits], 2u);
+}
+
+}  // namespace
+}  // namespace hwf

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against committed baselines.
+
+Compares one or more freshly produced BENCH_*.json files (the bench_util.h
+BenchJson schema: {"bench", "scale", "entries": [{"label", <metrics>}]})
+against committed baseline files, entry by entry, matched on "label".
+
+For every metric present in both the baseline and the current entry the
+check applies a direction-aware tolerance band:
+
+  metric            direction      default tolerance (relative)
+  qps               higher-better  0.5   (fail if current < baseline * 0.5)
+  throughput_mtps   higher-better  0.5
+  seconds           lower-better   1.0   (fail if current > baseline * 2.0)
+  ratio             lower-better   0.3   (fail if current > baseline * 1.3)
+
+Default bands are deliberately wide because absolute numbers move between
+machines; hardware-independent metrics (like "ratio" overhead entries) can
+be gated tighter with --tolerance. An entry label present in the baseline
+but missing from the current run is a failure (a silently dropped
+measurement must not pass the gate). Scale mismatch between the files is an
+error unless --ignore-scale is given.
+
+Usage:
+  check_bench_regression.py \
+      --baseline bench/baselines/BENCH_service.json \
+      --current BENCH_service.json \
+      [--metric qps --metric ratio] \
+      [--tolerance qps=0.8] [--ignore-scale]
+
+--baseline/--current may repeat; the i-th baseline is compared against the
+i-th current file. Without --metric, every known metric found in both
+entries is checked. Exit code 0 when all checks pass, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> (higher_is_better, default relative tolerance)
+METRICS = {
+    "qps": (True, 0.5),
+    "throughput_mtps": (True, 0.5),
+    "seconds": (False, 1.0),
+    "ratio": (False, 0.3),
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def entries_by_label(doc, path):
+    result = {}
+    for entry in doc.get("entries", []):
+        label = entry.get("label")
+        if label is None:
+            continue
+        if label in result:
+            print(f"WARNING: duplicate label {label!r} in {path}; "
+                  f"using the last occurrence", file=sys.stderr)
+        result[label] = entry
+    return result
+
+
+def check_pair(baseline_path, current_path, metrics, tolerances,
+               ignore_scale):
+    baseline = load(baseline_path)
+    current = load(current_path)
+    failures = []
+    checked = 0
+
+    if not ignore_scale and baseline.get("scale") != current.get("scale"):
+        failures.append(
+            f"{current_path}: scale {current.get('scale')} does not match "
+            f"baseline scale {baseline.get('scale')} "
+            f"(rerun with the baseline's HWF_BENCH_SCALE or pass "
+            f"--ignore-scale)")
+        return checked, failures
+
+    base_entries = entries_by_label(baseline, baseline_path)
+    cur_entries = entries_by_label(current, current_path)
+
+    for label, base_entry in base_entries.items():
+        cur_entry = cur_entries.get(label)
+        if cur_entry is None:
+            failures.append(
+                f"{current_path}: baseline entry {label!r} missing from "
+                f"current run")
+            continue
+        for metric in metrics:
+            if metric not in base_entry or metric not in cur_entry:
+                continue
+            base_value = float(base_entry[metric])
+            cur_value = float(cur_entry[metric])
+            higher_better, tol = METRICS[metric]
+            tol = tolerances.get(metric, tol)
+            checked += 1
+            if base_value == 0:
+                continue  # no meaningful relative band
+            if higher_better:
+                floor = base_value * (1.0 - tol)
+                ok = cur_value >= floor
+                band = f">= {floor:.4g}"
+            else:
+                ceil = base_value * (1.0 + tol)
+                ok = cur_value <= ceil
+                band = f"<= {ceil:.4g}"
+            status = "ok  " if ok else "FAIL"
+            print(f"  [{status}] {label!r} {metric}: baseline {base_value:.4g}"
+                  f" current {cur_value:.4g} (band {band})")
+            if not ok:
+                failures.append(
+                    f"{current_path}: {label!r} {metric} = {cur_value:.4g} "
+                    f"outside band {band} (baseline {base_value:.4g}, "
+                    f"tolerance {tol})")
+    return checked, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="committed baseline BENCH json (repeatable)")
+    parser.add_argument("--current", action="append", required=True,
+                        help="freshly produced BENCH json (repeatable, "
+                             "zipped with --baseline)")
+    parser.add_argument("--metric", action="append", default=[],
+                        choices=sorted(METRICS),
+                        help="metric to check (default: all known)")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="METRIC=REL",
+                        help="override relative tolerance, e.g. qps=0.8")
+    parser.add_argument("--ignore-scale", action="store_true",
+                        help="skip the scale-field equality check")
+    args = parser.parse_args()
+
+    if len(args.baseline) != len(args.current):
+        print("ERROR: --baseline and --current counts differ",
+              file=sys.stderr)
+        return 2
+
+    tolerances = {}
+    for spec in args.tolerance:
+        metric, _, value = spec.partition("=")
+        if metric not in METRICS:
+            print(f"ERROR: unknown metric in --tolerance: {metric!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            tolerances[metric] = float(value)
+        except ValueError:
+            print(f"ERROR: bad tolerance value: {spec!r}", file=sys.stderr)
+            return 2
+
+    metrics = args.metric or sorted(METRICS)
+
+    total_checked = 0
+    all_failures = []
+    for baseline_path, current_path in zip(args.baseline, args.current):
+        print(f"{baseline_path} vs {current_path}:")
+        checked, failures = check_pair(baseline_path, current_path, metrics,
+                                       tolerances, args.ignore_scale)
+        total_checked += checked
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\nFAIL: {len(all_failures)} regression(s) "
+              f"({total_checked} checks)", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if total_checked == 0:
+        print("\nFAIL: no metric checks ran (label or metric mismatch?)",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {total_checked} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

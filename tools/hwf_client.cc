@@ -40,6 +40,11 @@ void Usage() {
                "  --timeout SECONDS     per-query deadline\n"
                "  --cancel-after-ms N   submit, cancel after N ms, wait\n"
                "  --stats               print service statistics instead\n"
+               "  --metrics             print Prometheus metrics instead\n"
+               "  --profile-id N        print a finished query's retained\n"
+               "                        profile instead\n"
+               "  --show-id             print the query's service id on "
+               "stderr\n"
                "  --ping                liveness check instead of a query\n");
 }
 
@@ -76,9 +81,13 @@ bool ReadExact(int fd, size_t bytes, std::string* out) {
 }
 
 /// One protocol exchange. Returns the server's status; on OK, `payload`
-/// holds the framed response body (empty for plain "OK" acks).
-Status Exchange(int fd, const std::string& command, std::string* payload) {
+/// holds the framed response body (empty for plain "OK" acks) and
+/// `header_extra` (when non-null) whatever followed the byte count in the
+/// header (e.g. "id=7").
+Status Exchange(int fd, const std::string& command, std::string* payload,
+                std::string* header_extra = nullptr) {
   payload->clear();
+  if (header_extra != nullptr) header_extra->clear();
   if (!WriteAll(fd, command + "\n")) {
     return Status::Internal("connection closed while sending");
   }
@@ -111,8 +120,12 @@ Status Exchange(int fd, const std::string& command, std::string* payload) {
   }
   if (header == "OK") return Status::OK();
   if (header.rfind("OK ", 0) == 0) {
+    char* end = nullptr;
     const size_t bytes =
-        static_cast<size_t>(std::strtoull(header.c_str() + 3, nullptr, 10));
+        static_cast<size_t>(std::strtoull(header.c_str() + 3, &end, 10));
+    if (header_extra != nullptr && end != nullptr && *end == ' ') {
+      *header_extra = end + 1;
+    }
     if (!ReadExact(fd, bytes, payload)) {
       return Status::Internal("connection closed mid-payload");
     }
@@ -148,6 +161,9 @@ int main(int argc, char** argv) {
   double timeout_seconds = -1;
   int cancel_after_ms = -1;
   bool stats = false;
+  bool metrics = false;
+  bool show_id = false;
+  long long profile_id = -1;
   bool ping = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -171,6 +187,12 @@ int main(int argc, char** argv) {
       cancel_after_ms = std::atoi(next());
     } else if (flag == "--stats") {
       stats = true;
+    } else if (flag == "--metrics") {
+      metrics = true;
+    } else if (flag == "--show-id") {
+      show_id = true;
+    } else if (flag == "--profile-id") {
+      profile_id = std::atoll(next());
     } else if (flag == "--ping") {
       ping = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -184,7 +206,8 @@ int main(int argc, char** argv) {
       sql = flag;
     }
   }
-  if (port == 0 || (sql.empty() && !stats && !ping)) {
+  if (port == 0 || (sql.empty() && !stats && !metrics && !ping &&
+                    profile_id < 0)) {
     Usage();
     return 2;
   }
@@ -210,6 +233,19 @@ int main(int argc, char** argv) {
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }
+    if (metrics) {
+      Status status = Exchange(fd, "METRICS", &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    if (profile_id >= 0) {
+      Status status =
+          Exchange(fd, "PROFILE " + std::to_string(profile_id), &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
     if (!format.empty()) {
       if (Status s = Exchange(fd, "FORMAT " + format, &payload); !s.ok()) {
         return s;
@@ -223,8 +259,12 @@ int main(int argc, char** argv) {
       }
     }
     if (cancel_after_ms < 0) {
-      Status status = Exchange(fd, "QUERY " + sql, &payload);
+      std::string extra;
+      Status status = Exchange(fd, "QUERY " + sql, &payload, &extra);
       if (!status.ok()) return status;
+      if (show_id && extra.rfind("id=", 0) == 0) {
+        std::fprintf(stderr, "%s\n", extra.c_str());
+      }
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }

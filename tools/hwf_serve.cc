@@ -12,14 +12,21 @@
 //
 // Commands:
 //   QUERY <sql>        execute synchronously, respond with the result
+//                      (header carries "id=<n>" for trace correlation)
 //   SUBMIT <sql>       enqueue; respond with framed payload "ID <n>\n"
 //   WAIT <id>          block for a submitted query's result
 //   CANCEL <id>        request cooperative cancellation
 //   FORMAT csv|json    set this connection's result format (default csv)
 //   TIMEOUT <seconds>  set this connection's per-query deadline (0 = none)
 //   STATS              service + cache statistics as JSON
+//   METRICS            Prometheus text-exposition metrics
+//   PROFILE <id>       retained profile of a finished query as JSON
 //   PING               liveness check, responds "OK 5\nPONG\n"
 //   QUIT               close the connection
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+// queries, write the final metrics/trace dumps and close the slow-query
+// log before exiting 0.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <signal.h>
@@ -27,6 +34,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +43,8 @@
 #include <vector>
 
 #include "mem/memory_budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/result_format.h"
 #include "service/service.h"
 #include "storage/csv.h"
@@ -61,8 +71,30 @@ void Usage() {
       "64M)\n"
       "  --cache_bytes BYTES   tree cache capacity, 0 disables (default "
       "256M)\n"
-      "  --timeout SECONDS     default per-query deadline (default none)\n");
+      "  --timeout SECONDS     default per-query deadline (default none)\n"
+      "  --slow_query_log FILE JSON-lines slow-query log (default off)\n"
+      "  --slow_query_ms N     slow-query threshold in ms (default 100)\n"
+      "  --trace FILE          write a Chrome trace on shutdown\n"
+      "  --metrics_dump FILE   write a final metrics snapshot on shutdown\n");
 }
+
+/// Signal-driven shutdown: the handler breaks the accept loop by shutting
+/// the listener down (accept returns, the loop exits) — the only
+/// async-signal-safe way to interrupt accept without polling.
+volatile sig_atomic_t g_stop = 0;
+int g_listener = -1;
+
+void HandleStopSignal(int) {
+  g_stop = 1;
+  if (g_listener >= 0) ::shutdown(g_listener, SHUT_RDWR);
+}
+
+/// What a connection handler needs: the service plus the metrics registry
+/// backing the METRICS command.
+struct ServerContext {
+  service::QueryService* svc = nullptr;
+  obs::MetricsRegistry* registry = nullptr;
+};
 
 /// Reads one \n-terminated line; false on EOF/error.
 bool ReadLine(int fd, std::string* line) {
@@ -86,9 +118,14 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-bool SendPayload(int fd, const std::string& payload) {
-  return WriteAll(fd,
-                  "OK " + std::to_string(payload.size()) + "\n" + payload);
+/// Frames `payload` as "OK <nbytes>[ <extra>]\n<payload>". Existing clients
+/// parse the byte count with strtoull, which stops at the space, so header
+/// extras (like "id=<n>") are backwards compatible.
+bool SendPayload(int fd, const std::string& payload,
+                 const std::string& header_extra = std::string()) {
+  std::string header = "OK " + std::to_string(payload.size());
+  if (!header_extra.empty()) header += " " + header_extra;
+  return WriteAll(fd, header + "\n" + payload);
 }
 
 bool SendOk(int fd) { return WriteAll(fd, "OK\n"); }
@@ -103,32 +140,8 @@ bool SendError(int fd, const Status& status) {
                           " " + message + "\n");
 }
 
-std::string StatsJson(const service::QueryService& svc) {
-  const service::QueryService::Stats s = svc.stats();
-  std::string out = "{";
-  auto field = [&out](const char* name, uint64_t value, bool comma = true) {
-    out += std::string("\"") + name + "\":" + std::to_string(value);
-    if (comma) out += ",";
-  };
-  field("queued", s.queued);
-  field("executing", s.executing);
-  field("admitted", s.admitted);
-  field("rejected", s.rejected);
-  field("cancelled", s.cancelled);
-  field("completed", s.completed);
-  field("reserved_bytes", s.reserved_bytes);
-  out += "\"cache\":{";
-  field("hits", s.cache.hits);
-  field("misses", s.cache.misses);
-  field("evictions", s.cache.evictions);
-  field("entries", s.cache.entries);
-  field("bytes", s.cache.bytes);
-  field("capacity_bytes", s.cache.capacity_bytes, /*comma=*/false);
-  out += "}}\n";
-  return out;
-}
-
-void ServeConnection(int fd, service::QueryService* svc) {
+void ServeConnection(int fd, ServerContext ctx) {
+  service::QueryService* svc = ctx.svc;
   service::ResultFormat format = service::ResultFormat::kCsv;
   double timeout_seconds = -1;  // service default
   std::string line;
@@ -150,7 +163,26 @@ void ServeConnection(int fd, service::QueryService* svc) {
       continue;
     }
     if (command == "STATS") {
-      SendPayload(fd, StatsJson(*svc));
+      SendPayload(fd, svc->StatsJson());
+      continue;
+    }
+    if (command == "METRICS") {
+      SendPayload(fd, ctx.registry->RenderText());
+      continue;
+    }
+    if (command == "PROFILE") {
+      char* end = nullptr;
+      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) {
+        SendError(fd, Status::InvalidArgument("PROFILE needs a query id"));
+        continue;
+      }
+      StatusOr<std::string> profile = svc->RetainedProfileJson(id);
+      if (!profile.ok()) {
+        SendError(fd, profile.status());
+      } else {
+        SendPayload(fd, *profile + "\n");
+      }
       continue;
     }
     if (command == "FORMAT") {
@@ -189,7 +221,8 @@ void ServeConnection(int fd, service::QueryService* svc) {
       if (!result.ok()) {
         SendError(fd, result.status());
       } else {
-        SendPayload(fd, service::FormatTable(result->table, format));
+        SendPayload(fd, service::FormatTable(result->table, format),
+                    "id=" + std::to_string(result->query_id));
       }
       continue;
     }
@@ -213,7 +246,8 @@ void ServeConnection(int fd, service::QueryService* svc) {
       if (!result.ok()) {
         SendError(fd, result.status());
       } else {
-        SendPayload(fd, service::FormatTable(result->table, format));
+        SendPayload(fd, service::FormatTable(result->table, format),
+                    "id=" + std::to_string(result->query_id));
       }
       continue;
     }
@@ -228,6 +262,8 @@ void ServeConnection(int fd, service::QueryService* svc) {
 int main(int argc, char** argv) {
   int port = 0;
   std::vector<std::pair<std::string, std::string>> tables;
+  std::string trace_path;
+  std::string metrics_dump_path;
   service::ServiceOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -273,6 +309,14 @@ int main(int argc, char** argv) {
       options.enable_cache = options.cache_capacity_bytes > 0;
     } else if (flag == "--timeout") {
       options.default_timeout_seconds = std::atof(next());
+    } else if (flag == "--slow_query_log") {
+      options.slow_query_log_path = next();
+    } else if (flag == "--slow_query_ms") {
+      options.slow_query_seconds = std::atof(next()) / 1000.0;
+    } else if (flag == "--trace") {
+      trace_path = next();
+    } else if (flag == "--metrics_dump") {
+      metrics_dump_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       return 0;
@@ -287,7 +331,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_path.empty()) obs::Tracer::Get().Enable();
+
   service::QueryService svc(options);
+  obs::MetricsRegistry registry;
+  obs::RegisterProcessCounters(&registry);
+  svc.RegisterMetrics(&registry);
   for (const auto& [name, path] : tables) {
     StatusOr<Table> table = ReadCsvFile(path);
     if (!table.ok()) {
@@ -306,6 +355,11 @@ int main(int argc, char** argv) {
     std::perror("socket");
     return 1;
   }
+  g_listener = listener;
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
   const int one = 1;
   ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -326,11 +380,42 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %d\n", ntohs(addr.sin_port));
   std::fflush(stdout);
 
+  const ServerContext ctx{&svc, &registry};
   for (;;) {
     const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    std::thread(ServeConnection, fd, &svc).detach();
+    if (fd < 0) {
+      if (g_stop) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::thread(ServeConnection, fd, ctx).detach();
   }
   ::close(listener);
+
+  // Graceful shutdown: drain in-flight queries (Shutdown joins the
+  // sessions and closes the slow-query log), then write the final
+  // observability artifacts.
+  std::fprintf(stderr, "shutting down: draining in-flight queries\n");
+  svc.Shutdown();
+  if (!metrics_dump_path.empty()) {
+    const std::string text = registry.RenderText();
+    if (std::FILE* file = std::fopen(metrics_dump_path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), file);
+      std::fclose(file);
+      std::fprintf(stderr, "wrote final metrics to %s\n",
+                   metrics_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   metrics_dump_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    Status written = obs::Tracer::Get().WriteChromeTrace(trace_path);
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the query service front door: starts hwf_serve, runs
 # eight concurrent hwf_client queries (one cancelled mid-flight), diffs one
-# of them against the direct-executor path (hwf_cli), and exercises
-# admission rejection on a second, deliberately tiny service instance.
+# of them against the direct-executor path (hwf_cli), checks the telemetry
+# surface (METRICS exposition, slow-query log, PROFILE lookup, per-query
+# trace attribution, graceful shutdown), and exercises admission rejection
+# on a second, deliberately tiny service instance.
 #
 # Usage: tools/service_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -11,6 +13,7 @@ BUILD=${1:-build}
 SERVE=$BUILD/tools/hwf_serve
 CLIENT=$BUILD/tools/hwf_client
 CLI=$BUILD/tools/hwf_cli
+TOOLS=$(dirname "$0")
 WORK=$(mktemp -d)
 SERVE_PID=""
 SERVE2_PID=""
@@ -59,7 +62,13 @@ start_server() {  # start_server OUT_FILE ARGS... ; echoes the port
 }
 
 # --- main service: 8 concurrent clients, one cancelled mid-flight ---------
-read -r SERVE_PID PORT < <(start_server "$WORK/serve.out" --sessions 4 --queue 32)
+# HWF_THREADS=4 guarantees pool workers even on 1-core machines, so the
+# trace-attribution check below sees a query's spans on multiple threads.
+export HWF_THREADS=4
+read -r SERVE_PID PORT < <(start_server "$WORK/serve.out" --sessions 4 --queue 32 \
+  --slow_query_log "$WORK/slow.jsonl" --slow_query_ms 0 \
+  --trace "$WORK/serve_trace.json" --metrics_dump "$WORK/final_metrics.prom")
+unset HWF_THREADS
 echo "serving on port $PORT"
 
 QUERIES=(
@@ -110,6 +119,87 @@ assert stats["completed"] >= 7, stats
 assert stats["reserved_bytes"] == 0, stats
 EOF
 echo "stats: cancellation recorded, reservations drained"
+
+# --- telemetry: METRICS exposition, quantile sanity, PROFILE round trip ---
+"$CLIENT" --port "$PORT" --metrics >"$WORK/metrics.prom"
+python3 "$TOOLS/validate_metrics.py" \
+  --require-nonzero hwf_query_stage_seconds \
+  --require hwf_service_queries_by_outcome_total \
+  "$WORK/metrics.prom" || fail "live METRICS payload failed validation"
+python3 - "$WORK/metrics.prom" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+def q(stage, quantile):
+    m = re.search(r'^hwf_query_stage_seconds\{[^}]*stage="%s"[^}]*'
+                  r'quantile="%s"[^}]*\}\s+(\S+)' % (stage, quantile),
+                  text, re.M)
+    assert m, "missing stage=%s quantile=%s sample" % (stage, quantile)
+    return float(m.group(1))
+p50, p99 = q("total", "0.5"), q("total", "0.99")
+assert p99 >= p50 >= 0, (p50, p99)
+EOF
+echo "metrics: exposition valid, total-stage p99 >= p50 >= 0"
+
+# PROFILE round trip: run one query with --show-id, look its profile up.
+"$CLIENT" --port "$PORT" --show-id "${QUERIES[0]}" \
+  >/dev/null 2>"$WORK/show_id.err"
+QID=$(sed -n 's/^id=//p' "$WORK/show_id.err" | head -1)
+[ -n "$QID" ] || fail "--show-id printed no id: $(cat "$WORK/show_id.err")"
+"$CLIENT" --port "$PORT" --profile-id "$QID" >"$WORK/profile.json"
+python3 - "$WORK/profile.json" "$QID" <<'EOF'
+import json, sys
+record = json.load(open(sys.argv[1]))
+assert record["query_id"] == int(sys.argv[2]), record
+assert record["outcome"] == "ok", record
+assert record["total_seconds"] >= record["exec_seconds"] >= 0, record
+assert record["profile"] is not None, record
+EOF
+echo "profile: query $QID retained and retrievable"
+
+# --- graceful shutdown: drain, slow log intact, final metrics + trace -----
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVE_PID" 2>/dev/null && fail "server did not exit on SIGTERM"
+SERVE_PID=""
+
+python3 "$TOOLS/validate_metrics.py" \
+  --require-nonzero hwf_query_stage_seconds "$WORK/final_metrics.prom" \
+  || fail "final metrics dump failed validation"
+
+# Every slow-log line (threshold 0 ms => all queries) is schema-complete
+# JSON, and the cancelled query shows up with its outcome.
+python3 - "$WORK/slow.jsonl" <<'EOF'
+import json, sys
+keys = {"query_id", "sql", "outcome", "total_seconds", "queue_wait_seconds",
+        "exec_seconds", "parse_plan_seconds", "groups", "cache_hits",
+        "cache_misses", "peak_reserved_bytes", "profile"}
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 8, len(lines)
+for record in lines:
+    assert keys <= set(record), sorted(keys - set(record))
+outcomes = {r["outcome"] for r in lines}
+assert "ok" in outcomes and "cancelled" in outcomes, outcomes
+EOF
+echo "slow-query log: $(wc -l <"$WORK/slow.jsonl") schema-complete lines"
+
+# Trace attribution: some query id must appear on spans from at least two
+# distinct threads (session thread + pool worker).
+python3 - "$WORK/serve_trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+tids_by_query = {}
+for e in events:
+    qid = e.get("args", {}).get("query")
+    if qid is not None:
+        tids_by_query.setdefault(qid, set()).add(e["tid"])
+assert tids_by_query, "no span carries a query id"
+best = max(len(t) for t in tids_by_query.values())
+assert best >= 2, "no query id spans >1 thread: %r" % tids_by_query
+EOF
+echo "trace: query ids attributed across threads"
 
 # --- admission control: tiny instance rejects the overflow query ----------
 # HWF_THREADS=1 makes execution serial, so the occupant query holds its

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text-exposition (0.0.4) output.
+
+Reads an exposition payload from a file (or stdin) and checks it against the
+format rules hwf_serve's METRICS command promises:
+
+  - metric and label names match the Prometheus alphabets;
+  - every sample is preceded by a # TYPE for its family, declared once;
+  - all samples of a family are contiguous (no interleaving);
+  - counter families end in _total;
+  - summaries have in-range, per-series monotone quantiles plus _sum/_count;
+  - no duplicate series (same name + label set);
+  - sample values parse as floats (Inf/NaN allowed);
+  - the payload ends with a newline.
+
+Exit code 0 when clean, 1 with one line per violation otherwise.
+
+Flags:
+  --require NAME           fail unless a family NAME was exposed
+  --require-nonzero NAME   fail unless some sample of family NAME is > 0
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+# name{labels} value [timestamp]
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?\s*$"
+)
+
+LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_labels(raw, errors, lineno):
+    """Returns the label set as a sorted tuple of (key, value) pairs."""
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            errors.append(f"line {lineno}: malformed labels: {{{raw}}}")
+            return None
+        key = m.group("key")
+        if not LABEL_NAME_RE.match(key):
+            errors.append(f"line {lineno}: bad label name {key!r}")
+        labels.append((key, m.group("value")))
+        pos = m.end()
+    keys = [k for k, _ in labels]
+    if len(keys) != len(set(keys)):
+        errors.append(f"line {lineno}: duplicate label name in {{{raw}}}")
+    return tuple(sorted(labels))
+
+
+def base_family(name):
+    """Family a sample belongs to: strips summary/histogram suffixes."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default="-",
+                        help="exposition file ('-' for stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME", help="fail unless family NAME exists")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless some sample of NAME is > 0")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors = []
+    if text and not text.endswith("\n"):
+        errors.append("payload does not end with a newline")
+
+    declared_types = {}     # family -> type
+    family_closed = set()   # families whose sample block has ended
+    current_family = None
+    seen_series = set()     # (sample name, labels)
+    family_max = {}         # family -> max sample value (for --require-nonzero)
+    # (family, labels) -> list of (quantile, value) for summary monotonicity
+    summary_quantiles = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    errors.append(f"line {lineno}: malformed {parts[1]} line")
+                    continue
+                name = parts[2]
+                if not METRIC_NAME_RE.match(name):
+                    errors.append(
+                        f"line {lineno}: bad metric name {name!r} in {parts[1]}")
+                if parts[1] == "TYPE":
+                    mtype = parts[3].strip() if len(parts) > 3 else ""
+                    if mtype not in TYPES:
+                        errors.append(
+                            f"line {lineno}: unknown type {mtype!r} for {name}")
+                    if name in declared_types:
+                        errors.append(
+                            f"line {lineno}: duplicate TYPE for {name}")
+                    declared_types[name] = mtype
+                    if mtype == "counter" and not name.endswith("_total"):
+                        errors.append(
+                            f"line {lineno}: counter {name} must end in _total")
+            # Other comments are allowed and ignored.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels_raw = m.group("labels")
+        labels = ()
+        if labels_raw is not None:
+            parsed = parse_labels(labels_raw, errors, lineno)
+            if parsed is None:
+                continue
+            labels = parsed
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: unparseable value {m.group('value')!r}")
+            continue
+
+        family = base_family(name)
+        if family not in declared_types:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding # TYPE "
+                f"for family {family}")
+        if family != current_family:
+            if family in family_closed:
+                errors.append(
+                    f"line {lineno}: family {family} samples are not "
+                    f"contiguous")
+            if current_family is not None:
+                family_closed.add(current_family)
+            current_family = family
+
+        series_key = (name, labels)
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{{{labels}}}")
+        seen_series.add(series_key)
+
+        if not math.isnan(value):
+            family_max[family] = max(family_max.get(family, -math.inf), value)
+
+        if declared_types.get(family) == "summary" and name == family:
+            quantile = dict(labels).get("quantile")
+            if quantile is None:
+                errors.append(
+                    f"line {lineno}: summary sample {name} missing "
+                    f"quantile label")
+            else:
+                try:
+                    q = float(quantile)
+                except ValueError:
+                    errors.append(
+                        f"line {lineno}: bad quantile {quantile!r}")
+                    q = None
+                if q is not None:
+                    if not (0.0 <= q <= 1.0):
+                        errors.append(
+                            f"line {lineno}: quantile {q} outside [0, 1]")
+                    other = tuple(kv for kv in labels if kv[0] != "quantile")
+                    summary_quantiles.setdefault((family, other), []).append(
+                        (q, value, lineno))
+
+    for family, mtype in declared_types.items():
+        if mtype != "summary":
+            continue
+        series_labels = {other for (fam, other) in summary_quantiles
+                         if fam == family}
+        for other in series_labels:
+            if (family + "_sum", other) not in seen_series:
+                errors.append(f"summary {family} missing {family}_sum")
+            if (family + "_count", other) not in seen_series:
+                errors.append(f"summary {family} missing {family}_count")
+            points = sorted(summary_quantiles[(family, other)])
+            for (q1, v1, _), (q2, v2, ln) in zip(points, points[1:]):
+                if not (math.isnan(v1) or math.isnan(v2)) and v2 < v1:
+                    errors.append(
+                        f"line {ln}: summary {family} quantile {q2} value "
+                        f"{v2} < quantile {q1} value {v1}")
+
+    for name in args.require:
+        if name not in declared_types:
+            errors.append(f"required family {name} not exposed")
+    for name in args.require_nonzero:
+        if name not in declared_types:
+            errors.append(f"required family {name} not exposed")
+        elif family_max.get(name, 0) <= 0:
+            errors.append(f"required family {name} has no sample > 0")
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"FAIL: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(seen_series)} series in {len(declared_types)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
