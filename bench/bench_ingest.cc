@@ -1,0 +1,257 @@
+// Streaming-ingest benchmark: APPEND/UPSERT batch throughput into the
+// catalog's delta buffer, warm probe latency as a function of resident
+// delta size (the merged main+delta cursor against a cache-off cold
+// rebuild), and the cost of folding the delta back into the base. Emits
+// BENCH_ingest.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "obs/histogram.h"
+#include "service/service.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace {
+
+using service::QueryResult;
+using service::QueryService;
+using service::ServiceOptions;
+
+Table MakeTable(size_t rows, uint64_t seed) {
+  Pcg32 rng(seed);
+  Column grp(DataType::kInt64);
+  Column ord(DataType::kInt64);
+  Column val(DataType::kInt64);
+  Column price(DataType::kDouble);
+  for (size_t i = 0; i < rows; ++i) {
+    grp.AppendInt64(static_cast<int64_t>(rng.Bounded(4)));
+    ord.AppendInt64(static_cast<int64_t>(rng.Bounded(1u << 20)));
+    val.AppendInt64(static_cast<int64_t>(rng.Bounded(100000)));
+    price.AppendDouble(rng.NextDouble() * 1000.0);
+  }
+  Table table;
+  table.AddColumn("grp", std::move(grp));
+  table.AddColumn("ord", std::move(ord));
+  table.AddColumn("val", std::move(val));
+  table.AddColumn("price", std::move(price));
+  return table;
+}
+
+/// The probe workload: a holistic selection function, so the post-append
+/// path runs through the merged main+delta cursor rather than a rebuild.
+const char* kProbeSql =
+    "select percentile_disc(0.5 order by val) over (order by ord rows "
+    "between 300 preceding and current row) from t";
+
+double MedianQuerySeconds(QueryService& svc, const std::string& sql,
+                          size_t repeats, obs::HistogramSnapshot* snap_out) {
+  obs::LatencyHistogram latency;
+  for (size_t i = 0; i < repeats; ++i) {
+    bench::Timer timer;
+    StatusOr<QueryResult> result = svc.Query(sql);
+    HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    latency.Record(static_cast<uint64_t>(timer.Seconds() * 1e6));
+  }
+  const obs::HistogramSnapshot snap = latency.Snapshot();
+  if (snap_out != nullptr) *snap_out = snap;
+  return snap.Quantile(0.5) * 1e-6;
+}
+
+}  // namespace
+}  // namespace hwf
+
+int main() {
+  using namespace hwf;  // NOLINT
+
+  const size_t kBaseRows = bench::Scaled(200000);
+  const size_t kBatchRows = bench::Scaled(5000);
+  const size_t kBatches = 20;
+  const size_t kWarmRepeats = 12;
+  bench::BenchJson json("ingest");
+
+  // --- APPEND / UPSERT batch throughput ----------------------------------
+  // O(batch) buffering into the delta: no re-sort, no tree rebuild, no
+  // epoch churn. Throughput here is the wire-to-buffered rate.
+  bench::PrintHeader("ingest throughput: rows/sec buffered per batch kind");
+  std::printf("%-10s %10s %14s\n", "kind", "seconds", "Mrows/s");
+  {
+    ServiceOptions options;
+    options.auto_compact = false;
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(kBaseRows, 42));
+    std::vector<Table> batches;
+    for (size_t b = 0; b < kBatches; ++b) {
+      batches.push_back(MakeTable(kBatchRows, 100 + b));
+    }
+    bench::Timer timer;
+    for (const Table& batch : batches) {
+      StatusOr<service::Catalog::TableMeta> meta = svc.AppendRows("t", batch);
+      HWF_CHECK_MSG(meta.ok(), meta.status().ToString().c_str());
+    }
+    const double seconds = timer.Seconds();
+    const double mtps =
+        static_cast<double>(kBatches * kBatchRows) / seconds / 1e6;
+    std::printf("%-10s %10.4f %14.3f\n", "append", seconds, mtps);
+    char entry[192];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"append\", \"rows\": %zu, \"batches\": %zu, "
+                  "\"seconds\": %.4f, \"throughput_mtps\": %.4f}",
+                  kBatches * kBatchRows, kBatches, seconds, mtps);
+    json.AddRaw(entry);
+  }
+  {
+    // Keyed upsert against a table whose keys all collide: every row is an
+    // in-place rewrite through the key index (the worst case).
+    ServiceOptions options;
+    options.auto_compact = false;
+    QueryService svc(options);
+    const size_t rows = kBaseRows / 2;
+    Pcg32 rng(7);
+    auto keyed = [&](uint64_t seed) {
+      Pcg32 r(seed);
+      Column k(DataType::kInt64);
+      Column v(DataType::kInt64);
+      for (size_t i = 0; i < rows; ++i) {
+        k.AppendInt64(static_cast<int64_t>(i));
+        v.AppendInt64(static_cast<int64_t>(r.Bounded(100000)));
+      }
+      Table t;
+      t.AddColumn("k", std::move(k));
+      t.AddColumn("v", std::move(v));
+      return t;
+    };
+    (void)rng;
+    StatusOr<uint64_t> epoch = svc.RegisterTable("u", keyed(1), "k");
+    HWF_CHECK_MSG(epoch.ok(), epoch.status().ToString().c_str());
+    Table rewrite = keyed(2);
+    bench::Timer timer;
+    StatusOr<service::Catalog::TableMeta> meta = svc.UpsertRows("u", rewrite);
+    const double seconds = timer.Seconds();
+    HWF_CHECK_MSG(meta.ok(), meta.status().ToString().c_str());
+    const double mtps = static_cast<double>(rows) / seconds / 1e6;
+    std::printf("%-10s %10.4f %14.3f\n", "upsert", seconds, mtps);
+    char entry[160];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"upsert_rewrite\", \"rows\": %zu, "
+                  "\"seconds\": %.4f, \"throughput_mtps\": %.4f}",
+                  rows, seconds, mtps);
+    json.AddRaw(entry);
+  }
+
+  // --- probe latency vs resident delta size -------------------------------
+  // Two numbers per delta size. `first` is the first post-append query:
+  // rebuild-free by design (delta tree + merged cursor instead of an
+  // O(n log n) re-sort/rebuild), but its scalar O(log^2) selects cost more
+  // per row than the batched kernel. `p50` is the steady state after the
+  // cursor's crossover policy rebuilt the combined tree — it should sit on
+  // top of the delta-free baseline, proving repeat-heavy workloads
+  // re-amortize to full batched-kernel speed.
+  bench::PrintHeader("probe latency vs delta size (merged cursor)");
+  std::printf("%-18s %10s %14s %14s\n", "delta", "rows", "first s",
+              "steady p50 s");
+  double p50_base = 0;
+  double p50_mid = 0;
+  for (const double frac : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    ServiceOptions options;
+    options.auto_compact = false;
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(kBaseRows, 42));
+    // Warm the base-state artifacts, then land the delta.
+    HWF_CHECK_MSG(svc.Query(kProbeSql).ok(), "warm-up query failed");
+    const size_t delta_rows = static_cast<size_t>(
+        static_cast<double>(kBaseRows) * frac);
+    double first_seconds = 0;
+    if (delta_rows > 0) {
+      StatusOr<service::Catalog::TableMeta> meta =
+          svc.AppendRows("t", MakeTable(delta_rows, 999));
+      HWF_CHECK_MSG(meta.ok(), meta.status().ToString().c_str());
+      bench::Timer first;
+      HWF_CHECK_MSG(svc.Query(kProbeSql).ok(), "merge query failed");
+      first_seconds = first.Seconds();
+    }
+    obs::HistogramSnapshot snap;
+    const double p50 = MedianQuerySeconds(svc, kProbeSql, kWarmRepeats, &snap);
+    if (frac == 0.0) p50_base = p50;
+    if (frac == 0.05) p50_mid = p50;
+    char label[48];
+    std::snprintf(label, sizeof label, "probe_delta=%.2f", frac);
+    std::printf("%-18s %10zu %14.6f %14.6f\n", label, delta_rows,
+                first_seconds, p50);
+    char entry[256];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"%s\", \"delta_rows\": %zu, "
+                  "\"first_seconds\": %.6f, \"seconds\": %.6f, "
+                  "\"latency\": ",
+                  label, delta_rows, first_seconds, p50);
+    json.AddRaw(std::string(entry) +
+                bench::HistogramQuantilesJson(snap, 1e-6) + "}");
+  }
+  // Hardware-independent gate: steady-state warm probes with a 5% delta vs
+  // none. The crossover policy must pin this near 1.0 — regressions here
+  // mean appended state is still paying merged-cursor (or worse, rebuild)
+  // costs on every repeat query.
+  {
+    const double ratio = p50_base > 0 ? p50_mid / p50_base : 1.0;
+    std::printf("steady-state overhead ratio (5%% / none) %.4f\n", ratio);
+    char entry[96];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"merged_probe_overhead\", \"ratio\": %.4f}",
+                  ratio);
+    json.AddRaw(entry);
+  }
+
+  // --- comparator: the same delta with the cache off (cold rebuild) -------
+  {
+    ServiceOptions options;
+    options.auto_compact = false;
+    options.enable_cache = false;
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(kBaseRows, 42));
+    const size_t delta_rows = kBaseRows / 20;
+    HWF_CHECK_MSG(svc.AppendRows("t", MakeTable(delta_rows, 999)).ok(),
+                  "append failed");
+    obs::HistogramSnapshot snap;
+    const double p50 =
+        MedianQuerySeconds(svc, kProbeSql, kWarmRepeats / 2 + 1, &snap);
+    std::printf("cold rebuild (cache off, 5%% delta) p50 %.6f s\n", p50);
+    char entry[160];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"cold_rebuild_delta=0.05\", "
+                  "\"delta_rows\": %zu, \"seconds\": %.6f}",
+                  delta_rows, p50);
+    json.AddRaw(entry);
+  }
+
+  // --- compaction cost -----------------------------------------------------
+  bench::PrintHeader("compaction: folding a 10% delta into the base");
+  {
+    ServiceOptions options;
+    options.auto_compact = false;
+    QueryService svc(options);
+    svc.RegisterTable("t", MakeTable(kBaseRows, 42));
+    HWF_CHECK_MSG(svc.AppendRows("t", MakeTable(kBaseRows / 10, 999)).ok(),
+                  "append failed");
+    // Materialization happens on first lookup; include it by querying once
+    // so the timed section is the fold alone.
+    HWF_CHECK_MSG(svc.Query(kProbeSql).ok(), "pre-compaction query failed");
+    bench::Timer timer;
+    StatusOr<service::Catalog::TableMeta> meta = svc.CompactTable("t");
+    const double seconds = timer.Seconds();
+    HWF_CHECK_MSG(meta.ok(), meta.status().ToString().c_str());
+    std::printf("compacted %zu rows in %.4f s\n", meta->base_rows, seconds);
+    char entry[128];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"compact_delta=0.10\", \"rows\": %zu, "
+                  "\"seconds\": %.4f}",
+                  meta->base_rows, seconds);
+    json.AddRaw(entry);
+  }
+
+  json.WriteDefault();
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "ingest/compactor.h"
+
+#include <chrono>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace hwf {
+namespace ingest {
+
+Compactor::Compactor(service::Catalog* catalog, ThreadPool* pool,
+                     const CompactorOptions& options)
+    : catalog_(catalog), pool_(pool), options_(options) {}
+
+Compactor::~Compactor() { Stop(); }
+
+bool Compactor::MaybeScheduleCompaction(const std::string& name) {
+  StatusOr<service::Catalog::TableMeta> meta = catalog_->PeekMeta(name);
+  if (!meta.ok()) return false;
+  if (meta->delta_rows < options_.min_delta_rows) return false;
+  const double threshold =
+      options_.delta_ratio * static_cast<double>(meta->base_rows);
+  if (static_cast<double>(meta->delta_rows) <= threshold) return false;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    if (!in_flight_.insert(name).second) return false;  // Already queued.
+    ++stats_.scheduled;
+  }
+  auto task = [this, name] {
+    {
+      // Install the compactor's stop token so a Stop() during shutdown
+      // cancels the fold at the next cooperative check.
+      ScopedStopToken scoped(stop_.token());
+      RunCompaction(name);
+    }
+    FinishTask(name);
+  };
+  if (pool_->num_workers() == 0) {
+    // Worker-less pool (single-core host or serial configuration): a
+    // submitted task would sit queued until some ParallelFor happened to
+    // help-drain it. Fold inline on the ingest thread instead — still
+    // amortized, since the ratio threshold gates how often we get here.
+    task();
+    return true;
+  }
+  pool_->Submit(std::move(task));
+  return true;
+}
+
+StatusOr<service::Catalog::TableMeta> Compactor::CompactNow(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.scheduled;
+    // Synchronous callers do not enter in_flight_: a concurrent background
+    // task for the same table just makes one of the two folds a no-op
+    // (Catalog::Compact serializes on the per-table lock).
+  }
+  return RunCompaction(name);
+}
+
+StatusOr<service::Catalog::TableMeta> Compactor::RunCompaction(
+    const std::string& name) {
+  obs::TraceScope trace("ingest.compact");
+  const auto start = std::chrono::steady_clock::now();
+
+  // Reserve roughly the combined footprint while the fold runs: the new
+  // base coexists with the old until queries release their snapshots.
+  mem::MemoryReservation reservation;
+  if (options_.budget != nullptr) {
+    StatusOr<service::Catalog::TableMeta> meta = catalog_->PeekMeta(name);
+    if (meta.ok()) {
+      const size_t approx_rows = meta->base_rows + meta->delta_rows;
+      reservation.ForceReserve(options_.budget, approx_rows * sizeof(int64_t));
+    }
+  }
+
+  StatusOr<service::Catalog::TableMeta> result = catalog_->Compact(name);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result.ok()) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+    stats_.total_seconds += seconds;
+    stats_.last_seconds = seconds;
+  }
+  obs::Add(result.ok() ? obs::Counter::kIngestCompactions
+                       : obs::Counter::kIngestCompactionsFailed);
+  return result;
+}
+
+void Compactor::FinishTask(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_.erase(name);
+  if (in_flight_.empty()) drained_.notify_all();
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && in_flight_.empty()) return;
+    stopping_ = true;
+  }
+  stop_.RequestStop();
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Help the pool drain so Stop() cannot deadlock when every worker is
+  // busy with (or waiting behind) our own queued compactions.
+  while (!in_flight_.empty()) {
+    lock.unlock();
+    const bool ran = pool_->RunOnePending();
+    lock.lock();
+    if (!ran && !in_flight_.empty()) {
+      drained_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+}
+
+Compactor::Stats Compactor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ingest
+}  // namespace hwf

@@ -1,0 +1,94 @@
+#ifndef HWF_INGEST_COMPACTOR_H_
+#define HWF_INGEST_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/stop_token.h"
+#include "mem/memory_budget.h"
+#include "parallel/thread_pool.h"
+#include "service/catalog.h"
+
+namespace hwf {
+namespace ingest {
+
+struct CompactorOptions {
+  /// Compact when delta_rows > delta_ratio * base_rows (fractal-tree
+  /// message-buffer discipline: the delta may grow to a constant fraction
+  /// of the base, so each row is rewritten O(log_{1/ratio}) ≈ O(1)
+  /// amortized times, while probes only ever see a bounded delta).
+  double delta_ratio = 0.10;
+  /// Below this many delta rows, compaction is never worth the copy.
+  size_t min_delta_rows = 4096;
+  /// When set, the combined table's approximate footprint is reserved here
+  /// for the duration of the fold (ForceReserve — compaction degrades the
+  /// budget rather than failing, like the library's other scratch paths).
+  mem::MemoryBudget* budget = nullptr;
+};
+
+/// Amortized background compaction of catalog delta buffers.
+///
+/// Scheduling is edge-triggered from the ingest path: after each batch the
+/// service asks MaybeScheduleCompaction, which enqueues at most one task
+/// per table on the shared pool. The task runs Catalog::Compact under a
+/// stop token (cooperative cancellation via the thread-local CheckStop
+/// inside materialization) and the catalog swaps the new base in
+/// atomically under its per-table lock — queries never observe a partial
+/// fold, and because compaction preserves row ids, epoch and gen, every
+/// cached tree remains servable across the swap.
+class Compactor {
+ public:
+  Compactor(service::Catalog* catalog, ThreadPool* pool,
+            const CompactorOptions& options);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Schedules a background compaction of `name` when the delta exceeds
+  /// the ratio and none is already queued or running for it. Returns true
+  /// when a task was enqueued.
+  bool MaybeScheduleCompaction(const std::string& name);
+
+  /// Synchronous compaction regardless of threshold (COMPACT command,
+  /// tests, shutdown flushes). Records the same stats as the background
+  /// path.
+  StatusOr<service::Catalog::TableMeta> CompactNow(const std::string& name);
+
+  /// Requests cancellation of in-flight compactions and waits for every
+  /// scheduled task to drain. Idempotent; called by the destructor.
+  void Stop();
+
+  struct Stats {
+    uint64_t scheduled = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;  // Cancelled or errored.
+    double total_seconds = 0;
+    double last_seconds = 0;
+  };
+  Stats stats() const;
+
+ private:
+  StatusOr<service::Catalog::TableMeta> RunCompaction(const std::string& name);
+  void FinishTask(const std::string& name);
+
+  service::Catalog* catalog_;
+  ThreadPool* pool_;
+  CompactorOptions options_;
+  StopSource stop_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  std::unordered_set<std::string> in_flight_;
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+}  // namespace ingest
+}  // namespace hwf
+
+#endif  // HWF_INGEST_COMPACTOR_H_

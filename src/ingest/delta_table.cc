@@ -1,0 +1,221 @@
+#include "ingest/delta_table.h"
+
+#include <utility>
+
+#include "common/stop_token.h"
+
+namespace hwf {
+namespace ingest {
+
+namespace {
+
+constexpr size_t kStopCheckStride = 1 << 14;
+
+/// Coerces `value` into `target` (identity, NULL retyping, or the single
+/// widening conversion kInt64 -> kDouble). Returns false on any other
+/// type mismatch.
+bool Coerce(const Value& value, DataType target, Value* out) {
+  if (value.is_null()) {
+    *out = Value::Null(target);
+    return true;
+  }
+  if (value.type() == target) {
+    *out = value;
+    return true;
+  }
+  if (value.type() == DataType::kInt64 && target == DataType::kDouble) {
+    *out = Value::Double(static_cast<double>(value.int64()));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DeltaTable::DeltaTable(std::shared_ptr<const Table> base, size_t key_column)
+    : base_(std::move(base)), key_column_(key_column) {
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    appended_.AddColumn(base_->column_name(c), Column(base_->column(c).type()));
+  }
+}
+
+Status DeltaTable::CheckSchema(const Table& rows,
+                               std::vector<size_t>* column_map) const {
+  if (rows.num_columns() != base_->num_columns()) {
+    return Status::InvalidArgument(
+        "ingest batch has " + std::to_string(rows.num_columns()) +
+        " columns, table has " + std::to_string(base_->num_columns()));
+  }
+  column_map->resize(base_->num_columns());
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    StatusOr<size_t> index = rows.ColumnIndex(base_->column_name(c));
+    if (!index.ok()) {
+      return Status::InvalidArgument("ingest batch is missing column '" +
+                                     base_->column_name(c) + "'");
+    }
+    const DataType have = rows.column(*index).type();
+    const DataType want = base_->column(c).type();
+    const bool widens = have == DataType::kInt64 && want == DataType::kDouble;
+    // All-NULL CSV columns infer as kInt64; NULLs retype freely, so only
+    // reject when the batch actually holds incompatible non-NULL values.
+    bool all_null = true;
+    for (size_t r = 0; all_null && r < rows.num_rows(); ++r) {
+      all_null = rows.column(*index).IsNull(r);
+    }
+    if (have != want && !widens && !all_null) {
+      return Status::TypeMismatch("column '" + base_->column_name(c) +
+                                  "' is " + DataTypeName(want) +
+                                  ", ingest batch has " + DataTypeName(have));
+    }
+    (*column_map)[c] = *index;
+  }
+  return Status::OK();
+}
+
+void DeltaTable::AppendRowCoerced(const Table& rows,
+                                  const std::vector<size_t>& map, size_t row) {
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    Value coerced;
+    const bool ok =
+        Coerce(rows.column(map[c]).GetValue(row), base_->column(c).type(),
+               &coerced);
+    HWF_CHECK(ok);  // CheckSchema already vetted the batch.
+    const_cast<Column&>(appended_.column(c)).AppendValue(coerced);
+  }
+}
+
+std::string DeltaTable::KeyAt(const Column& column, size_t row) {
+  if (column.IsNull(row)) return std::string();
+  return column.GetValue(row).ToString();
+}
+
+void DeltaTable::EnsureKeyIndex() {
+  if (key_index_built_) return;
+  key_index_built_ = true;
+  const Column& base_keys = base_->column(key_column_);
+  for (size_t r = 0; r < base_keys.size(); ++r) {
+    std::string key = KeyAt(base_keys, r);
+    if (key.empty()) continue;
+    key_index_.emplace(std::move(key), r);  // First occurrence wins.
+  }
+  const Column& delta_keys = appended_.column(key_column_);
+  for (size_t r = 0; r < delta_keys.size(); ++r) {
+    std::string key = KeyAt(delta_keys, r);
+    if (key.empty()) continue;
+    key_index_.emplace(std::move(key), base_rows() + r);
+  }
+}
+
+Status DeltaTable::Append(const Table& rows) {
+  std::vector<size_t> map;
+  if (Status s = CheckSchema(rows, &map); !s.ok()) return s;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    const size_t id = base_rows() + delta_rows();
+    AppendRowCoerced(rows, map, r);
+    if (key_index_built_ && key_column_ != kNoKeyColumn) {
+      std::string key = KeyAt(appended_.column(key_column_), id - base_rows());
+      if (!key.empty()) key_index_.emplace(std::move(key), id);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<UpsertStats> DeltaTable::Upsert(const Table& rows) {
+  if (key_column_ == kNoKeyColumn) {
+    return Status::InvalidArgument(
+        "table has no declared key column; UPSERT unavailable");
+  }
+  std::vector<size_t> map;
+  if (Status s = CheckSchema(rows, &map); !s.ok()) return s;
+  EnsureKeyIndex();
+
+  UpsertStats stats;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    std::string key = KeyAt(rows.column(map[key_column_]), r);
+    if (key.empty()) {
+      return Status::InvalidArgument("UPSERT row " + std::to_string(r) +
+                                     " has a NULL key");
+    }
+    auto hit = key_index_.find(key);
+    if (hit == key_index_.end()) {
+      const size_t id = base_rows() + delta_rows();
+      AppendRowCoerced(rows, map, r);
+      key_index_.emplace(std::move(key), id);
+      ++stats.appended;
+      continue;
+    }
+    std::vector<Value> row_values(base_->num_columns());
+    for (size_t c = 0; c < base_->num_columns(); ++c) {
+      const bool ok = Coerce(rows.column(map[c]).GetValue(r),
+                             base_->column(c).type(), &row_values[c]);
+      HWF_CHECK(ok);
+    }
+    if (hit->second < base_rows()) {
+      overrides_[hit->second] = std::move(row_values);
+      ++stats.updated_base;
+    } else {
+      const size_t local = hit->second - base_rows();
+      for (size_t c = 0; c < base_->num_columns(); ++c) {
+        Column& col = const_cast<Column&>(appended_.column(c));
+        const Value& v = row_values[c];
+        if (v.is_null()) {
+          col.SetNull(local);
+        } else {
+          switch (v.type()) {
+            case DataType::kInt64:
+              col.SetInt64(local, v.int64());
+              break;
+            case DataType::kDouble:
+              col.SetDouble(local, v.dbl());
+              break;
+            case DataType::kString:
+              col.SetString(local, v.str());
+              break;
+          }
+        }
+      }
+      ++stats.updated_delta;
+    }
+  }
+  return stats;
+}
+
+StatusOr<std::shared_ptr<const Table>> DeltaTable::Materialize() const {
+  auto combined = std::make_shared<Table>();
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    if (Status stop = CheckStop(); !stop.ok()) return stop;
+    // Whole-column copy, then point rewrites: overrides are rare relative
+    // to base size, so this beats a per-row value loop by a wide margin.
+    Column column = base_->column(c);
+    for (const auto& [row, values] : overrides_) {
+      const Value& v = values[c];
+      if (v.is_null()) {
+        column.SetNull(row);
+      } else {
+        switch (v.type()) {
+          case DataType::kInt64:
+            column.SetInt64(row, v.int64());
+            break;
+          case DataType::kDouble:
+            column.SetDouble(row, v.dbl());
+            break;
+          case DataType::kString:
+            column.SetString(row, v.str());
+            break;
+        }
+      }
+    }
+    const Column& delta = appended_.column(c);
+    for (size_t r = 0; r < delta.size(); ++r) {
+      if ((r & (kStopCheckStride - 1)) == 0) {
+        if (Status stop = CheckStop(); !stop.ok()) return stop;
+      }
+      column.AppendValue(delta.GetValue(r));
+    }
+    combined->AddColumn(base_->column_name(c), std::move(column));
+  }
+  return std::shared_ptr<const Table>(std::move(combined));
+}
+
+}  // namespace ingest
+}  // namespace hwf

@@ -1,0 +1,96 @@
+#ifndef HWF_INGEST_DELTA_TABLE_H_
+#define HWF_INGEST_DELTA_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace ingest {
+
+/// Outcome of a batch Upsert: how many incoming rows were plain appends vs
+/// in-place rewrites of rows that already existed. Any rewrite changes the
+/// value of an existing row id, which the catalog must surface as a content
+/// generation bump (cached artifacts keyed on the old generation become
+/// unreachable).
+struct UpsertStats {
+  size_t appended = 0;
+  size_t updated_base = 0;
+  size_t updated_delta = 0;
+
+  bool rewrote_existing() const { return updated_base + updated_delta > 0; }
+};
+
+/// Message buffer for table mutations, in the fractal-tree style: appends
+/// and keyed upserts accumulate here in O(batch) time and are folded into
+/// the immutable base table only on materialization/compaction.
+///
+/// Row-id discipline (the invariant everything else leans on): the base
+/// table owns ids [0, base_rows); appended rows take ids
+/// [base_rows, base_rows + delta_rows) in arrival order; ids are never
+/// renumbered. An upsert whose key matches an existing row rewrites that
+/// row's values in place (base rows via an override map applied at
+/// materialization; delta rows directly), so the id→row mapping is stable
+/// across every mutation, and compaction — promoting the materialized
+/// combined table to the new base — is observationally a no-op.
+///
+/// Not thread-safe; the catalog serializes access per table.
+class DeltaTable {
+ public:
+  static constexpr size_t kNoKeyColumn = static_cast<size_t>(-1);
+
+  /// `key_column` is the declared upsert key in the base schema (or
+  /// kNoKeyColumn when the table only supports appends).
+  DeltaTable(std::shared_ptr<const Table> base, size_t key_column);
+
+  /// Appends `rows` to the delta buffer. Schema must match the base by
+  /// name and type, except that kInt64 inputs coerce into kDouble columns
+  /// (CSV type inference reads "1" as an integer).
+  Status Append(const Table& rows);
+
+  /// Keyed upsert: rows whose key matches an existing (base or delta) row
+  /// rewrite it in place, others append. Requires a declared key column;
+  /// NULL keys are rejected. When the base holds duplicate keys the first
+  /// occurrence in id order is the upsert target.
+  StatusOr<UpsertStats> Upsert(const Table& rows);
+
+  size_t base_rows() const { return base_->num_rows(); }
+  size_t delta_rows() const { return appended_.num_rows(); }
+  size_t override_count() const { return overrides_.size(); }
+  bool empty() const { return delta_rows() == 0 && overrides_.empty(); }
+
+  /// Folds overrides and appended rows into a fresh combined table:
+  /// ids [0, base_rows) carry base values (overrides applied), ids
+  /// [base_rows, base_rows + delta_rows) the appended rows. Honors the
+  /// caller's thread-local StopToken; returns kCancelled when stopped.
+  StatusOr<std::shared_ptr<const Table>> Materialize() const;
+
+ private:
+  Status CheckSchema(const Table& rows, std::vector<size_t>* column_map) const;
+  void EnsureKeyIndex();
+  /// Canonical string form of the key at `row` of `column`; "" for NULL.
+  static std::string KeyAt(const Column& column, size_t row);
+  void AppendRowCoerced(const Table& rows, const std::vector<size_t>& map,
+                        size_t row);
+
+  std::shared_ptr<const Table> base_;
+  size_t key_column_;
+  Table appended_;  // Base schema; ids offset by base_rows().
+  // Base row id -> full replacement row (coerced to base column types).
+  std::unordered_map<size_t, std::vector<Value>> overrides_;
+  // Key value -> row id (base or delta). Built lazily on first upsert;
+  // maintained incrementally afterwards. Keys never change once a row
+  // exists (a matching upsert keeps its key by definition).
+  std::unordered_map<std::string, size_t> key_index_;
+  bool key_index_built_ = false;
+};
+
+}  // namespace ingest
+}  // namespace hwf
+
+#endif  // HWF_INGEST_DELTA_TABLE_H_

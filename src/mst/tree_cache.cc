@@ -74,5 +74,23 @@ void TreeCache::Clear() {
   bytes_ = 0;
 }
 
+size_t TreeCache::EvictIf(
+    const std::function<bool(const std::string&)>& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (predicate(it->first)) {
+      bytes_ -= it->second.bytes;
+      it = entries_.erase(it);
+      ++dropped;
+      ++evictions_;
+      obs::Add(obs::Counter::kCacheEvictions);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 }  // namespace mst
 }  // namespace hwf

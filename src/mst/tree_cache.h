@@ -114,6 +114,13 @@ class TreeCache {
   /// Drops every entry (stats counters are retained).
   void Clear();
 
+  /// Drops every entry whose key satisfies `predicate`; returns the number
+  /// dropped (counted as evictions). The service uses this to garbage-
+  /// collect artifacts keyed on catalog epochs that are no longer
+  /// registered — without it, re-registering a table leaks the old
+  /// version's trees until byte-pressure eviction happens to reach them.
+  size_t EvictIf(const std::function<bool(const std::string&)>& predicate);
+
  private:
   struct Entry {
     std::shared_ptr<const void> value;

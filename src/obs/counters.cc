@@ -83,6 +83,20 @@ const char* CounterName(Counter counter) {
       return "service.rejected_queue_full";
     case Counter::kServiceRejectedMemory:
       return "service.rejected_memory";
+    case Counter::kIngestRowsAppended:
+      return "ingest.rows_appended";
+    case Counter::kIngestRowsUpserted:
+      return "ingest.rows_upserted";
+    case Counter::kIngestBatches:
+      return "ingest.batches";
+    case Counter::kIngestCompactions:
+      return "ingest.compactions";
+    case Counter::kIngestCompactionsFailed:
+      return "ingest.compactions_failed";
+    case Counter::kIngestDeltaMerges:
+      return "ingest.delta_merges";
+    case Counter::kIngestMergedCursorBuilds:
+      return "ingest.merged_cursor_builds";
     case Counter::kNumCounters:
       break;
   }

@@ -70,6 +70,15 @@ enum class Counter : size_t {
   kServiceRejectedQueueFull, // rejections caused by a full admission queue
   kServiceRejectedMemory,    // rejections caused by the memory reservation
 
+  // Streaming ingest (src/ingest/).
+  kIngestRowsAppended,        // rows accepted by APPEND batches
+  kIngestRowsUpserted,        // rows accepted by UPSERT batches
+  kIngestBatches,             // APPEND/UPSERT batches applied
+  kIngestCompactions,         // delta-into-base compactions completed
+  kIngestCompactionsFailed,   // compactions cancelled or errored
+  kIngestDeltaMerges,         // sort artifacts built by delta merge (not cold)
+  kIngestMergedCursorBuilds,  // merged two-tree cursors built (no rebuild)
+
   kNumCounters,
 };
 

@@ -21,6 +21,8 @@ const char* ProfilePhaseName(ProfilePhase phase) {
       return "probe";
     case ProfilePhase::kSpill:
       return "spill";
+    case ProfilePhase::kDeltaMerge:
+      return "delta_merge";
     case ProfilePhase::kNumPhases:
       break;
   }
@@ -75,6 +77,8 @@ const char* ScopedPhaseTimer::ProfilePhaseTraceName(ProfilePhase phase) {
       return "window.probe";
     case ProfilePhase::kSpill:
       return "window.spill";
+    case ProfilePhase::kDeltaMerge:
+      return "window.delta_merge";
     case ProfilePhase::kNumPhases:
       break;
   }

@@ -29,6 +29,10 @@ namespace obs {
 ///   - kSpill: writing sorted runs / evicted tree levels to spill files and
 ///     reading them back (only non-zero when a memory budget forces the
 ///     out-of-core path).
+///   - kDeltaMerge: the streaming-ingest increment — sorting freshly
+///     appended delta rows and stably merging them into a cached base sort
+///     artifact (only non-zero on the first query after an append; replaces
+///     kSort, which stays 0 on that path).
 enum class ProfilePhase : size_t {
   kPartition,
   kSort,
@@ -37,6 +41,7 @@ enum class ProfilePhase : size_t {
   kTreeBuild,
   kProbe,
   kSpill,
+  kDeltaMerge,
   kNumPhases,
 };
 

@@ -8,21 +8,190 @@ namespace service {
 
 std::atomic<uint64_t> Catalog::next_epoch_{1};
 
-uint64_t Catalog::RegisterTable(const std::string& name, Table table) {
+Catalog::TableMeta Catalog::MetaOf(const TableState& state) {
+  TableMeta meta;
+  meta.epoch = state.epoch;
+  meta.minor = state.minor.load(std::memory_order_relaxed);
+  meta.gen = state.gen.load(std::memory_order_relaxed);
+  meta.base_rows = state.base_rows.load(std::memory_order_relaxed);
+  meta.delta_rows = state.delta_rows.load(std::memory_order_relaxed);
+  meta.key_column = state.key_column_name;
+  return meta;
+}
+
+void Catalog::Publish(TableState* state,
+                      std::shared_ptr<const Snapshot> snap) {
+  std::lock_guard<std::mutex> lock(state->publish_mutex);
+  state->published = std::move(snap);
+}
+
+uint64_t Catalog::RegisterTableLocked(const std::string& name, Table table,
+                                      size_t key_column,
+                                      const std::string& key_column_name) {
   const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
-  Snapshot snapshot{std::make_shared<const Table>(std::move(table)), epoch};
+  auto state = std::make_shared<TableState>();
+  state->base = std::make_shared<const Table>(std::move(table));
+  state->epoch = epoch;
+  state->key_column = key_column;
+  state->key_column_name = key_column_name;
+  state->delta =
+      std::make_unique<ingest::DeltaTable>(state->base, key_column);
+  state->base_rows.store(state->base->num_rows(), std::memory_order_relaxed);
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->table = state->base;
+  snap->epoch = epoch;
+  snap->base_rows = state->base->num_rows();
+  Publish(state.get(), std::move(snap));
+
   std::lock_guard<std::mutex> lock(mutex_);
-  tables_[name] = std::move(snapshot);
+  tables_[name] = std::move(state);
   return epoch;
 }
 
-StatusOr<Catalog::Snapshot> Catalog::Lookup(const std::string& name) const {
+uint64_t Catalog::RegisterTable(const std::string& name, Table table) {
+  return RegisterTableLocked(name, std::move(table),
+                             ingest::DeltaTable::kNoKeyColumn, std::string());
+}
+
+StatusOr<uint64_t> Catalog::RegisterTable(const std::string& name, Table table,
+                                          const std::string& key_column) {
+  if (key_column.empty()) return RegisterTable(name, std::move(table));
+  StatusOr<size_t> index = table.ColumnIndex(key_column);
+  if (!index.ok()) {
+    return Status::InvalidArgument("key column '" + key_column +
+                                   "' does not exist in table '" + name + "'");
+  }
+  return RegisterTableLocked(name, std::move(table), *index, key_column);
+}
+
+std::shared_ptr<Catalog::TableState> Catalog::FindState(
+    const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+StatusOr<Catalog::TableMeta> Catalog::AppendRows(const std::string& name,
+                                                 const Table& rows) {
+  std::shared_ptr<TableState> state = FindState(name);
+  if (state == nullptr) {
     return Status::InvalidArgument("unknown table '" + name + "'");
   }
-  return it->second;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (Status s = state->delta->Append(rows); !s.ok()) return s;
+  state->minor.fetch_add(1, std::memory_order_relaxed);
+  state->delta_rows.store(state->delta->delta_rows(),
+                          std::memory_order_relaxed);
+  Publish(state.get(), nullptr);  // Next lookup re-materializes.
+  return MetaOf(*state);
+}
+
+StatusOr<Catalog::TableMeta> Catalog::UpsertRows(const std::string& name,
+                                                 const Table& rows) {
+  std::shared_ptr<TableState> state = FindState(name);
+  if (state == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(state->mutex);
+  StatusOr<ingest::UpsertStats> stats = state->delta->Upsert(rows);
+  if (!stats.ok()) return stats.status();
+  state->minor.fetch_add(1, std::memory_order_relaxed);
+  if (stats->rewrote_existing()) {
+    // Existing row ids changed value: retire every cached artifact built
+    // against the previous content generation.
+    state->gen.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->delta_rows.store(state->delta->delta_rows(),
+                          std::memory_order_relaxed);
+  Publish(state.get(), nullptr);
+  return MetaOf(*state);
+}
+
+StatusOr<Catalog::TableMeta> Catalog::Compact(const std::string& name) {
+  std::shared_ptr<TableState> state = FindState(name);
+  if (state == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (state->delta->empty()) return MetaOf(*state);
+
+  // Reuse the published combined table when a lookup already paid for the
+  // materialization; compaction is then a pure pointer swap.
+  std::shared_ptr<const Table> combined;
+  {
+    std::lock_guard<std::mutex> publish_lock(state->publish_mutex);
+    if (state->published != nullptr) combined = state->published->table;
+  }
+  if (combined == nullptr) {
+    StatusOr<std::shared_ptr<const Table>> materialized =
+        state->delta->Materialize();
+    if (!materialized.ok()) return materialized.status();
+    combined = std::move(*materialized);
+  }
+
+  state->base = combined;
+  state->delta =
+      std::make_unique<ingest::DeltaTable>(state->base, state->key_column);
+  state->minor.fetch_add(1, std::memory_order_relaxed);
+  state->base_rows.store(state->base->num_rows(), std::memory_order_relaxed);
+  state->delta_rows.store(0, std::memory_order_relaxed);
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->table = state->base;
+  snap->epoch = state->epoch;
+  snap->minor = state->minor.load(std::memory_order_relaxed);
+  snap->gen = state->gen.load(std::memory_order_relaxed);
+  snap->base_rows = state->base->num_rows();
+  Publish(state.get(), std::move(snap));
+  return MetaOf(*state);
+}
+
+StatusOr<Catalog::Snapshot> Catalog::Lookup(const std::string& name) const {
+  std::shared_ptr<TableState> state = FindState(name);
+  if (state == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  {
+    std::lock_guard<std::mutex> publish_lock(state->publish_mutex);
+    if (state->published != nullptr) return *state->published;
+  }
+  // A mutation landed since the last lookup: fold the delta in.
+  std::lock_guard<std::mutex> lock(state->mutex);
+  {
+    std::lock_guard<std::mutex> publish_lock(state->publish_mutex);
+    if (state->published != nullptr) return *state->published;
+  }
+  StatusOr<std::shared_ptr<const Table>> combined =
+      state->delta->Materialize();
+  if (!combined.ok()) return combined.status();
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->table = std::move(*combined);
+  snap->epoch = state->epoch;
+  snap->minor = state->minor.load(std::memory_order_relaxed);
+  snap->gen = state->gen.load(std::memory_order_relaxed);
+  snap->base_rows = state->delta->base_rows();
+  snap->delta_rows = state->delta->delta_rows();
+  Snapshot result = *snap;
+  Publish(state.get(), std::move(snap));
+  return result;
+}
+
+StatusOr<Catalog::TableMeta> Catalog::PeekMeta(const std::string& name) const {
+  std::shared_ptr<TableState> state = FindState(name);
+  if (state == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  return MetaOf(*state);
+}
+
+std::vector<uint64_t> Catalog::LiveEpochs() const {
+  std::vector<uint64_t> epochs;
+  std::lock_guard<std::mutex> lock(mutex_);
+  epochs.reserve(tables_.size());
+  for (const auto& [name, state] : tables_) epochs.push_back(state->epoch);
+  return epochs;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

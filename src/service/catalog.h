@@ -10,41 +10,127 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ingest/delta_table.h"
 #include "storage/table.h"
 
 namespace hwf {
 namespace service {
 
-/// A versioned registry of named tables.
+/// A versioned registry of named tables with a streaming mutation path.
 ///
-/// Registration replaces the previous version atomically; queries that are
-/// already executing keep their shared_ptr snapshot alive, so a table can
-/// be re-registered under concurrent readers without synchronizing with
-/// them. Every registration is stamped with a process-wide monotonic epoch
-/// that the service uses as the tree-cache key prefix: replacing a table's
-/// rows changes the epoch, so cached build artifacts of the old version
-/// can never be served for the new one (they simply stop being referenced
-/// and age out of the LRU).
+/// Three version counters, each with a distinct cache-correctness role:
+///
+///  - `epoch`: process-wide monotonic id minted per RegisterTable. A
+///    re-registration replaces the table wholesale, so artifacts keyed on
+///    the old epoch can never be served again.
+///  - `gen`: bumps when an *existing* row id's values are rewritten in
+///    place (keyed UPSERT hitting a live row). Appends never bump it.
+///  - `minor`: bumps on every mutation (append, upsert, compaction) —
+///    purely observational (stats, gauges, change detection), never part
+///    of a cache key.
+///
+/// The invariant the tree cache leans on: the value of every row id is a
+/// pure function of (epoch, gen), and which ids exist is a pure function
+/// of (epoch, gen, row count) — appends assign fresh ids at the tail and
+/// ids are never renumbered, including across compaction (the compacted
+/// base *is* the previously served combined table). Content-addressed
+/// cache keys built from those coordinates therefore stay exact across
+/// appends and compactions, which is what keeps warm queries probe-only.
+///
+/// Mutations buffer in an ingest::DeltaTable and fold into a combined
+/// table lazily, on first lookup after a mutation (a flat column copy —
+/// cheap next to the re-sort and tree rebuilds the delta path avoids).
+/// Queries already holding a snapshot are never disturbed; lookups at an
+/// unchanged version return the published snapshot without touching the
+/// mutation lock.
 class Catalog {
  public:
   struct Snapshot {
-    std::shared_ptr<const Table> table;
+    std::shared_ptr<const Table> table;  // Combined: base + delta folded in.
     uint64_t epoch = 0;
+    uint64_t minor = 0;
+    uint64_t gen = 0;
+    size_t base_rows = 0;  // Ids below this live in the compacted base.
+    size_t delta_rows = 0;
+  };
+
+  /// Mutation receipt / metrics view; no table payload.
+  struct TableMeta {
+    uint64_t epoch = 0;
+    uint64_t minor = 0;
+    uint64_t gen = 0;
+    size_t base_rows = 0;
+    size_t delta_rows = 0;
+    std::string key_column;  // Empty when UPSERT is not declared.
   };
 
   /// Registers (or replaces) `name`. Returns the new version's epoch.
   uint64_t RegisterTable(const std::string& name, Table table);
 
+  /// As above, declaring `key_column` as the UPSERT key. Fails when the
+  /// column does not exist.
+  StatusOr<uint64_t> RegisterTable(const std::string& name, Table table,
+                                   const std::string& key_column);
+
+  /// Appends `rows` to `name`'s delta buffer: O(batch), no epoch or gen
+  /// change, so cached artifacts for untouched data remain valid.
+  StatusOr<TableMeta> AppendRows(const std::string& name, const Table& rows);
+
+  /// Keyed upsert (requires a declared key column): matching rows are
+  /// rewritten in place — bumping `gen` — and new keys append.
+  StatusOr<TableMeta> UpsertRows(const std::string& name, const Table& rows);
+
+  /// Folds the delta into a new base and resets the buffer. Row ids,
+  /// epoch and gen are unchanged — observationally a no-op, so every
+  /// cached artifact of the pre-compaction state remains servable.
+  /// Honors the caller's thread-local StopToken (cooperative cancel).
+  StatusOr<TableMeta> Compact(const std::string& name);
+
   /// Immutable snapshot of the current version, or InvalidArgument when no
-  /// table with that name is registered.
+  /// table with that name is registered. Materializes the combined table
+  /// if a mutation landed since the last lookup.
   StatusOr<Snapshot> Lookup(const std::string& name) const;
+
+  /// Version counters without materialization — safe for metrics scrapes.
+  StatusOr<TableMeta> PeekMeta(const std::string& name) const;
+
+  /// Epochs of all currently registered tables (for cache eviction of
+  /// dead-epoch entries).
+  std::vector<uint64_t> LiveEpochs() const;
 
   /// Registered names, sorted, for diagnostics (STATS, error messages).
   std::vector<std::string> TableNames() const;
 
  private:
+  struct TableState {
+    std::mutex mutex;  // Serializes mutations and materialization.
+    std::shared_ptr<const Table> base;
+    std::unique_ptr<ingest::DeltaTable> delta;
+    uint64_t epoch = 0;
+    size_t key_column = ingest::DeltaTable::kNoKeyColumn;
+    std::string key_column_name;
+
+    // Lock-free counters for PeekMeta/gauges (updated under `mutex`).
+    std::atomic<uint64_t> minor{0};
+    std::atomic<uint64_t> gen{0};
+    std::atomic<size_t> base_rows{0};
+    std::atomic<size_t> delta_rows{0};
+
+    // Fast path: the latest fully-materialized snapshot, or null after a
+    // mutation. Its own lock is held only for pointer copies.
+    std::mutex publish_mutex;
+    std::shared_ptr<const Snapshot> published;
+  };
+
+  uint64_t RegisterTableLocked(const std::string& name, Table table,
+                               size_t key_column,
+                               const std::string& key_column_name);
+  std::shared_ptr<TableState> FindState(const std::string& name) const;
+  static TableMeta MetaOf(const TableState& state);
+  static void Publish(TableState* state, std::shared_ptr<const Snapshot> snap);
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Snapshot> tables_;
+  std::unordered_map<std::string, std::shared_ptr<TableState>> tables_;
 
   /// Process-wide so two services sharing one TreeCache cannot collide.
   static std::atomic<uint64_t> next_epoch_;

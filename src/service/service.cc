@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/counters.h"
@@ -124,6 +125,12 @@ QueryService::QueryService(ServiceOptions options)
       std::fprintf(stderr, "warning: %s\n", opened.ToString().c_str());
     }
   }
+  ingest::CompactorOptions compactor_options = options_.compactor;
+  if (compactor_options.budget == nullptr && admission_budget_.limited()) {
+    compactor_options.budget = &admission_budget_;
+  }
+  compactor_ = std::make_unique<ingest::Compactor>(&catalog_, &pool_,
+                                                   compactor_options);
   sessions_.reserve(options_.num_sessions);
   for (size_t i = 0; i < options_.num_sessions; ++i) {
     sessions_.emplace_back([this] { SessionLoop(); });
@@ -133,7 +140,108 @@ QueryService::QueryService(ServiceOptions options)
 QueryService::~QueryService() { Shutdown(); }
 
 uint64_t QueryService::RegisterTable(const std::string& name, Table table) {
-  return catalog_.RegisterTable(name, std::move(table));
+  const uint64_t epoch = catalog_.RegisterTable(name, std::move(table));
+  GarbageCollectDeadEpochs();
+  ExportTableGauges(name);
+  return epoch;
+}
+
+StatusOr<uint64_t> QueryService::RegisterTable(const std::string& name,
+                                               Table table,
+                                               const std::string& key_column) {
+  StatusOr<uint64_t> epoch =
+      catalog_.RegisterTable(name, std::move(table), key_column);
+  if (!epoch.ok()) return epoch;
+  GarbageCollectDeadEpochs();
+  ExportTableGauges(name);
+  return epoch;
+}
+
+StatusOr<Catalog::TableMeta> QueryService::AppendRows(const std::string& name,
+                                                      const Table& rows) {
+  const Clock::time_point start = Clock::now();
+  StatusOr<Catalog::TableMeta> meta = catalog_.AppendRows(name, rows);
+  if (!meta.ok()) return meta;
+  obs::Add(obs::Counter::kIngestRowsAppended, rows.num_rows());
+  obs::Add(obs::Counter::kIngestBatches);
+  if (telemetry_ != nullptr) {
+    telemetry_->ingest_batches.Record(
+        SecondsToMicros(SecondsBetween(start, Clock::now())));
+  }
+  if (options_.auto_compact) compactor_->MaybeScheduleCompaction(name);
+  return meta;
+}
+
+StatusOr<Catalog::TableMeta> QueryService::UpsertRows(const std::string& name,
+                                                      const Table& rows) {
+  const Clock::time_point start = Clock::now();
+  StatusOr<Catalog::TableMeta> meta = catalog_.UpsertRows(name, rows);
+  if (!meta.ok()) return meta;
+  obs::Add(obs::Counter::kIngestRowsUpserted, rows.num_rows());
+  obs::Add(obs::Counter::kIngestBatches);
+  if (telemetry_ != nullptr) {
+    telemetry_->ingest_batches.Record(
+        SecondsToMicros(SecondsBetween(start, Clock::now())));
+  }
+  if (options_.auto_compact) compactor_->MaybeScheduleCompaction(name);
+  return meta;
+}
+
+StatusOr<Catalog::TableMeta> QueryService::CompactTable(
+    const std::string& name) {
+  const Clock::time_point start = Clock::now();
+  StatusOr<Catalog::TableMeta> meta = compactor_->CompactNow(name);
+  if (telemetry_ != nullptr && meta.ok()) {
+    telemetry_->compactions.Record(
+        SecondsToMicros(SecondsBetween(start, Clock::now())));
+  }
+  return meta;
+}
+
+void QueryService::GarbageCollectDeadEpochs() {
+  const std::vector<uint64_t> live = catalog_.LiveEpochs();
+  const std::unordered_set<uint64_t> live_set(live.begin(), live.end());
+  // Every cache key this service writes starts with "t<epoch>." — keys
+  // that do not parse are foreign and left alone.
+  const size_t dropped = cache_.EvictIf([&](const std::string& key) {
+    if (key.empty() || key[0] != 't') return false;
+    uint64_t epoch = 0;
+    size_t i = 1;
+    while (i < key.size() && key[i] >= '0' && key[i] <= '9') {
+      epoch = epoch * 10 + static_cast<uint64_t>(key[i] - '0');
+      ++i;
+    }
+    if (i == 1) return false;
+    return live_set.find(epoch) == live_set.end();
+  });
+  cache_gc_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+void QueryService::ExportTableGauges(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry_ == nullptr) return;
+  if (std::find(gauge_tables_.begin(), gauge_tables_.end(), name) !=
+      gauge_tables_.end()) {
+    return;
+  }
+  gauge_tables_.push_back(name);
+  auto table_gauge = [&](const char* metric, const char* help, auto getter) {
+    registry_->AddGauge(metric, help, {{"table", name}},
+                        [this, name, getter]() -> double {
+                          StatusOr<Catalog::TableMeta> meta =
+                              catalog_.PeekMeta(name);
+                          if (!meta.ok()) return 0.0;
+                          return static_cast<double>(getter(*meta));
+                        });
+  };
+  table_gauge("hwf_catalog_epoch", "table registration epoch",
+              [](const Catalog::TableMeta& m) { return m.epoch; });
+  table_gauge("hwf_table_minor_version",
+              "mutations applied within the table's current epoch",
+              [](const Catalog::TableMeta& m) { return m.minor; });
+  table_gauge("hwf_table_delta_rows",
+              "rows buffered in the table's un-compacted delta",
+              [](const Catalog::TableMeta& m) { return m.delta_rows; });
 }
 
 StatusOr<uint64_t> QueryService::Submit(std::string sql,
@@ -261,6 +369,8 @@ QueryService::Stats QueryService::stats() const {
   }
   stats.reserved_bytes = admission_budget_.reserved_bytes();
   stats.cache = cache_.stats();
+  if (compactor_ != nullptr) stats.compaction = compactor_->stats();
+  stats.cache_gc_dropped = cache_gc_dropped_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -289,6 +399,14 @@ std::string QueryService::StatsJson() const {
   field("entries", s.cache.entries);
   field("bytes", s.cache.bytes);
   field("capacity_bytes", s.cache.capacity_bytes, /*comma=*/false);
+  out += "},\"ingest\":{";
+  field("compactions_scheduled", s.compaction.scheduled);
+  field("compactions_completed", s.compaction.completed);
+  field("compactions_failed", s.compaction.failed);
+  out += "\"compaction_seconds\":";
+  AppendDouble(&out, s.compaction.total_seconds);
+  out += ",";
+  field("cache_gc_dropped", s.cache_gc_dropped, /*comma=*/false);
   out += "}";
   if (telemetry_ != nullptr) {
     out += ",\"latency\":{";
@@ -353,6 +471,19 @@ void QueryService::RegisterMetrics(obs::MetricsRegistry* registry) {
   counter("hwf_service_slow_queries_total",
           "queries at or over the slow-query threshold",
           [](const Stats& s) { return s.slow_queries; });
+  // Note: the mutation counts themselves (hwf_ingest_rows_appended_total,
+  // hwf_ingest_rows_upserted_total, hwf_ingest_compactions_total, ...) are
+  // process-wide obs counters exported by obs::RegisterProcessCounters;
+  // registering them here as well would duplicate the series.
+  counter("hwf_service_cache_gc_dropped_total",
+          "dead-epoch cache entries garbage-collected",
+          [](const Stats& s) { return s.cache_gc_dropped; });
+  registry->AddCounter("hwf_ingest_compaction_seconds_total",
+                       "total seconds spent compacting", {}, [this] {
+                         return compactor_ != nullptr
+                                    ? compactor_->stats().total_seconds
+                                    : 0.0;
+                       });
   registry->AddCounter("hwf_service_rejected_by_cause_total",
                        "admission rejections by cause",
                        {{"cause", "queue_full"}}, [this] {
@@ -365,7 +496,21 @@ void QueryService::RegisterMetrics(obs::MetricsRegistry* registry) {
                          return static_cast<double>(stats().rejected_memory);
                        });
 
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registry_ = registry;
+  }
+  for (const std::string& name : catalog_.TableNames()) {
+    ExportTableGauges(name);
+  }
+
   if (telemetry_ == nullptr) return;
+  registry->AddSummary("hwf_ingest_batch_seconds",
+                       "APPEND/UPSERT batch application latency", {},
+                       &telemetry_->ingest_batches, 1e-6);
+  registry->AddSummary("hwf_ingest_compaction_seconds",
+                       "synchronous compaction latency", {},
+                       &telemetry_->compactions, 1e-6);
   for (size_t i = 0; i < kNumQueryOutcomes; ++i) {
     registry->AddCounter(
         "hwf_service_queries_by_outcome_total", "finished queries by outcome",
@@ -399,6 +544,9 @@ void QueryService::Shutdown() {
     drained.swap(queue_);
   }
   queue_cv_.notify_all();
+  // Cancel in-flight compactions first: they run on the shared pool and a
+  // stuck fold must not block the session join below.
+  if (compactor_ != nullptr) compactor_->Stop();
   // Queued-but-never-started queries fail over to Cancelled so waiters
   // are not stranded.
   for (const std::shared_ptr<QueryState>& state : drained) {
@@ -482,9 +630,20 @@ Status QueryService::ExecuteQuery(QueryState& state) {
     exec.memory_limit_bytes = options_.query_memory_limit_bytes;
     if (cache_on) {
       exec.tree_cache = &cache_;
-      // The epoch is globally monotonic, so it alone identifies the table
-      // version; the spec/call structure is appended by the executor.
-      exec.cache_key = "t" + std::to_string(snapshot->epoch);
+      // Content-addressed coordinates (see WindowExecutorOptions): the
+      // epoch identifies the registration, gen the in-place rewrite
+      // generation, and the row count pins this snapshot's exact id set —
+      // together they make every derived key exact across appends and
+      // compactions.
+      const std::string content = "t" + std::to_string(snapshot->epoch) +
+                                  ".g" + std::to_string(snapshot->gen);
+      exec.cache_key = content + ".n" + std::to_string(table.num_rows());
+      exec.content_cache_key = content;
+      if (snapshot->delta_rows > 0 && snapshot->base_rows > 0) {
+        exec.delta_base_rows = snapshot->base_rows;
+        exec.delta_base_key =
+            content + ".n" + std::to_string(snapshot->base_rows);
+      }
     }
     // The executor clears its profile on entry, so only the first group
     // writes into the query profile directly; later groups run with a

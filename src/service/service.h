@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/stop_token.h"
+#include "ingest/compactor.h"
 #include "mem/memory_budget.h"
 #include "mst/tree_cache.h"
 #include "obs/counters.h"
@@ -74,6 +75,10 @@ struct ServiceTelemetry {
   /// Admission-to-completion latency per outcome, in microseconds.
   obs::LatencyHistogram outcomes[kNumQueryOutcomes];
   std::atomic<uint64_t> outcome_counts[kNumQueryOutcomes] = {};
+  /// Streaming-ingest latency: APPEND/UPSERT batch application and
+  /// delta-into-base compaction, in microseconds.
+  obs::LatencyHistogram ingest_batches;
+  obs::LatencyHistogram compactions;
 };
 
 struct ServiceOptions {
@@ -129,6 +134,14 @@ struct ServiceOptions {
   /// Engine/tree tuning forwarded to the executor. `memory_limit_bytes`,
   /// `tree_cache`, `cache_key` and `profile` are overridden per query.
   WindowExecutorOptions executor;
+
+  /// Streaming-ingest compaction policy (ratio, floor). The compactor's
+  /// budget pointer is overridden to the service admission budget when one
+  /// is configured. `auto_compact` gates the background scheduling that
+  /// follows each APPEND/UPSERT batch; explicit CompactTable calls work
+  /// either way.
+  ingest::CompactorOptions compactor;
+  bool auto_compact = true;
 };
 
 struct QueryOptions {
@@ -175,7 +188,28 @@ class QueryService {
 
   /// Registers (or replaces) a table; returns its version epoch. Running
   /// queries keep executing against the snapshot they started with.
+  /// Re-registration retires the old epoch: its cached artifacts are
+  /// garbage-collected from the tree cache immediately.
   uint64_t RegisterTable(const std::string& name, Table table);
+
+  /// As above, declaring `key_column` as the UPSERT key.
+  StatusOr<uint64_t> RegisterTable(const std::string& name, Table table,
+                                   const std::string& key_column);
+
+  /// Streaming ingest: appends `rows` to the table's delta buffer (same
+  /// schema, coercions per ingest::DeltaTable). O(batch); cached artifacts
+  /// for existing data stay valid and warm queries stay probe-only. May
+  /// schedule a background compaction past the configured ratio.
+  StatusOr<Catalog::TableMeta> AppendRows(const std::string& name,
+                                          const Table& rows);
+
+  /// Keyed upsert (requires a key column declared at registration).
+  StatusOr<Catalog::TableMeta> UpsertRows(const std::string& name,
+                                          const Table& rows);
+
+  /// Synchronously folds the table's delta into its base (row ids, epoch
+  /// and gen unchanged — cached artifacts all survive).
+  StatusOr<Catalog::TableMeta> CompactTable(const std::string& name);
 
   StatusOr<uint64_t> Submit(std::string sql, QueryOptions options = {});
   Status Cancel(uint64_t query_id);
@@ -195,6 +229,8 @@ class QueryService {
     uint64_t slow_queries = 0;  // queries at/over the slow threshold
     size_t reserved_bytes = 0;  // live admission reservations
     mst::TreeCache::Stats cache;
+    ingest::Compactor::Stats compaction;
+    uint64_t cache_gc_dropped = 0;  // dead-epoch entries evicted so far
   };
   Stats stats() const;
 
@@ -215,6 +251,8 @@ class QueryService {
   const ServiceTelemetry* telemetry() const { return telemetry_.get(); }
 
   mst::TreeCache& cache() { return cache_; }
+  Catalog& catalog() { return catalog_; }
+  ingest::Compactor& compactor() { return *compactor_; }
   const ServiceOptions& options() const { return options_; }
 
   /// Stops accepting work, cancels queued queries and joins the session
@@ -242,6 +280,13 @@ class QueryService {
   };
 
   void SessionLoop();
+  /// Drops cached artifacts keyed on epochs no longer in the catalog
+  /// (called after re-registration; without it the old version's trees
+  /// linger until byte-pressure eviction reaches them).
+  void GarbageCollectDeadEpochs();
+  /// Adds the per-table version gauges for `name` if a registry is
+  /// attached and they are not already exported.
+  void ExportTableGauges(const std::string& name);
   Status ExecuteQuery(QueryState& state);
   void FinishQuery(QueryState& state, Status status, QueryResult result);
   void RecordOutcome(const QueryState& state, QueryOutcome outcome,
@@ -255,6 +300,13 @@ class QueryService {
   ThreadPool& pool_;
   std::unique_ptr<ServiceTelemetry> telemetry_;
   obs::SlowQueryLog slow_log_;
+  std::unique_ptr<ingest::Compactor> compactor_;
+
+  /// Metrics registry attached via RegisterMetrics (null before); used to
+  /// export per-table gauges for tables registered after attachment.
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::vector<std::string> gauge_tables_;  // Tables with gauges exported.
+  std::atomic<uint64_t> cache_gc_dropped_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;

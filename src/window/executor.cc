@@ -330,9 +330,50 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   const bool cache_enabled = options.tree_cache != nullptr &&
                              !options.cache_key.empty() && memory_limit == 0;
   if (cache_enabled) exec_options.tree.mem = {};
+  const std::string spec_key = SortSpecKey(spec);
   const std::string sort_key =
-      cache_enabled ? options.cache_key + "|sort|" + SortSpecKey(spec)
-                    : std::string();
+      cache_enabled ? options.cache_key + "|sort|" + spec_key : std::string();
+
+  // Streaming-ingest coordinates (see WindowExecutorOptions): content-keyed
+  // partition artifacts whenever the service supplies a content identity,
+  // and sort-artifact delta merging when appended rows are present and the
+  // base state's artifact can be found in the cache.
+  const bool content_keys =
+      cache_enabled && !options.content_cache_key.empty();
+  const bool delta_merge_possible =
+      cache_enabled && !options.delta_base_key.empty() &&
+      options.delta_base_rows > 0 && options.delta_base_rows < n;
+  const std::string base_sort_key =
+      delta_merge_possible ? options.delta_base_key + "|sort|" + spec_key
+                           : std::string();
+
+  // The canonical total order of the global sort: (partition keys, order
+  // keys, row id). Shared by the cold sort, the delta merge and the
+  // partition-boundary scans so every path agrees bit-for-bit.
+  std::vector<SortKey> partition_keys;
+  partition_keys.reserve(spec.partition_by.size());
+  for (size_t column : spec.partition_by) {
+    partition_keys.push_back(SortKey{column, true, true});
+  }
+  auto row_less = [&](size_t a, size_t b) {
+    int cmp = CompareRowsBy(table, a, b, partition_keys);
+    if (cmp != 0) return cmp < 0;
+    cmp = CompareRowsBy(table, a, b, spec.order_by);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  };
+  auto compute_partition_starts = [&](const std::vector<size_t>& sorted_rows) {
+    std::vector<size_t> starts;
+    starts.push_back(0);
+    for (size_t i = 1; i < sorted_rows.size(); ++i) {
+      if (CompareRowsBy(table, sorted_rows[i - 1], sorted_rows[i],
+                        partition_keys) != 0) {
+        starts.push_back(i);
+      }
+    }
+    starts.push_back(sorted_rows.size());
+    return starts;
+  };
 
   // Phases 1–2, as a builder so the cache can skip them entirely on a hit.
   auto build_sort_artifact = [&]() -> StatusOr<SortArtifact> {
@@ -341,11 +382,6 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     // Partition keys use a fixed canonical order; the row-id tiebreak makes
     // the sort a deterministic total order (and thereby reproducible across
     // thread counts).
-    std::vector<SortKey> partition_keys;
-    partition_keys.reserve(spec.partition_by.size());
-    for (size_t column : spec.partition_by) {
-      partition_keys.push_back(SortKey{column, true, true});
-    }
     mem::MemoryReservation sorted_bytes;
     sorted_bytes.ForceReserve(&budget, n * sizeof(size_t));
     std::vector<size_t>& sorted = artifact.sorted;
@@ -448,13 +484,57 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     return artifact;
   };
 
+  // The streaming-ingest increment around the cold builder. With appended
+  // rows present and the base state's artifact cached, the combined order
+  // is recovered without re-sorting the base: sort the delta ids (all >
+  // base ids), then stably merge — the row-id tiebreak makes the global
+  // sort a unique total order, so merging sorted subsets reproduces the
+  // cold result exactly, in O(d log d) comparisons plus one O(n) sweep.
+  // On a cold build in delta mode, the base-only artifact is derived and
+  // cached as a side effect so the *next* append can take the merge path
+  // (self-healing after cache eviction or a cold server start).
+  auto build_or_merge_sort_artifact = [&]() -> StatusOr<SortArtifact> {
+    if (delta_merge_possible) {
+      if (std::shared_ptr<const SortArtifact> base =
+              options.tree_cache->Get<SortArtifact>(base_sort_key)) {
+        obs::ScopedPhaseTimer timer(profile, obs::ProfilePhase::kDeltaMerge);
+        SortArtifact artifact;
+        const size_t base_n = options.delta_base_rows;
+        std::vector<size_t> delta(n - base_n);
+        for (size_t i = 0; i < delta.size(); ++i) delta[i] = base_n + i;
+        std::sort(delta.begin(), delta.end(), row_less);
+        artifact.sorted.resize(n);
+        std::merge(base->sorted.begin(), base->sorted.end(), delta.begin(),
+                   delta.end(), artifact.sorted.begin(), row_less);
+        artifact.partition_starts = compute_partition_starts(artifact.sorted);
+        obs::Add(obs::Counter::kIngestDeltaMerges);
+        if (Status stop = CheckStop(); !stop.ok()) return stop;
+        return artifact;
+      }
+    }
+    StatusOr<SortArtifact> built = build_sort_artifact();
+    if (!built.ok() || !delta_merge_possible) return built;
+    obs::ScopedPhaseTimer timer(profile, obs::ProfilePhase::kDeltaMerge);
+    SortArtifact base;
+    base.sorted.reserve(options.delta_base_rows);
+    for (size_t row : built->sorted) {
+      if (row < options.delta_base_rows) base.sorted.push_back(row);
+    }
+    base.partition_starts = compute_partition_starts(base.sorted);
+    const size_t base_bytes = base.ApproxBytes();
+    options.tree_cache->Put<SortArtifact>(
+        base_sort_key,
+        {std::make_shared<const SortArtifact>(std::move(base)), base_bytes});
+    return built;
+  };
+
   std::shared_ptr<const SortArtifact> sort_artifact;
   if (cache_enabled) {
     StatusOr<std::shared_ptr<const SortArtifact>> artifact_or =
         options.tree_cache->GetOrBuild<SortArtifact>(
             sort_key,
             [&]() -> StatusOr<mst::TreeCache::Built<SortArtifact>> {
-              StatusOr<SortArtifact> built = build_sort_artifact();
+              StatusOr<SortArtifact> built = build_or_merge_sort_artifact();
               if (!built.ok()) return built.status();
               const size_t bytes = built->ApproxBytes();
               return mst::TreeCache::Built<SortArtifact>{
@@ -609,10 +689,51 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     view.frames = frames;
     view.options = &exec_options;
     view.pool = &part_pool;
+    PartitionDelta part_delta;
     if (cache_enabled) {
       view.cache = options.tree_cache;
-      view.cache_prefix = sort_key + "|p" + std::to_string(part_begin) + "-" +
-                          std::to_string(part_end);
+      if (content_keys && part_n > 0) {
+        // Content-addressed: (epoch, gen) fixes every row's values, and the
+        // (first sorted id, count, last sorted id) coordinates pin down the
+        // exact member set — two states of the same content generation whose
+        // partition shares first id and count hold *identical* row sets
+        // (appends only ever extend a partition), so re-hitting an entry
+        // across appends or compactions is provably exact.
+        view.cache_prefix = options.content_cache_key + "|" + spec_key + "|p" +
+                            std::to_string(rows[0]) + "." +
+                            std::to_string(part_n) + "." +
+                            std::to_string(rows[part_n - 1]);
+      } else {
+        view.cache_prefix = sort_key + "|p" + std::to_string(part_begin) +
+                            "-" + std::to_string(part_end);
+      }
+      if (content_keys && options.delta_base_rows > 0 && part_n > 0) {
+        // Partition-local delta census for the merged two-tree probe path:
+        // which rows are fresh, and under which key the pre-append base
+        // subset's tree would have been cached.
+        size_t delta_count = 0;
+        size_t base_count = 0;
+        size_t first_base = 0;
+        size_t last_base = 0;
+        for (size_t i = 0; i < part_n; ++i) {
+          if (rows[i] >= options.delta_base_rows) {
+            ++delta_count;
+          } else {
+            if (base_count == 0) first_base = rows[i];
+            last_base = rows[i];
+            ++base_count;
+          }
+        }
+        if (delta_count > 0 && base_count > 0) {
+          part_delta.base_rows = options.delta_base_rows;
+          part_delta.delta_in_partition = delta_count;
+          part_delta.main_prefix =
+              options.content_cache_key + "|" + spec_key + "|p" +
+              std::to_string(first_base) + "." + std::to_string(base_count) +
+              "." + std::to_string(last_base);
+          view.delta = &part_delta;
+        }
+      }
     }
 
     // The dispatch interval covers preprocessing, tree builds AND probing;

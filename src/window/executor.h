@@ -66,6 +66,29 @@ struct WindowExecutorOptions {
   mst::TreeCache* tree_cache = nullptr;
   std::string cache_key;
 
+  /// Streaming-ingest execution (src/ingest/), set by the service when the
+  /// catalog snapshot may carry un-compacted appended rows. All three are
+  /// inert unless the cache is engaged.
+  ///
+  ///  - `content_cache_key` identifies the table *content* ("t<epoch>.g<gen>"):
+  ///    row values are a pure function of it, and appends only extend the id
+  ///    range. Per-partition artifacts are then keyed by content + the
+  ///    partition's (first sorted row id, row count, last sorted row id) —
+  ///    coordinates that pin down the exact row set — so partitions untouched
+  ///    by an append re-hit their cached trees, and compaction (which keeps
+  ///    ids, epoch and gen stable) invalidates nothing.
+  ///  - `delta_base_rows` / `delta_base_key`: ids in [delta_base_rows, n) are
+  ///    appended since the last compaction. When the base state's sort
+  ///    artifact (under `delta_base_key`) is cached, the combined artifact is
+  ///    derived by sorting just the delta and stably merging — O(d log d + n)
+  ///    charged to kDeltaMerge instead of an O(n log n) re-sort — with a
+  ///    result bit-identical to the cold sort (the row-id tiebreak makes the
+  ///    sort a unique total order, so any merge of sorted subsets reproduces
+  ///    it exactly).
+  size_t delta_base_rows = 0;
+  std::string delta_base_key;
+  std::string content_cache_key;
+
   /// When non-null, cleared on entry and filled with the execution's cost
   /// breakdown: per-phase wall seconds (sort, partition, frame resolution,
   /// tree build with per-level detail, probe), row/partition counts, and

@@ -7,6 +7,8 @@
 //   hwf_client --port 4140 --cancel-after-ms 50 "select ..."   # SUBMIT,
 //       CANCEL mid-flight, then WAIT; exits 9 when cancellation won
 //   hwf_client --port 4140 --stats
+//   hwf_client --port 4140 --append trades --data new_rows.csv
+//   hwf_client --port 4140 --compact trades
 //
 // Exit codes mirror the service's Status codes (see result_format.h):
 // 0 success, 2 usage, 9 cancelled, 10 deadline exceeded, ...
@@ -45,7 +47,13 @@ void Usage() {
                "                        profile instead\n"
                "  --show-id             print the query's service id on "
                "stderr\n"
-               "  --ping                liveness check instead of a query\n");
+               "  --ping                liveness check instead of a query\n"
+               "  --append TABLE        append CSV rows (see --data) to "
+               "TABLE\n"
+               "  --upsert TABLE        keyed upsert of CSV rows into TABLE\n"
+               "  --data FILE           CSV payload for --append/--upsert\n"
+               "                        (with header; '-' reads stdin)\n"
+               "  --compact TABLE       fold TABLE's delta into its base\n");
 }
 
 bool WriteAll(int fd, const std::string& data) {
@@ -80,17 +88,12 @@ bool ReadExact(int fd, size_t bytes, std::string* out) {
   return true;
 }
 
-/// One protocol exchange. Returns the server's status; on OK, `payload`
-/// holds the framed response body (empty for plain "OK" acks) and
-/// `header_extra` (when non-null) whatever followed the byte count in the
-/// header (e.g. "id=7").
-Status Exchange(int fd, const std::string& command, std::string* payload,
-                std::string* header_extra = nullptr) {
+/// Reads one framed server response ("OK", "OK <n>\n<payload>" or
+/// "ERR <code> <message>").
+Status ReadResponse(int fd, std::string* payload,
+                    std::string* header_extra = nullptr) {
   payload->clear();
   if (header_extra != nullptr) header_extra->clear();
-  if (!WriteAll(fd, command + "\n")) {
-    return Status::Internal("connection closed while sending");
-  }
   std::string header;
   if (!ReadLine(fd, &header)) {
     return Status::Internal("connection closed while awaiting response");
@@ -134,6 +137,46 @@ Status Exchange(int fd, const std::string& command, std::string* payload,
   return Status::Internal("malformed response header: " + header);
 }
 
+/// One protocol exchange. Returns the server's status; on OK, `payload`
+/// holds the framed response body (empty for plain "OK" acks) and
+/// `header_extra` (when non-null) whatever followed the byte count in the
+/// header (e.g. "id=7").
+Status Exchange(int fd, const std::string& command, std::string* payload,
+                std::string* header_extra = nullptr) {
+  if (!WriteAll(fd, command + "\n")) {
+    payload->clear();
+    return Status::Internal("connection closed while sending");
+  }
+  return ReadResponse(fd, payload, header_extra);
+}
+
+/// APPEND/UPSERT: the byte-counted CSV payload follows the command line.
+Status ExchangeWithBody(int fd, const std::string& command,
+                        const std::string& body, std::string* payload) {
+  if (!WriteAll(fd, command + " " + std::to_string(body.size()) + "\n" +
+                        body)) {
+    payload->clear();
+    return Status::Internal("connection closed while sending");
+  }
+  return ReadResponse(fd, payload);
+}
+
+/// Reads a whole file, or stdin for "-".
+StatusOr<std::string> ReadDataFile(const std::string& path) {
+  std::FILE* file = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    data.append(buf, n);
+  }
+  if (file != stdin) std::fclose(file);
+  return data;
+}
+
 int Connect(const std::string& host, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -165,6 +208,10 @@ int main(int argc, char** argv) {
   bool show_id = false;
   long long profile_id = -1;
   bool ping = false;
+  std::string append_table;
+  std::string upsert_table;
+  std::string data_path;
+  std::string compact_table;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -195,6 +242,14 @@ int main(int argc, char** argv) {
       profile_id = std::atoll(next());
     } else if (flag == "--ping") {
       ping = true;
+    } else if (flag == "--append") {
+      append_table = next();
+    } else if (flag == "--upsert") {
+      upsert_table = next();
+    } else if (flag == "--data") {
+      data_path = next();
+    } else if (flag == "--compact") {
+      compact_table = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       return 0;
@@ -206,8 +261,13 @@ int main(int argc, char** argv) {
       sql = flag;
     }
   }
+  const bool ingest = !append_table.empty() || !upsert_table.empty();
+  if (ingest && data_path.empty()) {
+    std::fprintf(stderr, "error: --append/--upsert need --data FILE\n");
+    return 2;
+  }
   if (port == 0 || (sql.empty() && !stats && !metrics && !ping &&
-                    profile_id < 0)) {
+                    profile_id < 0 && !ingest && compact_table.empty())) {
     Usage();
     return 2;
   }
@@ -242,6 +302,24 @@ int main(int argc, char** argv) {
     if (profile_id >= 0) {
       Status status =
           Exchange(fd, "PROFILE " + std::to_string(profile_id), &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    if (ingest) {
+      StatusOr<std::string> data = ReadDataFile(data_path);
+      if (!data.ok()) return data.status();
+      const std::string command =
+          append_table.empty() ? "UPSERT " + upsert_table
+                               : "APPEND " + append_table;
+      Status status = ExchangeWithBody(fd, command, *data, &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      // Fall through only for an explicit chained --compact.
+      if (compact_table.empty()) return Status::OK();
+    }
+    if (!compact_table.empty()) {
+      Status status = Exchange(fd, "COMPACT " + compact_table, &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();

@@ -21,6 +21,10 @@
 //   STATS              service + cache statistics as JSON
 //   METRICS            Prometheus text-exposition metrics
 //   PROFILE <id>       retained profile of a finished query as JSON
+//   APPEND <t> <n>     read n bytes of CSV (with header) and append the
+//                      rows to table t; responds "ROWS <appended> ..."
+//   UPSERT <t> <n>     as APPEND, but keyed upsert (needs --key for t)
+//   COMPACT <t>        synchronously fold t's delta into its base
 //   PING               liveness check, responds "OK 5\nPONG\n"
 //   QUIT               close the connection
 //
@@ -63,6 +67,7 @@ void Usage() {
       "                        the chosen port is printed as LISTENING N)\n"
       "  --table NAME=FILE     register a CSV file as table NAME "
       "(repeatable)\n"
+      "  --key NAME=COLUMN     declare COLUMN as table NAME's UPSERT key\n"
       "  --sessions N          concurrent query executions (default 2)\n"
       "  --queue N             admission queue depth (default 16)\n"
       "  --memory_limit BYTES  admission budget, K/M/G suffix ok "
@@ -95,6 +100,19 @@ struct ServerContext {
   service::QueryService* svc = nullptr;
   obs::MetricsRegistry* registry = nullptr;
 };
+
+/// Reads exactly `size` bytes (an APPEND/UPSERT payload); false on
+/// EOF/error before the payload is complete.
+bool ReadExact(int fd, size_t size, std::string* out) {
+  out->resize(size);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out->data() + got, size - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
 
 /// Reads one \n-terminated line; false on EOF/error.
 bool ReadLine(int fd, std::string* line) {
@@ -226,6 +244,57 @@ void ServeConnection(int fd, ServerContext ctx) {
       }
       continue;
     }
+    if (command == "APPEND" || command == "UPSERT") {
+      // "<table> <nbytes>": the CSV payload (with header) follows the line.
+      const size_t sep = rest.find(' ');
+      if (sep == std::string::npos) {
+        SendError(fd, Status::InvalidArgument(command +
+                                              " wants: <table> <nbytes>"));
+        continue;
+      }
+      const std::string table_name = rest.substr(0, sep);
+      char* end = nullptr;
+      const std::string count_text = rest.substr(sep + 1);
+      const uint64_t nbytes = std::strtoull(count_text.c_str(), &end, 10);
+      if (end == count_text.c_str()) {
+        SendError(fd, Status::InvalidArgument(command + " needs a byte "
+                                              "count"));
+        continue;
+      }
+      std::string payload;
+      if (!ReadExact(fd, static_cast<size_t>(nbytes), &payload)) break;
+      StatusOr<Table> rows = ParseCsv(payload);
+      if (!rows.ok()) {
+        SendError(fd, rows.status());
+        continue;
+      }
+      StatusOr<service::Catalog::TableMeta> meta =
+          command == "APPEND" ? svc->AppendRows(table_name, *rows)
+                              : svc->UpsertRows(table_name, *rows);
+      if (!meta.ok()) {
+        SendError(fd, meta.status());
+        continue;
+      }
+      SendPayload(fd, "ROWS " + std::to_string(rows->num_rows()) +
+                          " minor=" + std::to_string(meta->minor) +
+                          " delta=" + std::to_string(meta->delta_rows) +
+                          "\n");
+      continue;
+    }
+    if (command == "COMPACT") {
+      if (rest.empty()) {
+        SendError(fd, Status::InvalidArgument("COMPACT needs a table name"));
+        continue;
+      }
+      StatusOr<service::Catalog::TableMeta> meta = svc->CompactTable(rest);
+      if (!meta.ok()) {
+        SendError(fd, meta.status());
+        continue;
+      }
+      SendPayload(fd, "COMPACTED base=" + std::to_string(meta->base_rows) +
+                          " minor=" + std::to_string(meta->minor) + "\n");
+      continue;
+    }
     if (command == "WAIT" || command == "CANCEL") {
       char* end = nullptr;
       const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
@@ -262,6 +331,7 @@ void ServeConnection(int fd, ServerContext ctx) {
 int main(int argc, char** argv) {
   int port = 0;
   std::vector<std::pair<std::string, std::string>> tables;
+  std::vector<std::pair<std::string, std::string>> keys;
   std::string trace_path;
   std::string metrics_dump_path;
   service::ServiceOptions options;
@@ -286,6 +356,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--key") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "error: --key wants NAME=COLUMN, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      keys.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (flag == "--sessions") {
       options.num_sessions = static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--queue") {
@@ -344,7 +423,21 @@ int main(int argc, char** argv) {
                    table.status().ToString().c_str());
       return service::ExitCodeForStatus(table.status());
     }
-    svc.RegisterTable(name, std::move(*table));
+    std::string key_column;
+    for (const auto& [key_table, column] : keys) {
+      if (key_table == name) key_column = column;
+    }
+    if (key_column.empty()) {
+      svc.RegisterTable(name, std::move(*table));
+    } else {
+      StatusOr<uint64_t> registered =
+          svc.RegisterTable(name, std::move(*table), key_column);
+      if (!registered.ok()) {
+        std::fprintf(stderr, "error registering %s: %s\n", name.c_str(),
+                     registered.status().ToString().c_str());
+        return service::ExitCodeForStatus(registered.status());
+      }
+    }
     std::fprintf(stderr, "registered table %s from %s\n", name.c_str(),
                  path.c_str());
   }

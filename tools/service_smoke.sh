@@ -3,8 +3,10 @@
 # eight concurrent hwf_client queries (one cancelled mid-flight), diffs one
 # of them against the direct-executor path (hwf_cli), checks the telemetry
 # surface (METRICS exposition, slow-query log, PROFILE lookup, per-query
-# trace attribution, graceful shutdown), and exercises admission rejection
-# on a second, deliberately tiny service instance.
+# trace attribution, graceful shutdown), runs a streaming-ingest cycle
+# (APPEND -> query -> COMPACT -> query, byte-diffed against a cold server
+# over the concatenated data), and exercises admission rejection on a
+# second, deliberately tiny service instance.
 #
 # Usage: tools/service_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -17,9 +19,11 @@ TOOLS=$(dirname "$0")
 WORK=$(mktemp -d)
 SERVE_PID=""
 SERVE2_PID=""
+SERVE3_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
   [ -n "$SERVE2_PID" ] && kill "$SERVE2_PID" 2>/dev/null || true
+  [ -n "$SERVE3_PID" ] && kill "$SERVE3_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -46,9 +50,9 @@ SLOW_SQL="select $(for k in 1 2 3 4 5 6; do
 done) count(distinct val) over (order by ord rows between 149999 preceding \
 and current row) from t"
 
-start_server() {  # start_server OUT_FILE ARGS... ; echoes the port
-  local out=$1; shift
-  "$SERVE" --port 0 --table "t=$WORK/t.csv" "$@" >"$out" 2>"$out.err" &
+start_server() {  # start_server OUT_FILE TABLE_SPEC ARGS... ; echoes the port
+  local out=$1 spec=$2; shift 2
+  "$SERVE" --port 0 --table "$spec" "$@" >"$out" 2>"$out.err" &
   local pid=$!
   local port=""
   for _ in $(seq 1 100); do
@@ -65,7 +69,8 @@ start_server() {  # start_server OUT_FILE ARGS... ; echoes the port
 # HWF_THREADS=4 guarantees pool workers even on 1-core machines, so the
 # trace-attribution check below sees a query's spans on multiple threads.
 export HWF_THREADS=4
-read -r SERVE_PID PORT < <(start_server "$WORK/serve.out" --sessions 4 --queue 32 \
+read -r SERVE_PID PORT < <(start_server "$WORK/serve.out" "t=$WORK/t.csv" \
+  --sessions 4 --queue 32 \
   --slow_query_log "$WORK/slow.jsonl" --slow_query_ms 0 \
   --trace "$WORK/serve_trace.json" --metrics_dump "$WORK/final_metrics.prom")
 unset HWF_THREADS
@@ -125,6 +130,8 @@ echo "stats: cancellation recorded, reservations drained"
 python3 "$TOOLS/validate_metrics.py" \
   --require-nonzero hwf_query_stage_seconds \
   --require hwf_service_queries_by_outcome_total \
+  --require hwf_catalog_epoch \
+  --require hwf_table_minor_version \
   "$WORK/metrics.prom" || fail "live METRICS payload failed validation"
 python3 - "$WORK/metrics.prom" <<'EOF'
 import re, sys
@@ -156,6 +163,61 @@ assert record["profile"] is not None, record
 EOF
 echo "profile: query $QID retained and retrievable"
 
+# --- streaming ingest: append -> query -> compact -> query ----------------
+# 5000 fresh rows land in t's delta buffer (below the auto-compaction
+# ratio, so they stay resident). The same holistic window query answered
+# over main+delta, answered again after the explicit fold, and answered by
+# a cold server registered with the pre-concatenated CSV must all be
+# byte-identical.
+python3 - "$WORK/delta.csv" <<'EOF'
+import random, sys
+random.seed(11)
+with open(sys.argv[1], "w") as f:
+    f.write("grp,ord,val,price\n")
+    for _ in range(5000):
+        f.write("%d,%d,%d,%.6f\n" % (random.randrange(4),
+                random.randrange(1 << 20), random.randrange(100000),
+                random.random() * 1000))
+EOF
+ING_SQL="select percentile_disc(0.5 order by val) over (order by ord rows \
+between 200 preceding and current row) from t"
+"$CLIENT" --port "$PORT" "$ING_SQL" >/dev/null  # warm the base-state trees
+"$CLIENT" --port "$PORT" --append t --data "$WORK/delta.csv" \
+  >"$WORK/append.out" || fail "append failed: $(cat "$WORK/append.out")"
+grep -q '^ROWS 5000' "$WORK/append.out" \
+  || fail "unexpected append response: $(cat "$WORK/append.out")"
+"$CLIENT" --port "$PORT" "$ING_SQL" >"$WORK/ing_merged.csv"
+rows=$(($(wc -l <"$WORK/ing_merged.csv") - 1))
+[ "$rows" -eq 205000 ] || fail "post-append query saw $rows rows, want 205000"
+
+# The mutation gauges must reflect the resident delta.
+"$CLIENT" --port "$PORT" --metrics >"$WORK/metrics_delta.prom"
+python3 "$TOOLS/validate_metrics.py" \
+  --require-nonzero hwf_table_minor_version \
+  --require-nonzero hwf_table_delta_rows \
+  --require-nonzero hwf_ingest_rows_appended_total \
+  "$WORK/metrics_delta.prom" || fail "post-append metrics failed validation"
+
+"$CLIENT" --port "$PORT" --compact t >"$WORK/compact.out" \
+  || fail "compact failed: $(cat "$WORK/compact.out")"
+grep -q '^COMPACTED base=205000' "$WORK/compact.out" \
+  || fail "unexpected compact response: $(cat "$WORK/compact.out")"
+"$CLIENT" --port "$PORT" "$ING_SQL" >"$WORK/ing_compacted.csv"
+cmp "$WORK/ing_merged.csv" "$WORK/ing_compacted.csv" \
+  || fail "post-compaction result differs from merged main+delta result"
+
+# Cold reference: a fresh server over the concatenated CSV.
+cp "$WORK/t.csv" "$WORK/combined.csv"
+tail -n +2 "$WORK/delta.csv" >>"$WORK/combined.csv"
+read -r SERVE3_PID PORT3 < <(start_server "$WORK/serve3.out" \
+  "t=$WORK/combined.csv")
+"$CLIENT" --port "$PORT3" "$ING_SQL" >"$WORK/ing_cold.csv"
+kill "$SERVE3_PID" 2>/dev/null || true
+SERVE3_PID=""
+cmp "$WORK/ing_merged.csv" "$WORK/ing_cold.csv" \
+  || fail "merged main+delta result differs from cold re-register"
+echo "ingest: append -> query -> compact -> query identical to cold rebuild"
+
 # --- graceful shutdown: drain, slow log intact, final metrics + trace -----
 kill -TERM "$SERVE_PID"
 for _ in $(seq 1 100); do
@@ -166,7 +228,11 @@ kill -0 "$SERVE_PID" 2>/dev/null && fail "server did not exit on SIGTERM"
 SERVE_PID=""
 
 python3 "$TOOLS/validate_metrics.py" \
-  --require-nonzero hwf_query_stage_seconds "$WORK/final_metrics.prom" \
+  --require-nonzero hwf_query_stage_seconds \
+  --require hwf_catalog_epoch \
+  --require hwf_table_minor_version \
+  --require-nonzero hwf_ingest_compactions_total \
+  "$WORK/final_metrics.prom" \
   || fail "final metrics dump failed validation"
 
 # Every slow-log line (threshold 0 ms => all queries) is schema-complete
@@ -206,7 +272,7 @@ echo "trace: query ids attributed across threads"
 # session for seconds — long enough that the overflow submission below
 # deterministically finds the queue and the admission budget full.
 export HWF_THREADS=1
-read -r SERVE2_PID PORT2 < <(start_server "$WORK/serve2.out" \
+read -r SERVE2_PID PORT2 < <(start_server "$WORK/serve2.out" "t=$WORK/t.csv" \
   --sessions 1 --queue 1 --memory_limit 2M --reservation 1M)
 unset HWF_THREADS
 "$CLIENT" --port "$PORT2" "$SLOW_SQL" >/dev/null 2>&1 &
