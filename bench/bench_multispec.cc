@@ -1,0 +1,285 @@
+// Multi-window-spec benchmark: shared-sort scaling with the number of
+// OVER clauses (k compatible specs should cost ~1 sort, not k) and the
+// hash-partitioning regime against the global sort across PARTITION BY
+// cardinalities. Verifies in-binary that the optimized paths return
+// bit-identical results, and emits BENCH_multispec.json with
+// hardware-independent ratio gates.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "obs/profile.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "window/executor.h"
+
+namespace hwf {
+namespace {
+
+Table MakeTable(size_t rows, size_t partition_cardinality, uint64_t seed) {
+  Pcg32 rng(seed);
+  Column grp(DataType::kInt64);
+  Column ord(DataType::kInt64);
+  Column val(DataType::kInt64);
+  Column aux(DataType::kInt64);
+  for (size_t i = 0; i < rows; ++i) {
+    grp.AppendInt64(static_cast<int64_t>(rng.Bounded(
+        static_cast<uint32_t>(partition_cardinality))));
+    ord.AppendInt64(static_cast<int64_t>(rng.Bounded(1u << 20)));
+    val.AppendInt64(static_cast<int64_t>(rng.Bounded(100000)));
+    aux.AppendInt64(static_cast<int64_t>(rng.Bounded(1u << 16)));
+  }
+  Table table;
+  table.AddColumn("grp", std::move(grp));
+  table.AddColumn("ord", std::move(ord));
+  table.AddColumn("val", std::move(val));
+  table.AddColumn("aux", std::move(aux));
+  return table;
+}
+
+WindowFunctionCall SumCall(size_t argument) {
+  WindowFunctionCall call;
+  call.kind = WindowFunctionKind::kSum;
+  call.argument = argument;
+  return call;
+}
+
+/// `count` distinct specs that one sort chain can serve: a finest producer
+/// ordering by (ord, aux), then prefix/exact consumers distinguished by
+/// frame. `compatible = false` flips every second spec to an incompatible
+/// ordering (descending, or partitioned differently) so the plan needs
+/// ~count/2 sorts.
+std::vector<WindowSpec> MakeSpecs(size_t count, bool compatible) {
+  std::vector<WindowSpec> specs;
+  for (size_t i = 0; i < count; ++i) {
+    WindowSpec spec;
+    spec.partition_by = {0};
+    if (compatible || i % 2 == 0) {
+      if (i == 0) {
+        spec.order_by = {SortKey{1, true, false}, SortKey{3, true, false}};
+      } else {
+        spec.order_by = {SortKey{1, true, false}};
+        spec.frame.mode = FrameMode::kRows;
+        spec.frame.begin = FrameBound::Preceding(static_cast<int64_t>(i * 50));
+        spec.frame.end = FrameBound::CurrentRow();
+      }
+    } else {
+      // Incompatible: flip direction and use a different key per spec so
+      // nothing shares.
+      spec.order_by = {SortKey{(i % 4 == 1) ? size_t{3} : size_t{1},
+                               false, i % 4 == 3}};
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+bool BitIdentical(const Column& a, const Column& b) {
+  if (a.size() != b.size() || a.type() != b.type()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.IsNull(i) != b.IsNull(i)) return false;
+    if (a.IsNull(i)) continue;
+    switch (a.type()) {
+      case DataType::kInt64:
+        if (a.GetInt64(i) != b.GetInt64(i)) return false;
+        break;
+      case DataType::kDouble:
+        if (a.GetDouble(i) != b.GetDouble(i)) return false;
+        break;
+      case DataType::kString:
+        if (a.GetString(i) != b.GetString(i)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+struct RunResult {
+  double seconds = 0;
+  double sort_seconds = 0;
+  std::vector<std::vector<Column>> columns;
+};
+
+RunResult RunMultiSpec(const Table& table, const std::vector<WindowSpec>& specs,
+                       const std::vector<WindowFunctionCall>& calls,
+                       const WindowExecutorOptions& base_options) {
+  std::vector<WindowSpecGroup> groups;
+  groups.reserve(specs.size());
+  for (const WindowSpec& spec : specs) {
+    groups.push_back(WindowSpecGroup{&spec, {calls.data(), calls.size()}});
+  }
+  obs::ExecutionProfile profile;
+  WindowExecutorOptions options = base_options;
+  options.profile = &profile;
+  bench::Timer timer;
+  StatusOr<std::vector<std::vector<Column>>> result =
+      EvaluateWindowSpecGroups(table, groups, options);
+  RunResult run;
+  run.seconds = timer.Seconds();
+  HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  run.sort_seconds = profile.phase_seconds(obs::ProfilePhase::kSort) +
+                     profile.phase_seconds(obs::ProfilePhase::kPartition);
+  run.columns = std::move(*result);
+  return run;
+}
+
+RunResult RunPerSpec(const Table& table, const std::vector<WindowSpec>& specs,
+                     const std::vector<WindowFunctionCall>& calls,
+                     const WindowExecutorOptions& base_options) {
+  RunResult run;
+  bench::Timer timer;
+  for (const WindowSpec& spec : specs) {
+    obs::ExecutionProfile profile;
+    WindowExecutorOptions options = base_options;
+    options.profile = &profile;
+    StatusOr<std::vector<Column>> result =
+        EvaluateWindowFunctions(table, spec, {calls.data(), calls.size()},
+                                options);
+    HWF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    run.sort_seconds += profile.phase_seconds(obs::ProfilePhase::kSort) +
+                        profile.phase_seconds(obs::ProfilePhase::kPartition);
+    run.columns.push_back(std::move(*result));
+  }
+  run.seconds = timer.Seconds();
+  return run;
+}
+
+void CheckBitIdentity(const RunResult& multi, const RunResult& single,
+                      const char* context) {
+  HWF_CHECK_MSG(multi.columns.size() == single.columns.size(), context);
+  for (size_t g = 0; g < multi.columns.size(); ++g) {
+    HWF_CHECK_MSG(multi.columns[g].size() == single.columns[g].size(),
+                  context);
+    for (size_t c = 0; c < multi.columns[g].size(); ++c) {
+      HWF_CHECK_MSG(BitIdentical(multi.columns[g][c], single.columns[g][c]),
+                    context);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hwf
+
+int main() {
+  using namespace hwf;  // NOLINT
+
+  const size_t kRows = bench::Scaled(400000);
+  bench::BenchJson json("multispec");
+
+  // --- spec-count sweep ----------------------------------------------------
+  // k compatible specs: the shared-sort plan pays one sort chain, so the
+  // sort phase should stay flat as k grows while the naive per-spec loop
+  // pays k sorts. The mixed variant interleaves incompatible orderings and
+  // must still match the per-spec results bit for bit.
+  bench::PrintHeader("shared-sort scaling: k specs vs per-spec execution");
+  std::printf("%-22s %10s %12s %12s %12s\n", "workload", "specs", "multi s",
+              "per-spec s", "multi sort s");
+  const Table table = MakeTable(kRows, 4, 42);
+  const std::vector<WindowFunctionCall> calls = {SumCall(2)};
+  double compat8_multi = 0;
+  double compat8_single = 0;
+  for (const bool compatible : {true, false}) {
+    for (size_t k = 1; k <= 8; ++k) {
+      const std::vector<WindowSpec> specs = MakeSpecs(k, compatible);
+      const RunResult multi = RunMultiSpec(table, specs, calls, {});
+      const RunResult single = RunPerSpec(table, specs, calls, {});
+      CheckBitIdentity(multi, single, "spec-count sweep bit-identity");
+      if (compatible && k == 8) {
+        compat8_multi = multi.seconds;
+        compat8_single = single.seconds;
+      }
+      char label[48];
+      std::snprintf(label, sizeof label, "specs=%zu_%s", k,
+                    compatible ? "compatible" : "mixed");
+      std::printf("%-22s %10zu %12.4f %12.4f %12.4f\n", label, k,
+                  multi.seconds, single.seconds, multi.sort_seconds);
+      char entry[256];
+      std::snprintf(entry, sizeof entry,
+                    "{\"label\": \"%s\", \"specs\": %zu, \"seconds\": %.4f, "
+                    "\"per_spec_seconds\": %.4f, \"sort_seconds\": %.4f, "
+                    "\"per_spec_sort_seconds\": %.4f}",
+                    label, k, multi.seconds, single.seconds,
+                    multi.sort_seconds, single.sort_seconds);
+      json.AddRaw(entry);
+    }
+  }
+  // Hardware-independent gate: 8 compatible specs in one execution vs 8
+  // independent executions. Sharing must keep this well under 1.0.
+  {
+    const double ratio =
+        compat8_single > 0 ? compat8_multi / compat8_single : 1.0;
+    std::printf("shared-sort ratio (8 compatible, multi/per-spec) %.4f\n",
+                ratio);
+    char entry[96];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"shared_sort_ratio\", \"ratio\": %.4f}",
+                  ratio);
+    json.AddRaw(entry);
+  }
+
+  // --- PARTITION BY cardinality sweep --------------------------------------
+  // The hash partitioner's regime: many small partitions. Global sort vs
+  // forced hash partitioning on the same workload; kAuto must pick the
+  // winner at both ends.
+  bench::PrintHeader("hash partitioning vs global sort by cardinality");
+  std::printf("%-22s %12s %12s %12s\n", "cardinality", "global s", "hash s",
+              "auto s");
+  double high_card_global = 0;
+  double high_card_hash = 0;
+  for (const size_t card : {size_t{4}, size_t{256}, size_t{4096},
+                            size_t{65536}}) {
+    const Table part_table = MakeTable(kRows, card, 43);
+    WindowSpec spec;
+    spec.partition_by = {0};
+    spec.order_by = {SortKey{1, true, false}};
+    const std::vector<WindowSpec> specs = {spec};
+
+    WindowExecutorOptions global_opts;
+    global_opts.hash_partition = HashPartitionMode::kOff;
+    WindowExecutorOptions hash_opts;
+    hash_opts.hash_partition = HashPartitionMode::kForce;
+
+    const RunResult global = RunMultiSpec(part_table, specs, calls,
+                                          global_opts);
+    const RunResult hashed = RunMultiSpec(part_table, specs, calls, hash_opts);
+    const RunResult autod = RunMultiSpec(part_table, specs, calls, {});
+    CheckBitIdentity(hashed, global, "hash-regime bit-identity");
+    CheckBitIdentity(autod, global, "auto-regime bit-identity");
+    if (card == 65536) {
+      high_card_global = global.sort_seconds;
+      high_card_hash = hashed.sort_seconds;
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "cardinality=%zu", card);
+    std::printf("%-22s %12.4f %12.4f %12.4f\n", label, global.seconds,
+                hashed.seconds, autod.seconds);
+    char entry[288];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"%s\", \"rows\": %zu, "
+                  "\"global_seconds\": %.4f, \"hash_seconds\": %.4f, "
+                  "\"auto_seconds\": %.4f, \"global_sort_seconds\": %.4f, "
+                  "\"hash_sort_seconds\": %.4f}",
+                  label, kRows, global.seconds, hashed.seconds, autod.seconds,
+                  global.sort_seconds, hashed.sort_seconds);
+    json.AddRaw(entry);
+  }
+  // Gate: on its regime (64K partitions) the hash partitioner's sort phase
+  // must beat the global comparison sort.
+  {
+    const double ratio =
+        high_card_global > 0 ? high_card_hash / high_card_global : 1.0;
+    std::printf("hash-partition sort ratio (64K partitions, hash/global) "
+                "%.4f\n", ratio);
+    char entry[96];
+    std::snprintf(entry, sizeof entry,
+                  "{\"label\": \"hash_partition_ratio\", \"ratio\": %.4f}",
+                  ratio);
+    json.AddRaw(entry);
+  }
+
+  json.WriteDefault();
+  return 0;
+}

@@ -31,7 +31,11 @@ namespace mst {
 ///     build parameter (fanout, sampling, cascading, index width, filter,
 ///     argument). Two different configurations can never alias: there is no
 ///     hashing of semantic content into the key, only of the key into the
-///     map.
+///     map. Per-partition probe artifacts embed the spec's canonical
+///     ordering (sorted PARTITION BY set + ORDER BY) rather than its
+///     declared form, so specs that differ only in frame or PARTITION BY
+///     column order share trees; sort artifacts keep the declared order
+///     plus the regime suffix, because they identify an arrangement.
 ///   - Type-erased values. Entries hold shared_ptr<const void> plus the
 ///     std::type_index of the stored T; a lookup with the wrong T is a miss,
 ///     never a reinterpretation.

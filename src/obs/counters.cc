@@ -49,6 +49,12 @@ const char* CounterName(Counter counter) {
       return "executor.index32_dispatches";
     case Counter::kExecutorIndex64Dispatches:
       return "executor.index64_dispatches";
+    case Counter::kExecutorSortsShared:
+      return "executor.sorts_shared";
+    case Counter::kExecutorSortsElided:
+      return "executor.sorts_elided";
+    case Counter::kExecutorHashPartitionedRows:
+      return "executor.hash_partitioned_rows";
     case Counter::kMemSpillFilesCreated:
       return "mem.spill_files_created";
     case Counter::kMemSpillBytesWritten:

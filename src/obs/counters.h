@@ -46,6 +46,9 @@ enum class Counter : size_t {
   kExecutorPartitions,        // partitions processed
   kExecutorIndex32Dispatches, // per-partition 32-bit index-width decisions
   kExecutorIndex64Dispatches, // per-partition 64-bit index-width decisions
+  kExecutorSortsShared,       // specs served by another spec's sort (any reuse)
+  kExecutorSortsElided,       // subset reused verbatim (identical ORDER BY)
+  kExecutorHashPartitionedRows, // rows routed through the hash partitioner
 
   // Memory governance / spilling.
   kMemSpillFilesCreated,          // temp files opened for spilled runs/levels

@@ -96,6 +96,7 @@ void ExecutionProfile::Clear() {
   memory_limit_bytes_ = 0;
   peak_reserved_bytes_ = 0;
   engine_.clear();
+  plan_text_.clear();
   counters_ = CounterSnapshot{};
 }
 
@@ -138,6 +139,16 @@ void ExecutionProfile::SetEngine(const std::string& engine) {
 void ExecutionProfile::SetTotalSeconds(double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   total_seconds_ = seconds;
+}
+
+void ExecutionProfile::SetPlanText(const std::string& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_text_ = plan;
+}
+
+std::string ExecutionProfile::plan_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_text_;
 }
 
 void ExecutionProfile::SetMemoryLimitBytes(size_t bytes) {
@@ -209,6 +220,33 @@ void AppendDouble(std::string* out, double value) {
   out->append(buf);
 }
 
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExecutionProfile::ToJson() const {
@@ -217,6 +255,11 @@ std::string ExecutionProfile::ToJson() const {
   json += "\"rows\": " + std::to_string(rows_);
   json += ", \"partitions\": " + std::to_string(partitions_);
   json += ", \"engine\": \"" + engine_ + "\"";
+  if (!plan_text_.empty()) {
+    json += ", \"plan\": \"";
+    AppendJsonEscaped(&json, plan_text_);
+    json += "\"";
+  }
   json += ", \"total_seconds\": ";
   AppendDouble(&json, total_seconds_);
   json += ", \"memory_limit_bytes\": " + std::to_string(memory_limit_bytes_);
@@ -264,6 +307,17 @@ std::string ExecutionProfile::Explain() const {
   out += line;
   if (!engine_.empty()) out += ", engine=" + engine_;
   out += ")\n";
+
+  if (!plan_text_.empty()) {
+    out += "  plan:\n";
+    size_t begin = 0;
+    while (begin < plan_text_.size()) {
+      size_t end = plan_text_.find('\n', begin);
+      if (end == std::string::npos) end = plan_text_.size();
+      out += "    " + plan_text_.substr(begin, end - begin) + "\n";
+      begin = end + 1;
+    }
+  }
 
   double accounted = 0;
   for (size_t i = 0; i < kNumProfilePhases; ++i) accounted += phases_[i];

@@ -110,6 +110,12 @@ class ExecutionProfile {
   void SetEngine(const std::string& engine);
   void SetTotalSeconds(double seconds);
 
+  /// Human-readable execution plan (the executor's shared-sort / hash-
+  /// partition decisions, one line per sort chain). Rendered verbatim in
+  /// Explain() and as an escaped "plan" string in ToJson().
+  void SetPlanText(const std::string& plan);
+  std::string plan_text() const;
+
   /// Memory-governance summary: the budget the run was given (0 =
   /// unlimited) and the high-water mark of reserved bytes. Peaks are a
   /// maximum, not a monotonic counter, so they live here instead of in the
@@ -152,6 +158,7 @@ class ExecutionProfile {
   size_t memory_limit_bytes_ = 0;
   size_t peak_reserved_bytes_ = 0;
   std::string engine_;
+  std::string plan_text_;
   CounterSnapshot counters_{};
 };
 

@@ -620,51 +620,48 @@ Status QueryService::ExecuteQuery(QueryState& state) {
                         state.options.use_cache &&
                         options_.query_memory_limit_bytes == 0;
 
-  // Evaluate each spec group with one shared partition/sort pass. Results
-  // land in select-list order via the recorded output slots.
-  std::vector<std::optional<Column>> slots(plan->output_names.size());
-  bool first_group = true;
+  // Evaluate every spec group in one executor call: the shared-sort
+  // optimizer sequences the groups (BindStatement already emits them in
+  // sharing order) so covered specs reuse a producer's sort instead of
+  // paying their own, and the sharing plan lands in the profile's plan
+  // text for --explain.
+  WindowExecutorOptions exec = options_.executor;
+  exec.memory_limit_bytes = options_.query_memory_limit_bytes;
+  if (cache_on) {
+    exec.tree_cache = &cache_;
+    // Content-addressed coordinates (see WindowExecutorOptions): the
+    // epoch identifies the registration, gen the in-place rewrite
+    // generation, and the row count pins this snapshot's exact id set —
+    // together they make every derived key exact across appends and
+    // compactions.
+    const std::string content = "t" + std::to_string(snapshot->epoch) +
+                                ".g" + std::to_string(snapshot->gen);
+    exec.cache_key = content + ".n" + std::to_string(table.num_rows());
+    exec.content_cache_key = content;
+    if (snapshot->delta_rows > 0 && snapshot->base_rows > 0) {
+      exec.delta_base_rows = snapshot->base_rows;
+      exec.delta_base_key =
+          content + ".n" + std::to_string(snapshot->base_rows);
+    }
+  }
+  exec.profile = profile.get();
+  std::vector<WindowSpecGroup> exec_groups;
+  exec_groups.reserve(plan->groups.size());
   for (const PlannedGroup& group : plan->groups) {
-    if (Status stop = CheckStop(); !stop.ok()) return stop;
-    WindowExecutorOptions exec = options_.executor;
-    exec.memory_limit_bytes = options_.query_memory_limit_bytes;
-    if (cache_on) {
-      exec.tree_cache = &cache_;
-      // Content-addressed coordinates (see WindowExecutorOptions): the
-      // epoch identifies the registration, gen the in-place rewrite
-      // generation, and the row count pins this snapshot's exact id set —
-      // together they make every derived key exact across appends and
-      // compactions.
-      const std::string content = "t" + std::to_string(snapshot->epoch) +
-                                  ".g" + std::to_string(snapshot->gen);
-      exec.cache_key = content + ".n" + std::to_string(table.num_rows());
-      exec.content_cache_key = content;
-      if (snapshot->delta_rows > 0 && snapshot->base_rows > 0) {
-        exec.delta_base_rows = snapshot->base_rows;
-        exec.delta_base_key =
-            content + ".n" + std::to_string(snapshot->base_rows);
-      }
+    exec_groups.push_back(WindowSpecGroup{&group.spec, group.calls});
+  }
+  StatusOr<std::vector<std::vector<Column>>> group_columns =
+      EvaluateWindowSpecGroups(table, exec_groups, exec, pool_);
+  if (!group_columns.ok()) return group_columns.status();
+
+  // Results land in select-list order via the recorded output slots.
+  std::vector<std::optional<Column>> slots(plan->output_names.size());
+  for (size_t g = 0; g < plan->groups.size(); ++g) {
+    const PlannedGroup& group = plan->groups[g];
+    std::vector<Column>& columns = (*group_columns)[g];
+    for (size_t i = 0; i < columns.size(); ++i) {
+      slots[group.output_slots[i]] = std::move(columns[i]);
     }
-    // The executor clears its profile on entry, so only the first group
-    // writes into the query profile directly; later groups run with a
-    // scratch profile that is merged in afterwards.
-    obs::ExecutionProfile scratch;
-    exec.profile = first_group ? profile.get() : &scratch;
-    StatusOr<std::vector<Column>> columns = EvaluateWindowFunctions(
-        table, group.spec, group.calls, exec, pool_);
-    if (!columns.ok()) return columns.status();
-    for (size_t i = 0; i < columns->size(); ++i) {
-      slots[group.output_slots[i]] = std::move((*columns)[i]);
-    }
-    if (!first_group) {
-      for (size_t p = 0; p < obs::kNumProfilePhases; ++p) {
-        const auto phase = static_cast<obs::ProfilePhase>(p);
-        profile->AddPhaseSeconds(phase, scratch.phase_seconds(phase));
-      }
-      profile->SetTotalSeconds(profile->total_seconds() +
-                               scratch.total_seconds());
-    }
-    first_group = false;
   }
   if (Status stop = CheckStop(); !stop.ok()) return stop;
 

@@ -1,9 +1,13 @@
 #include "service/sql_parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <optional>
+#include <unordered_map>
 #include <utility>
+
+#include "window/shared_sort.h"
 
 namespace hwf {
 namespace service {
@@ -622,28 +626,7 @@ StatusOr<WindowFunctionCall> BindCall(const Table& table, const RawCall& raw) {
   return call;
 }
 
-bool BoundsEqual(const FrameBound& a, const FrameBound& b) {
-  return a.kind == b.kind && a.offset == b.offset &&
-         a.offset_column == b.offset_column;
-}
-
 }  // namespace
-
-bool WindowSpecsEqual(const WindowSpec& a, const WindowSpec& b) {
-  if (a.partition_by != b.partition_by) return false;
-  if (a.order_by.size() != b.order_by.size()) return false;
-  for (size_t i = 0; i < a.order_by.size(); ++i) {
-    if (a.order_by[i].column != b.order_by[i].column ||
-        a.order_by[i].ascending != b.order_by[i].ascending ||
-        a.order_by[i].nulls_first != b.order_by[i].nulls_first) {
-      return false;
-    }
-  }
-  return a.frame.mode == b.frame.mode &&
-         BoundsEqual(a.frame.begin, b.frame.begin) &&
-         BoundsEqual(a.frame.end, b.frame.end) &&
-         a.frame.exclusion == b.frame.exclusion;
-}
 
 StatusOr<ParsedStatement> ParseStatement(std::string_view sql) {
   StatusOr<std::vector<Token>> tokens = Tokenize(sql);
@@ -656,6 +639,7 @@ StatusOr<PlannedQuery> BindStatement(const ParsedStatement& statement,
                                      const Table& table) {
   PlannedQuery plan;
   plan.table_name = statement.table_name;
+  std::unordered_map<WindowSpec, size_t, WindowSpecHash> group_index;
   for (size_t slot = 0; slot < statement.items.size(); ++slot) {
     const RawCall& raw = statement.items[slot];
     StatusOr<WindowSpec> spec = BindWindow(table, raw.window);
@@ -665,23 +649,34 @@ StatusOr<PlannedQuery> BindStatement(const ParsedStatement& statement,
     if (Status s = ValidateWindowSpec(table, *spec); !s.ok()) return s;
     if (Status s = ValidateWindowCall(table, *spec, *call); !s.ok()) return s;
     plan.output_names.push_back(raw.alias.empty() ? raw.function : raw.alias);
-    PlannedGroup* group = nullptr;
-    for (PlannedGroup& g : plan.groups) {
-      if (WindowSpecsEqual(g.spec, *spec)) {
-        group = &g;
-        break;
-      }
-    }
-    if (group == nullptr) {
+    // Group by the spec's canonical structural equality (window/spec.h):
+    // one definition of "same spec", shared with the executor.
+    auto [it, inserted] = group_index.try_emplace(*spec, plan.groups.size());
+    if (inserted) {
       plan.groups.emplace_back();
-      group = &plan.groups.back();
-      group->spec = std::move(*spec);
+      plan.groups.back().spec = std::move(*spec);
     }
-    group->calls.push_back(std::move(*call));
-    group->output_slots.push_back(slot);
+    PlannedGroup& group = plan.groups[it->second];
+    group.calls.push_back(std::move(*call));
+    group.output_slots.push_back(slot);
   }
   if (plan.groups.empty()) {
     return Status::InvalidArgument("statement has no window function calls");
+  }
+  // Emit the groups in shared-sort execution order (producers of each sort
+  // chain first), so the executor's sharing plan and any consumer that walks
+  // the groups in sequence see producer sorts before the specs they cover.
+  std::vector<const WindowSpec*> specs;
+  specs.reserve(plan.groups.size());
+  for (const PlannedGroup& group : plan.groups) specs.push_back(&group.spec);
+  const SharedSortPlan shared = PlanSharedSorts(specs);
+  if (!std::is_sorted(shared.sequence.begin(), shared.sequence.end())) {
+    std::vector<PlannedGroup> ordered;
+    ordered.reserve(plan.groups.size());
+    for (size_t index : shared.sequence) {
+      ordered.push_back(std::move(plan.groups[index]));
+    }
+    plan.groups = std::move(ordered);
   }
   return plan;
 }

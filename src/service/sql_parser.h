@@ -126,12 +126,12 @@ struct PlannedQuery {
   std::vector<PlannedGroup> groups;
 };
 
-/// Structural equality of fully-bound window specs (grouping key).
-bool WindowSpecsEqual(const WindowSpec& a, const WindowSpec& b);
-
 /// Resolves column names against `table`, maps function names to
-/// WindowFunctionKind (including the DISTINCT variants), folds numeric
-/// arguments into fraction/param, and groups the calls by identical spec.
+/// WindowFunctionKind (including the DISTINCT variants), and groups the
+/// calls by identical spec (WindowSpec's canonical operator== / hash). The
+/// emitted groups are sequenced in shared-sort order: the producer of every
+/// sort chain precedes the specs whose ordering it covers, mirroring the
+/// executor's sharing plan (window/shared_sort.h).
 StatusOr<PlannedQuery> BindStatement(const ParsedStatement& statement,
                                      const Table& table);
 

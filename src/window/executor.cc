@@ -17,6 +17,7 @@
 #include "window/evaluator.h"
 #include "window/functions/common.h"
 #include "window/frame.h"
+#include "window/shared_sort.h"
 
 namespace hwf {
 
@@ -143,13 +144,26 @@ struct SortArtifact {
   std::vector<size_t> sorted;
   std::vector<size_t> partition_starts;
 
+  /// True when `sorted` is exactly the spec's canonical global total order
+  /// (partition keys asc nulls-first in declared order, order keys, row
+  /// id) — the precondition for delta-merging appended rows into it with
+  /// std::merge. Hash-partitioned artifacts (bucket-major arrangement) and
+  /// artifacts derived from a PARTITION BY-permuted producer keep the
+  /// canonical *intra-partition* order but arrange whole partitions
+  /// differently, so they carry false and the ingest delta-merge path
+  /// rebuilds instead of merging against them.
+  bool canonical = true;
+
   size_t ApproxBytes() const {
     return (sorted.capacity() + partition_starts.capacity()) * sizeof(size_t);
   }
 };
 
 /// Serializes the sort specification (partition keys + order keys with
-/// direction and NULL placement) into a cache-key fragment.
+/// direction and NULL placement) into a cache-key fragment. Unlike
+/// OrderingKey (window/shared_sort.h), partition columns keep their
+/// declared sequence: the *global arrangement* of a sort artifact depends
+/// on it, so artifacts of PARTITION BY permutations must not collide.
 std::string SortSpecKey(const WindowSpec& spec) {
   std::string key = "pb";
   for (size_t column : spec.partition_by) {
@@ -179,6 +193,28 @@ const char* EngineName(WindowEngine engine) {
   }
   return "unknown";
 }
+
+/// Per-spec execution state derived once per run: the canonical partition
+/// sort keys, cache identities, and the sort-regime decisions.
+struct SpecExecState {
+  const WindowSpec* spec = nullptr;
+  /// Partition columns as sort keys (declared order, asc, nulls first) —
+  /// the prefix of the canonical total order.
+  std::vector<SortKey> partition_keys;
+  /// Declared-order sort key: identity of the artifact's arrangement.
+  std::string spec_key;
+  /// Canonical ordering key: identity of the per-partition row sequences
+  /// (shared across frames and PARTITION BY permutations).
+  std::string ordering_key;
+  /// Hash-partition regime (producers only).
+  bool hash_partition = false;
+  size_t hash_est_partitions = 0;
+  /// Sort-artifact cache key; empty when caching is off. Hash-regime
+  /// artifacts get a "|hp" suffix so the two arrangements never collide.
+  std::string sort_cache_key;
+  bool delta_merge_possible = false;
+  std::string base_sort_key;
+};
 
 }  // namespace
 
@@ -263,16 +299,22 @@ std::string CallCacheKey(const PartitionView& view,
   return key;
 }
 
-StatusOr<std::vector<Column>> EvaluateWindowFunctions(
-    const Table& table, const WindowSpec& spec,
-    std::span<const WindowFunctionCall> calls,
+StatusOr<std::vector<std::vector<Column>>> EvaluateWindowSpecGroups(
+    const Table& table, std::span<const WindowSpecGroup> groups,
     const WindowExecutorOptions& options, ThreadPool& pool) {
-  Status status = ValidateWindowSpec(table, spec);
-  if (!status.ok()) return status;
-  for (const WindowFunctionCall& call : calls) {
-    status = ValidateWindowCall(table, spec, call);
+  for (const WindowSpecGroup& group : groups) {
+    if (group.spec == nullptr) {
+      return Status::InvalidArgument("WindowSpecGroup carries a null spec");
+    }
+    Status status = ValidateWindowSpec(table, *group.spec);
     if (!status.ok()) return status;
+    for (const WindowFunctionCall& call : group.calls) {
+      status = ValidateWindowCall(table, *group.spec, call);
+      if (!status.ok()) return status;
+    }
   }
+  const size_t num_groups = groups.size();
+  if (num_groups == 0) return std::vector<std::vector<Column>>{};
 
   const size_t n = table.num_rows();
   HWF_TRACE_SCOPE_ARG("window.execute", "rows", n);
@@ -330,44 +372,50 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   const bool cache_enabled = options.tree_cache != nullptr &&
                              !options.cache_key.empty() && memory_limit == 0;
   if (cache_enabled) exec_options.tree.mem = {};
-  const std::string spec_key = SortSpecKey(spec);
-  const std::string sort_key =
-      cache_enabled ? options.cache_key + "|sort|" + spec_key : std::string();
-
-  // Streaming-ingest coordinates (see WindowExecutorOptions): content-keyed
-  // partition artifacts whenever the service supplies a content identity,
-  // and sort-artifact delta merging when appended rows are present and the
-  // base state's artifact can be found in the cache.
   const bool content_keys =
       cache_enabled && !options.content_cache_key.empty();
-  const bool delta_merge_possible =
+  const bool delta_state_present =
       cache_enabled && !options.delta_base_key.empty() &&
       options.delta_base_rows > 0 && options.delta_base_rows < n;
-  const std::string base_sort_key =
-      delta_merge_possible ? options.delta_base_key + "|sort|" + spec_key
-                           : std::string();
 
-  // The canonical total order of the global sort: (partition keys, order
-  // keys, row id). Shared by the cold sort, the delta merge and the
-  // partition-boundary scans so every path agrees bit-for-bit.
-  std::vector<SortKey> partition_keys;
-  partition_keys.reserve(spec.partition_by.size());
-  for (size_t column : spec.partition_by) {
-    partition_keys.push_back(SortKey{column, true, true});
+  // The shared-sort plan over the groups' specs: which specs pay for a sort
+  // and which reuse another spec's output (window/shared_sort.h).
+  std::vector<const WindowSpec*> specs;
+  specs.reserve(num_groups);
+  for (const WindowSpecGroup& group : groups) specs.push_back(group.spec);
+  const SharedSortPlan plan = PlanSharedSorts(specs);
+
+  std::vector<SpecExecState> states(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    SpecExecState& st = states[g];
+    st.spec = specs[g];
+    st.partition_keys.reserve(st.spec->partition_by.size());
+    for (size_t column : st.spec->partition_by) {
+      st.partition_keys.push_back(SortKey{column, true, true});
+    }
+    st.spec_key = SortSpecKey(*st.spec);
+    st.ordering_key = OrderingKey(*st.spec);
   }
-  auto row_less = [&](size_t a, size_t b) {
-    int cmp = CompareRowsBy(table, a, b, partition_keys);
-    if (cmp != 0) return cmp < 0;
-    cmp = CompareRowsBy(table, a, b, spec.order_by);
-    if (cmp != 0) return cmp < 0;
-    return a < b;
+
+  // The canonical total order of a spec's global sort: (partition keys,
+  // order keys, row id). Shared by the cold sort, the delta merge and the
+  // partition-boundary scans so every path agrees bit-for-bit.
+  auto row_less_for = [&table](const SpecExecState& st) {
+    return [&table, &st](size_t a, size_t b) {
+      int cmp = CompareRowsBy(table, a, b, st.partition_keys);
+      if (cmp != 0) return cmp < 0;
+      cmp = CompareRowsBy(table, a, b, st.spec->order_by);
+      if (cmp != 0) return cmp < 0;
+      return a < b;
+    };
   };
-  auto compute_partition_starts = [&](const std::vector<size_t>& sorted_rows) {
+  auto compute_partition_starts = [&](const SpecExecState& st,
+                                      const std::vector<size_t>& sorted_rows) {
     std::vector<size_t> starts;
     starts.push_back(0);
     for (size_t i = 1; i < sorted_rows.size(); ++i) {
       if (CompareRowsBy(table, sorted_rows[i - 1], sorted_rows[i],
-                        partition_keys) != 0) {
+                        st.partition_keys) != 0) {
         starts.push_back(i);
       }
     }
@@ -375,8 +423,87 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
     return starts;
   };
 
-  // Phases 1–2, as a builder so the cache can skip them entirely on a hit.
-  auto build_sort_artifact = [&]() -> StatusOr<SortArtifact> {
+  // Combined hash of a row's partition key tuple. Equal tuples hash equal
+  // (NULLs included — Column::Hash maps NULL to a fixed value), which is
+  // what pins every partition whole inside one hash bucket.
+  auto row_partition_hash = [&table](const WindowSpec& spec, size_t row) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t column : spec.partition_by) {
+      h ^= table.column(column).Hash(row) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  };
+
+  // Hash-partition regime decision (kAuto): sample partition-key hashes at
+  // a fixed stride and estimate the partition cardinality by inverting the
+  // expected-distinct curve E[d] = D(1 - (1 - 1/D)^s) — increasing in D, so
+  // a binary search recovers the maximum-likelihood D from the observed
+  // distinct count d. Deterministic for a given table content, so cached
+  // artifacts never flip regimes under the same key.
+  const size_t hash_max_avg = options.hash_partition_max_avg_rows > 0
+                                  ? options.hash_partition_max_avg_rows
+                                  : options.morsel_size;
+  auto decide_hash_partition = [&](SpecExecState& st) {
+    if (st.spec->partition_by.empty()) return;
+    if (options.hash_partition == HashPartitionMode::kOff) return;
+    if (options.hash_partition == HashPartitionMode::kForce) {
+      st.hash_partition = true;
+      return;
+    }
+    // An ingest delta state prefers the canonical path: merging the sorted
+    // delta into the cached base artifact is O(d log d + n), cheaper than
+    // re-partitioning the whole table, and it keeps the artifact
+    // delta-mergeable for the append after this one.
+    if (delta_state_present) return;
+    const size_t min_parts =
+        std::max<size_t>(options.hash_partition_min_partitions, 1);
+    if (n < 2 * min_parts) return;
+    const size_t s = std::min<size_t>(n, 1024);
+    const size_t stride = n / s;
+    std::vector<uint64_t> sample(s);
+    for (size_t i = 0; i < s; ++i) {
+      sample[i] = row_partition_hash(*st.spec, i * stride);
+    }
+    std::sort(sample.begin(), sample.end());
+    const size_t d = static_cast<size_t>(
+        std::unique(sample.begin(), sample.end()) - sample.begin());
+    size_t estimate = n;  // a collision-free sample means "high cardinality"
+    if (d < s) {
+      double lo = static_cast<double>(d);
+      double hi = static_cast<double>(n);
+      for (int iter = 0; iter < 48; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const double expected =
+            mid * (1.0 - std::pow(1.0 - 1.0 / mid,
+                                  static_cast<double>(s)));
+        (expected < static_cast<double>(d) ? lo : hi) = mid;
+      }
+      estimate = static_cast<size_t>(lo);
+    }
+    st.hash_est_partitions = estimate;
+    st.hash_partition =
+        estimate >= min_parts && estimate > 0 && n / estimate <= hash_max_avg;
+  };
+
+  for (size_t g = 0; g < num_groups; ++g) {
+    SpecExecState& st = states[g];
+    if (plan.IsProducer(g)) decide_hash_partition(st);
+    if (cache_enabled) {
+      st.sort_cache_key = options.cache_key + "|sort|" + st.spec_key +
+                          (st.hash_partition ? "|hp" : "");
+    }
+    st.delta_merge_possible = delta_state_present && !st.hash_partition;
+    if (st.delta_merge_possible) {
+      st.base_sort_key = options.delta_base_key + "|sort|" + st.spec_key;
+    }
+  }
+
+  // Phases 1–2 (global-sort regime), as a builder so the cache can skip
+  // them entirely on a hit.
+  auto build_sort_artifact =
+      [&](const SpecExecState& st) -> StatusOr<SortArtifact> {
+    const WindowSpec& spec = *st.spec;
     SortArtifact artifact;
     // Phase 1: one global sort by (partition keys, order keys, row id).
     // Partition keys use a fixed canonical order; the row-id tiebreak makes
@@ -456,29 +583,131 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
           pool, options.morsel_size);
     } else {
       Status sort_status = mem::SortWithBudget(
-          sorted,
-          [&](size_t a, size_t b) {
-            int cmp = CompareRowsBy(table, a, b, partition_keys);
-            if (cmp != 0) return cmp < 0;
-            cmp = CompareRowsBy(table, a, b, spec.order_by);
-            if (cmp != 0) return cmp < 0;
-            return a < b;
-          },
-          pool, mem_ctx, options.morsel_size);
+          sorted, row_less_for(st), pool, mem_ctx, options.morsel_size);
       if (!sort_status.ok()) return sort_status;
     }
 
     // Phase 2: partition boundaries (equal partition keys).
     phase_timer.reset();
     phase_timer.emplace(profile, obs::ProfilePhase::kPartition);
-    std::vector<size_t>& partition_starts = artifact.partition_starts;
-    partition_starts.push_back(0);
-    for (size_t i = 1; i < n; ++i) {
-      if (CompareRowsBy(table, sorted[i - 1], sorted[i], partition_keys) != 0) {
-        partition_starts.push_back(i);
+    artifact.partition_starts = compute_partition_starts(st, sorted);
+    phase_timer.reset();
+    if (Status stop = CheckStop(); !stop.ok()) return stop;
+    return artifact;
+  };
+
+  // Phases 1–2, hash-partition regime: scatter rows into hash buckets of
+  // the partition key (morsel-parallel histogram + scatter), then sort each
+  // bucket independently by the same canonical comparator. Equal partition
+  // keys hash equal, so every partition lands whole in one bucket and the
+  // boundary scan is unchanged; within a partition the order is the same
+  // (ORDER BY, row id) sequence as the global sort — results are
+  // bit-identical, only the global arrangement of partitions differs
+  // (bucket-major instead of key order), which per-row-id result writes
+  // never observe.
+  auto build_sort_artifact_hashed =
+      [&](const SpecExecState& st) -> StatusOr<SortArtifact> {
+    const WindowSpec& spec = *st.spec;
+    const size_t chunk = std::max<size_t>(options.morsel_size, 1);
+    const size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+    size_t buckets = 64;
+    int log2_buckets = 6;
+    while (buckets < 65536 && buckets * chunk < 2 * n) {
+      buckets <<= 1;
+      ++log2_buckets;
+    }
+    const int shift = 64 - log2_buckets;
+    // Budget-aware: the partitioner's scratch (row hashes + per-chunk
+    // histograms) is optional — when the budget cannot take it, fall back
+    // to the global regime, which can spill.
+    const size_t scratch_bytes =
+        n * sizeof(uint64_t) + num_chunks * buckets * sizeof(size_t);
+    mem::MemoryReservation scratch;
+    if (memory_limit > 0 && !scratch.Reserve(&budget, scratch_bytes).ok()) {
+      return build_sort_artifact(st);
+    }
+
+    SortArtifact artifact;
+    artifact.canonical = false;
+    std::optional<obs::ScopedPhaseTimer> phase_timer;
+    phase_timer.emplace(profile, obs::ProfilePhase::kSort);
+
+    std::vector<uint64_t> hashes(n);
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            hashes[i] = row_partition_hash(spec, i);
+          }
+        },
+        pool, chunk);
+
+    // Per-chunk bucket histograms, then one exclusive scan that assigns
+    // every (chunk, bucket) cell its write cursor — the classic radix
+    // scatter, so the parallel scatter below writes disjoint regions.
+    std::vector<size_t> cursors(num_chunks * buckets, 0);
+    ParallelFor(
+        0, num_chunks,
+        [&](size_t clo, size_t chi) {
+          for (size_t c = clo; c < chi; ++c) {
+            size_t* counts = cursors.data() + c * buckets;
+            const size_t end = std::min(n, (c + 1) * chunk);
+            for (size_t i = c * chunk; i < end; ++i) {
+              ++counts[hashes[i] >> shift];
+            }
+          }
+        },
+        pool, 1);
+    std::vector<size_t> bucket_start(buckets + 1);
+    size_t pos = 0;
+    for (size_t b = 0; b < buckets; ++b) {
+      bucket_start[b] = pos;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        const size_t count = cursors[c * buckets + b];
+        cursors[c * buckets + b] = pos;
+        pos += count;
       }
     }
-    partition_starts.push_back(n);
+    bucket_start[buckets] = n;
+
+    mem::MemoryReservation sorted_bytes;
+    sorted_bytes.ForceReserve(&budget, n * sizeof(size_t));
+    artifact.sorted.resize(n);
+    ParallelFor(
+        0, num_chunks,
+        [&](size_t clo, size_t chi) {
+          for (size_t c = clo; c < chi; ++c) {
+            size_t* cursor = cursors.data() + c * buckets;
+            const size_t end = std::min(n, (c + 1) * chunk);
+            for (size_t i = c * chunk; i < end; ++i) {
+              artifact.sorted[cursor[hashes[i] >> shift]++] = i;
+            }
+          }
+        },
+        pool, 1);
+
+    // Each bucket holds a handful of whole partitions: sort them
+    // independently, in parallel — O(n log(n/B)) total instead of the
+    // global O(n log n), with no cross-bucket merge.
+    auto row_less = row_less_for(st);
+    Status sort_status = ParallelForStatus(
+        0, buckets,
+        [&](size_t b, size_t) -> Status {
+          if (Status stop = CheckStop(); !stop.ok()) return stop;
+          std::sort(artifact.sorted.begin() + bucket_start[b],
+                    artifact.sorted.begin() + bucket_start[b + 1], row_less);
+          return Status::OK();
+        },
+        pool, /*morsel_size=*/1);
+    if (!sort_status.ok()) return sort_status;
+    obs::Add(obs::Counter::kExecutorHashPartitionedRows, n);
+
+    // Phase 2: partition boundaries. Adjacent rows from different buckets
+    // have different hashes, hence different partition keys — boundaries
+    // fall out of the same scan as the global regime.
+    phase_timer.reset();
+    phase_timer.emplace(profile, obs::ProfilePhase::kPartition);
+    artifact.partition_starts = compute_partition_starts(st, artifact.sorted);
     phase_timer.reset();
     if (Status stop = CheckStop(); !stop.ok()) return stop;
     return artifact;
@@ -493,10 +722,13 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   // On a cold build in delta mode, the base-only artifact is derived and
   // cached as a side effect so the *next* append can take the merge path
   // (self-healing after cache eviction or a cold server start).
-  auto build_or_merge_sort_artifact = [&]() -> StatusOr<SortArtifact> {
-    if (delta_merge_possible) {
-      if (std::shared_ptr<const SortArtifact> base =
-              options.tree_cache->Get<SortArtifact>(base_sort_key)) {
+  auto build_or_merge_sort_artifact =
+      [&](const SpecExecState& st) -> StatusOr<SortArtifact> {
+    auto row_less = row_less_for(st);
+    if (st.delta_merge_possible) {
+      std::shared_ptr<const SortArtifact> base =
+          options.tree_cache->Get<SortArtifact>(st.base_sort_key);
+      if (base != nullptr && base->canonical) {
         obs::ScopedPhaseTimer timer(profile, obs::ProfilePhase::kDeltaMerge);
         SortArtifact artifact;
         const size_t base_n = options.delta_base_rows;
@@ -506,286 +738,422 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
         artifact.sorted.resize(n);
         std::merge(base->sorted.begin(), base->sorted.end(), delta.begin(),
                    delta.end(), artifact.sorted.begin(), row_less);
-        artifact.partition_starts = compute_partition_starts(artifact.sorted);
+        artifact.partition_starts =
+            compute_partition_starts(st, artifact.sorted);
         obs::Add(obs::Counter::kIngestDeltaMerges);
         if (Status stop = CheckStop(); !stop.ok()) return stop;
         return artifact;
       }
     }
-    StatusOr<SortArtifact> built = build_sort_artifact();
-    if (!built.ok() || !delta_merge_possible) return built;
+    StatusOr<SortArtifact> built = st.hash_partition
+                                       ? build_sort_artifact_hashed(st)
+                                       : build_sort_artifact(st);
+    if (!built.ok() || !st.delta_merge_possible || !built->canonical) {
+      return built;
+    }
     obs::ScopedPhaseTimer timer(profile, obs::ProfilePhase::kDeltaMerge);
     SortArtifact base;
     base.sorted.reserve(options.delta_base_rows);
     for (size_t row : built->sorted) {
       if (row < options.delta_base_rows) base.sorted.push_back(row);
     }
-    base.partition_starts = compute_partition_starts(base.sorted);
+    base.partition_starts = compute_partition_starts(st, base.sorted);
     const size_t base_bytes = base.ApproxBytes();
     options.tree_cache->Put<SortArtifact>(
-        base_sort_key,
+        st.base_sort_key,
         {std::make_shared<const SortArtifact>(std::move(base)), base_bytes});
     return built;
   };
 
-  std::shared_ptr<const SortArtifact> sort_artifact;
-  if (cache_enabled) {
-    StatusOr<std::shared_ptr<const SortArtifact>> artifact_or =
-        options.tree_cache->GetOrBuild<SortArtifact>(
-            sort_key,
-            [&]() -> StatusOr<mst::TreeCache::Built<SortArtifact>> {
-              StatusOr<SortArtifact> built = build_or_merge_sort_artifact();
-              if (!built.ok()) return built.status();
-              const size_t bytes = built->ApproxBytes();
-              return mst::TreeCache::Built<SortArtifact>{
-                  std::make_shared<const SortArtifact>(std::move(*built)),
-                  bytes};
-            });
-    if (!artifact_or.ok()) return artifact_or.status();
-    sort_artifact = std::move(*artifact_or);
-  } else {
-    StatusOr<SortArtifact> built = build_sort_artifact();
+  auto acquire_producer_artifact = [&](const SpecExecState& st)
+      -> StatusOr<std::shared_ptr<const SortArtifact>> {
+    if (!st.sort_cache_key.empty()) {
+      return options.tree_cache->GetOrBuild<SortArtifact>(
+          st.sort_cache_key,
+          [&]() -> StatusOr<mst::TreeCache::Built<SortArtifact>> {
+            StatusOr<SortArtifact> built = build_or_merge_sort_artifact(st);
+            if (!built.ok()) return built.status();
+            const size_t bytes = built->ApproxBytes();
+            return mst::TreeCache::Built<SortArtifact>{
+                std::make_shared<const SortArtifact>(std::move(*built)),
+                bytes};
+          });
+    }
+    StatusOr<SortArtifact> built = st.hash_partition
+                                       ? build_sort_artifact_hashed(st)
+                                       : build_sort_artifact(st);
     if (!built.ok()) return built.status();
-    sort_artifact = std::make_shared<const SortArtifact>(std::move(*built));
-  }
-  const std::vector<size_t>& sorted = sort_artifact->sorted;
-  const std::vector<size_t>& partition_starts = sort_artifact->partition_starts;
+    return std::make_shared<const SortArtifact>(std::move(*built));
+  };
 
-  // Result columns, all NULL until written.
-  std::vector<Column> results;
-  results.reserve(calls.size());
-  for (const WindowFunctionCall& call : calls) {
-    results.emplace_back(ResultType(table, call), n);
-  }
-
-  const FrameSpec& frame = spec.frame;
-  const bool needs_peers =
-      frame.exclusion == FrameExclusion::kGroup ||
-      frame.exclusion == FrameExclusion::kTies ||
-      frame.mode == FrameMode::kGroups ||
-      (frame.mode == FrameMode::kRange &&
-       frame.begin.kind != FrameBoundKind::kUnboundedPreceding) ||
-      (frame.mode == FrameMode::kRange &&
-       frame.end.kind != FrameBoundKind::kUnboundedFollowing);
-  const bool needs_range_keys =
-      frame.mode == FrameMode::kRange &&
-      (frame.begin.kind == FrameBoundKind::kPreceding ||
-       frame.begin.kind == FrameBoundKind::kFollowing ||
-       frame.end.kind == FrameBoundKind::kPreceding ||
-       frame.end.kind == FrameBoundKind::kFollowing);
-
-  // Phase 3: per partition — frame resolution, then function evaluation.
-  auto process_partition = [&](size_t p, ThreadPool& part_pool) -> Status {
-    if (Status stop = CheckStop(); !stop.ok()) return stop;
-    const size_t part_begin = partition_starts[p];
-    const size_t part_end = partition_starts[p + 1];
-    const size_t part_n = part_end - part_begin;
-    std::span<const size_t> rows(sorted.data() + part_begin, part_n);
-
-    // Everything up to the resolved frames is frame-resolution work (peer
-    // groups, range keys, offsets, the resolver sweep).
-    std::optional<obs::ScopedPhaseTimer> part_timer;
-    part_timer.emplace(profile, obs::ProfilePhase::kFrameResolve);
-
-    FrameResolver::Inputs inputs;
-    inputs.n = part_n;
-    inputs.frame = frame;
-
-    if (needs_peers) {
-      inputs.peer_start.resize(part_n);
-      inputs.peer_end.resize(part_n);
-      inputs.group_index.resize(part_n);
-      size_t group_begin = 0;
-      size_t group = 0;
-      for (size_t i = 1; i <= part_n; ++i) {
-        const bool boundary =
-            i == part_n ||
-            CompareRowsBy(table, rows[i - 1], rows[i], spec.order_by) != 0;
-        if (boundary) {
-          inputs.group_starts.push_back(group_begin);
-          for (size_t j = group_begin; j < i; ++j) {
-            inputs.peer_start[j] = group_begin;
-            inputs.peer_end[j] = i;
-            inputs.group_index[j] = group;
+  // Recovers a covered spec's sort from its producer's artifact. The
+  // producer's ordering is strictly finer: inside every maximal run of rows
+  // tied on the consumer's (shorter) ORDER BY prefix, the consumer's
+  // canonical order is plain ascending row id — the producer's extra keys
+  // are the only thing arranging those ties — so one O(n) boundary sweep
+  // plus integer-only tie re-sorts reproduces the consumer's sort
+  // bit-identically, at a fraction of a full comparison sort. Ties never
+  // span a partition boundary, so partition starts carry over unchanged.
+  auto derive_artifact = [&](const SpecExecState& prod,
+                             const SortArtifact& from,
+                             const SpecExecState& cons)
+      -> StatusOr<SortArtifact> {
+    obs::ScopedPhaseTimer timer(profile, obs::ProfilePhase::kSort);
+    SortArtifact artifact;
+    artifact.sorted = from.sorted;
+    artifact.partition_starts = from.partition_starts;
+    artifact.canonical =
+        from.canonical && prod.spec->partition_by == cons.spec->partition_by;
+    const std::vector<size_t>& starts = artifact.partition_starts;
+    const size_t num_partitions = starts.size() - 1;
+    std::span<const SortKey> order(cons.spec->order_by);
+    Status status = ParallelForStatus(
+        0, num_partitions,
+        [&](size_t p, size_t) -> Status {
+          if (Status stop = CheckStop(); !stop.ok()) return stop;
+          size_t* data = artifact.sorted.data();
+          size_t run = starts[p];
+          for (size_t i = starts[p] + 1; i <= starts[p + 1]; ++i) {
+            const bool boundary =
+                i == starts[p + 1] ||
+                CompareRowsBy(table, data[i - 1], data[i], order) != 0;
+            if (!boundary) continue;
+            if (i - run > 1) std::sort(data + run, data + i);
+            run = i;
           }
-          group_begin = i;
-          ++group;
-        }
-      }
-      inputs.group_starts.push_back(part_n);  // Sentinel.
-    }
-
-    if (needs_range_keys) {
-      const SortKey& key = spec.order_by[0];
-      const Column& column = table.column(key.column);
-      inputs.ascending = key.ascending;
-      inputs.range_keys.resize(part_n);
-      inputs.range_key_valid.resize(part_n);
-      size_t num_nulls = 0;
-      for (size_t i = 0; i < part_n; ++i) {
-        const size_t row = rows[i];
-        if (column.IsNull(row)) {
-          inputs.range_keys[i] = 0;
-          inputs.range_key_valid[i] = 0;
-          ++num_nulls;
-        } else {
-          inputs.range_keys[i] = column.GetNumeric(row);
-          inputs.range_key_valid[i] = 1;
-        }
-      }
-      if (key.nulls_first) {
-        inputs.nonnull_begin = num_nulls;
-        inputs.nonnull_end = part_n;
-      } else {
-        inputs.nonnull_begin = 0;
-        inputs.nonnull_end = part_n - num_nulls;
-      }
-    }
-
-    auto load_offsets = [&](const FrameBound& bound,
-                            std::vector<int64_t>* ints,
-                            std::vector<double>* doubles) {
-      if (!bound.offset_column.has_value()) return;
-      if (bound.kind != FrameBoundKind::kPreceding &&
-          bound.kind != FrameBoundKind::kFollowing) {
-        return;
-      }
-      const Column& column = table.column(*bound.offset_column);
-      if (frame.mode == FrameMode::kRange) {
-        doubles->resize(part_n);
-        for (size_t i = 0; i < part_n; ++i) {
-          (*doubles)[i] =
-              column.IsNull(rows[i]) ? 0.0 : column.GetNumeric(rows[i]);
-        }
-      } else {
-        ints->resize(part_n);
-        for (size_t i = 0; i < part_n; ++i) {
-          (*ints)[i] = column.IsNull(rows[i])
-                           ? 0
-                           : static_cast<int64_t>(
-                                 std::llround(column.GetNumeric(rows[i])));
-        }
-      }
-    };
-    load_offsets(frame.begin, &inputs.begin_offsets,
-                 &inputs.begin_offsets_numeric);
-    load_offsets(frame.end, &inputs.end_offsets, &inputs.end_offsets_numeric);
-
-    FrameResolver resolver(std::move(inputs));
-    mem::MemoryReservation frames_bytes;
-    frames_bytes.ForceReserve(&budget, part_n * sizeof(FrameRanges));
-    std::vector<FrameRanges> frames(part_n);
-    ParallelFor(
-        0, part_n,
-        [&](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) frames[i] = resolver.Resolve(i);
+          return Status::OK();
         },
-        part_pool, options.morsel_size);
+        pool, /*morsel_size=*/1);
+    if (!status.ok()) return status;
+    return artifact;
+  };
 
-    PartitionView view;
-    view.table = &table;
-    view.spec = &spec;
-    view.rows = rows;
-    view.frames = frames;
-    view.options = &exec_options;
-    view.pool = &part_pool;
-    PartitionDelta part_delta;
-    if (cache_enabled) {
-      view.cache = options.tree_cache;
-      if (content_keys && part_n > 0) {
-        // Content-addressed: (epoch, gen) fixes every row's values, and the
-        // (first sorted id, count, last sorted id) coordinates pin down the
-        // exact member set — two states of the same content generation whose
-        // partition shares first id and count hold *identical* row sets
-        // (appends only ever extend a partition), so re-hitting an entry
-        // across appends or compactions is provably exact.
-        view.cache_prefix = options.content_cache_key + "|" + spec_key + "|p" +
-                            std::to_string(rows[0]) + "." +
-                            std::to_string(part_n) + "." +
-                            std::to_string(rows[part_n - 1]);
+  // Build every producer's artifact, then satisfy the covered specs from
+  // them — verbatim for identical orderings, derived for strict prefixes.
+  std::vector<std::shared_ptr<const SortArtifact>> artifacts(num_groups);
+  size_t sorts_shared = 0;
+  size_t sorts_elided = 0;
+  for (size_t index : plan.sequence) {
+    const SpecExecState& st = states[index];
+    if (plan.IsProducer(index)) {
+      StatusOr<std::shared_ptr<const SortArtifact>> artifact =
+          acquire_producer_artifact(st);
+      if (!artifact.ok()) return artifact.status();
+      artifacts[index] = std::move(*artifact);
+    } else if (plan.reuse[index] == SharedSortPlan::Reuse::kExact) {
+      // Identical ORDER BY: the producer's permutation and boundaries serve
+      // this spec verbatim. (A PARTITION BY permutation only rearranges
+      // whole partitions, which the per-row-id result writes never see.)
+      artifacts[index] = artifacts[plan.producer[index]];
+      ++sorts_elided;
+      ++sorts_shared;
+    } else {
+      StatusOr<SortArtifact> derived = derive_artifact(
+          states[plan.producer[index]], *artifacts[plan.producer[index]], st);
+      if (!derived.ok()) return derived.status();
+      artifacts[index] =
+          std::make_shared<const SortArtifact>(std::move(*derived));
+      ++sorts_shared;
+    }
+  }
+  if (sorts_shared > 0) {
+    obs::Add(obs::Counter::kExecutorSortsShared, sorts_shared);
+  }
+  if (sorts_elided > 0) {
+    obs::Add(obs::Counter::kExecutorSortsElided, sorts_elided);
+  }
+
+  if (profile != nullptr) {
+    std::string text = plan.Describe(specs);
+    std::string regimes;
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (!plan.IsProducer(g)) continue;
+      if (!regimes.empty()) regimes += ", ";
+      regimes += "spec#" + std::to_string(g) + "=";
+      if (states[g].hash_partition) {
+        regimes += "hash";
+        if (states[g].hash_est_partitions > 0) {
+          regimes += "(est " +
+                     std::to_string(states[g].hash_est_partitions) +
+                     " partitions)";
+        }
       } else {
-        view.cache_prefix = sort_key + "|p" + std::to_string(part_begin) +
-                            "-" + std::to_string(part_end);
+        regimes += "global";
       }
-      if (content_keys && options.delta_base_rows > 0 && part_n > 0) {
-        // Partition-local delta census for the merged two-tree probe path:
-        // which rows are fresh, and under which key the pre-append base
-        // subset's tree would have been cached.
-        size_t delta_count = 0;
-        size_t base_count = 0;
-        size_t first_base = 0;
-        size_t last_base = 0;
-        for (size_t i = 0; i < part_n; ++i) {
-          if (rows[i] >= options.delta_base_rows) {
-            ++delta_count;
-          } else {
-            if (base_count == 0) first_base = rows[i];
-            last_base = rows[i];
-            ++base_count;
+    }
+    text += "\nregime: " + regimes;
+    profile->SetPlanText(text);
+  }
+
+  // Result columns per group, all NULL until written.
+  std::vector<std::vector<Column>> results(num_groups);
+  size_t total_partitions = 0;
+
+  // Phase 3 for one group: per partition — frame resolution, then function
+  // evaluation.
+  auto evaluate_group = [&](size_t g) -> Status {
+    const SpecExecState& st = states[g];
+    const WindowSpec& spec = *st.spec;
+    std::span<const WindowFunctionCall> calls = groups[g].calls;
+    const std::vector<size_t>& sorted = artifacts[g]->sorted;
+    const std::vector<size_t>& partition_starts =
+        artifacts[g]->partition_starts;
+
+    std::vector<Column>& group_results = results[g];
+    group_results.reserve(calls.size());
+    for (const WindowFunctionCall& call : calls) {
+      group_results.emplace_back(ResultType(table, call), n);
+    }
+
+    const FrameSpec& frame = spec.frame;
+    const bool needs_peers =
+        frame.exclusion == FrameExclusion::kGroup ||
+        frame.exclusion == FrameExclusion::kTies ||
+        frame.mode == FrameMode::kGroups ||
+        (frame.mode == FrameMode::kRange &&
+         frame.begin.kind != FrameBoundKind::kUnboundedPreceding) ||
+        (frame.mode == FrameMode::kRange &&
+         frame.end.kind != FrameBoundKind::kUnboundedFollowing);
+    const bool needs_range_keys =
+        frame.mode == FrameMode::kRange &&
+        (frame.begin.kind == FrameBoundKind::kPreceding ||
+         frame.begin.kind == FrameBoundKind::kFollowing ||
+         frame.end.kind == FrameBoundKind::kPreceding ||
+         frame.end.kind == FrameBoundKind::kFollowing);
+
+    auto process_partition = [&](size_t p, ThreadPool& part_pool) -> Status {
+      if (Status stop = CheckStop(); !stop.ok()) return stop;
+      const size_t part_begin = partition_starts[p];
+      const size_t part_end = partition_starts[p + 1];
+      const size_t part_n = part_end - part_begin;
+      std::span<const size_t> rows(sorted.data() + part_begin, part_n);
+
+      // Everything up to the resolved frames is frame-resolution work (peer
+      // groups, range keys, offsets, the resolver sweep).
+      std::optional<obs::ScopedPhaseTimer> part_timer;
+      part_timer.emplace(profile, obs::ProfilePhase::kFrameResolve);
+
+      FrameResolver::Inputs inputs;
+      inputs.n = part_n;
+      inputs.frame = frame;
+
+      if (needs_peers) {
+        inputs.peer_start.resize(part_n);
+        inputs.peer_end.resize(part_n);
+        inputs.group_index.resize(part_n);
+        size_t group_begin = 0;
+        size_t group = 0;
+        for (size_t i = 1; i <= part_n; ++i) {
+          const bool boundary =
+              i == part_n ||
+              CompareRowsBy(table, rows[i - 1], rows[i], spec.order_by) != 0;
+          if (boundary) {
+            inputs.group_starts.push_back(group_begin);
+            for (size_t j = group_begin; j < i; ++j) {
+              inputs.peer_start[j] = group_begin;
+              inputs.peer_end[j] = i;
+              inputs.group_index[j] = group;
+            }
+            group_begin = i;
+            ++group;
           }
         }
-        if (delta_count > 0 && base_count > 0) {
-          part_delta.base_rows = options.delta_base_rows;
-          part_delta.delta_in_partition = delta_count;
-          part_delta.main_prefix =
-              options.content_cache_key + "|" + spec_key + "|p" +
-              std::to_string(first_base) + "." + std::to_string(base_count) +
-              "." + std::to_string(last_base);
-          view.delta = &part_delta;
+        inputs.group_starts.push_back(part_n);  // Sentinel.
+      }
+
+      if (needs_range_keys) {
+        const SortKey& key = spec.order_by[0];
+        const Column& column = table.column(key.column);
+        inputs.ascending = key.ascending;
+        inputs.range_keys.resize(part_n);
+        inputs.range_key_valid.resize(part_n);
+        size_t num_nulls = 0;
+        for (size_t i = 0; i < part_n; ++i) {
+          const size_t row = rows[i];
+          if (column.IsNull(row)) {
+            inputs.range_keys[i] = 0;
+            inputs.range_key_valid[i] = 0;
+            ++num_nulls;
+          } else {
+            inputs.range_keys[i] = column.GetNumeric(row);
+            inputs.range_key_valid[i] = 1;
+          }
+        }
+        if (key.nulls_first) {
+          inputs.nonnull_begin = num_nulls;
+          inputs.nonnull_end = part_n;
+        } else {
+          inputs.nonnull_begin = 0;
+          inputs.nonnull_end = part_n - num_nulls;
         }
       }
-    }
 
-    // The dispatch interval covers preprocessing, tree builds AND probing;
-    // the preprocessing and tree-build shares are recorded separately by
-    // the evaluators / builds themselves and subtracted from kProbe once at
-    // the end of the execution, keeping the phases disjoint without extra
-    // clock reads inside the dispatch.
-    part_timer.reset();
-    part_timer.emplace(profile, obs::ProfilePhase::kProbe);
-    for (size_t c = 0; c < calls.size(); ++c) {
-      Status call_status = DispatchEngine(view, calls[c], &results[c]);
-      if (!call_status.ok()) return call_status;
+      auto load_offsets = [&](const FrameBound& bound,
+                              std::vector<int64_t>* ints,
+                              std::vector<double>* doubles) {
+        if (!bound.offset_column.has_value()) return;
+        if (bound.kind != FrameBoundKind::kPreceding &&
+            bound.kind != FrameBoundKind::kFollowing) {
+          return;
+        }
+        const Column& column = table.column(*bound.offset_column);
+        if (frame.mode == FrameMode::kRange) {
+          doubles->resize(part_n);
+          for (size_t i = 0; i < part_n; ++i) {
+            (*doubles)[i] =
+                column.IsNull(rows[i]) ? 0.0 : column.GetNumeric(rows[i]);
+          }
+        } else {
+          ints->resize(part_n);
+          for (size_t i = 0; i < part_n; ++i) {
+            (*ints)[i] = column.IsNull(rows[i])
+                             ? 0
+                             : static_cast<int64_t>(
+                                   std::llround(column.GetNumeric(rows[i])));
+          }
+        }
+      };
+      load_offsets(frame.begin, &inputs.begin_offsets,
+                   &inputs.begin_offsets_numeric);
+      load_offsets(frame.end, &inputs.end_offsets,
+                   &inputs.end_offsets_numeric);
+
+      FrameResolver resolver(std::move(inputs));
+      mem::MemoryReservation frames_bytes;
+      frames_bytes.ForceReserve(&budget, part_n * sizeof(FrameRanges));
+      std::vector<FrameRanges> frames(part_n);
+      ParallelFor(
+          0, part_n,
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) frames[i] = resolver.Resolve(i);
+          },
+          part_pool, options.morsel_size);
+
+      PartitionView view;
+      view.table = &table;
+      view.spec = &spec;
+      view.rows = rows;
+      view.frames = frames;
+      view.options = &exec_options;
+      view.pool = &part_pool;
+      PartitionDelta part_delta;
+      if (cache_enabled) {
+        view.cache = options.tree_cache;
+        if (content_keys && part_n > 0) {
+          // Content-addressed: (epoch, gen) fixes every row's values, and
+          // the (first sorted id, count, last sorted id) coordinates pin
+          // down the exact member set — two states of the same content
+          // generation whose partition shares first id and count hold
+          // *identical* row sets (appends only ever extend a partition), so
+          // re-hitting an entry across appends or compactions is provably
+          // exact. Keyed by the canonical ordering — the intra-partition
+          // sequence is (ORDER BY, row id) in every regime and arrangement
+          // — so the cached trees are shared across frames, PARTITION BY
+          // permutations and the sort regimes.
+          view.cache_prefix = options.content_cache_key + "|" +
+                              st.ordering_key + "|p" +
+                              std::to_string(rows[0]) + "." +
+                              std::to_string(part_n) + "." +
+                              std::to_string(rows[part_n - 1]);
+        } else {
+          // Positional coordinates index into the artifact actually used,
+          // so the prefix names that artifact (the producer's sort cache
+          // key, hash-regime suffix included) plus this spec's canonical
+          // ordering, which fixes the intra-partition order the cached
+          // trees were built over.
+          view.cache_prefix = states[plan.producer[g]].sort_cache_key + "|" +
+                              st.ordering_key + "|p" +
+                              std::to_string(part_begin) + "-" +
+                              std::to_string(part_end);
+        }
+        if (content_keys && options.delta_base_rows > 0 && part_n > 0) {
+          // Partition-local delta census for the merged two-tree probe
+          // path: which rows are fresh, and under which key the pre-append
+          // base subset's tree would have been cached.
+          size_t delta_count = 0;
+          size_t base_count = 0;
+          size_t first_base = 0;
+          size_t last_base = 0;
+          for (size_t i = 0; i < part_n; ++i) {
+            if (rows[i] >= options.delta_base_rows) {
+              ++delta_count;
+            } else {
+              if (base_count == 0) first_base = rows[i];
+              last_base = rows[i];
+              ++base_count;
+            }
+          }
+          if (delta_count > 0 && base_count > 0) {
+            part_delta.base_rows = options.delta_base_rows;
+            part_delta.delta_in_partition = delta_count;
+            part_delta.main_prefix =
+                options.content_cache_key + "|" + st.ordering_key + "|p" +
+                std::to_string(first_base) + "." + std::to_string(base_count) +
+                "." + std::to_string(last_base);
+            view.delta = &part_delta;
+          }
+        }
+      }
+
+      // The dispatch interval covers preprocessing, tree builds AND
+      // probing; the preprocessing and tree-build shares are recorded
+      // separately by the evaluators / builds themselves and subtracted
+      // from kProbe once at the end of the execution, keeping the phases
+      // disjoint without extra clock reads inside the dispatch.
+      part_timer.reset();
+      part_timer.emplace(profile, obs::ProfilePhase::kProbe);
+      for (size_t c = 0; c < calls.size(); ++c) {
+        Status call_status = DispatchEngine(view, calls[c], &group_results[c]);
+        if (!call_status.ok()) return call_status;
+      }
+      return Status::OK();
+    };
+
+    const size_t num_partitions = partition_starts.size() - 1;
+    size_t largest_partition = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      largest_partition = std::max(
+          largest_partition, partition_starts[p + 1] - partition_starts[p]);
     }
+    if (num_partitions > 1 && largest_partition <= options.morsel_size &&
+        pool.num_workers() > 0) {
+      // Many small partitions: parallelize ACROSS partitions (Leis et al.
+      // [27]); each partition is one task evaluated serially inside. A
+      // worker-less pool makes the inner ParallelFor calls run inline.
+      // Meyers singleton: C++11 magic statics make the first-call
+      // initialization race-free, and the object (a worker-less pool, so
+      // its destructor joins nothing) is destroyed at exit — TSan- and
+      // LeakSanitizer-clean, unlike the previous intentional `new` leak.
+      // ParallelForStatus guarantees the reported error is always the one
+      // from the lowest-indexed failing partition, regardless of
+      // scheduling.
+      static ThreadPool serial_pool(-1);
+      Status loop_status = ParallelForStatus(
+          0, num_partitions,
+          [&](size_t p, size_t) { return process_partition(p, serial_pool); },
+          pool, /*morsel_size=*/1);
+      if (!loop_status.ok()) return loop_status;
+    } else {
+      // Few (or large) partitions: evaluate sequentially with intra-
+      // partition parallelism.
+      for (size_t p = 0; p < num_partitions; ++p) {
+        Status status = process_partition(p, pool);
+        if (!status.ok()) return status;
+      }
+    }
+    total_partitions += num_partitions;
+    obs::Add(obs::Counter::kExecutorPartitions, num_partitions);
     return Status::OK();
   };
 
-  const size_t num_partitions = partition_starts.size() - 1;
-  size_t largest_partition = 0;
-  for (size_t p = 0; p < num_partitions; ++p) {
-    largest_partition = std::max(largest_partition,
-                                 partition_starts[p + 1] - partition_starts[p]);
-  }
-  if (num_partitions > 1 && largest_partition <= options.morsel_size &&
-      pool.num_workers() > 0) {
-    // Many small partitions: parallelize ACROSS partitions (Leis et al.
-    // [27]); each partition is one task evaluated serially inside. A
-    // worker-less pool makes the inner ParallelFor calls run inline.
-    // Meyers singleton: C++11 magic statics make the first-call
-    // initialization race-free, and the object (a worker-less pool, so its
-    // destructor joins nothing) is destroyed at exit — TSan- and
-    // LeakSanitizer-clean, unlike the previous intentional `new` leak.
-    // ParallelForStatus guarantees the reported error is always the one
-    // from the lowest-indexed failing partition, regardless of scheduling.
-    static ThreadPool serial_pool(-1);
-    Status loop_status = ParallelForStatus(
-        0, num_partitions,
-        [&](size_t p, size_t) { return process_partition(p, serial_pool); },
-        pool, /*morsel_size=*/1);
-    if (!loop_status.ok()) return loop_status;
-  } else {
-    // Few (or large) partitions: evaluate sequentially with intra-
-    // partition parallelism.
-    for (size_t p = 0; p < num_partitions; ++p) {
-      status = process_partition(p, pool);
-      if (!status.ok()) return status;
-    }
+  for (size_t g = 0; g < num_groups; ++g) {
+    Status status = evaluate_group(g);
+    if (!status.ok()) return status;
   }
   // A cancellation that landed mid-evaluation leaves partially-written
   // result columns; surface it before anyone can observe them.
   if (Status stop = CheckStop(); !stop.ok()) return stop;
 
-  obs::Add(obs::Counter::kExecutorPartitions, num_partitions);
   if (profile != nullptr) {
     // The dispatch timers above charged tree construction and Algorithm-1
     // preprocessing (permutation / code / prevIdcs construction) to kProbe
@@ -796,7 +1164,7 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
         -profile->phase_seconds(obs::ProfilePhase::kTreeBuild) -
             profile->phase_seconds(obs::ProfilePhase::kPreprocess));
     profile->SetRows(n);
-    profile->SetPartitions(num_partitions);
+    profile->SetPartitions(total_partitions);
     profile->SetEngine(EngineName(options.engine));
     profile->SetMemoryLimitBytes(memory_limit);
     profile->SetPeakReservedBytes(budget.peak_reserved_bytes());
@@ -807,6 +1175,20 @@ StatusOr<std::vector<Column>> EvaluateWindowFunctions(
   }
 
   return results;
+}
+
+StatusOr<std::vector<Column>> EvaluateWindowFunctions(
+    const Table& table, const WindowSpec& spec,
+    std::span<const WindowFunctionCall> calls,
+    const WindowExecutorOptions& options, ThreadPool& pool) {
+  WindowSpecGroup group;
+  group.spec = &spec;
+  group.calls = calls;
+  StatusOr<std::vector<std::vector<Column>>> result =
+      EvaluateWindowSpecGroups(
+          table, std::span<const WindowSpecGroup>(&group, 1), options, pool);
+  if (!result.ok()) return result.status();
+  return std::move((*result)[0]);
 }
 
 StatusOr<Column> EvaluateWindowFunction(const Table& table,

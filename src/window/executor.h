@@ -27,6 +27,24 @@ enum class WindowEngine {
   kOrderStatisticTree,  // counted B-tree (percentile / rank only)
 };
 
+/// Regime switch for the PARTITION BY hash partitioner. Under kAuto the
+/// executor samples the partition-key hashes, estimates the partition
+/// cardinality by inverting the expected-distinct curve, and takes the hash
+/// path when partitions are numerous (>= hash_partition_min_partitions) and
+/// small (average <= hash_partition_max_avg_rows): rows are scattered into
+/// hash buckets morsel-parallel and each bucket is sorted independently —
+/// O(n log(n/B)) with embarrassing parallelism — instead of paying one
+/// global O(n log n) comparison sort. Partition key equality implies hash
+/// equality, so every partition lands whole in one bucket and the partition
+/// boundary scan is unchanged; within a partition the order is the same
+/// canonical (ORDER BY, row id) sequence as the global sort, which is what
+/// keeps results bit-identical between the regimes.
+enum class HashPartitionMode {
+  kAuto,   // cardinality-estimated cost threshold (the default)
+  kOff,    // always the global sort
+  kForce,  // always hash-partition when a PARTITION BY is present
+};
+
 struct WindowExecutorOptions {
   /// Merge sort tree tuning (fanout, cascading sampling; §5.1, §6.6).
   MergeSortTreeOptions tree;
@@ -35,6 +53,18 @@ struct WindowExecutorOptions {
   size_t morsel_size = kDefaultMorselSize;
 
   WindowEngine engine = WindowEngine::kMergeSortTree;
+
+  /// High-cardinality PARTITION BY regime (see HashPartitionMode). The
+  /// kAuto thresholds: take the hash path when the estimated partition
+  /// count is at least `hash_partition_min_partitions` AND the average
+  /// partition is at most `hash_partition_max_avg_rows` rows (0 = default
+  /// to morsel_size — partitions small enough that the partition-parallel
+  /// schedule applies). The hash path is budget-aware: when the memory
+  /// budget cannot take the partitioner's scratch (row hashes + scatter
+  /// histograms), it falls back to the global sort, which can spill.
+  HashPartitionMode hash_partition = HashPartitionMode::kAuto;
+  size_t hash_partition_min_partitions = 64;
+  size_t hash_partition_max_avg_rows = 0;
 
   /// Force the tree index width: 0 = choose per partition (§5.1: 32-bit
   /// when the partition fits, else 64-bit), 32 or 64 to override.
@@ -97,6 +127,35 @@ struct WindowExecutorOptions {
   /// tree builds report their per-level timings.
   obs::ExecutionProfile* profile = nullptr;
 };
+
+/// One group of calls sharing one OVER clause, for multi-spec execution.
+/// `spec` must outlive the call; `calls` may be empty (the spec's sort
+/// still participates in the sharing plan).
+struct WindowSpecGroup {
+  const WindowSpec* spec = nullptr;
+  std::span<const WindowFunctionCall> calls;
+};
+
+/// Evaluates several groups of window function calls — a whole query's
+/// worth of distinct OVER clauses — in one execution.
+///
+/// The executor runs the shared-sort optimizer (window/shared_sort.h) over
+/// the specs: specs whose ordering requirement is covered by another spec's
+/// sort reuse that sort's permutation and partition boundaries instead of
+/// paying their own (verbatim for identical ORDER BY, via an O(n)
+/// tie-group row-id re-sort when the producer's ordering is strictly
+/// finer), and per-partition tree artifacts are cached under the canonical
+/// ordering key so they are shared across frames and PARTITION BY
+/// permutations. Producers with a high-cardinality PARTITION BY take the
+/// hash-partitioning path (see HashPartitionMode). Results are bit-identical
+/// to evaluating every group independently.
+///
+/// Returns one vector of result columns per group, aligned with the input
+/// groups and, within a group, with its calls.
+StatusOr<std::vector<std::vector<Column>>> EvaluateWindowSpecGroups(
+    const Table& table, std::span<const WindowSpecGroup> groups,
+    const WindowExecutorOptions& options = {},
+    ThreadPool& pool = ThreadPool::Default());
 
 /// Evaluates several window function calls sharing one OVER clause.
 ///

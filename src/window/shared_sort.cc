@@ -1,0 +1,110 @@
+#include "window/shared_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hwf {
+
+namespace {
+
+std::vector<size_t> PartitionSet(const WindowSpec& spec) {
+  std::vector<size_t> set = spec.partition_by;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+}  // namespace
+
+bool OrderingCovers(const WindowSpec& producer, const WindowSpec& consumer) {
+  if (PartitionSet(producer) != PartitionSet(consumer)) return false;
+  if (consumer.order_by.size() > producer.order_by.size()) return false;
+  return std::equal(consumer.order_by.begin(), consumer.order_by.end(),
+                    producer.order_by.begin());
+}
+
+std::string OrderingKey(const WindowSpec& spec) {
+  std::string key = "ps";
+  for (size_t column : PartitionSet(spec)) {
+    key += ':';
+    key += std::to_string(column);
+  }
+  key += "|ob";
+  for (const SortKey& sort_key : spec.order_by) {
+    key += ':';
+    key += std::to_string(sort_key.column);
+    key += sort_key.ascending ? 'a' : 'd';
+    key += sort_key.nulls_first ? 'f' : 'l';
+  }
+  return key;
+}
+
+SharedSortPlan PlanSharedSorts(std::span<const WindowSpec* const> specs) {
+  const size_t n = specs.size();
+  SharedSortPlan plan;
+  plan.producer.resize(n);
+  std::iota(plan.producer.begin(), plan.producer.end(), size_t{0});
+  plan.reuse.assign(n, SharedSortPlan::Reuse::kProducer);
+
+  // Visit in descending ORDER BY length so every potential producer is
+  // examined before the specs its finer ordering could cover; stable on the
+  // input index for determinism.
+  std::vector<size_t> by_length(n);
+  std::iota(by_length.begin(), by_length.end(), size_t{0});
+  std::stable_sort(by_length.begin(), by_length.end(),
+                   [&](size_t a, size_t b) {
+                     return specs[a]->order_by.size() >
+                            specs[b]->order_by.size();
+                   });
+
+  std::vector<size_t> producers;
+  for (size_t index : by_length) {
+    bool covered = false;
+    for (size_t candidate : producers) {
+      if (OrderingCovers(*specs[candidate], *specs[index])) {
+        plan.producer[index] = candidate;
+        plan.reuse[index] =
+            specs[index]->order_by.size() == specs[candidate]->order_by.size()
+                ? SharedSortPlan::Reuse::kExact
+                : SharedSortPlan::Reuse::kPrefix;
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) producers.push_back(index);
+  }
+  plan.num_producers = producers.size();
+
+  std::sort(producers.begin(), producers.end());
+  plan.sequence.reserve(n);
+  for (size_t p : producers) {
+    plan.sequence.push_back(p);
+    for (size_t i = 0; i < n; ++i) {
+      if (i != p && plan.producer[i] == p) plan.sequence.push_back(i);
+    }
+  }
+  return plan;
+}
+
+std::string SharedSortPlan::Describe(
+    std::span<const WindowSpec* const> specs) const {
+  std::string out;
+  size_t sort_index = 0;
+  for (size_t p = 0; p < producer.size(); ++p) {
+    if (!IsProducer(p)) continue;
+    if (!out.empty()) out += '\n';
+    out += "sort#" + std::to_string(sort_index++) + " <- spec#" +
+           std::to_string(p) + " [" + OrderingKey(*specs[p]) + "]";
+    std::string covers;
+    for (size_t i = 0; i < producer.size(); ++i) {
+      if (i == p || producer[i] != p) continue;
+      if (!covers.empty()) covers += ", ";
+      covers += "spec#" + std::to_string(i) +
+                (reuse[i] == Reuse::kExact ? " (exact)" : " (prefix)");
+    }
+    if (!covers.empty()) out += "; covers " + covers;
+  }
+  return out;
+}
+
+}  // namespace hwf

@@ -1,0 +1,81 @@
+#ifndef HWF_WINDOW_SHARED_SORT_H_
+#define HWF_WINDOW_SHARED_SORT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "window/spec.h"
+
+namespace hwf {
+
+/// Ordering-equivalence analysis for multi-window-spec queries (Cao et al.,
+/// "Optimization of Analytic Window Functions"; MariaDB's spec-compat
+/// sorting in sql_window.cc is the production analogue).
+///
+/// A spec's *ordering requirement* is its PARTITION BY columns as a set plus
+/// its ORDER BY key sequence (column, direction, NULL placement). Spec B is
+/// covered by spec A's sort output when the partition sets are equal and
+/// B's ORDER BY is a prefix of A's — including the two degenerate ends:
+///   - exact: identical ORDER BY sequences (B differs only in frame or in
+///     PARTITION BY column order); A's permutation serves B verbatim.
+///   - strictly finer: A orders by extra trailing keys; B's canonical
+///     permutation is recovered from A's by re-sorting the row ids inside
+///     each maximal tie group of B's (shorter) key prefix — an O(n)
+///     boundary sweep plus integer-only tie sorts, never a full re-sort.
+///
+/// Partition-order permutations are shareable because the executor writes
+/// every result at the row's original id: the global arrangement of
+/// partitions is irrelevant, and the intra-partition order — the part that
+/// carries semantics — depends only on (ORDER BY, row id), not on the
+/// declared PARTITION BY sequence.
+
+/// The sharing plan over a set of distinct window specs: which specs pay
+/// for a sort (producers) and which reuse another spec's output.
+struct SharedSortPlan {
+  enum class Reuse {
+    kProducer,  // pays its own sort
+    kExact,     // identical ordering requirement; artifact reused verbatim
+    kPrefix,    // strict ORDER BY prefix; derived by tie-group re-sort
+  };
+
+  /// Per input spec: the index of the spec whose sort artifact serves it
+  /// (== the spec's own index for producers).
+  std::vector<size_t> producer;
+  /// Per input spec: how its ordering requirement is satisfied.
+  std::vector<Reuse> reuse;
+  /// Execution sequence: each producer (ascending input order) immediately
+  /// followed by the specs it covers. Producers always precede consumers.
+  std::vector<size_t> sequence;
+  size_t num_producers = 0;
+
+  bool IsProducer(size_t index) const { return producer[index] == index; }
+
+  /// One line per sort chain, e.g.
+  ///   "sort#0 <- spec#0 [ps:1|ob:2a]; covers spec#1 (exact), spec#2 (prefix)"
+  std::string Describe(std::span<const WindowSpec* const> specs) const;
+};
+
+/// True when `producer`'s sort output satisfies `consumer`'s ordering
+/// requirement: equal PARTITION BY column sets and consumer.order_by is a
+/// (possibly exact, possibly empty) prefix of producer.order_by.
+bool OrderingCovers(const WindowSpec& producer, const WindowSpec& consumer);
+
+/// Canonical ordering key: the sorted, deduplicated PARTITION BY column set
+/// plus the ORDER BY sequence — "ps:<cols>|ob:<col><a|d><f|l>...". Two specs
+/// with equal keys produce bit-identical per-partition row sequences, so
+/// per-partition artifacts (merge sort trees, rank codes) cached under this
+/// key are shared across frames and PARTITION BY permutations.
+std::string OrderingKey(const WindowSpec& spec);
+
+/// Sequences the specs into a minimal chain of sorts: specs are visited in
+/// descending ORDER BY length (ties by input index, so the result is
+/// deterministic), each either latching onto an already-chosen producer
+/// that covers it or becoming a producer itself. Longer orderings are
+/// considered first, so a spec whose ordering is strictly finer than
+/// another's always ends up producing for it.
+SharedSortPlan PlanSharedSorts(std::span<const WindowSpec* const> specs);
+
+}  // namespace hwf
+
+#endif  // HWF_WINDOW_SHARED_SORT_H_

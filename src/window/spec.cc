@@ -60,6 +60,34 @@ const char* WindowFunctionKindName(WindowFunctionKind kind) {
   return "unknown";
 }
 
+size_t WindowSpecHash::operator()(const WindowSpec& spec) const {
+  // FNV-1a over the canonical field sequence; must agree with operator==
+  // (every compared field feeds the hash).
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(spec.partition_by.size());
+  for (size_t column : spec.partition_by) mix(column);
+  mix(spec.order_by.size());
+  for (const SortKey& key : spec.order_by) {
+    mix(key.column);
+    mix(static_cast<uint64_t>(key.ascending) << 1 |
+        static_cast<uint64_t>(key.nulls_first));
+  }
+  auto mix_bound = [&](const FrameBound& bound) {
+    mix(static_cast<uint64_t>(bound.kind));
+    mix(static_cast<uint64_t>(bound.offset));
+    mix(bound.offset_column.has_value() ? *bound.offset_column + 1 : 0);
+  };
+  mix(static_cast<uint64_t>(spec.frame.mode));
+  mix_bound(spec.frame.begin);
+  mix_bound(spec.frame.end);
+  mix(static_cast<uint64_t>(spec.frame.exclusion));
+  return static_cast<size_t>(h);
+}
+
 namespace {
 
 bool NeedsArgument(WindowFunctionKind kind) {

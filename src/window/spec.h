@@ -58,6 +58,8 @@ struct SortKey {
   size_t column = 0;
   bool ascending = true;
   bool nulls_first = false;
+
+  friend bool operator==(const SortKey&, const SortKey&) = default;
 };
 
 enum class FrameMode {
@@ -106,6 +108,8 @@ struct FrameBound {
   static FrameBound UnboundedFollowing() {
     return {FrameBoundKind::kUnboundedFollowing, 0, std::nullopt};
   }
+
+  friend bool operator==(const FrameBound&, const FrameBound&) = default;
 };
 
 /// SQL:2011 frame exclusion clauses (§4.7). An exclusion can punch up to
@@ -122,13 +126,29 @@ struct FrameSpec {
   FrameBound begin = FrameBound::UnboundedPreceding();
   FrameBound end = FrameBound::CurrentRow();
   FrameExclusion exclusion = FrameExclusion::kNoOthers;
+
+  friend bool operator==(const FrameSpec&, const FrameSpec&) = default;
 };
 
 /// The OVER clause: partitioning, frame ordering, and the frame itself.
+///
+/// Structural equality (member-wise, including the frame) is THE definition
+/// of "same spec" across the system: the planner groups select items by it,
+/// and the executor deduplicates work with it. Specs that differ only in
+/// PARTITION BY column order are *not* equal — they are distinct specs whose
+/// sorts the shared-sort optimizer (window/shared_sort.h) can still share.
 struct WindowSpec {
   std::vector<size_t> partition_by;
   std::vector<SortKey> order_by;
   FrameSpec frame;
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
+
+/// Hash matching WindowSpec's structural equality, for unordered containers
+/// keyed by spec (the planner's spec-grouping map).
+struct WindowSpecHash {
+  size_t operator()(const WindowSpec& spec) const;
 };
 
 /// One window function call. Beyond standard SQL, this carries the paper's

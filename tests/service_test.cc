@@ -29,7 +29,6 @@ using service::QueryOptions;
 using service::QueryResult;
 using service::QueryService;
 using service::ServiceOptions;
-using service::WindowSpecsEqual;
 
 // This suite manages budgets through ServiceOptions/QueryOptions; the
 // forced-spill CI job's HWF_TEST_MEMORY_LIMIT would act as a per-query
@@ -110,7 +109,7 @@ TEST(SqlParser, Fig9RoundTripsBitIdenticalToHandBuiltSpec) {
   call.argument = 1;
   call.order_by = {SortKey{1, true, false}};
 
-  EXPECT_TRUE(WindowSpecsEqual(plan->groups[0].spec, spec));
+  EXPECT_TRUE(plan->groups[0].spec == spec);
   const WindowFunctionCall& parsed = plan->groups[0].calls[0];
   EXPECT_EQ(parsed.kind, call.kind);
   EXPECT_EQ(parsed.argument, call.argument);

@@ -114,6 +114,21 @@ cmp "$WORK/served.col" "$WORK/direct.col" \
   || fail "served result differs from direct executor"
 echo "differential vs direct executor: identical"
 
+# --- multi-spec sharing: two OVER clauses, one sort ------------------------
+# The second spec's ordering is a strict prefix of the first's, so the
+# shared-sort optimizer must serve both from one sort chain — observable
+# below as a nonzero executor.sorts_shared counter in the metrics payload.
+MULTI_SQL="select sum(val) over (partition by grp order by ord, val rows \
+between 100 preceding and current row), median(price) over (partition by grp \
+order by ord rows between 50 preceding and current row) from t"
+"$CLIENT" --port "$PORT" "$MULTI_SQL" >"$WORK/multi.csv" \
+  || fail "multi-spec query failed"
+rows=$(($(wc -l <"$WORK/multi.csv") - 1))
+[ "$rows" -eq 200000 ] || fail "multi-spec query returned $rows rows, want 200000"
+cols=$(head -1 "$WORK/multi.csv" | awk -F, '{print NF}')
+[ "$cols" -eq 2 ] || fail "multi-spec query returned $cols columns, want 2"
+echo "multi-spec query: two OVER clauses answered"
+
 # Stats must reflect the cancellation and report no leaked reservations.
 "$CLIENT" --port "$PORT" --stats >"$WORK/stats.json"
 python3 - "$WORK/stats.json" <<'EOF'
@@ -129,6 +144,7 @@ echo "stats: cancellation recorded, reservations drained"
 "$CLIENT" --port "$PORT" --metrics >"$WORK/metrics.prom"
 python3 "$TOOLS/validate_metrics.py" \
   --require-nonzero hwf_query_stage_seconds \
+  --require-nonzero hwf_executor_sorts_shared_total \
   --require hwf_service_queries_by_outcome_total \
   --require hwf_catalog_epoch \
   --require hwf_table_minor_version \
