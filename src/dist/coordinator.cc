@@ -1,0 +1,777 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "dist/gather.h"
+#include "dist/sharding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/sql_parser.h"
+#include "storage/csv.h"
+
+namespace hwf {
+namespace dist {
+
+namespace {
+
+constexpr char kUnshardedSuffix[] = "__unsharded";
+
+/// FNV-1a over the table name: a deterministic fallback-worker choice that
+/// spreads full copies across the fleet.
+size_t NameHash(const std::string& name) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  return buf;
+}
+
+uint64_t ElapsedUs(double begin, double end) {
+  return end > begin ? static_cast<uint64_t>((end - begin) * 1e6) : 0;
+}
+
+}  // namespace
+
+StatusOr<std::pair<std::string, int>> ParseEndpoint(
+    const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("worker endpoint '" + endpoint +
+                                   "' wants host:port");
+  }
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("worker endpoint '" + endpoint +
+                                   "' has a bad port");
+  }
+  std::string host = endpoint.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  return std::make_pair(std::move(host), port);
+}
+
+StatusOr<std::string> RewriteFromTable(const std::string& sql,
+                                       const std::string& table_name,
+                                       const std::string& replacement) {
+  // Tokenize on whitespace, tracking byte offsets, and find the last
+  // case-insensitive FROM whose next token names the table (modulo a
+  // trailing ';'). Scanning from the end sidesteps column names that
+  // happen to spell "from" earlier in the statement.
+  struct Token {
+    size_t begin = 0;
+    size_t size = 0;
+  };
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    const size_t begin = i;
+    while (i < sql.size() &&
+           !std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    if (i > begin) tokens.push_back({begin, i - begin});
+  }
+  auto lower_is = [&](const Token& token, const char* word) {
+    const size_t len = std::strlen(word);
+    if (token.size != len) return false;
+    for (size_t k = 0; k < len; ++k) {
+      if (std::tolower(static_cast<unsigned char>(sql[token.begin + k])) !=
+          word[k]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (size_t t = tokens.size(); t-- > 1;) {
+    if (!lower_is(tokens[t - 1], "from")) continue;
+    std::string target = sql.substr(tokens[t].begin, tokens[t].size);
+    std::string suffix;
+    if (!target.empty() && target.back() == ';') {
+      target.pop_back();
+      suffix = ";";
+    }
+    if (target != table_name) continue;
+    return sql.substr(0, tokens[t].begin) + replacement + suffix +
+           sql.substr(tokens[t].begin + tokens[t].size);
+  }
+  return Status::InvalidArgument("cannot rewrite FROM target '" +
+                                 table_name + "' in: " + sql);
+}
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  WireClientOptions wire;
+  wire.connect_timeout_seconds = options_.connect_timeout_seconds;
+  wire.request_timeout_seconds = options_.worker_io_timeout_seconds;
+  for (const std::string& endpoint : options_.workers) {
+    auto worker = std::make_unique<Worker>();
+    worker->endpoint = endpoint;
+    StatusOr<std::pair<std::string, int>> parsed = ParseEndpoint(endpoint);
+    if (parsed.ok()) {
+      wire.host = parsed->first;
+      wire.port = parsed->second;
+    } else {
+      wire.host = endpoint;  // Connect() will fail with a clear error.
+      wire.port = 0;
+    }
+    worker->pool = std::make_unique<WireClientPool>(
+        wire, options_.max_idle_connections);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+double Coordinator::Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<const Coordinator::ShardedTable> Coordinator::FindTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+Status Coordinator::ShipTable(size_t w, const std::string& command,
+                              const Table& table) {
+  Worker& worker = *workers_[w];
+  std::unique_ptr<WireClient> client = worker.pool->Acquire();
+  Status status = [&]() -> Status {
+    if (!client->connected()) {
+      if (Status s = client->Connect(); !s.ok()) return s;
+    }
+    std::string payload;
+    // The "types=" annotation pins the receiver's column types: CSV alone
+    // would re-infer, and a double column shipped with only integral
+    // values would come back int64.
+    return client->ExchangeWithBody(command, ToCsv(table), &payload,
+                                    nullptr, "types=" + TypeList(table));
+  }();
+  if (WireClient::IsTransportError(status)) client->Close();
+  worker.pool->Release(std::move(client));
+  RecordWorkerResult(worker, status.ok());
+  if (!status.ok()) {
+    return Status(status.code(), "worker " + worker.endpoint + ": " +
+                                     status.message());
+  }
+  return Status::OK();
+}
+
+Status Coordinator::RegisterTable(const std::string& name,
+                                  const Table& table,
+                                  const std::vector<std::string>& shard_key) {
+  if (workers_.empty()) {
+    return Status::InvalidArgument("coordinator has no workers");
+  }
+  const size_t num_workers = workers_.size();
+  auto meta = std::make_shared<ShardedTable>();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    meta->schema.AddColumn(table.column_name(c),
+                           Column(table.column(c).type()));
+  }
+  meta->total_rows = table.num_rows();
+  meta->fallback_worker = NameHash(name) % num_workers;
+  meta->shard_rows.assign(num_workers, {});
+
+  if (shard_key.empty()) {
+    // Unsharded: the fallback worker holds the one full copy; every query
+    // takes the fallback regime.
+    if (Status s = ShipTable(meta->fallback_worker, "REGISTER " + name,
+                             table);
+        !s.ok()) {
+      return s;
+    }
+  } else {
+    meta->shard_key_names = shard_key;
+    for (const std::string& column : shard_key) {
+      StatusOr<size_t> index = table.ColumnIndex(column);
+      if (!index.ok()) return index.status();
+      meta->shard_key.push_back(*index);
+    }
+    meta->sharded = true;
+    if (num_workers == 1) {
+      // One worker: the single shard is the full copy under the original
+      // name; fallback queries reuse it.
+      meta->fallback_worker = 0;
+      meta->shard_rows[0].resize(table.num_rows());
+      for (size_t row = 0; row < table.num_rows(); ++row) {
+        meta->shard_rows[0][row] = static_cast<uint32_t>(row);
+      }
+      if (Status s = ShipTable(0, "REGISTER " + name, table); !s.ok()) {
+        return s;
+      }
+    } else {
+      StatusOr<ShardSplit> split =
+          SplitByShardKey(table, shard_key, num_workers);
+      if (!split.ok()) return split.status();
+      for (size_t w = 0; w < num_workers; ++w) {
+        if (split->rows[w].empty()) continue;
+        if (Status s = ShipTable(w, "REGISTER " + name, split->shards[w]);
+            !s.ok()) {
+          return s;
+        }
+      }
+      meta->shard_rows = std::move(split->rows);
+      // The designated fallback worker additionally holds a full copy for
+      // queries that do not partition by the shard key.
+      meta->has_unsharded_copy = true;
+      if (Status s = ShipTable(meta->fallback_worker,
+                               "REGISTER " + name + kUnshardedSuffix, table);
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  tables_[name] = std::move(meta);
+  return Status::OK();
+}
+
+StatusOr<size_t> Coordinator::AppendRows(const std::string& name,
+                                         const Table& rows) {
+  std::shared_ptr<const ShardedTable> current = FindTable(name);
+  if (current == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  // Coerce before hashing: a CSV-shipped batch may carry int64 columns
+  // where the schema says double, and the shard hash must be computed on
+  // the value the table will actually store.
+  StatusOr<Table> coerced = CoerceToSchema(current->schema, rows);
+  if (!coerced.ok()) return coerced.status();
+
+  auto next = std::make_shared<ShardedTable>(*current);
+
+  if (!current->sharded) {
+    if (Status s = ShipTable(current->fallback_worker, "APPEND " + name,
+                             *coerced);
+        !s.ok()) {
+      return s;
+    }
+  } else {
+    const size_t num_workers = workers_.size();
+    StatusOr<std::vector<uint32_t>> assignment =
+        AssignShards(*coerced, current->shard_key, num_workers);
+    if (!assignment.ok()) return assignment.status();
+    std::vector<std::vector<uint32_t>> batch_rows(num_workers);
+    for (size_t row = 0; row < coerced->num_rows(); ++row) {
+      batch_rows[(*assignment)[row]].push_back(static_cast<uint32_t>(row));
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      if (batch_rows[w].empty()) continue;
+      const Table shard_batch = TakeRows(*coerced, batch_rows[w]);
+      // A worker that held no rows of this table gets its first rows via
+      // REGISTER (its copy would otherwise not exist, or be stale from a
+      // previous registration).
+      const bool fresh = current->shard_rows[w].empty() &&
+                         !(num_workers == 1 && w == 0);
+      if (Status s = ShipTable(w,
+                               (fresh ? "REGISTER " : "APPEND ") + name,
+                               shard_batch);
+          !s.ok()) {
+        return Status(s.code(),
+                      s.message() + " (append partially applied)");
+      }
+      for (const uint32_t row : batch_rows[w]) {
+        next->shard_rows[w].push_back(
+            static_cast<uint32_t>(current->total_rows + row));
+      }
+    }
+    if (current->has_unsharded_copy) {
+      if (Status s = ShipTable(current->fallback_worker,
+                               "APPEND " + name + kUnshardedSuffix,
+                               *coerced);
+          !s.ok()) {
+        return Status(s.code(),
+                      s.message() + " (append partially applied)");
+      }
+    }
+  }
+  next->total_rows = current->total_rows + coerced->num_rows();
+
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  tables_[name] = std::move(next);
+  return coerced->num_rows();
+}
+
+Status Coordinator::CompactTable(const std::string& name) {
+  std::shared_ptr<const ShardedTable> meta = FindTable(name);
+  if (meta == nullptr) {
+    return Status::InvalidArgument("unknown table '" + name + "'");
+  }
+  Status first_error;
+  auto compact_on = [&](size_t w, const std::string& table_name) {
+    Worker& worker = *workers_[w];
+    std::unique_ptr<WireClient> client = worker.pool->Acquire();
+    Status status = [&]() -> Status {
+      if (!client->connected()) {
+        if (Status s = client->Connect(); !s.ok()) return s;
+      }
+      std::string payload;
+      return client->Exchange("COMPACT " + table_name, &payload);
+    }();
+    if (WireClient::IsTransportError(status)) client->Close();
+    worker.pool->Release(std::move(client));
+    RecordWorkerResult(worker, status.ok());
+    if (!status.ok() && first_error.ok()) {
+      first_error = Status(status.code(), "worker " + worker.endpoint +
+                                              ": " + status.message());
+    }
+  };
+  if (!meta->sharded) {
+    compact_on(meta->fallback_worker, name);
+  } else {
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      if (!meta->shard_rows[w].empty()) compact_on(w, name);
+    }
+    if (meta->has_unsharded_copy) {
+      compact_on(meta->fallback_worker, name + kUnshardedSuffix);
+    }
+  }
+  return first_error;
+}
+
+Coordinator::RegimeDecision Coordinator::DecideRegime(
+    const ShardedTable& table, const service::ParsedStatement& statement,
+    Status* error) const {
+  RegimeDecision decision;
+  StatusOr<service::PlannedQuery> plan =
+      service::BindStatement(statement, table.schema);
+  if (!plan.ok()) {
+    *error = plan.status();
+    return decision;
+  }
+  if (!table.sharded) {
+    decision.reason = "table registered without a shard key";
+    return decision;
+  }
+  if (table.total_rows == 0) {
+    decision.reason = "table is empty";
+    return decision;
+  }
+  for (const service::PlannedGroup& group : plan->groups) {
+    for (size_t k = 0; k < table.shard_key.size(); ++k) {
+      const size_t key_column = table.shard_key[k];
+      const bool covered =
+          std::find(group.spec.partition_by.begin(),
+                    group.spec.partition_by.end(),
+                    key_column) != group.spec.partition_by.end();
+      if (!covered) {
+        decision.reason = "a window spec does not partition by shard key "
+                          "column '" +
+                          table.shard_key_names[k] + "'";
+        return decision;
+      }
+    }
+  }
+  decision.scatter = true;
+  return decision;
+}
+
+Status Coordinator::Admit() {
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (executing_ >= options_.max_concurrent_queries &&
+      waiting_ >= options_.max_queued_queries) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "coordinator admission queue full (" +
+        std::to_string(executing_) + " executing, " +
+        std::to_string(waiting_) + " queued)");
+  }
+  ++waiting_;
+  admission_cv_.wait(lock, [this] {
+    return executing_ < options_.max_concurrent_queries;
+  });
+  --waiting_;
+  ++executing_;
+  return Status::OK();
+}
+
+void Coordinator::ReleaseAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --executing_;
+  }
+  admission_cv_.notify_one();
+}
+
+void Coordinator::RecordWorkerResult(Worker& worker, bool ok) {
+  if (ok) {
+    worker.consecutive_failures.store(0, std::memory_order_relaxed);
+  } else {
+    worker.consecutive_failures.fetch_add(1, std::memory_order_relaxed);
+    worker.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status Coordinator::TryQueryWorker(Worker& worker, const std::string& sql,
+                                   double deadline, Table* out) {
+  std::unique_ptr<WireClient> client = worker.pool->Acquire();
+  Status status = [&]() -> Status {
+    if (!client->connected()) {
+      if (Status s = client->Connect(); !s.ok()) return s;
+    }
+    // Deadline propagation: the worker gets the remaining time as its
+    // per-query deadline, and the socket deadline adds a grace window so
+    // a live worker reports DeadlineExceeded itself. "TIMEOUT 0" resets a
+    // deadline left on a pooled connection by an earlier query.
+    double remaining = 0;
+    double io_timeout = options_.worker_io_timeout_seconds;
+    if (deadline > 0) {
+      remaining = deadline - Now();
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded("query deadline exceeded");
+      }
+      io_timeout = remaining + 5.0;
+    }
+    if (Status s = client->set_request_timeout(io_timeout); !s.ok()) {
+      return s;
+    }
+    std::string payload;
+    if (Status s = client->Exchange("TIMEOUT " + FormatSeconds(remaining),
+                                    &payload);
+        !s.ok()) {
+      return s;
+    }
+    std::string extra;
+    if (Status s = client->Exchange("QUERY " + sql, &payload, &extra);
+        !s.ok()) {
+      return s;
+    }
+    StatusOr<Table> parsed = ParseCsv(payload);
+    if (!parsed.ok()) {
+      return Status::Internal("unparsable shard result: " +
+                              parsed.status().message());
+    }
+    *out = std::move(*parsed);
+    return Status::OK();
+  }();
+  if (WireClient::IsTransportError(status)) client->Close();
+  worker.pool->Release(std::move(client));
+  RecordWorkerResult(worker, status.ok());
+  return status;
+}
+
+Status Coordinator::QueryWorker(size_t w, const std::string& sql,
+                                double deadline, Table* out) {
+  Worker& worker = *workers_[w];
+  worker.subqueries.fetch_add(1, std::memory_order_relaxed);
+  subqueries_.fetch_add(1, std::memory_order_relaxed);
+  const double begin = Now();
+  double backoff = options_.backoff_initial_seconds;
+  Status status;
+  for (size_t attempt = 0; attempt <= options_.shard_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      double sleep = backoff;
+      if (deadline > 0) {
+        sleep = std::min(sleep, std::max(0.0, deadline - Now()));
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+      backoff = std::min(backoff * 2, options_.backoff_max_seconds);
+    }
+    if (deadline > 0 && Now() >= deadline) {
+      status = Status::DeadlineExceeded("query deadline exceeded");
+      break;
+    }
+    status = TryQueryWorker(worker, sql, deadline, out);
+    if (status.ok() || !WireClient::IsRetriable(status)) break;
+  }
+  worker.latency_us.Record(ElapsedUs(begin, Now()));
+  if (status.ok()) return status;
+  if (WireClient::IsRetriable(status)) {
+    failed_shards_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "shard on worker " + worker.endpoint + " unavailable after " +
+        std::to_string(options_.shard_retries + 1) +
+        " attempt(s): " + status.message());
+  }
+  return Status(status.code(),
+                "worker " + worker.endpoint + ": " + status.message());
+}
+
+StatusOr<CoordinatorQueryResult> Coordinator::Query(const std::string& sql,
+                                                    double timeout_seconds) {
+  const double timeout = timeout_seconds < 0
+                             ? options_.default_timeout_seconds
+                             : timeout_seconds;
+  const double deadline = timeout > 0 ? Now() + timeout : 0;
+  if (Status s = Admit(); !s.ok()) return s;
+  struct AdmissionGuard {
+    Coordinator* coordinator;
+    ~AdmissionGuard() { coordinator->ReleaseAdmission(); }
+  } guard{this};
+
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedQueryId scoped_query(query_id);
+  HWF_TRACE_SCOPE("dist.query");
+  const double begin = Now();
+  auto fail = [&](Status status) -> StatusOr<CoordinatorQueryResult> {
+    failed_queries_.fetch_add(1, std::memory_order_relaxed);
+    query_us_.Record(ElapsedUs(begin, Now()));
+    return status;
+  };
+
+  StatusOr<service::ParsedStatement> statement =
+      service::ParseStatement(sql);
+  if (!statement.ok()) return fail(statement.status());
+  std::shared_ptr<const ShardedTable> meta =
+      FindTable(statement->table_name);
+  if (meta == nullptr) {
+    return fail(Status::InvalidArgument("unknown table '" +
+                                        statement->table_name + "'"));
+  }
+  Status bind_error;
+  const RegimeDecision regime = DecideRegime(*meta, *statement, &bind_error);
+  if (!bind_error.ok()) return fail(bind_error);
+
+  CoordinatorQueryResult result;
+  result.query_id = query_id;
+
+  if (regime.scatter) {
+    std::vector<size_t> active;
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      if (!meta->shard_rows[w].empty()) active.push_back(w);
+    }
+    std::vector<Table> shard_results(active.size());
+    std::vector<Status> statuses(active.size());
+    std::vector<uint64_t> elapsed_us(active.size(), 0);
+    std::vector<std::thread> threads;
+    threads.reserve(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      threads.emplace_back([&, i] {
+        obs::ScopedQueryId scoped(query_id);
+        HWF_TRACE_SCOPE_ARG("dist.shard_query", "worker", active[i]);
+        const double shard_begin = Now();
+        statuses[i] =
+            QueryWorker(active[i], sql, deadline, &shard_results[i]);
+        elapsed_us[i] = ElapsedUs(shard_begin, Now());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    uint64_t straggler = 0;
+    for (const uint64_t us : elapsed_us) straggler = std::max(straggler, us);
+    straggler_us_.Record(straggler);
+    // Prefer a terminal error over retry exhaustion: "your SQL divides by
+    // zero" beats "shard unavailable" when both happened.
+    Status scatter_error;
+    for (const Status& status : statuses) {
+      if (status.ok()) continue;
+      if (scatter_error.ok() ||
+          (scatter_error.code() == StatusCode::kResourceExhausted &&
+           status.code() != StatusCode::kResourceExhausted)) {
+        scatter_error = status;
+      }
+    }
+    if (!scatter_error.ok()) return fail(scatter_error);
+
+    std::vector<std::vector<uint32_t>> active_rows;
+    active_rows.reserve(active.size());
+    for (const size_t w : active) active_rows.push_back(meta->shard_rows[w]);
+    StatusOr<Table> gathered =
+        GatherShardResults(shard_results, active_rows, meta->total_rows);
+    if (!gathered.ok()) return fail(gathered.status());
+    result.table = std::move(*gathered);
+    result.regime = "scatter(" + std::to_string(active.size()) + ")";
+    scatter_queries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::string worker_sql = sql;
+    if (meta->has_unsharded_copy) {
+      StatusOr<std::string> rewritten = RewriteFromTable(
+          sql, statement->table_name,
+          statement->table_name + kUnshardedSuffix);
+      if (!rewritten.ok()) return fail(rewritten.status());
+      worker_sql = std::move(*rewritten);
+    }
+    HWF_TRACE_SCOPE_ARG("dist.fallback_query", "worker",
+                        meta->fallback_worker);
+    Table out;
+    Status status =
+        QueryWorker(meta->fallback_worker, worker_sql, deadline, &out);
+    if (!status.ok()) return fail(status);
+    if (out.num_rows() != meta->total_rows) {
+      return fail(Status::Internal(
+          "fallback worker returned " + std::to_string(out.num_rows()) +
+          " rows, expected " + std::to_string(meta->total_rows)));
+    }
+    result.table = std::move(out);
+    result.regime = "fallback";
+    fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  query_us_.Record(ElapsedUs(begin, Now()));
+  return result;
+}
+
+StatusOr<std::string> Coordinator::Explain(const std::string& sql) const {
+  StatusOr<service::ParsedStatement> statement =
+      service::ParseStatement(sql);
+  if (!statement.ok()) return statement.status();
+  std::shared_ptr<const ShardedTable> meta =
+      FindTable(statement->table_name);
+  if (meta == nullptr) {
+    return Status::InvalidArgument("unknown table '" +
+                                   statement->table_name + "'");
+  }
+  Status bind_error;
+  const RegimeDecision regime = DecideRegime(*meta, *statement, &bind_error);
+  if (!bind_error.ok()) return bind_error;
+
+  std::string text;
+  if (regime.scatter) {
+    size_t active = 0;
+    for (const auto& rows : meta->shard_rows) {
+      if (!rows.empty()) ++active;
+    }
+    text = "regime: scatter(" + std::to_string(active) + ")\n";
+  } else {
+    text = "regime: fallback\nreason: " + regime.reason + "\nworker: " +
+           workers_[meta->fallback_worker]->endpoint + "\n";
+  }
+  text += "table: " + statement->table_name;
+  if (meta->sharded) {
+    text += "  shard_key:";
+    for (const std::string& name : meta->shard_key_names) {
+      text += " " + name;
+    }
+    text += "\nshard_rows: [";
+    for (size_t w = 0; w < meta->shard_rows.size(); ++w) {
+      text += (w == 0 ? "" : ", ") +
+              std::to_string(meta->shard_rows[w].size());
+    }
+    text += "]";
+  }
+  text += "\n";
+  return text;
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  Stats stats;
+  stats.scatter_queries = scatter_queries_.load(std::memory_order_relaxed);
+  stats.fallback_queries =
+      fallback_queries_.load(std::memory_order_relaxed);
+  stats.subqueries = subqueries_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failed_shards = failed_shards_.load(std::memory_order_relaxed);
+  stats.failed_queries = failed_queries_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    WorkerStats ws;
+    ws.endpoint = worker->endpoint;
+    ws.consecutive_failures =
+        worker->consecutive_failures.load(std::memory_order_relaxed);
+    ws.healthy = ws.consecutive_failures < options_.unhealthy_after;
+    ws.failures = worker->failures.load(std::memory_order_relaxed);
+    ws.subqueries = worker->subqueries.load(std::memory_order_relaxed);
+    stats.workers.push_back(std::move(ws));
+  }
+  return stats;
+}
+
+std::string Coordinator::StatsJson() const {
+  const Stats stats = this->stats();
+  auto u64 = [](uint64_t v) { return std::to_string(v); };
+  std::string json = "{";
+  json += "\"scatter_queries\": " + u64(stats.scatter_queries);
+  json += ", \"fallback_queries\": " + u64(stats.fallback_queries);
+  json += ", \"subqueries\": " + u64(stats.subqueries);
+  json += ", \"retries\": " + u64(stats.retries);
+  json += ", \"failed_shards\": " + u64(stats.failed_shards);
+  json += ", \"failed_queries\": " + u64(stats.failed_queries);
+  json += ", \"rejected\": " + u64(stats.rejected);
+  const obs::HistogramSnapshot straggler = straggler_us_.Snapshot();
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                ", \"straggler_seconds\": {\"count\": %llu, \"p50\": %.6f, "
+                "\"p99\": %.6f}",
+                static_cast<unsigned long long>(straggler.count),
+                straggler.Quantile(0.5) * 1e-6,
+                straggler.Quantile(0.99) * 1e-6);
+  json += buf;
+  json += ", \"workers\": [";
+  for (size_t w = 0; w < stats.workers.size(); ++w) {
+    const WorkerStats& ws = stats.workers[w];
+    const obs::HistogramSnapshot latency =
+        workers_[w]->latency_us.Snapshot();
+    std::snprintf(buf, sizeof buf,
+                  ", \"p50\": %.6f, \"p99\": %.6f}",
+                  latency.Quantile(0.5) * 1e-6,
+                  latency.Quantile(0.99) * 1e-6);
+    json += (w == 0 ? "" : ", ");
+    json += "{\"endpoint\": \"" + ws.endpoint + "\"";
+    json += ", \"healthy\": " + std::string(ws.healthy ? "true" : "false");
+    json += ", \"consecutive_failures\": " + u64(ws.consecutive_failures);
+    json += ", \"failures\": " + u64(ws.failures);
+    json += ", \"subqueries\": " + u64(ws.subqueries);
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+void Coordinator::RegisterMetrics(obs::MetricsRegistry* registry) {
+  auto counter = [&](const char* name, const char* help,
+                     const std::atomic<uint64_t>* value) {
+    registry->AddCounter(name, help, {}, [value] {
+      return static_cast<double>(value->load(std::memory_order_relaxed));
+    });
+  };
+  counter("hwf_shard_scatter_total", "Queries executed by scatter/gather",
+          &scatter_queries_);
+  counter("hwf_shard_fallback_total",
+          "Queries routed to the fallback worker", &fallback_queries_);
+  counter("hwf_shard_subqueries_total", "Per-shard sub-queries issued",
+          &subqueries_);
+  counter("hwf_shard_retries_total", "Sub-query retries", &retries_);
+  counter("hwf_shard_failed_total",
+          "Sub-queries that exhausted their retries", &failed_shards_);
+  counter("hwf_shard_rejected_total",
+          "Queries rejected at coordinator admission", &rejected_);
+  registry->AddGauge("hwf_shard_workers", "Configured scatter fan-out", {},
+                     [this] { return static_cast<double>(workers_.size()); });
+  registry->AddGauge(
+      "hwf_shard_unhealthy_workers",
+      "Workers at or past the consecutive-failure threshold", {}, [this] {
+        size_t unhealthy = 0;
+        for (const auto& worker : workers_) {
+          if (worker->consecutive_failures.load(std::memory_order_relaxed) >=
+              options_.unhealthy_after) {
+            ++unhealthy;
+          }
+        }
+        return static_cast<double>(unhealthy);
+      });
+  for (const auto& worker : workers_) {
+    registry->AddSummary("hwf_shard_latency_seconds",
+                         "Per-shard sub-query latency",
+                         {{"worker", worker->endpoint}}, &worker->latency_us,
+                         1e-6);
+  }
+  registry->AddSummary("hwf_shard_straggler_seconds",
+                       "Slowest shard per scatter", {}, &straggler_us_,
+                       1e-6);
+  registry->AddSummary("hwf_coordinator_query_seconds",
+                       "End-to-end coordinator query latency", {},
+                       &query_us_, 1e-6);
+}
+
+}  // namespace dist
+}  // namespace hwf

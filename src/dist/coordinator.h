@@ -1,0 +1,273 @@
+#ifndef HWF_DIST_COORDINATOR_H_
+#define HWF_DIST_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/wire_client.h"
+#include "obs/histogram.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+namespace service {
+struct ParsedStatement;
+}  // namespace service
+
+namespace dist {
+
+/// Configuration of one coordinator: the worker fleet, retry/backoff and
+/// deadline policy, and coordinator-level admission control (composed with
+/// each worker's own backpressure — a worker's ERR 8 is retried with
+/// backoff like a transport failure).
+struct CoordinatorOptions {
+  /// Worker endpoints as "host:port". The list order defines shard
+  /// numbering; changing it re-routes shards, so a fleet is identified by
+  /// its ordered endpoint list.
+  std::vector<std::string> workers;
+
+  /// Retries per shard sub-query after the first attempt, on transient
+  /// failures (connection refused/closed, socket deadline, worker ERR 8).
+  /// Exhausting them fails the query with ResourceExhausted.
+  size_t shard_retries = 2;
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 1.0;
+
+  /// Connection establishment timeout per worker.
+  double connect_timeout_seconds = 5.0;
+
+  /// Socket deadline for sub-queries when the query itself has no
+  /// deadline (0 = wait indefinitely; a killed worker is still detected
+  /// promptly via EOF/RST). Queries with a deadline use the remaining
+  /// time plus a small grace instead.
+  double worker_io_timeout_seconds = 0;
+
+  /// Default per-query deadline in seconds (0 = none), propagated to the
+  /// workers as the remaining time at each scatter.
+  double default_timeout_seconds = 0;
+
+  /// Admission control: queries executing concurrently, and how many more
+  /// may wait for a slot before new arrivals are rejected with
+  /// ResourceExhausted.
+  size_t max_concurrent_queries = 8;
+  size_t max_queued_queries = 16;
+
+  /// Consecutive sub-query failures before a worker is reported unhealthy
+  /// (queries still attempt it — health is observability, not routing).
+  size_t unhealthy_after = 3;
+
+  /// Idle pooled connections kept per worker.
+  size_t max_idle_connections = 16;
+};
+
+struct CoordinatorQueryResult {
+  /// Result rows in the client's original row order (byte-identical to
+  /// single-process execution).
+  Table table;
+  /// Coordinator-assigned query id (also the trace attribution id carried
+  /// by every per-shard span of this query).
+  uint64_t query_id = 0;
+  /// Execution regime: "scatter(N)" or "fallback".
+  std::string regime;
+};
+
+/// Splits "host:port"; the host may be empty ("":4140 = loopback).
+StatusOr<std::pair<std::string, int>> ParseEndpoint(
+    const std::string& endpoint);
+
+/// Rewrites the statement's FROM target from `table_name` to
+/// `replacement` (the last case-insensitive FROM token whose following
+/// token — modulo a trailing ';' — names the table). Used to point
+/// fallback queries at the "<name>__unsharded" full copy.
+StatusOr<std::string> RewriteFromTable(const std::string& sql,
+                                       const std::string& table_name,
+                                       const std::string& replacement);
+
+/// The scatter/gather coordinator: the front half of a two-role
+/// deployment (hwf_serve --coordinator against a fleet of plain hwf_serve
+/// workers).
+///
+/// Tables register through the coordinator, which hash-shards their rows
+/// by a declared PARTITION BY key across the fleet (dist/sharding.h) and
+/// ships each shard over the wire protocol (REGISTER). A query whose
+/// every window spec partitions by a superset of the shard key scatters
+/// as-is to all shards — window functions never cross partitions, so
+/// per-shard evaluation is exact — and the per-shard results merge back
+/// into the original row order (dist/gather.h). Queries that do not cover
+/// the shard key (or tables registered without one) run on a designated
+/// fallback worker holding a full copy.
+///
+/// All methods are thread-safe. Sub-queries retry transient failures with
+/// bounded exponential backoff and then fail the query cleanly; nothing
+/// hangs on a killed worker.
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Registers (or replaces) a table, sharding by `shard_key` columns
+  /// when non-empty. With an empty key (or when the fleet has a single
+  /// worker and no key), the table lives unsharded on its fallback worker
+  /// and every query takes the fallback regime.
+  Status RegisterTable(const std::string& name, const Table& table,
+                       const std::vector<std::string>& shard_key);
+
+  /// Appends a batch: rows are routed to the shards their key hashes to
+  /// (the same pure value hash used at registration, so they join their
+  /// partitions), plus the fallback full copy. Returns rows appended.
+  /// Not retried — APPEND is not idempotent.
+  StatusOr<size_t> AppendRows(const std::string& name, const Table& rows);
+
+  /// Folds every shard's delta into its base (all workers holding the
+  /// table, plus the fallback copy).
+  Status CompactTable(const std::string& name);
+
+  /// Executes one query end-to-end: admission, regime decision, scatter
+  /// (or fallback), gather. `timeout_seconds` < 0 uses the configured
+  /// default; 0 disables the deadline.
+  StatusOr<CoordinatorQueryResult> Query(const std::string& sql,
+                                         double timeout_seconds = -1);
+
+  /// The plan text for a query without executing it, e.g.
+  ///   regime: scatter(4)
+  ///   table: trades  shard_key: grp
+  ///   shard_rows: [2501, 2436, 2533, 2530]
+  StatusOr<std::string> Explain(const std::string& sql) const;
+
+  struct WorkerStats {
+    std::string endpoint;
+    bool healthy = true;
+    uint64_t consecutive_failures = 0;
+    uint64_t failures = 0;
+    uint64_t subqueries = 0;
+  };
+  struct Stats {
+    uint64_t scatter_queries = 0;
+    uint64_t fallback_queries = 0;
+    uint64_t subqueries = 0;
+    uint64_t retries = 0;
+    uint64_t failed_shards = 0;   // sub-queries that exhausted retries
+    uint64_t failed_queries = 0;  // queries that returned an error
+    uint64_t rejected = 0;        // refused at coordinator admission
+    std::vector<WorkerStats> workers;
+  };
+  Stats stats() const;
+
+  /// stats() plus per-worker latency quantiles as one JSON object — the
+  /// payload behind the coordinator front door's STATS command.
+  std::string StatsJson() const;
+
+  /// Registers hwf_shard_* gauges, counters and latency summaries.
+  /// The registry must not outlive the coordinator.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct Worker {
+    std::string endpoint;
+    std::unique_ptr<WireClientPool> pool;
+    std::atomic<uint64_t> consecutive_failures{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> subqueries{0};
+    /// Per-shard sub-query latency, microseconds.
+    obs::LatencyHistogram latency_us;
+  };
+
+  /// Immutable snapshot of one registered table's placement; replaced
+  /// wholesale on mutation so queries read it lock-free after lookup.
+  struct ShardedTable {
+    Table schema;  // zero-row copy, for planning/binding only
+    std::vector<std::string> shard_key_names;
+    std::vector<size_t> shard_key;  // column indices into schema
+    bool sharded = false;
+    /// Original row ids per worker (strictly increasing; empty for
+    /// workers holding no rows of this table).
+    std::vector<std::vector<uint32_t>> shard_rows;
+    size_t total_rows = 0;
+    /// Worker holding the full copy for fallback queries. When the table
+    /// is sharded across more than one worker the copy is registered as
+    /// "<name>__unsharded"; otherwise the original name is the full copy.
+    size_t fallback_worker = 0;
+    bool has_unsharded_copy = false;  // separate __unsharded table exists
+  };
+
+  struct RegimeDecision {
+    bool scatter = false;
+    std::string reason;  // why fallback, for Explain
+  };
+
+  std::shared_ptr<const ShardedTable> FindTable(
+      const std::string& name) const;
+  RegimeDecision DecideRegime(const ShardedTable& table,
+                              const service::ParsedStatement& statement,
+                              Status* error) const;
+
+  Status Admit();
+  void ReleaseAdmission();
+
+  /// One sub-query against worker `w` with retry/backoff/health
+  /// bookkeeping; parses the CSV payload into `out`.
+  Status QueryWorker(size_t w, const std::string& sql, double deadline,
+                     Table* out);
+  /// Single attempt: connect if needed, propagate the deadline, QUERY,
+  /// parse.
+  Status TryQueryWorker(Worker& worker, const std::string& sql,
+                        double deadline, Table* out);
+
+  /// Ships `table` as CSV via `command` ("REGISTER <name>" or
+  /// "APPEND <name>") to worker `w`. Single attempt (mutations are not
+  /// idempotent).
+  Status ShipTable(size_t w, const std::string& command, const Table& table);
+
+  void RecordWorkerResult(Worker& worker, bool ok);
+
+  static double Now();
+
+  CoordinatorOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex tables_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ShardedTable>>
+      tables_;
+
+  std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  size_t executing_ = 0;
+  size_t waiting_ = 0;
+
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<uint64_t> scatter_queries_{0};
+  std::atomic<uint64_t> fallback_queries_{0};
+  std::atomic<uint64_t> subqueries_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failed_shards_{0};
+  std::atomic<uint64_t> failed_queries_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  /// Slowest shard per scatter (microseconds): its p99 is the straggler
+  /// p99 the ROADMAP's tail-latency story cares about.
+  obs::LatencyHistogram straggler_us_;
+  /// End-to-end coordinator query latency (microseconds).
+  obs::LatencyHistogram query_us_;
+};
+
+}  // namespace dist
+}  // namespace hwf
+
+#endif  // HWF_DIST_COORDINATOR_H_

@@ -1,0 +1,117 @@
+#include "dist/gather.h"
+
+#include <string>
+#include <utility>
+
+namespace hwf {
+namespace dist {
+
+StatusOr<Table> GatherShardResults(
+    const std::vector<Table>& shard_results,
+    const std::vector<std::vector<uint32_t>>& rows, size_t total_rows) {
+  if (shard_results.size() != rows.size()) {
+    return Status::Internal(
+        "gather: " + std::to_string(shard_results.size()) +
+        " shard results for " + std::to_string(rows.size()) +
+        " row permutations");
+  }
+  size_t covered = 0;
+  for (size_t s = 0; s < shard_results.size(); ++s) {
+    if (shard_results[s].num_rows() != rows[s].size()) {
+      return Status::Internal(
+          "gather: shard " + std::to_string(s) + " returned " +
+          std::to_string(shard_results[s].num_rows()) + " rows, expected " +
+          std::to_string(rows[s].size()));
+    }
+    covered += rows[s].size();
+  }
+  if (covered != total_rows) {
+    return Status::Internal("gather: shard permutations cover " +
+                            std::to_string(covered) + " of " +
+                            std::to_string(total_rows) + " rows");
+  }
+
+  // Resolve the output schema over the non-empty shards: names must agree
+  // positionally; int64/double disagreements widen to double (the CSV
+  // round-trip flips a double column whose shard happened to hold only
+  // integral values back to int64).
+  const Table* reference = nullptr;
+  for (const Table& shard : shard_results) {
+    if (shard.num_rows() > 0 || shard.num_columns() > 0) {
+      reference = &shard;
+      break;
+    }
+  }
+  if (reference == nullptr) {
+    // Every shard empty (a zero-row table): nothing to merge.
+    return Table();
+  }
+  const size_t num_columns = reference->num_columns();
+  std::vector<DataType> types(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    types[c] = reference->column(c).type();
+  }
+  for (size_t s = 0; s < shard_results.size(); ++s) {
+    const Table& shard = shard_results[s];
+    if (shard.num_rows() == 0 && shard.num_columns() == 0) continue;
+    if (shard.num_columns() != num_columns) {
+      return Status::TypeMismatch(
+          "gather: shard " + std::to_string(s) + " has " +
+          std::to_string(shard.num_columns()) + " columns, expected " +
+          std::to_string(num_columns));
+    }
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (shard.column_name(c) != reference->column_name(c)) {
+        return Status::TypeMismatch(
+            "gather: shard " + std::to_string(s) + " column " +
+            std::to_string(c) + " is '" + shard.column_name(c) +
+            "', expected '" + reference->column_name(c) + "'");
+      }
+      const DataType type = shard.column(c).type();
+      if (type == types[c]) continue;
+      const bool numeric_pair =
+          (type == DataType::kInt64 && types[c] == DataType::kDouble) ||
+          (type == DataType::kDouble && types[c] == DataType::kInt64);
+      if (!numeric_pair) {
+        return Status::TypeMismatch(
+            "gather: shard " + std::to_string(s) + " column '" +
+            shard.column_name(c) + "' is " + DataTypeName(type) +
+            ", expected " + DataTypeName(types[c]));
+      }
+      types[c] = DataType::kDouble;
+    }
+  }
+
+  Table result;
+  for (size_t c = 0; c < num_columns; ++c) {
+    Column merged(types[c], total_rows);
+    for (size_t s = 0; s < shard_results.size(); ++s) {
+      const Table& shard = shard_results[s];
+      if (shard.num_rows() == 0) continue;
+      const Column& src = shard.column(c);
+      const std::vector<uint32_t>& permutation = rows[s];
+      for (size_t i = 0; i < permutation.size(); ++i) {
+        const size_t out = permutation[i];
+        if (src.IsNull(i)) continue;  // columns start all-NULL
+        switch (types[c]) {
+          case DataType::kInt64:
+            merged.SetInt64(out, src.GetInt64(i));
+            break;
+          case DataType::kDouble:
+            merged.SetDouble(out, src.type() == DataType::kInt64
+                                      ? static_cast<double>(src.GetInt64(i))
+                                      : src.GetDouble(i));
+            break;
+          case DataType::kString:
+            merged.SetString(out, src.GetString(i));
+            break;
+        }
+      }
+    }
+    result.AddColumn(reference->column_name(c), std::move(merged));
+  }
+  return result;
+}
+
+}  // namespace dist
+}  // namespace hwf

@@ -1,0 +1,35 @@
+#ifndef HWF_DIST_GATHER_H_
+#define HWF_DIST_GATHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace dist {
+
+/// Merges per-shard result tables back into the original row order.
+///
+/// `rows[s]` is the original-row-id permutation produced by the shard
+/// split: shard s's result row i belongs at output row rows[s][i]. The
+/// merge is stable by construction — every output position is written by
+/// exactly one shard — so the gathered table is byte-identical to what
+/// single-process execution over the unsplit table produces.
+///
+/// Schema resolution across shards: column count and names must agree
+/// (validated over non-empty shards); a column typed int64 on one shard
+/// and double on another widens to double, absorbing the CSV round-trip
+/// type flip for shards whose values happen to all be integral. Any other
+/// type disagreement is a TypeMismatch, and a shard whose row count does
+/// not match its permutation is an Internal error (a worker answered for
+/// the wrong table version).
+StatusOr<Table> GatherShardResults(
+    const std::vector<Table>& shard_results,
+    const std::vector<std::vector<uint32_t>>& rows, size_t total_rows);
+
+}  // namespace dist
+}  // namespace hwf
+
+#endif  // HWF_DIST_GATHER_H_

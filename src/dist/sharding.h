@@ -1,0 +1,90 @@
+#ifndef HWF_DIST_SHARDING_H_
+#define HWF_DIST_SHARDING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hwf {
+namespace dist {
+
+/// Deterministic hash of one row's shard-key tuple.
+///
+/// Built from Column::Hash (a pure function of the stored value — equal
+/// values hash equally across rows, columns, tables and processes) with
+/// FNV-1a combining over the key columns in declaration order, mirroring
+/// WindowSpecHash's canonical field-sequence folding. Because nothing
+/// machine- or run-specific enters the mix, the same key tuple lands on
+/// the same shard across runs and across processes — the property the
+/// coordinator relies on to route APPEND batches to the shards that
+/// already hold their partitions.
+uint64_t ShardHashRow(const Table& table,
+                      const std::vector<size_t>& key_columns, size_t row);
+
+/// Shard index of one row: ShardHashRow mod num_shards.
+size_t ShardOfRow(const Table& table, const std::vector<size_t>& key_columns,
+                  size_t row, size_t num_shards);
+
+/// Per-row shard assignment for a whole table.
+StatusOr<std::vector<uint32_t>> AssignShards(
+    const Table& table, const std::vector<size_t>& key_columns,
+    size_t num_shards);
+
+/// A table split into shards, with the bookkeeping needed to merge
+/// per-shard results back into the original row order.
+struct ShardSplit {
+  /// One table per shard, same schema as the source. Within a shard, rows
+  /// keep their original relative order — window evaluation over a shard
+  /// therefore performs the exact same per-partition operation sequence
+  /// (including non-associative double folds) as over the whole table.
+  std::vector<Table> shards;
+  /// rows[s][i] is the original row id of shard s's row i; each list is
+  /// strictly increasing, and together they partition [0, num_rows).
+  std::vector<std::vector<uint32_t>> rows;
+};
+
+/// Splits `table` into `num_shards` shards by hashing the named key
+/// columns. All rows with an equal key tuple land in one shard, so every
+/// PARTITION BY group over a superset of the key stays intact — the
+/// full-partitioning property that makes scattered window evaluation
+/// exact.
+StatusOr<ShardSplit> SplitByShardKey(
+    const Table& table, const std::vector<std::string>& key_columns,
+    size_t num_shards);
+
+/// Materializes the given rows of `table` (in the given order) as a new
+/// table with identical schema.
+Table TakeRows(const Table& table, const std::vector<uint32_t>& rows);
+
+/// Coerces `rows` to the column names/types of `schema` (by position;
+/// names must match). The only permitted conversion is int64 -> double,
+/// which CSV round-trips need: a double column whose shipped values are
+/// all integral re-parses as int64 on the other side. Anything else is a
+/// TypeMismatch.
+StatusOr<Table> CoerceToSchema(const Table& schema, const Table& rows);
+
+/// The table's column types as a comma-separated list ("int64,double,...")
+/// for the wire protocol's "types=" ingest annotation: CSV carries no type
+/// information, so a receiver re-infers — and a double column whose
+/// shipped values are all integral would silently come back int64 without
+/// the annotation.
+std::string TypeList(const Table& table);
+
+/// Parses a TypeList() string back into column types.
+StatusOr<std::vector<DataType>> ParseTypeList(const std::string& text);
+
+/// Coerces each column of `rows` to the declared type (positionally).
+/// Permitted conversions are the ones a CSV round-trip can require:
+/// int64 -> double (integral-valued doubles) and int64/double -> string
+/// (numeric-looking text that lost its quoting). Anything else is a
+/// TypeMismatch.
+StatusOr<Table> CoerceToTypes(const std::vector<DataType>& types,
+                              const Table& rows);
+
+}  // namespace dist
+}  // namespace hwf
+
+#endif  // HWF_DIST_SHARDING_H_

@@ -1,0 +1,357 @@
+#include "dist/wire_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "dist/wire_protocol.h"
+
+namespace hwf {
+namespace dist {
+
+namespace {
+
+/// Transport failures carry this marker so IsTransportError can separate
+/// "the connection broke" (retriable against a fresh socket) from "the
+/// server said no" without a side channel on Status.
+constexpr char kTransportPrefix[] = "transport: ";
+
+Status TransportError(std::string message) {
+  return Status::Internal(kTransportPrefix + std::move(message));
+}
+
+Status TransportDeadline(std::string message) {
+  return Status::DeadlineExceeded(kTransportPrefix + std::move(message));
+}
+
+struct timeval ToTimeval(double seconds) {
+  struct timeval tv {};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                         tv.tv_sec)) *
+                                          1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  return tv;
+}
+
+}  // namespace
+
+WireClient::WireClient(WireClientOptions options)
+    : options_(std::move(options)) {}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WireClient::ConnectSocket() {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return TransportError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + options_.host +
+                                   "' (numeric IPv4 expected)");
+  }
+
+  // Non-blocking connect + poll bounds the handshake by
+  // connect_timeout_seconds; a plain connect() can hang for minutes on an
+  // unresponsive peer.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        options_.connect_timeout_seconds > 0
+            ? static_cast<int>(options_.connect_timeout_seconds * 1000)
+            : -1;
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      ::close(fd);
+      return TransportDeadline("connect to " + options_.host + ":" +
+                               std::to_string(options_.port) +
+                               " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return TransportError("connect to " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " +
+                            std::strerror(err != 0 ? err : errno));
+    }
+  } else if (rc < 0) {
+    const int err = errno;
+    ::close(fd);
+    return TransportError("connect to " + options_.host + ":" +
+                          std::to_string(options_.port) + ": " +
+                          std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  if (Status status = set_request_timeout(options_.request_timeout_seconds);
+      !status.ok()) {
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Status WireClient::set_request_timeout(double seconds) {
+  options_.request_timeout_seconds = seconds;
+  if (fd_ < 0) return Status::OK();
+  const struct timeval tv = ToTimeval(seconds);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return TransportError("setsockopt timeout: " +
+                          std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WireClient::Handshake() {
+  std::string payload;
+  Status status = Exchange(
+      "HELLO " + std::to_string(kWireProtocolVersion), &payload, nullptr);
+  if (!status.ok()) {
+    // A server without the handshake replies "unknown command 'HELLO'" —
+    // that IS version skew (a pre-versioning server), surfaced explicitly.
+    if (status.code() == StatusCode::kInvalidArgument &&
+        status.message().find("unknown command") != std::string::npos) {
+      return Status::InvalidArgument(
+          "protocol version mismatch: server at " + options_.host + ":" +
+          std::to_string(options_.port) +
+          " predates the HELLO handshake (client speaks version " +
+          std::to_string(kWireProtocolVersion) + ")");
+    }
+    return status;
+  }
+  // "HWF <version>\n"
+  if (payload.rfind("HWF ", 0) != 0) {
+    return Status::InvalidArgument("malformed HELLO response: " + payload);
+  }
+  server_version_ = std::atoi(payload.c_str() + 4);
+  if (server_version_ != kWireProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: server speaks " +
+        std::to_string(server_version_) + ", client speaks " +
+        std::to_string(kWireProtocolVersion));
+  }
+  return Status::OK();
+}
+
+Status WireClient::Connect() {
+  if (Status status = ConnectSocket(); !status.ok()) return status;
+  if (options_.check_protocol_version) {
+    if (Status status = Handshake(); !status.ok()) {
+      Close();
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+bool WireClient::ReadLine(std::string* line) {
+  line->clear();
+  timed_out_ = false;
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd_, &c, 1);
+    if (n <= 0) {
+      timed_out_ = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+      return false;
+    }
+    if (c == '\n') return true;
+    if (c != '\r') line->push_back(c);
+  }
+}
+
+bool WireClient::ReadExact(size_t size, std::string* out) {
+  out->assign(size, '\0');
+  timed_out_ = false;
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd_, out->data() + got, size - got);
+    if (n <= 0) {
+      timed_out_ = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WireClient::WriteAll(const std::string& data) {
+  timed_out_ = false;
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      timed_out_ = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status WireClient::ReadResponse(std::string* payload,
+                                std::string* header_extra) {
+  payload->clear();
+  if (header_extra != nullptr) header_extra->clear();
+  std::string header;
+  if (!ReadLine(&header)) {
+    return timed_out_
+               ? TransportDeadline("request timed out awaiting response")
+               : TransportError("connection closed while awaiting response");
+  }
+  if (header.rfind("ERR ", 0) == 0) {
+    // "ERR <code> <message>"
+    const size_t space = header.find(' ', 4);
+    const int code = std::atoi(header.substr(4).c_str());
+    std::string message = space == std::string::npos
+                              ? std::string("server error")
+                              : header.substr(space + 1);
+    return Status(StatusCodeFromWire(code), std::move(message));
+  }
+  if (header == "OK") return Status::OK();
+  if (header.rfind("OK ", 0) == 0) {
+    char* end = nullptr;
+    const size_t bytes =
+        static_cast<size_t>(std::strtoull(header.c_str() + 3, &end, 10));
+    if (header_extra != nullptr && end != nullptr && *end == ' ') {
+      *header_extra = end + 1;
+    }
+    if (!ReadExact(bytes, payload)) {
+      return timed_out_
+                 ? TransportDeadline("request timed out mid-payload")
+                 : TransportError("connection closed mid-payload");
+    }
+    return Status::OK();
+  }
+  return TransportError("malformed response header: " + header);
+}
+
+Status WireClient::Exchange(const std::string& command, std::string* payload,
+                            std::string* header_extra) {
+  if (fd_ < 0) return TransportError("not connected");
+  if (!WriteAll(command + "\n")) {
+    payload->clear();
+    return timed_out_ ? TransportDeadline("request timed out while sending")
+                      : TransportError("connection closed while sending");
+  }
+  return ReadResponse(payload, header_extra);
+}
+
+Status WireClient::ExchangeWithBody(const std::string& command,
+                                    const std::string& body,
+                                    std::string* payload,
+                                    std::string* header_extra,
+                                    const std::string& args) {
+  if (fd_ < 0) return TransportError("not connected");
+  std::string header = command + " " + std::to_string(body.size());
+  if (!args.empty()) header += " " + args;
+  if (!WriteAll(header + "\n" + body)) {
+    payload->clear();
+    return timed_out_ ? TransportDeadline("request timed out while sending")
+                      : TransportError("connection closed while sending");
+  }
+  return ReadResponse(payload, header_extra);
+}
+
+bool WireClient::IsTransportError(const Status& status) {
+  return !status.ok() &&
+         status.message().rfind(kTransportPrefix, 0) == 0;
+}
+
+bool WireClient::IsRetriable(const Status& status) {
+  return IsTransportError(status) ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+Status WireClient::ExchangeRetrying(const std::string& command,
+                                    std::string* payload,
+                                    std::string* header_extra,
+                                    size_t* retries_out) {
+  double backoff = options_.backoff_initial_seconds;
+  Status status;
+  for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      if (retries_out != nullptr) ++*retries_out;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, options_.backoff_max_seconds);
+    }
+    if (!connected()) {
+      status = Connect();
+      if (!status.ok()) {
+        if (!IsRetriable(status)) return status;
+        continue;
+      }
+    }
+    status = Exchange(command, payload, header_extra);
+    if (status.ok() || !IsRetriable(status)) return status;
+    // A broken connection cannot carry another exchange; a server-side
+    // rejection (ERR 8) left the stream in sync, so keep it.
+    if (IsTransportError(status)) Close();
+  }
+  return status;
+}
+
+WireClientPool::WireClientPool(WireClientOptions options, size_t max_idle)
+    : options_(std::move(options)), max_idle_(max_idle) {}
+
+std::unique_ptr<WireClient> WireClientPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<WireClient> client = std::move(idle_.back());
+      idle_.pop_back();
+      return client;
+    }
+  }
+  return std::make_unique<WireClient>(options_);
+}
+
+void WireClientPool::Release(std::unique_ptr<WireClient> client) {
+  if (client == nullptr || !client->connected()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(client));
+}
+
+size_t WireClientPool::idle_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+}  // namespace dist
+}  // namespace hwf

@@ -1,0 +1,162 @@
+#ifndef HWF_DIST_WIRE_CLIENT_H_
+#define HWF_DIST_WIRE_CLIENT_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hwf {
+namespace dist {
+
+/// Connection and retry policy of one WireClient.
+struct WireClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  /// Seconds before an unanswered TCP connect fails (0 = OS default).
+  double connect_timeout_seconds = 5.0;
+
+  /// Per-request socket deadline in seconds: an exchange whose response
+  /// has not fully arrived within this window fails with DeadlineExceeded
+  /// (0 = block indefinitely). Adjustable per request via
+  /// set_request_timeout, which is how the coordinator propagates the
+  /// remaining query deadline to each shard sub-query.
+  double request_timeout_seconds = 0;
+
+  /// Retries after the first attempt for ExchangeRetrying (transient
+  /// failures only: transport errors and server backpressure, see
+  /// IsRetriable). 0 = single attempt.
+  size_t max_retries = 0;
+
+  /// Exponential backoff between retries, capped at the max.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 1.0;
+
+  /// Performs the HELLO protocol-version handshake on connect so version
+  /// skew fails at connection setup with an explicit error.
+  bool check_protocol_version = true;
+};
+
+/// A client for the hwf_serve line protocol.
+///
+/// One instance owns one TCP connection and is not thread-safe; pool
+/// instances (WireClientPool) to issue concurrent requests. Framing:
+/// commands are single "\n"-terminated lines (APPEND/UPSERT/REGISTER
+/// followed by a byte-counted body), responses are
+///
+///   OK <nbytes>[ <extra>]\n<nbytes of payload>
+///   OK\n
+///   ERR <code> <message>\n
+///
+/// Transport failures (connect/read/write errors, mid-payload EOF, socket
+/// deadline) are distinguished from server-reported errors so callers can
+/// retry the former against a reconnected socket.
+class WireClient {
+ public:
+  explicit WireClient(WireClientOptions options);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects (with the configured timeout) and, unless disabled, runs the
+  /// HELLO version handshake. Fails fast with InvalidArgument on version
+  /// skew — including against pre-handshake servers.
+  Status Connect();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  const WireClientOptions& options() const { return options_; }
+
+  /// The server's protocol version as reported by HELLO (-1 before the
+  /// handshake has run).
+  int server_protocol_version() const { return server_version_; }
+
+  /// Replaces the per-request socket deadline (seconds; 0 = none) for
+  /// subsequent exchanges on this connection.
+  Status set_request_timeout(double seconds);
+
+  /// One exchange on the live connection (single attempt, no reconnect).
+  /// On OK, `payload` holds the framed body (empty for bare "OK" acks) and
+  /// `header_extra` (when non-null) whatever followed the byte count in
+  /// the header, e.g. "id=7 regime=scatter(4)".
+  Status Exchange(const std::string& command, std::string* payload,
+                  std::string* header_extra = nullptr);
+
+  /// As Exchange, for commands carrying a byte-counted body (APPEND,
+  /// UPSERT, REGISTER): sends "<command> <nbytes>[ <args>]\n<body>".
+  /// `args` go after the byte count (e.g. "key=id types=int64,double").
+  Status ExchangeWithBody(const std::string& command, const std::string& body,
+                          std::string* payload,
+                          std::string* header_extra = nullptr,
+                          const std::string& args = std::string());
+
+  /// Exchange with connect-if-needed and bounded exponential-backoff retry
+  /// on transient failures (the connection is torn down and re-established
+  /// between attempts). Only safe for idempotent commands — QUERY, STATS,
+  /// METRICS, PING — never APPEND/UPSERT, which could double-apply.
+  /// `retries_out` (when non-null) accumulates the number of retries
+  /// performed (attempts beyond the first).
+  Status ExchangeRetrying(const std::string& command, std::string* payload,
+                          std::string* header_extra = nullptr,
+                          size_t* retries_out = nullptr);
+
+  /// True for transport-level failures (connection refused/closed/reset,
+  /// socket deadline during an exchange): the request may never have
+  /// reached the server, so idempotent commands can retry.
+  static bool IsTransportError(const Status& status);
+
+  /// Transient failures worth retrying: transport errors plus server
+  /// backpressure (ERR 8 / ResourceExhausted admission rejections).
+  static bool IsRetriable(const Status& status);
+
+ private:
+  Status ConnectSocket();
+  Status Handshake();
+  Status ReadResponse(std::string* payload, std::string* header_extra);
+  bool ReadLine(std::string* line);
+  bool ReadExact(size_t size, std::string* out);
+  bool WriteAll(const std::string& data);
+
+  WireClientOptions options_;
+  int fd_ = -1;
+  int server_version_ = -1;
+  /// Set when the last failure happened at the transport layer (used to
+  /// tag the returned Status; see IsTransportError).
+  bool timed_out_ = false;
+};
+
+/// A per-endpoint pool of reusable connections. Acquire pops an idle
+/// (possibly still-connected) client or constructs a fresh one; Release
+/// returns healthy connections for reuse and drops closed ones. All
+/// methods are thread-safe; the pooled clients themselves are used by one
+/// thread at a time between Acquire and Release.
+class WireClientPool {
+ public:
+  explicit WireClientPool(WireClientOptions options, size_t max_idle = 16);
+
+  std::unique_ptr<WireClient> Acquire();
+
+  /// Returns a client to the pool. Disconnected clients and overflow
+  /// beyond `max_idle` are destroyed.
+  void Release(std::unique_ptr<WireClient> client);
+
+  size_t idle_size() const;
+  const WireClientOptions& options() const { return options_; }
+
+ private:
+  WireClientOptions options_;
+  size_t max_idle_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<WireClient>> idle_;
+};
+
+}  // namespace dist
+}  // namespace hwf
+
+#endif  // HWF_DIST_WIRE_CLIENT_H_

@@ -1,0 +1,57 @@
+#ifndef HWF_DIST_WIRE_PROTOCOL_H_
+#define HWF_DIST_WIRE_PROTOCOL_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace hwf {
+namespace dist {
+
+/// Version of the line protocol spoken by hwf_serve and the wire client.
+///
+/// Bumped whenever a command's grammar or framing changes incompatibly.
+/// The HELLO handshake pins it at connection setup:
+///
+///   client: "HELLO <version>\n"
+///   server: "OK <n>\nHWF <version>\n"          versions match
+///           "ERR 3 protocol version mismatch ..." otherwise
+///
+/// A bare "HELLO\n" (no version) is a discovery probe: the server answers
+/// with its own version and the connection proceeds. Servers predating the
+/// handshake answer "ERR 3 unknown command 'HELLO'", which the client
+/// rewrites into an explicit version-skew error — skew fails fast at
+/// connect time instead of as a parse error mid-query.
+inline constexpr int kWireProtocolVersion = 1;
+
+/// Maps a wire error code (the "ERR <code>" byte, which is the server's
+/// process exit code per service::ExitCodeForStatus) back to the matching
+/// StatusCode, so errors round-trip through the protocol with their
+/// category intact. Unknown codes map to kInternal.
+inline StatusCode StatusCodeFromWire(int code) {
+  switch (code) {
+    case 3:
+      return StatusCode::kInvalidArgument;
+    case 4:
+      return StatusCode::kOutOfRange;
+    case 5:
+      return StatusCode::kNotImplemented;
+    case 6:
+      return StatusCode::kTypeMismatch;
+    case 7:
+      return StatusCode::kInternal;
+    case 8:
+      return StatusCode::kResourceExhausted;
+    case 9:
+      return StatusCode::kCancelled;
+    case 10:
+      return StatusCode::kDeadlineExceeded;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+}  // namespace dist
+}  // namespace hwf
+
+#endif  // HWF_DIST_WIRE_PROTOCOL_H_

@@ -1,0 +1,459 @@
+#include "service/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "dist/sharding.h"
+#include "dist/wire_protocol.h"
+#include "obs/metrics.h"
+#include "service/result_format.h"
+#include "service/service.h"
+#include "storage/csv.h"
+
+namespace hwf {
+namespace service {
+
+bool ReadLineFd(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return !line->empty();
+    if (c == '\n') return true;
+    if (c != '\r') line->push_back(c);
+  }
+}
+
+bool ReadExactFd(int fd, size_t size, std::string* out) {
+  out->resize(size);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out->data() + got, size - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAllFd(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendPayloadFd(int fd, const std::string& payload,
+                   const std::string& header_extra) {
+  std::string header = "OK " + std::to_string(payload.size());
+  if (!header_extra.empty()) header += " " + header_extra;
+  return WriteAllFd(fd, header + "\n" + payload);
+}
+
+bool SendOkFd(int fd) { return WriteAllFd(fd, "OK\n"); }
+
+bool SendErrorFd(int fd, const Status& status) {
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return WriteAllFd(fd, "ERR " +
+                            std::to_string(ExitCodeForStatus(status)) + " " +
+                            message + "\n");
+}
+
+namespace {
+
+/// Extracts the value of a "name=value" option from a command tail
+/// (terminated by a space or end of string); empty when absent.
+std::string ExtractOption(const std::string& text, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    if (pos > 0 && text[pos - 1] != ' ') {
+      pos += prefix.size();
+      continue;
+    }
+    std::string value = text.substr(pos + prefix.size());
+    const size_t end = value.find(' ');
+    if (end != std::string::npos) value.resize(end);
+    return value;
+  }
+  return std::string();
+}
+
+/// Applies an ingest command's "types=" annotation: CSV carries no type
+/// information, so a batch whose double column holds only integral values
+/// would otherwise re-infer as int64 and clash with the stored table.
+StatusOr<Table> CoerceParsedRows(Table rows, const std::string& type_list) {
+  if (type_list.empty()) return rows;
+  StatusOr<std::vector<DataType>> types = dist::ParseTypeList(type_list);
+  if (!types.ok()) return types.status();
+  return dist::CoerceToTypes(*types, rows);
+}
+
+}  // namespace
+
+bool HandleHello(int fd, const std::string& rest) {
+  if (!rest.empty()) {
+    const int client_version = std::atoi(rest.c_str());
+    if (client_version != dist::kWireProtocolVersion) {
+      SendErrorFd(fd, Status::InvalidArgument(
+                          "protocol version mismatch: server speaks " +
+                          std::to_string(dist::kWireProtocolVersion) +
+                          ", client speaks " + rest));
+      return true;
+    }
+  }
+  SendPayloadFd(fd,
+                "HWF " + std::to_string(dist::kWireProtocolVersion) + "\n");
+  return true;
+}
+
+void ServeServiceConnection(int fd, QueryService* svc,
+                            obs::MetricsRegistry* registry) {
+  ResultFormat format = ResultFormat::kCsv;
+  double timeout_seconds = -1;  // service default
+  std::string line;
+  while (ReadLineFd(fd, &line)) {
+    const size_t space = line.find(' ');
+    std::string command = line.substr(0, space);
+    for (char& c : command) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    const std::string rest =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+
+    if (command == "QUIT") {
+      SendOkFd(fd);
+      break;
+    }
+    if (command == "PING") {
+      SendPayloadFd(fd, "PONG\n");
+      continue;
+    }
+    if (command == "HELLO") {
+      HandleHello(fd, rest);
+      continue;
+    }
+    if (command == "STATS") {
+      SendPayloadFd(fd, svc->StatsJson());
+      continue;
+    }
+    if (command == "METRICS") {
+      SendPayloadFd(fd, registry->RenderText());
+      continue;
+    }
+    if (command == "PROFILE") {
+      char* end = nullptr;
+      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) {
+        SendErrorFd(fd, Status::InvalidArgument("PROFILE needs a query id"));
+        continue;
+      }
+      StatusOr<std::string> profile = svc->RetainedProfileJson(id);
+      if (!profile.ok()) {
+        SendErrorFd(fd, profile.status());
+      } else {
+        SendPayloadFd(fd, *profile + "\n");
+      }
+      continue;
+    }
+    if (command == "FORMAT") {
+      StatusOr<ResultFormat> parsed = ParseResultFormat(rest);
+      if (!parsed.ok()) {
+        SendErrorFd(fd, parsed.status());
+        continue;
+      }
+      format = *parsed;
+      SendOkFd(fd);
+      continue;
+    }
+    if (command == "TIMEOUT") {
+      timeout_seconds = std::atof(rest.c_str());
+      SendOkFd(fd);
+      continue;
+    }
+    if (command == "QUERY" || command == "SUBMIT") {
+      if (rest.empty()) {
+        SendErrorFd(fd, Status::InvalidArgument(command + " needs SQL text"));
+        continue;
+      }
+      QueryOptions options;
+      options.timeout_seconds = timeout_seconds;
+      if (command == "SUBMIT") {
+        StatusOr<uint64_t> id = svc->Submit(rest, options);
+        if (!id.ok()) {
+          SendErrorFd(fd, id.status());
+        } else {
+          SendPayloadFd(fd, "ID " + std::to_string(*id) + "\n");
+        }
+        continue;
+      }
+      StatusOr<QueryResult> result = svc->Query(rest, options);
+      if (!result.ok()) {
+        SendErrorFd(fd, result.status());
+      } else {
+        SendPayloadFd(fd, FormatTable(result->table, format),
+                      "id=" + std::to_string(result->query_id));
+      }
+      continue;
+    }
+    if (command == "REGISTER") {
+      // "<table> <nbytes> [key=<col>]": the CSV payload (with header)
+      // follows the line and registers/replaces the named table. This is
+      // how a coordinator distributes shards to empty workers.
+      const size_t sep = rest.find(' ');
+      if (sep == std::string::npos) {
+        SendErrorFd(fd, Status::InvalidArgument(
+                            "REGISTER wants: <table> <nbytes> [key=<col>]"));
+        continue;
+      }
+      const std::string table_name = rest.substr(0, sep);
+      char* end = nullptr;
+      const std::string tail = rest.substr(sep + 1);
+      const uint64_t nbytes = std::strtoull(tail.c_str(), &end, 10);
+      if (end == tail.c_str()) {
+        SendErrorFd(fd,
+                    Status::InvalidArgument("REGISTER needs a byte count"));
+        continue;
+      }
+      const std::string extra = end;
+      const std::string key_column = ExtractOption(extra, "key");
+      std::string payload;
+      if (!ReadExactFd(fd, static_cast<size_t>(nbytes), &payload)) break;
+      StatusOr<Table> parsed = ParseCsv(payload);
+      if (!parsed.ok()) {
+        SendErrorFd(fd, parsed.status());
+        continue;
+      }
+      StatusOr<Table> table =
+          CoerceParsedRows(std::move(*parsed), ExtractOption(extra, "types"));
+      if (!table.ok()) {
+        SendErrorFd(fd, table.status());
+        continue;
+      }
+      const size_t rows = table->num_rows();
+      uint64_t epoch = 0;
+      if (key_column.empty()) {
+        epoch = svc->RegisterTable(table_name, std::move(*table));
+      } else {
+        StatusOr<uint64_t> registered =
+            svc->RegisterTable(table_name, std::move(*table), key_column);
+        if (!registered.ok()) {
+          SendErrorFd(fd, registered.status());
+          continue;
+        }
+        epoch = *registered;
+      }
+      SendPayloadFd(fd, "REGISTERED " + std::to_string(rows) +
+                            " epoch=" + std::to_string(epoch) + "\n");
+      continue;
+    }
+    if (command == "APPEND" || command == "UPSERT") {
+      // "<table> <nbytes>": the CSV payload (with header) follows the line.
+      const size_t sep = rest.find(' ');
+      if (sep == std::string::npos) {
+        SendErrorFd(fd, Status::InvalidArgument(command +
+                                                " wants: <table> <nbytes>"));
+        continue;
+      }
+      const std::string table_name = rest.substr(0, sep);
+      char* end = nullptr;
+      const std::string count_text = rest.substr(sep + 1);
+      const uint64_t nbytes = std::strtoull(count_text.c_str(), &end, 10);
+      if (end == count_text.c_str()) {
+        SendErrorFd(fd, Status::InvalidArgument(command + " needs a byte "
+                                                "count"));
+        continue;
+      }
+      std::string payload;
+      if (!ReadExactFd(fd, static_cast<size_t>(nbytes), &payload)) break;
+      StatusOr<Table> parsed = ParseCsv(payload);
+      if (!parsed.ok()) {
+        SendErrorFd(fd, parsed.status());
+        continue;
+      }
+      StatusOr<Table> rows = CoerceParsedRows(
+          std::move(*parsed), ExtractOption(end, "types"));
+      if (!rows.ok()) {
+        SendErrorFd(fd, rows.status());
+        continue;
+      }
+      StatusOr<Catalog::TableMeta> meta =
+          command == "APPEND" ? svc->AppendRows(table_name, *rows)
+                              : svc->UpsertRows(table_name, *rows);
+      if (!meta.ok()) {
+        SendErrorFd(fd, meta.status());
+        continue;
+      }
+      SendPayloadFd(fd, "ROWS " + std::to_string(rows->num_rows()) +
+                            " minor=" + std::to_string(meta->minor) +
+                            " delta=" + std::to_string(meta->delta_rows) +
+                            "\n");
+      continue;
+    }
+    if (command == "COMPACT") {
+      if (rest.empty()) {
+        SendErrorFd(fd, Status::InvalidArgument("COMPACT needs a table name"));
+        continue;
+      }
+      StatusOr<Catalog::TableMeta> meta = svc->CompactTable(rest);
+      if (!meta.ok()) {
+        SendErrorFd(fd, meta.status());
+        continue;
+      }
+      SendPayloadFd(fd, "COMPACTED base=" + std::to_string(meta->base_rows) +
+                            " minor=" + std::to_string(meta->minor) + "\n");
+      continue;
+    }
+    if (command == "WAIT" || command == "CANCEL") {
+      char* end = nullptr;
+      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) {
+        SendErrorFd(fd, Status::InvalidArgument(command + " needs a query "
+                                                "id"));
+        continue;
+      }
+      if (command == "CANCEL") {
+        Status status = svc->Cancel(id);
+        if (status.ok()) {
+          SendOkFd(fd);
+        } else {
+          SendErrorFd(fd, status);
+        }
+        continue;
+      }
+      StatusOr<QueryResult> result = svc->Wait(id);
+      if (!result.ok()) {
+        SendErrorFd(fd, result.status());
+      } else {
+        SendPayloadFd(fd, FormatTable(result->table, format),
+                      "id=" + std::to_string(result->query_id));
+      }
+      continue;
+    }
+    SendErrorFd(fd, Status::InvalidArgument("unknown command '" + command +
+                                            "'"));
+  }
+}
+
+TcpServer::TcpServer(Handler handler, bool detach_connections)
+    : handler_(std::move(handler)),
+      detach_connections_(detach_connections) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+StatusOr<int> TcpServer::Listen(int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::Internal("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listener);
+    return Status::Internal("bind: " + error);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(listener, 64) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listener);
+    return Status::Internal("listen: " + error);
+  }
+  listener_ = listener;
+  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+        continue;
+      }
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    if (detach_connections_) {
+      std::thread([this, fd] { HandleConnection(fd); }).detach();
+    } else {
+      live_fds_.push_back(fd);
+      connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    }
+  }
+}
+
+void TcpServer::Start() {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && listener_ < 0) return;
+    stopping_ = true;
+  }
+  if (listener_ >= 0) {
+    ::shutdown(listener_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listener_ >= 0) {
+    ::close(listener_);
+    listener_ = -1;
+  }
+  if (!detach_connections_) {
+    // Abort live connections so blocked readers/writers unwind; the
+    // threads close their fds after deregistering (under the mutex), so a
+    // shutdown here can never hit a recycled descriptor.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      threads.swap(connection_threads_);
+    }
+    for (std::thread& thread : threads) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  handler_(fd);
+  if (!detach_connections_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                    live_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace service
+}  // namespace hwf

@@ -1,0 +1,108 @@
+#ifndef HWF_SERVICE_TCP_SERVER_H_
+#define HWF_SERVICE_TCP_SERVER_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hwf {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace service {
+
+class QueryService;
+
+/// Line-protocol framing helpers shared by every connection handler (the
+/// worker front door below, and hwf_serve's coordinator front door).
+/// Responses are framed as
+///
+///   OK <nbytes>[ <extra>]\n<nbytes of payload>
+///   OK\n
+///   ERR <code> <message>\n
+///
+/// Existing clients parse the byte count with strtoull, which stops at the
+/// first space, so header extras (like "id=<n>") stay backwards
+/// compatible.
+bool ReadLineFd(int fd, std::string* line);
+bool ReadExactFd(int fd, size_t size, std::string* out);
+bool WriteAllFd(int fd, const std::string& data);
+bool SendPayloadFd(int fd, const std::string& payload,
+                   const std::string& header_extra = std::string());
+bool SendOkFd(int fd);
+bool SendErrorFd(int fd, const Status& status);
+
+/// Handles the HELLO protocol-version handshake line ("HELLO" or
+/// "HELLO <version>"): replies "HWF <version>\n" when compatible, ERR 3
+/// on skew. `rest` is the text after the command word. Returns true
+/// (handled) always; shared by the worker and coordinator front doors.
+bool HandleHello(int fd, const std::string& rest);
+
+/// Serves one worker/single-process connection: the full command set
+/// (QUERY/SUBMIT/WAIT/CANCEL/FORMAT/TIMEOUT/STATS/METRICS/PROFILE/
+/// REGISTER/APPEND/UPSERT/COMPACT/HELLO/PING/QUIT) against `svc`.
+/// Closes `fd` before returning.
+void ServeServiceConnection(int fd, QueryService* svc,
+                            obs::MetricsRegistry* registry);
+
+/// A loopback TCP accept loop dispatching each connection to a handler on
+/// its own thread.
+///
+/// Two ownership modes for connection threads:
+///   - detached (hwf_serve): threads are detached; Stop only closes the
+///     listener, and process exit reaps idle readers.
+///   - joined (tests, in-process workers): Stop shuts down every live
+///     connection socket and joins all threads, so tearing a server down
+///     mid-query deterministically simulates a killed worker.
+class TcpServer {
+ public:
+  using Handler = std::function<void(int fd)>;
+
+  explicit TcpServer(Handler handler, bool detach_connections = false);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned); returns
+  /// the bound port.
+  StatusOr<int> Listen(int port);
+
+  int listener_fd() const { return listener_; }
+  int port() const { return port_; }
+
+  /// Accepts until the listener is shut down (by Stop or by an external
+  /// ::shutdown on listener_fd, e.g. from a signal handler). Blocks.
+  void AcceptLoop();
+
+  /// Runs AcceptLoop on a background thread.
+  void Start();
+
+  /// Shuts down the listener, joins the accept thread (when started via
+  /// Start), and — unless connections are detached — aborts every live
+  /// connection and joins its thread. Idempotent.
+  void Stop();
+
+ private:
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  bool detach_connections_;
+  int listener_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace service
+}  // namespace hwf
+
+#endif  // HWF_SERVICE_TCP_SERVER_H_

@@ -78,7 +78,11 @@ class CsvTokenizer {
         cell_.text.pop_back();
       }
       if (record_.empty() && !cell_started_ && cell_.text.empty()) {
-        return;  // Blank line (e.g. trailing newline) — skipped.
+        // Blank line: kept as a zero-cell marker so BuildTable can decide.
+        // In a one-column table an empty line IS a record (one NULL
+        // field) — dropping it here would lose rows over the wire.
+        records_.emplace_back();
+        return;
       }
       EndRecord();
     } else {
@@ -134,30 +138,48 @@ bool NeedsQuoting(const std::string& text, char delimiter) {
 }
 
 /// Type inference + column materialization over tokenized records.
-StatusOr<Table> BuildTable(const std::vector<std::vector<Cell>>& records) {
-  if (records.empty()) {
+StatusOr<Table> BuildTable(std::vector<std::vector<Cell>> records) {
+  // Zero-cell records are blank lines. Leading ones (before the header)
+  // are noise; between data records their meaning depends on the width:
+  // a one-column table serializes a NULL row as an empty line, so there
+  // the blank is a real record, while in a wider table no row can
+  // serialize that way and the blank stays skipped for leniency with
+  // hand-authored files.
+  size_t first = 0;
+  while (first < records.size() && records[first].empty()) ++first;
+  if (first == records.size()) {
     return Status::InvalidArgument("CSV has no header record");
   }
-  const std::vector<Cell>& header = records[0];
+  const std::vector<Cell> header = std::move(records[first]);
   const size_t num_columns = header.size();
-  for (size_t r = 1; r < records.size(); ++r) {
-    if (records[r].size() != num_columns) {
+  std::vector<std::vector<Cell>> rows;
+  rows.reserve(records.size() - first - 1);
+  for (size_t r = first + 1; r < records.size(); ++r) {
+    if (records[r].empty()) {
+      if (num_columns == 1) rows.push_back({Cell()});
+      continue;
+    }
+    rows.push_back(std::move(records[r]));
+  }
+  records.clear();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != num_columns) {
       return Status::InvalidArgument(
-          "CSV record " + std::to_string(r + 1) + " has " +
-          std::to_string(records[r].size()) + " fields, expected " +
+          "CSV record " + std::to_string(r + 2) + " has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
           std::to_string(num_columns));
     }
   }
 
-  const size_t num_rows = records.size() - 1;
+  const size_t num_rows = rows.size();
   Table table;
   for (size_t c = 0; c < num_columns; ++c) {
     // Type inference over all non-NULL cells of the column.
     bool all_int = true;
     bool all_double = true;
     bool any_value = false;
-    for (size_t r = 1; r <= num_rows; ++r) {
-      const Cell& cell = records[r][c];
+    for (size_t r = 0; r < num_rows; ++r) {
+      const Cell& cell = rows[r][c];
       if (cell.text.empty() && !cell.quoted) continue;  // NULL
       any_value = true;
       int64_t i;
@@ -175,8 +197,8 @@ StatusOr<Table> BuildTable(const std::vector<std::vector<Cell>>& records) {
 
     Column column(type);
     column.Reserve(num_rows);
-    for (size_t r = 1; r <= num_rows; ++r) {
-      const Cell& cell = records[r][c];
+    for (size_t r = 0; r < num_rows; ++r) {
+      const Cell& cell = rows[r][c];
       if (cell.text.empty() && !cell.quoted) {
         column.AppendNull();
         continue;
@@ -211,7 +233,7 @@ StatusOr<Table> ParseCsv(const std::string& content, char delimiter) {
   tokenizer.Feed(content.data(), content.size());
   StatusOr<std::vector<std::vector<Cell>>> records = tokenizer.Finish();
   if (!records.ok()) return records.status();
-  return BuildTable(*records);
+  return BuildTable(*std::move(records));
 }
 
 StatusOr<Table> ReadCsvFile(const std::string& path, char delimiter) {
@@ -235,7 +257,7 @@ StatusOr<Table> ReadCsvFile(const std::string& path, char delimiter) {
   }
   StatusOr<std::vector<std::vector<Cell>>> records = tokenizer.Finish();
   if (!records.ok()) return records.status();
-  return BuildTable(*records);
+  return BuildTable(*std::move(records));
 }
 
 std::string ToCsv(const Table& table, char delimiter) {

@@ -1,0 +1,759 @@
+// Tests for the scatter/gather distribution layer: deterministic shard
+// assignment, split/gather round trips, the wire client's handshake and
+// failure handling, and full coordinator-vs-single-process differential
+// runs over every window function kind.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/gather.h"
+#include "dist/sharding.h"
+#include "dist/wire_client.h"
+#include "dist/wire_protocol.h"
+#include "obs/metrics.h"
+#include "service/result_format.h"
+#include "service/service.h"
+#include "service/tcp_server.h"
+#include "storage/csv.h"
+#include "tests/window_test_util.h"
+
+namespace hwf {
+namespace {
+
+using dist::Coordinator;
+using dist::CoordinatorOptions;
+using dist::WireClient;
+using dist::WireClientOptions;
+using service::QueryService;
+using service::ResultFormat;
+using service::ServiceOptions;
+using service::TcpServer;
+
+// The per-query memory limit injected by the forced-spill CI job changes
+// nothing about correctness here but slows the many small differential
+// queries; clear it like service_test does.
+const bool g_env_cleared = [] {
+  unsetenv("HWF_TEST_MEMORY_LIMIT");
+  return true;
+}();
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Shard assignment
+
+TEST(ShardingTest, AssignmentIsDeterministic) {
+  const Table table = test::MakeRandomTable(200, 31, 5);
+  StatusOr<std::vector<uint32_t>> first = dist::AssignShards(table, {0}, 4);
+  StatusOr<std::vector<uint32_t>> second = dist::AssignShards(table, {0}, 4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_LT((*first)[row], 4u);
+    EXPECT_EQ(dist::ShardOfRow(table, {0}, row, 4),
+              static_cast<size_t>((*first)[row]))
+        << "row " << row;
+  }
+}
+
+TEST(ShardingTest, AssignmentDependsOnlyOnKeyValues) {
+  // Two tables with identical key columns but different payloads must
+  // shard identically — the hash is a pure function of the key values, so
+  // appended rows join the partitions their key lives on.
+  const Table a = test::MakeRandomTable(150, 7, 4);
+  Table b;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.column_name(c) == "grp" || a.column_name(c) == "ord") {
+      Column copy(a.column(c).type());
+      for (size_t r = 0; r < a.num_rows(); ++r) {
+        if (a.column(c).IsNull(r)) {
+          copy.AppendNull();
+        } else {
+          copy.AppendInt64(a.column(c).GetInt64(r));
+        }
+      }
+      b.AddColumn(a.column_name(c), std::move(copy));
+    } else {
+      Column filler(DataType::kInt64);
+      for (size_t r = 0; r < a.num_rows(); ++r) {
+        filler.AppendInt64(static_cast<int64_t>(r) * 977);
+      }
+      b.AddColumn(a.column_name(c), std::move(filler));
+    }
+  }
+  StatusOr<std::vector<uint32_t>> from_a =
+      dist::AssignShards(a, {0, 1}, 3);
+  StatusOr<std::vector<uint32_t>> from_b =
+      dist::AssignShards(b, {0, 1}, 3);
+  ASSERT_TRUE(from_a.ok());
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(*from_a, *from_b);
+}
+
+TEST(ShardingTest, SplitPartitionsEveryRowOnce) {
+  const Table table = test::MakeRandomTable(300, 13, 6);
+  StatusOr<dist::ShardSplit> split =
+      dist::SplitByShardKey(table, {"grp"}, 4);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  std::vector<int> seen(table.num_rows(), 0);
+  for (size_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(split->shards[s].num_rows(), split->rows[s].size());
+    for (size_t i = 0; i < split->rows[s].size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(split->rows[s][i - 1], split->rows[s][i])
+            << "shard row ids must stay in original order";
+      }
+      ++seen[split->rows[s][i]];
+    }
+  }
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(seen[row], 1) << "row " << row;
+  }
+  // Equal keys land in one shard: group rows by grp value and check that
+  // each group maps to exactly one shard.
+  StatusOr<std::vector<uint32_t>> assignment =
+      dist::AssignShards(table, {0}, 4);
+  ASSERT_TRUE(assignment.ok());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t other = row + 1; other < table.num_rows(); ++other) {
+      if (table.column(0).GetInt64(row) == table.column(0).GetInt64(other)) {
+        ASSERT_EQ((*assignment)[row], (*assignment)[other]);
+      }
+    }
+  }
+}
+
+TEST(ShardingTest, RejectsBadArguments) {
+  const Table table = test::MakeRandomTable(10, 1);
+  EXPECT_FALSE(dist::AssignShards(table, {0}, 0).ok());
+  EXPECT_FALSE(dist::AssignShards(table, {}, 2).ok());
+  EXPECT_FALSE(dist::AssignShards(table, {99}, 2).ok());
+  EXPECT_FALSE(dist::SplitByShardKey(table, {"nope"}, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+
+void ExpectTablesBitIdentical(const Table& actual, const Table& expected) {
+  ASSERT_EQ(actual.num_columns(), expected.num_columns());
+  ASSERT_EQ(actual.num_rows(), expected.num_rows());
+  for (size_t c = 0; c < expected.num_columns(); ++c) {
+    ASSERT_EQ(actual.column_name(c), expected.column_name(c));
+    const Column& a = actual.column(c);
+    const Column& e = expected.column(c);
+    ASSERT_EQ(a.type(), e.type()) << actual.column_name(c);
+    for (size_t r = 0; r < expected.num_rows(); ++r) {
+      ASSERT_EQ(a.IsNull(r), e.IsNull(r)) << "row " << r;
+      if (a.IsNull(r)) continue;
+      switch (a.type()) {
+        case DataType::kInt64:
+          ASSERT_EQ(a.GetInt64(r), e.GetInt64(r)) << "row " << r;
+          break;
+        case DataType::kDouble:
+          ASSERT_EQ(a.GetDouble(r), e.GetDouble(r)) << "row " << r;
+          break;
+        case DataType::kString:
+          ASSERT_EQ(a.GetString(r), e.GetString(r)) << "row " << r;
+          break;
+      }
+    }
+  }
+}
+
+TEST(GatherTest, SplitThenGatherRoundTrips) {
+  const Table table = test::MakeRandomTable(250, 17, 5);
+  StatusOr<dist::ShardSplit> split =
+      dist::SplitByShardKey(table, {"grp"}, 3);
+  ASSERT_TRUE(split.ok());
+  StatusOr<Table> gathered = dist::GatherShardResults(
+      split->shards, split->rows, table.num_rows());
+  ASSERT_TRUE(gathered.ok()) << gathered.status().ToString();
+  ExpectTablesBitIdentical(*gathered, table);
+}
+
+TEST(GatherTest, WidensCsvTypeFlippedShard) {
+  // A double column whose shard happens to hold only integral values
+  // re-parses as int64 after the CSV hop; gather must widen it back so
+  // the merged column has one type.
+  Table shard_a;
+  {
+    Column v(DataType::kDouble);
+    v.AppendDouble(1.5);
+    v.AppendDouble(2.25);
+    shard_a.AddColumn("v", std::move(v));
+  }
+  StatusOr<Table> shard_b = ParseCsv("v\n3\n4\n");
+  ASSERT_TRUE(shard_b.ok());
+  ASSERT_EQ(shard_b->column(0).type(), DataType::kInt64);
+  StatusOr<Table> gathered = dist::GatherShardResults(
+      {shard_a, *shard_b}, {{0, 2}, {1, 3}}, 4);
+  ASSERT_TRUE(gathered.ok()) << gathered.status().ToString();
+  ASSERT_EQ(gathered->column(0).type(), DataType::kDouble);
+  EXPECT_EQ(gathered->column(0).GetDouble(0), 1.5);
+  EXPECT_EQ(gathered->column(0).GetDouble(1), 3.0);
+  EXPECT_EQ(gathered->column(0).GetDouble(2), 2.25);
+  EXPECT_EQ(gathered->column(0).GetDouble(3), 4.0);
+}
+
+TEST(GatherTest, RejectsMismatches) {
+  const Table table = test::MakeRandomTable(40, 19, 4);
+  StatusOr<dist::ShardSplit> split =
+      dist::SplitByShardKey(table, {"grp"}, 2);
+  ASSERT_TRUE(split.ok());
+  // Row-count mismatch between a shard result and its permutation.
+  StatusOr<Table> wrong_rows = dist::GatherShardResults(
+      {split->shards[0], split->shards[1]},
+      {split->rows[1], split->rows[0]}, table.num_rows());
+  if (split->rows[0].size() != split->rows[1].size()) {
+    EXPECT_FALSE(wrong_rows.ok());
+  }
+  // Column-name mismatch across shards.
+  Table renamed;
+  for (size_t c = 0; c < split->shards[1].num_columns(); ++c) {
+    Column copy = split->shards[1].column(c);
+    renamed.AddColumn("x" + std::to_string(c), std::move(copy));
+  }
+  EXPECT_FALSE(dist::GatherShardResults({split->shards[0], renamed},
+                                        {split->rows[0], split->rows[1]},
+                                        table.num_rows())
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Type-list coercion (the "types=" ingest annotation)
+
+TEST(ShardingTest, TypeListRoundTrips) {
+  const Table table = test::MakeRandomTable(5, 3);
+  const std::string list = dist::TypeList(table);
+  StatusOr<std::vector<DataType>> types = dist::ParseTypeList(list);
+  ASSERT_TRUE(types.ok());
+  ASSERT_EQ(types->size(), table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ((*types)[c], table.column(c).type());
+  }
+  EXPECT_FALSE(dist::ParseTypeList("int64,floatish").ok());
+}
+
+TEST(ShardingTest, CoerceToTypesRecoversFlippedColumns) {
+  // "3\n4" under a declared double column widens; "7\n8" under a declared
+  // string column re-renders as text; a double under a declared int64 is
+  // an error (information would be lost).
+  StatusOr<Table> parsed = ParseCsv("a,b\n3,7\n4,8\n");
+  ASSERT_TRUE(parsed.ok());
+  StatusOr<Table> coerced = dist::CoerceToTypes(
+      {DataType::kDouble, DataType::kString}, *parsed);
+  ASSERT_TRUE(coerced.ok()) << coerced.status().ToString();
+  EXPECT_EQ(coerced->column(0).type(), DataType::kDouble);
+  EXPECT_EQ(coerced->column(0).GetDouble(1), 4.0);
+  EXPECT_EQ(coerced->column(1).type(), DataType::kString);
+  EXPECT_EQ(coerced->column(1).GetString(0), "7");
+  StatusOr<Table> halves = ParseCsv("a,b\n3.5,7\n4.5,8\n");
+  ASSERT_TRUE(halves.ok());
+  EXPECT_FALSE(dist::CoerceToTypes({DataType::kInt64, DataType::kInt64},
+                                   *halves)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// FROM-rewrite for fallback queries
+
+TEST(RewriteFromTableTest, RewritesLastFromTarget) {
+  StatusOr<std::string> basic = dist::RewriteFromTable(
+      "select rank() over (order by x) from t", "t", "t__unsharded");
+  ASSERT_TRUE(basic.ok());
+  EXPECT_EQ(*basic, "select rank() over (order by x) from t__unsharded");
+
+  StatusOr<std::string> semicolon = dist::RewriteFromTable(
+      "select count(*) over () FROM t;", "t", "u");
+  ASSERT_TRUE(semicolon.ok());
+  EXPECT_EQ(*semicolon, "select count(*) over () FROM u;");
+
+  // A column that happens to be named "from" must not confuse the scan:
+  // the last FROM whose next token is the table wins.
+  StatusOr<std::string> tricky = dist::RewriteFromTable(
+      "select sum( from ) over (partition by t) from t", "t", "u");
+  ASSERT_TRUE(tricky.ok());
+  EXPECT_EQ(*tricky, "select sum( from ) over (partition by t) from u");
+
+  EXPECT_FALSE(dist::RewriteFromTable("select 1 from other", "t", "u").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Wire client against fake and real servers
+
+int FindClosedPort() {
+  // Bind an ephemeral listener, note the port, close it: nothing listens
+  // there immediately afterwards.
+  TcpServer probe([](int) {});
+  StatusOr<int> port = probe.Listen(0);
+  EXPECT_TRUE(port.ok());
+  probe.Stop();
+  return *port;
+}
+
+TEST(WireClientTest, HandshakeAgainstRealServer) {
+  QueryService svc;
+  obs::MetricsRegistry registry;
+  TcpServer server(
+      [&](int fd) { service::ServeServiceConnection(fd, &svc, &registry); });
+  StatusOr<int> port = server.Listen(0);
+  ASSERT_TRUE(port.ok());
+  server.Start();
+
+  WireClientOptions options;
+  options.port = *port;
+  WireClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.server_protocol_version(), dist::kWireProtocolVersion);
+  std::string payload;
+  ASSERT_TRUE(client.Exchange("PING", &payload).ok());
+  EXPECT_EQ(payload, "PONG\n");
+  client.Close();
+  server.Stop();
+}
+
+TEST(WireClientTest, VersionSkewFailsFast) {
+  // A server that answers HELLO with a different protocol version: the
+  // client must refuse the connection with a version-mismatch error
+  // instead of limping along.
+  TcpServer server([](int fd) {
+    std::string line;
+    while (service::ReadLineFd(fd, &line)) {
+      service::SendPayloadFd(fd, "HWF 999\n");
+    }
+  });
+  StatusOr<int> port = server.Listen(0);
+  ASSERT_TRUE(port.ok());
+  server.Start();
+
+  WireClientOptions options;
+  options.port = *port;
+  WireClient client(options);
+  Status connected = client.Connect();
+  EXPECT_FALSE(connected.ok());
+  EXPECT_NE(connected.message().find("protocol version"), std::string::npos)
+      << connected.ToString();
+  server.Stop();
+}
+
+TEST(WireClientTest, PreHandshakeServerReportsSkew) {
+  // A server that predates HELLO answers "ERR 3 unknown command"; the
+  // client maps that onto an explicit skew diagnosis.
+  TcpServer server([](int fd) {
+    std::string line;
+    while (service::ReadLineFd(fd, &line)) {
+      service::SendErrorFd(
+          fd, Status::InvalidArgument("unknown command 'HELLO'"));
+    }
+  });
+  StatusOr<int> port = server.Listen(0);
+  ASSERT_TRUE(port.ok());
+  server.Start();
+
+  WireClientOptions options;
+  options.port = *port;
+  WireClient client(options);
+  Status connected = client.Connect();
+  EXPECT_FALSE(connected.ok());
+  EXPECT_NE(connected.message().find("predates"), std::string::npos)
+      << connected.ToString();
+  server.Stop();
+}
+
+TEST(WireClientTest, RequestTimeoutDoesNotHang) {
+  // The server completes the handshake and then goes silent; a client
+  // with a request deadline must give up quickly with a retriable error.
+  TcpServer server([](int fd) {
+    std::string line;
+    if (!service::ReadLineFd(fd, &line)) return;
+    service::HandleHello(fd, "");
+    // Swallow the next command and never answer; the following read
+    // blocks until the server shuts the socket down.
+    service::ReadLineFd(fd, &line);
+    service::ReadLineFd(fd, &line);
+  });
+  StatusOr<int> port = server.Listen(0);
+  ASSERT_TRUE(port.ok());
+  server.Start();
+
+  WireClientOptions options;
+  options.port = *port;
+  options.request_timeout_seconds = 0.2;
+  WireClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  std::string payload;
+  const double begin = NowSeconds();
+  Status status = client.Exchange("PING", &payload);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(WireClient::IsRetriable(status)) << status.ToString();
+  EXPECT_LT(NowSeconds() - begin, 3.0);
+  client.Close();
+  server.Stop();
+}
+
+TEST(WireClientTest, RetryExhaustionIsBoundedAndCounted) {
+  WireClientOptions options;
+  options.port = FindClosedPort();
+  options.max_retries = 2;
+  options.backoff_initial_seconds = 0.01;
+  options.backoff_max_seconds = 0.02;
+  WireClient client(options);
+  std::string payload;
+  size_t retries = 0;
+  const double begin = NowSeconds();
+  Status status = client.ExchangeRetrying("PING", &payload, nullptr,
+                                          &retries);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(WireClient::IsRetriable(status));
+  EXPECT_EQ(retries, 2u);
+  EXPECT_LT(NowSeconds() - begin, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator end-to-end over in-process workers
+
+struct InProcessWorker {
+  QueryService svc;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<TcpServer> server;
+  int port = 0;
+
+  explicit InProcessWorker(ServiceOptions options = {})
+      : svc(std::move(options)) {
+    server = std::make_unique<TcpServer>([this](int fd) {
+      service::ServeServiceConnection(fd, &svc, &registry);
+    });
+    StatusOr<int> bound = server->Listen(0);
+    EXPECT_TRUE(bound.ok());
+    port = *bound;
+    server->Start();
+  }
+  ~InProcessWorker() { server->Stop(); }
+};
+
+CoordinatorOptions FastOptions(const std::vector<int>& ports) {
+  CoordinatorOptions options;
+  for (const int port : ports) {
+    options.workers.push_back("127.0.0.1:" + std::to_string(port));
+  }
+  options.shard_retries = 2;
+  options.backoff_initial_seconds = 0.01;
+  options.backoff_max_seconds = 0.05;
+  options.connect_timeout_seconds = 2.0;
+  return options;
+}
+
+/// One query per WindowFunctionKind (all 26), every spec partitioned by
+/// the shard key so the whole list scatters.
+std::vector<std::string> AllKindsSql() {
+  return {
+      "select count(*) over (partition by grp order by ord, val, name rows "
+      "between 2 preceding and 1 following) from t",
+      "select count(val) over (partition by grp order by ord rows between "
+      "unbounded preceding and current row) from t",
+      "select sum(price) over (partition by grp order by ord, val rows "
+      "between 3 preceding and current row) from t",
+      "select min(val) over (partition by grp order by ord range between 2 "
+      "preceding and 2 following) from t",
+      "select max(price) over (partition by grp order by ord groups between "
+      "1 preceding and 1 following) from t",
+      "select avg(price) over (partition by grp order by ord rows between "
+      "off preceding and current row) from t",
+      "select count(distinct val) over (partition by grp order by ord rows "
+      "between 4 preceding and current row) from t",
+      "select sum(distinct val) over (partition by grp order by ord rows "
+      "between unbounded preceding and 1 following) from t",
+      "select avg(distinct val) over (partition by grp order by ord rows "
+      "between 3 preceding and 3 following) from t",
+      "select min(distinct val) over (partition by grp order by ord rows "
+      "between 2 preceding and current row) from t",
+      "select max(distinct val) over (partition by grp order by ord rows "
+      "between 2 preceding and current row) from t",
+      "select rank() over (partition by grp order by val rows between 3 "
+      "preceding and 1 following) from t",
+      "select dense_rank() over (partition by grp order by val rows between "
+      "unbounded preceding and current row) from t",
+      "select row_number() over (partition by grp order by ord, val, name) "
+      "from t",
+      "select percent_rank() over (partition by grp order by val rows "
+      "between 4 preceding and current row) from t",
+      "select cume_dist() over (partition by grp order by val rows between "
+      "3 preceding and 2 following) from t",
+      "select ntile(3) over (partition by grp order by ord) from t",
+      "select percentile_disc(0.5 order by price) over (partition by grp "
+      "order by ord rows between 4 preceding and current row) from t",
+      "select percentile_cont(0.25 order by price) over (partition by grp "
+      "order by ord rows between 5 preceding and current row) from t",
+      "select median(price) over (partition by grp order by ord rows "
+      "between 3 preceding and 3 following) from t",
+      "select first_value(name) over (partition by grp order by ord, val "
+      "rows between 2 preceding and current row) from t",
+      "select last_value(price) over (partition by grp order by ord rows "
+      "between current row and 2 following) from t",
+      "select nth_value(name, 2) over (partition by grp order by ord, val "
+      "rows between 3 preceding and 1 following) from t",
+      "select lead(val, 2) over (partition by grp order by ord, val, name) "
+      "from t",
+      "select lag(price, 1) over (partition by grp order by ord, val, name) "
+      "from t",
+      // Multi-call statement mixing specs, plus FILTER and IGNORE NULLS.
+      "select sum(price) filter (where flag) over (partition by grp order "
+      "by ord rows between 2 preceding and current row) as a, "
+      "lead(name) ignore nulls over (partition by grp order by ord, val, "
+      "name) as b, "
+      "median(val) over (partition by grp order by ord groups between 1 "
+      "preceding and 1 following) as c from t",
+  };
+}
+
+TEST(CoordinatorTest, ScatteredExecutionIsByteIdenticalForAllKinds) {
+  for (const uint64_t seed : {41ull, 42ull}) {
+    const size_t rows = seed == 41 ? 163 : 240;
+    const Table table = test::MakeRandomTable(rows, seed, 5);
+
+    InProcessWorker w1, w2;
+    Coordinator coordinator(FastOptions({w1.port, w2.port}));
+    ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+
+    QueryService reference;
+    reference.RegisterTable("t", Table(table));
+
+    for (const std::string& sql : AllKindsSql()) {
+      StatusOr<dist::CoordinatorQueryResult> scattered =
+          coordinator.Query(sql);
+      ASSERT_TRUE(scattered.ok())
+          << sql << ": " << scattered.status().ToString();
+      EXPECT_EQ(scattered->regime, "scatter(2)") << sql;
+      StatusOr<service::QueryResult> single = reference.Query(sql);
+      ASSERT_TRUE(single.ok()) << sql;
+      EXPECT_EQ(
+          service::FormatTable(scattered->table, ResultFormat::kCsv),
+          service::FormatTable(single->table, ResultFormat::kCsv))
+          << "seed " << seed << ": " << sql;
+    }
+  }
+}
+
+TEST(CoordinatorTest, ModeMatchesUnderIncrementalEngine) {
+  // mode is the one kind the default merge-sort-tree engine rejects
+  // (single-process and distributed alike); under the incremental engine
+  // it executes, and scattered results must still match byte-for-byte —
+  // covering the last of the 26 function kinds.
+  ServiceOptions incremental;
+  incremental.executor.engine = WindowEngine::kIncremental;
+  const Table table = test::MakeRandomTable(140, 45, 5);
+  InProcessWorker w1{incremental}, w2{incremental};
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  QueryService reference{incremental};
+  reference.RegisterTable("t", Table(table));
+  const std::string sql =
+      "select mode(val) over (partition by grp order by ord rows between 3 "
+      "preceding and current row) from t";
+  StatusOr<dist::CoordinatorQueryResult> scattered = coordinator.Query(sql);
+  ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+  EXPECT_EQ(scattered->regime, "scatter(2)");
+  StatusOr<service::QueryResult> single = reference.Query(sql);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(service::FormatTable(scattered->table, ResultFormat::kCsv),
+            service::FormatTable(single->table, ResultFormat::kCsv));
+}
+
+TEST(CoordinatorTest, UnsupportedFunctionErrorMatchesSingleProcess) {
+  // Under the default engine mode is NotImplemented everywhere; the
+  // coordinator must surface the worker's error, not hang or mangle it.
+  const Table table = test::MakeRandomTable(60, 46, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  QueryService reference;
+  reference.RegisterTable("t", Table(table));
+  const std::string sql =
+      "select mode(val) over (partition by grp order by ord rows between 3 "
+      "preceding and current row) from t";
+  StatusOr<dist::CoordinatorQueryResult> scattered = coordinator.Query(sql);
+  StatusOr<service::QueryResult> single = reference.Query(sql);
+  ASSERT_FALSE(scattered.ok());
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(scattered.status().code(), single.status().code());
+  EXPECT_NE(scattered.status().message().find("mode"), std::string::npos);
+}
+
+TEST(CoordinatorTest, FallbackMatchesSingleProcess) {
+  const Table table = test::MakeRandomTable(180, 51, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  QueryService reference;
+  reference.RegisterTable("t", Table(table));
+
+  // No PARTITION BY at all, and a PARTITION BY that does not cover the
+  // shard key: both must fall back and still match byte-for-byte.
+  const std::vector<std::string> fallback_sql = {
+      "select sum(price) over (order by ord, val, name rows between 3 "
+      "preceding and current row) from t",
+      "select rank() over (partition by flag order by val rows between 2 "
+      "preceding and current row) from t",
+  };
+  for (const std::string& sql : fallback_sql) {
+    StatusOr<dist::CoordinatorQueryResult> result = coordinator.Query(sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->regime, "fallback") << sql;
+    StatusOr<service::QueryResult> single = reference.Query(sql);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(service::FormatTable(result->table, ResultFormat::kCsv),
+              service::FormatTable(single->table, ResultFormat::kCsv))
+        << sql;
+  }
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_EQ(stats.fallback_queries, fallback_sql.size());
+}
+
+TEST(CoordinatorTest, ExplainReportsRegime) {
+  const Table table = test::MakeRandomTable(60, 61, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+
+  StatusOr<std::string> scatter = coordinator.Explain(
+      "select rank() over (partition by grp order by val) from t");
+  ASSERT_TRUE(scatter.ok());
+  EXPECT_NE(scatter->find("regime: scatter(2)"), std::string::npos)
+      << *scatter;
+  StatusOr<std::string> fallback = coordinator.Explain(
+      "select rank() over (order by val) from t");
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_NE(fallback->find("regime: fallback"), std::string::npos);
+  EXPECT_NE(fallback->find("shard key"), std::string::npos);
+}
+
+TEST(CoordinatorTest, AppendRoutesRowsToTheirPartitions) {
+  const Table table = test::MakeRandomTable(120, 71, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+
+  const Table batch = test::MakeRandomTable(40, 72, 4);
+  StatusOr<size_t> appended = coordinator.AppendRows("t", batch);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(*appended, batch.num_rows());
+
+  // Reference: the same rows appended to a single-process service.
+  QueryService reference;
+  reference.RegisterTable("t", Table(table));
+  ASSERT_TRUE(reference.AppendRows("t", Table(batch)).ok());
+
+  const std::string sql =
+      "select sum(price) over (partition by grp order by ord, val, name "
+      "rows between 3 preceding and current row) as s, "
+      "rank() over (partition by grp order by val) as r from t";
+  StatusOr<dist::CoordinatorQueryResult> scattered = coordinator.Query(sql);
+  ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+  StatusOr<service::QueryResult> single = reference.Query(sql);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(service::FormatTable(scattered->table, ResultFormat::kCsv),
+            service::FormatTable(single->table, ResultFormat::kCsv));
+}
+
+TEST(CoordinatorTest, KilledWorkerFailsQueryCleanlyAfterRetries) {
+  const Table table = test::MakeRandomTable(150, 81, 6);
+  auto w1 = std::make_unique<InProcessWorker>();
+  auto w2 = std::make_unique<InProcessWorker>();
+  Coordinator coordinator(FastOptions({w1->port, w2->port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+
+  const std::string sql =
+      "select sum(val) over (partition by grp order by ord rows between 2 "
+      "preceding and current row) from t";
+  ASSERT_TRUE(coordinator.Query(sql).ok());
+
+  // Kill worker 2 (listener and live connections): the next scattered
+  // query must retry with backoff, then fail the whole query cleanly —
+  // bounded time, no hang — while worker 1 stays healthy.
+  w2.reset();
+  const double begin = NowSeconds();
+  StatusOr<dist::CoordinatorQueryResult> failed = coordinator.Query(sql);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted)
+      << failed.status().ToString();
+  EXPECT_LT(NowSeconds() - begin, 10.0);
+
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_GE(stats.retries, 2u);
+  EXPECT_GE(stats.failed_shards, 1u);
+  EXPECT_GE(stats.failed_queries, 1u);
+  ASSERT_EQ(stats.workers.size(), 2u);
+  EXPECT_TRUE(stats.workers[0].healthy);
+  EXPECT_FALSE(stats.workers[1].healthy);
+}
+
+TEST(CoordinatorTest, ShardMetricsExport) {
+  const Table table = test::MakeRandomTable(90, 91, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  obs::MetricsRegistry registry;
+  coordinator.RegisterMetrics(&registry);
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  ASSERT_TRUE(coordinator
+                  .Query("select rank() over (partition by grp order by "
+                         "val) from t")
+                  .ok());
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("hwf_shard_scatter_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hwf_shard_subqueries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("hwf_shard_latency_seconds"), std::string::npos);
+  EXPECT_NE(text.find("hwf_shard_straggler_seconds"), std::string::npos);
+  EXPECT_NE(text.find("hwf_shard_workers 2"), std::string::npos);
+}
+
+TEST(CoordinatorTest, SingleWorkerFleetStillScatters) {
+  const Table table = test::MakeRandomTable(100, 95, 3);
+  InProcessWorker w1;
+  Coordinator coordinator(FastOptions({w1.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  QueryService reference;
+  reference.RegisterTable("t", Table(table));
+  const std::string sql =
+      "select median(price) over (partition by grp order by ord rows "
+      "between 2 preceding and current row) from t";
+  StatusOr<dist::CoordinatorQueryResult> result = coordinator.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->regime, "scatter(1)");
+  StatusOr<service::QueryResult> single = reference.Query(sql);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(service::FormatTable(result->table, ResultFormat::kCsv),
+            service::FormatTable(single->table, ResultFormat::kCsv));
+  // Fallback on a one-worker fleet reuses the same full copy.
+  StatusOr<dist::CoordinatorQueryResult> fallback = coordinator.Query(
+      "select rank() over (order by val) from t");
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->regime, "fallback");
+}
+
+TEST(CoordinatorTest, DeadlinePropagatesToSubqueries) {
+  const Table table = test::MakeRandomTable(80, 97, 4);
+  InProcessWorker w1, w2;
+  Coordinator coordinator(FastOptions({w1.port, w2.port}));
+  ASSERT_TRUE(coordinator.RegisterTable("t", table, {"grp"}).ok());
+  // An already-expired deadline fails before any work, quickly.
+  StatusOr<dist::CoordinatorQueryResult> result = coordinator.Query(
+      "select rank() over (partition by grp order by val) from t", 1e-9);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace hwf

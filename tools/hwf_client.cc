@@ -10,21 +10,20 @@
 //   hwf_client --port 4140 --append trades --data new_rows.csv
 //   hwf_client --port 4140 --compact trades
 //
+// The wire plumbing (framing, HELLO protocol-version handshake, connect
+// timeout) lives in dist/wire_client.h, shared with the scatter/gather
+// coordinator; this file is only flag parsing and command sequencing.
+//
 // Exit codes mirror the service's Status codes (see result_format.h):
 // 0 success, 2 usage, 9 cancelled, 10 deadline exceeded, ...
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "dist/wire_client.h"
 #include "service/result_format.h"
 
 namespace {
@@ -41,6 +40,8 @@ void Usage() {
                "  --format csv|json     result format (default csv)\n"
                "  --timeout SECONDS     per-query deadline\n"
                "  --cancel-after-ms N   submit, cancel after N ms, wait\n"
+               "  --explain             print the coordinator's plan for\n"
+               "                        the SQL instead of executing it\n"
                "  --stats               print service statistics instead\n"
                "  --metrics             print Prometheus metrics instead\n"
                "  --profile-id N        print a finished query's retained\n"
@@ -48,117 +49,14 @@ void Usage() {
                "  --show-id             print the query's service id on "
                "stderr\n"
                "  --ping                liveness check instead of a query\n"
+               "  --no-handshake        skip the HELLO protocol-version "
+               "check\n"
                "  --append TABLE        append CSV rows (see --data) to "
                "TABLE\n"
                "  --upsert TABLE        keyed upsert of CSV rows into TABLE\n"
                "  --data FILE           CSV payload for --append/--upsert\n"
                "                        (with header; '-' reads stdin)\n"
                "  --compact TABLE       fold TABLE's delta into its base\n");
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool ReadLine(int fd, std::string* line) {
-  line->clear();
-  char c;
-  for (;;) {
-    const ssize_t n = ::read(fd, &c, 1);
-    if (n <= 0) return !line->empty();
-    if (c == '\n') return true;
-    if (c != '\r') line->push_back(c);
-  }
-}
-
-bool ReadExact(int fd, size_t bytes, std::string* out) {
-  out->assign(bytes, '\0');
-  size_t got = 0;
-  while (got < bytes) {
-    const ssize_t n = ::read(fd, out->data() + got, bytes - got);
-    if (n <= 0) return false;
-    got += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Reads one framed server response ("OK", "OK <n>\n<payload>" or
-/// "ERR <code> <message>").
-Status ReadResponse(int fd, std::string* payload,
-                    std::string* header_extra = nullptr) {
-  payload->clear();
-  if (header_extra != nullptr) header_extra->clear();
-  std::string header;
-  if (!ReadLine(fd, &header)) {
-    return Status::Internal("connection closed while awaiting response");
-  }
-  if (header.rfind("ERR ", 0) == 0) {
-    // "ERR <code> <message>"
-    const size_t space = header.find(' ', 4);
-    const int code = std::atoi(header.substr(4).c_str());
-    std::string message = space == std::string::npos
-                              ? std::string("server error")
-                              : header.substr(space + 1);
-    // Reconstruct a Status with the matching code so the exit code
-    // round-trips through the client.
-    static const StatusCode kCodes[] = {
-        StatusCode::kInternal,          StatusCode::kInternal,
-        StatusCode::kInternal,          StatusCode::kInvalidArgument,
-        StatusCode::kOutOfRange,        StatusCode::kNotImplemented,
-        StatusCode::kTypeMismatch,      StatusCode::kInternal,
-        StatusCode::kResourceExhausted, StatusCode::kCancelled,
-        StatusCode::kDeadlineExceeded,
-    };
-    const StatusCode status_code =
-        code >= 0 && code < static_cast<int>(std::size(kCodes))
-            ? kCodes[code]
-            : StatusCode::kInternal;
-    return Status(status_code, std::move(message));
-  }
-  if (header == "OK") return Status::OK();
-  if (header.rfind("OK ", 0) == 0) {
-    char* end = nullptr;
-    const size_t bytes =
-        static_cast<size_t>(std::strtoull(header.c_str() + 3, &end, 10));
-    if (header_extra != nullptr && end != nullptr && *end == ' ') {
-      *header_extra = end + 1;
-    }
-    if (!ReadExact(fd, bytes, payload)) {
-      return Status::Internal("connection closed mid-payload");
-    }
-    return Status::OK();
-  }
-  return Status::Internal("malformed response header: " + header);
-}
-
-/// One protocol exchange. Returns the server's status; on OK, `payload`
-/// holds the framed response body (empty for plain "OK" acks) and
-/// `header_extra` (when non-null) whatever followed the byte count in the
-/// header (e.g. "id=7").
-Status Exchange(int fd, const std::string& command, std::string* payload,
-                std::string* header_extra = nullptr) {
-  if (!WriteAll(fd, command + "\n")) {
-    payload->clear();
-    return Status::Internal("connection closed while sending");
-  }
-  return ReadResponse(fd, payload, header_extra);
-}
-
-/// APPEND/UPSERT: the byte-counted CSV payload follows the command line.
-Status ExchangeWithBody(int fd, const std::string& command,
-                        const std::string& body, std::string* payload) {
-  if (!WriteAll(fd, command + " " + std::to_string(body.size()) + "\n" +
-                        body)) {
-    payload->clear();
-    return Status::Internal("connection closed while sending");
-  }
-  return ReadResponse(fd, payload);
 }
 
 /// Reads a whole file, or stdin for "-".
@@ -177,23 +75,6 @@ StatusOr<std::string> ReadDataFile(const std::string& path) {
   return data;
 }
 
-int Connect(const std::string& host, int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,9 +84,11 @@ int main(int argc, char** argv) {
   std::string sql;
   double timeout_seconds = -1;
   int cancel_after_ms = -1;
+  bool explain = false;
   bool stats = false;
   bool metrics = false;
   bool show_id = false;
+  bool handshake = true;
   long long profile_id = -1;
   bool ping = false;
   std::string append_table;
@@ -232,12 +115,16 @@ int main(int argc, char** argv) {
       timeout_seconds = std::atof(next());
     } else if (flag == "--cancel-after-ms") {
       cancel_after_ms = std::atoi(next());
+    } else if (flag == "--explain") {
+      explain = true;
     } else if (flag == "--stats") {
       stats = true;
     } else if (flag == "--metrics") {
       metrics = true;
     } else if (flag == "--show-id") {
       show_id = true;
+    } else if (flag == "--no-handshake") {
+      handshake = false;
     } else if (flag == "--profile-id") {
       profile_id = std::atoll(next());
     } else if (flag == "--ping") {
@@ -272,36 +159,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const int fd = Connect(host, port);
-  if (fd < 0) {
-    std::fprintf(stderr, "error: cannot connect to %s:%d\n", host.c_str(),
-                 port);
+  dist::WireClientOptions options;
+  options.host = host;
+  options.port = port;
+  options.check_protocol_version = handshake;
+  dist::WireClient client(options);
+  if (Status connected = client.Connect(); !connected.ok()) {
+    std::fprintf(stderr, "error: cannot connect to %s:%d: %s\n",
+                 host.c_str(), port, connected.message().c_str());
     return 1;
   }
 
   auto run = [&]() -> Status {
     std::string payload;
     if (ping) {
-      Status status = Exchange(fd, "PING", &payload);
+      Status status = client.Exchange("PING", &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }
     if (stats) {
-      Status status = Exchange(fd, "STATS", &payload);
+      Status status = client.Exchange("STATS", &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }
     if (metrics) {
-      Status status = Exchange(fd, "METRICS", &payload);
+      Status status = client.Exchange("METRICS", &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }
     if (profile_id >= 0) {
-      Status status =
-          Exchange(fd, "PROFILE " + std::to_string(profile_id), &payload);
+      Status status = client.Exchange("PROFILE " + std::to_string(profile_id),
+                                      &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
@@ -312,33 +203,39 @@ int main(int argc, char** argv) {
       const std::string command =
           append_table.empty() ? "UPSERT " + upsert_table
                                : "APPEND " + append_table;
-      Status status = ExchangeWithBody(fd, command, *data, &payload);
+      Status status = client.ExchangeWithBody(command, *data, &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       // Fall through only for an explicit chained --compact.
       if (compact_table.empty()) return Status::OK();
     }
     if (!compact_table.empty()) {
-      Status status = Exchange(fd, "COMPACT " + compact_table, &payload);
+      Status status = client.Exchange("COMPACT " + compact_table, &payload);
+      if (!status.ok()) return status;
+      std::fputs(payload.c_str(), stdout);
+      return Status::OK();
+    }
+    if (explain) {
+      Status status = client.Exchange("EXPLAIN " + sql, &payload);
       if (!status.ok()) return status;
       std::fputs(payload.c_str(), stdout);
       return Status::OK();
     }
     if (!format.empty()) {
-      if (Status s = Exchange(fd, "FORMAT " + format, &payload); !s.ok()) {
+      if (Status s = client.Exchange("FORMAT " + format, &payload); !s.ok()) {
         return s;
       }
     }
     if (timeout_seconds >= 0) {
-      if (Status s = Exchange(fd, "TIMEOUT " + std::to_string(timeout_seconds),
-                              &payload);
+      if (Status s = client.Exchange(
+              "TIMEOUT " + std::to_string(timeout_seconds), &payload);
           !s.ok()) {
         return s;
       }
     }
     if (cancel_after_ms < 0) {
       std::string extra;
-      Status status = Exchange(fd, "QUERY " + sql, &payload, &extra);
+      Status status = client.Exchange("QUERY " + sql, &payload, &extra);
       if (!status.ok()) return status;
       if (show_id && extra.rfind("id=", 0) == 0) {
         std::fprintf(stderr, "%s\n", extra.c_str());
@@ -347,15 +244,17 @@ int main(int argc, char** argv) {
       return Status::OK();
     }
     // Cancellation exercise: SUBMIT, sleep, CANCEL, WAIT.
-    Status status = Exchange(fd, "SUBMIT " + sql, &payload);
+    Status status = client.Exchange("SUBMIT " + sql, &payload);
     if (!status.ok()) return status;
     if (payload.rfind("ID ", 0) != 0) {
       return Status::Internal("unexpected SUBMIT response: " + payload);
     }
     const std::string id = payload.substr(3, payload.find('\n') - 3);
     std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
-    if (Status s = Exchange(fd, "CANCEL " + id, &payload); !s.ok()) return s;
-    status = Exchange(fd, "WAIT " + id, &payload);
+    if (Status s = client.Exchange("CANCEL " + id, &payload); !s.ok()) {
+      return s;
+    }
+    status = client.Exchange("WAIT " + id, &payload);
     if (!status.ok()) return status;
     std::fputs(payload.c_str(), stdout);
     return Status::OK();
@@ -363,8 +262,8 @@ int main(int argc, char** argv) {
 
   const Status status = run();
   std::string quit_payload;
-  Exchange(fd, "QUIT", &quit_payload);
-  ::close(fd);
+  client.Exchange("QUIT", &quit_payload);
+  client.Close();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   }

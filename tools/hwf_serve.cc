@@ -1,6 +1,22 @@
 // hwf_serve — line-protocol TCP front door for the query service.
 //
-//   hwf_serve --port 0 --table lineitem=lineitem.csv --sessions 4
+// Two roles, selected by --coordinator:
+//
+//   worker (default):
+//     hwf_serve --port 0 --table lineitem=lineitem.csv --sessions 4
+//     Serves the full single-process command set against a local
+//     QueryService. May start with no tables at all: a coordinator
+//     distributes shards to it over the wire with REGISTER.
+//
+//   coordinator:
+//     hwf_serve --coordinator --worker 127.0.0.1:4141 --worker \
+//         127.0.0.1:4142 --table trades=trades.csv --shard_key trades=grp
+//     Hash-shards each --table by its --shard_key columns across the
+//     worker fleet at startup, then scatters eligible queries to all
+//     shards and gathers the results back into the original row order
+//     (byte-identical to single-process execution). Queries that do not
+//     partition by the shard key run on a designated fallback worker
+//     holding a full copy.
 //
 // Prints "LISTENING <port>" on stdout once the socket is bound (with
 // --port 0 the kernel picks the port), then serves each connection on its
@@ -10,17 +26,20 @@
 //   OK\n                                  (acknowledgements)
 //   ERR <code> <message>\n
 //
-// Commands:
+// Worker commands:
 //   QUERY <sql>        execute synchronously, respond with the result
 //                      (header carries "id=<n>" for trace correlation)
 //   SUBMIT <sql>       enqueue; respond with framed payload "ID <n>\n"
 //   WAIT <id>          block for a submitted query's result
 //   CANCEL <id>        request cooperative cancellation
+//   HELLO [version]    protocol-version handshake; replies "HWF <v>"
 //   FORMAT csv|json    set this connection's result format (default csv)
 //   TIMEOUT <seconds>  set this connection's per-query deadline (0 = none)
 //   STATS              service + cache statistics as JSON
 //   METRICS            Prometheus text-exposition metrics
 //   PROFILE <id>       retained profile of a finished query as JSON
+//   REGISTER <t> <n> [key=<col>]
+//                      read n bytes of CSV and register/replace table t
 //   APPEND <t> <n>     read n bytes of CSV (with header) and append the
 //                      rows to table t; responds "ROWS <appended> ..."
 //   UPSERT <t> <n>     as APPEND, but keyed upsert (needs --key for t)
@@ -28,29 +47,33 @@
 //   PING               liveness check, responds "OK 5\nPONG\n"
 //   QUIT               close the connection
 //
+// The coordinator front door speaks the same framing with QUERY/EXPLAIN/
+// HELLO/FORMAT/TIMEOUT/STATS/METRICS/REGISTER/APPEND/COMPACT/PING/QUIT;
+// SUBMIT, WAIT, CANCEL, UPSERT and PROFILE answer ERR 5 (not implemented
+// in coordinator mode). A QUERY response header carries
+// "id=<n> regime=<scatter(N)|fallback>".
+//
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
 // queries, write the final metrics/trace dumps and close the slow-query
 // log before exiting 0.
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "dist/coordinator.h"
 #include "mem/memory_budget.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/result_format.h"
 #include "service/service.h"
+#include "service/tcp_server.h"
 #include "storage/csv.h"
 
 namespace {
@@ -60,7 +83,8 @@ using namespace hwf;
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: hwf_serve --table NAME=FILE.csv [options]\n"
+      "usage: hwf_serve [--table NAME=FILE.csv] [options]\n"
+      "       hwf_serve --coordinator --worker HOST:PORT [...] [options]\n"
       "\n"
       "options:\n"
       "  --port N              listen port (default 0 = kernel-assigned;\n"
@@ -80,7 +104,15 @@ void Usage() {
       "  --slow_query_log FILE JSON-lines slow-query log (default off)\n"
       "  --slow_query_ms N     slow-query threshold in ms (default 100)\n"
       "  --trace FILE          write a Chrome trace on shutdown\n"
-      "  --metrics_dump FILE   write a final metrics snapshot on shutdown\n");
+      "  --metrics_dump FILE   write a final metrics snapshot on shutdown\n"
+      "\n"
+      "coordinator options:\n"
+      "  --coordinator         run as scatter/gather coordinator\n"
+      "  --worker HOST:PORT    worker endpoint (repeatable; list order\n"
+      "                        defines shard numbering)\n"
+      "  --shard_key NAME=COLS shard table NAME by the comma-separated\n"
+      "                        COLS (must be PARTITION BY columns)\n"
+      "  --shard_retries N     retries per shard sub-query (default 2)\n");
 }
 
 /// Signal-driven shutdown: the handler breaks the accept loop by shutting
@@ -94,76 +126,31 @@ void HandleStopSignal(int) {
   if (g_listener >= 0) ::shutdown(g_listener, SHUT_RDWR);
 }
 
-/// What a connection handler needs: the service plus the metrics registry
-/// backing the METRICS command.
-struct ServerContext {
-  service::QueryService* svc = nullptr;
-  obs::MetricsRegistry* registry = nullptr;
-};
-
-/// Reads exactly `size` bytes (an APPEND/UPSERT payload); false on
-/// EOF/error before the payload is complete.
-bool ReadExact(int fd, size_t size, std::string* out) {
-  out->resize(size);
-  size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::read(fd, out->data() + got, size - got);
-    if (n <= 0) return false;
-    got += static_cast<size_t>(n);
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
   }
-  return true;
+  return parts;
 }
 
-/// Reads one \n-terminated line; false on EOF/error.
-bool ReadLine(int fd, std::string* line) {
-  line->clear();
-  char c;
-  for (;;) {
-    const ssize_t n = ::read(fd, &c, 1);
-    if (n <= 0) return !line->empty();
-    if (c == '\n') return true;
-    if (c != '\r') line->push_back(c);
-  }
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Frames `payload` as "OK <nbytes>[ <extra>]\n<payload>". Existing clients
-/// parse the byte count with strtoull, which stops at the space, so header
-/// extras (like "id=<n>") are backwards compatible.
-bool SendPayload(int fd, const std::string& payload,
-                 const std::string& header_extra = std::string()) {
-  std::string header = "OK " + std::to_string(payload.size());
-  if (!header_extra.empty()) header += " " + header_extra;
-  return WriteAll(fd, header + "\n" + payload);
-}
-
-bool SendOk(int fd) { return WriteAll(fd, "OK\n"); }
-
-bool SendError(int fd, const Status& status) {
-  std::string message = status.message();
-  for (char& c : message) {
-    if (c == '\n' || c == '\r') c = ' ';
-  }
-  return WriteAll(fd, "ERR " + std::to_string(service::ExitCodeForStatus(
-                                   status)) +
-                          " " + message + "\n");
-}
-
-void ServeConnection(int fd, ServerContext ctx) {
-  service::QueryService* svc = ctx.svc;
+/// The coordinator's own line-protocol front door: same framing as a
+/// worker, but QUERY scatters across the fleet. Async commands (SUBMIT/
+/// WAIT/CANCEL), UPSERT and PROFILE are not implemented in this mode.
+void ServeCoordinatorConnection(int fd, dist::Coordinator* coordinator,
+                                obs::MetricsRegistry* registry) {
+  using service::SendErrorFd;
+  using service::SendOkFd;
+  using service::SendPayloadFd;
   service::ResultFormat format = service::ResultFormat::kCsv;
-  double timeout_seconds = -1;  // service default
+  double timeout_seconds = -1;  // coordinator default
   std::string line;
-  while (ReadLine(fd, &line)) {
+  while (service::ReadLineFd(fd, &line)) {
     const size_t space = line.find(' ');
     std::string command = line.substr(0, space);
     for (char& c : command) {
@@ -173,83 +160,123 @@ void ServeConnection(int fd, ServerContext ctx) {
         space == std::string::npos ? std::string() : line.substr(space + 1);
 
     if (command == "QUIT") {
-      SendOk(fd);
+      SendOkFd(fd);
       break;
     }
     if (command == "PING") {
-      SendPayload(fd, "PONG\n");
+      SendPayloadFd(fd, "PONG\n");
+      continue;
+    }
+    if (command == "HELLO") {
+      service::HandleHello(fd, rest);
       continue;
     }
     if (command == "STATS") {
-      SendPayload(fd, svc->StatsJson());
+      SendPayloadFd(fd, coordinator->StatsJson());
       continue;
     }
     if (command == "METRICS") {
-      SendPayload(fd, ctx.registry->RenderText());
-      continue;
-    }
-    if (command == "PROFILE") {
-      char* end = nullptr;
-      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
-      if (end == rest.c_str()) {
-        SendError(fd, Status::InvalidArgument("PROFILE needs a query id"));
-        continue;
-      }
-      StatusOr<std::string> profile = svc->RetainedProfileJson(id);
-      if (!profile.ok()) {
-        SendError(fd, profile.status());
-      } else {
-        SendPayload(fd, *profile + "\n");
-      }
+      SendPayloadFd(fd, registry->RenderText());
       continue;
     }
     if (command == "FORMAT") {
       StatusOr<service::ResultFormat> parsed =
           service::ParseResultFormat(rest);
       if (!parsed.ok()) {
-        SendError(fd, parsed.status());
+        SendErrorFd(fd, parsed.status());
         continue;
       }
       format = *parsed;
-      SendOk(fd);
+      SendOkFd(fd);
       continue;
     }
     if (command == "TIMEOUT") {
       timeout_seconds = std::atof(rest.c_str());
-      SendOk(fd);
+      SendOkFd(fd);
       continue;
     }
-    if (command == "QUERY" || command == "SUBMIT") {
+    if (command == "QUERY") {
       if (rest.empty()) {
-        SendError(fd, Status::InvalidArgument(command + " needs SQL text"));
+        SendErrorFd(fd, Status::InvalidArgument("QUERY needs SQL text"));
         continue;
       }
-      service::QueryOptions options;
-      options.timeout_seconds = timeout_seconds;
-      if (command == "SUBMIT") {
-        StatusOr<uint64_t> id = svc->Submit(rest, options);
-        if (!id.ok()) {
-          SendError(fd, id.status());
-        } else {
-          SendPayload(fd, "ID " + std::to_string(*id) + "\n");
-        }
-        continue;
-      }
-      StatusOr<service::QueryResult> result = svc->Query(rest, options);
+      StatusOr<dist::CoordinatorQueryResult> result =
+          coordinator->Query(rest, timeout_seconds);
       if (!result.ok()) {
-        SendError(fd, result.status());
+        SendErrorFd(fd, result.status());
       } else {
-        SendPayload(fd, service::FormatTable(result->table, format),
-                    "id=" + std::to_string(result->query_id));
+        SendPayloadFd(fd, service::FormatTable(result->table, format),
+                      "id=" + std::to_string(result->query_id) +
+                          " regime=" + result->regime);
       }
       continue;
     }
-    if (command == "APPEND" || command == "UPSERT") {
-      // "<table> <nbytes>": the CSV payload (with header) follows the line.
+    if (command == "EXPLAIN") {
+      if (rest.empty()) {
+        SendErrorFd(fd, Status::InvalidArgument("EXPLAIN needs SQL text"));
+        continue;
+      }
+      StatusOr<std::string> plan = coordinator->Explain(rest);
+      if (!plan.ok()) {
+        SendErrorFd(fd, plan.status());
+      } else {
+        SendPayloadFd(fd, *plan);
+      }
+      continue;
+    }
+    if (command == "REGISTER") {
+      // "<table> <nbytes> [key=<col>[,<col>...]]": the CSV payload follows
+      // the line; key= names the shard key columns.
       const size_t sep = rest.find(' ');
       if (sep == std::string::npos) {
-        SendError(fd, Status::InvalidArgument(command +
-                                              " wants: <table> <nbytes>"));
+        SendErrorFd(fd, Status::InvalidArgument(
+                            "REGISTER wants: <table> <nbytes> [key=<cols>]"));
+        continue;
+      }
+      const std::string table_name = rest.substr(0, sep);
+      char* end = nullptr;
+      const std::string tail = rest.substr(sep + 1);
+      const uint64_t nbytes = std::strtoull(tail.c_str(), &end, 10);
+      if (end == tail.c_str()) {
+        SendErrorFd(fd,
+                    Status::InvalidArgument("REGISTER needs a byte count"));
+        continue;
+      }
+      std::string key_text = end;
+      std::vector<std::string> shard_key;
+      const size_t key_pos = key_text.find("key=");
+      if (key_pos != std::string::npos) {
+        key_text = key_text.substr(key_pos + 4);
+        const size_t key_end = key_text.find(' ');
+        if (key_end != std::string::npos) key_text.resize(key_end);
+        shard_key = SplitCommas(key_text);
+      }
+      std::string payload;
+      if (!service::ReadExactFd(fd, static_cast<size_t>(nbytes), &payload)) {
+        break;
+      }
+      StatusOr<Table> table = ParseCsv(payload);
+      if (!table.ok()) {
+        SendErrorFd(fd, table.status());
+        continue;
+      }
+      const size_t rows = table->num_rows();
+      Status registered =
+          coordinator->RegisterTable(table_name, *table, shard_key);
+      if (!registered.ok()) {
+        SendErrorFd(fd, registered);
+        continue;
+      }
+      SendPayloadFd(fd, "REGISTERED " + std::to_string(rows) + " workers=" +
+                            std::to_string(coordinator->num_workers()) +
+                            "\n");
+      continue;
+    }
+    if (command == "APPEND") {
+      const size_t sep = rest.find(' ');
+      if (sep == std::string::npos) {
+        SendErrorFd(fd,
+                    Status::InvalidArgument("APPEND wants: <table> <nbytes>"));
         continue;
       }
       const std::string table_name = rest.substr(0, sep);
@@ -257,84 +284,65 @@ void ServeConnection(int fd, ServerContext ctx) {
       const std::string count_text = rest.substr(sep + 1);
       const uint64_t nbytes = std::strtoull(count_text.c_str(), &end, 10);
       if (end == count_text.c_str()) {
-        SendError(fd, Status::InvalidArgument(command + " needs a byte "
-                                              "count"));
+        SendErrorFd(fd, Status::InvalidArgument("APPEND needs a byte count"));
         continue;
       }
       std::string payload;
-      if (!ReadExact(fd, static_cast<size_t>(nbytes), &payload)) break;
+      if (!service::ReadExactFd(fd, static_cast<size_t>(nbytes), &payload)) {
+        break;
+      }
       StatusOr<Table> rows = ParseCsv(payload);
       if (!rows.ok()) {
-        SendError(fd, rows.status());
+        SendErrorFd(fd, rows.status());
         continue;
       }
-      StatusOr<service::Catalog::TableMeta> meta =
-          command == "APPEND" ? svc->AppendRows(table_name, *rows)
-                              : svc->UpsertRows(table_name, *rows);
-      if (!meta.ok()) {
-        SendError(fd, meta.status());
+      StatusOr<size_t> appended =
+          coordinator->AppendRows(table_name, *rows);
+      if (!appended.ok()) {
+        SendErrorFd(fd, appended.status());
         continue;
       }
-      SendPayload(fd, "ROWS " + std::to_string(rows->num_rows()) +
-                          " minor=" + std::to_string(meta->minor) +
-                          " delta=" + std::to_string(meta->delta_rows) +
-                          "\n");
+      SendPayloadFd(fd, "ROWS " + std::to_string(*appended) + "\n");
       continue;
     }
     if (command == "COMPACT") {
       if (rest.empty()) {
-        SendError(fd, Status::InvalidArgument("COMPACT needs a table name"));
+        SendErrorFd(fd, Status::InvalidArgument("COMPACT needs a table name"));
         continue;
       }
-      StatusOr<service::Catalog::TableMeta> meta = svc->CompactTable(rest);
-      if (!meta.ok()) {
-        SendError(fd, meta.status());
+      Status compacted = coordinator->CompactTable(rest);
+      if (!compacted.ok()) {
+        SendErrorFd(fd, compacted);
         continue;
       }
-      SendPayload(fd, "COMPACTED base=" + std::to_string(meta->base_rows) +
-                          " minor=" + std::to_string(meta->minor) + "\n");
+      SendPayloadFd(fd, "COMPACTED\n");
       continue;
     }
-    if (command == "WAIT" || command == "CANCEL") {
-      char* end = nullptr;
-      const uint64_t id = std::strtoull(rest.c_str(), &end, 10);
-      if (end == rest.c_str()) {
-        SendError(fd, Status::InvalidArgument(command + " needs a query id"));
-        continue;
-      }
-      if (command == "CANCEL") {
-        Status status = svc->Cancel(id);
-        if (status.ok()) {
-          SendOk(fd);
-        } else {
-          SendError(fd, status);
-        }
-        continue;
-      }
-      StatusOr<service::QueryResult> result = svc->Wait(id);
-      if (!result.ok()) {
-        SendError(fd, result.status());
-      } else {
-        SendPayload(fd, service::FormatTable(result->table, format),
-                    "id=" + std::to_string(result->query_id));
-      }
+    if (command == "SUBMIT" || command == "WAIT" || command == "CANCEL" ||
+        command == "UPSERT" || command == "PROFILE") {
+      SendErrorFd(fd, Status::NotImplemented(
+                          command + " is not available in coordinator mode"));
       continue;
     }
-    SendError(fd, Status::InvalidArgument("unknown command '" + command +
-                                          "'"));
+    SendErrorFd(fd, Status::InvalidArgument("unknown command '" + command +
+                                            "'"));
   }
-  ::close(fd);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int port = 0;
+  bool coordinator_mode = false;
   std::vector<std::pair<std::string, std::string>> tables;
   std::vector<std::pair<std::string, std::string>> keys;
+  std::vector<std::pair<std::string, std::string>> shard_keys;
   std::string trace_path;
   std::string metrics_dump_path;
   service::ServiceOptions options;
+  dist::CoordinatorOptions coordinator_options;
+  bool sessions_set = false;
+  bool queue_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -345,30 +353,39 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto parse_name_value = [&](std::vector<std::pair<std::string,
+                                                      std::string>>* out,
+                                const char* shape) {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "error: %s wants %s, got '%s'\n", flag.c_str(),
+                     shape, spec.c_str());
+        std::exit(2);
+      }
+      out->emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    };
     if (flag == "--port") {
       port = std::atoi(next());
+    } else if (flag == "--coordinator") {
+      coordinator_mode = true;
+    } else if (flag == "--worker") {
+      coordinator_options.workers.push_back(next());
+    } else if (flag == "--shard_key") {
+      parse_name_value(&shard_keys, "NAME=COL[,COL...]");
+    } else if (flag == "--shard_retries") {
+      coordinator_options.shard_retries =
+          static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--table") {
-      const std::string spec = next();
-      const size_t eq = spec.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "error: --table wants NAME=FILE, got '%s'\n",
-                     spec.c_str());
-        return 2;
-      }
-      tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      parse_name_value(&tables, "NAME=FILE");
     } else if (flag == "--key") {
-      const std::string spec = next();
-      const size_t eq = spec.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "error: --key wants NAME=COLUMN, got '%s'\n",
-                     spec.c_str());
-        return 2;
-      }
-      keys.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      parse_name_value(&keys, "NAME=COLUMN");
     } else if (flag == "--sessions") {
       options.num_sessions = static_cast<size_t>(std::atoll(next()));
+      sessions_set = true;
     } else if (flag == "--queue") {
       options.max_queued = static_cast<size_t>(std::atoll(next()));
+      queue_set = true;
     } else if (flag == "--memory_limit") {
       if (!mem::ParseMemorySize(next(), &options.memory_limit_bytes)) {
         std::fprintf(stderr, "error: bad --memory_limit\n");
@@ -388,6 +405,8 @@ int main(int argc, char** argv) {
       options.enable_cache = options.cache_capacity_bytes > 0;
     } else if (flag == "--timeout") {
       options.default_timeout_seconds = std::atof(next());
+      coordinator_options.default_timeout_seconds =
+          options.default_timeout_seconds;
     } else if (flag == "--slow_query_log") {
       options.slow_query_log_path = next();
     } else if (flag == "--slow_query_ms") {
@@ -405,110 +424,147 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (tables.empty()) {
-    Usage();
+  if (coordinator_mode && coordinator_options.workers.empty()) {
+    std::fprintf(stderr, "error: --coordinator needs at least one --worker\n");
+    return 2;
+  }
+  if (!coordinator_mode &&
+      (!coordinator_options.workers.empty() || !shard_keys.empty())) {
+    std::fprintf(stderr,
+                 "error: --worker/--shard_key need --coordinator\n");
     return 2;
   }
 
   if (!trace_path.empty()) obs::Tracer::Get().Enable();
-
-  service::QueryService svc(options);
-  obs::MetricsRegistry registry;
-  obs::RegisterProcessCounters(&registry);
-  svc.RegisterMetrics(&registry);
-  for (const auto& [name, path] : tables) {
-    StatusOr<Table> table = ReadCsvFile(path);
-    if (!table.ok()) {
-      std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
-                   table.status().ToString().c_str());
-      return service::ExitCodeForStatus(table.status());
-    }
-    std::string key_column;
-    for (const auto& [key_table, column] : keys) {
-      if (key_table == name) key_column = column;
-    }
-    if (key_column.empty()) {
-      svc.RegisterTable(name, std::move(*table));
-    } else {
-      StatusOr<uint64_t> registered =
-          svc.RegisterTable(name, std::move(*table), key_column);
-      if (!registered.ok()) {
-        std::fprintf(stderr, "error registering %s: %s\n", name.c_str(),
-                     registered.status().ToString().c_str());
-        return service::ExitCodeForStatus(registered.status());
-      }
-    }
-    std::fprintf(stderr, "registered table %s from %s\n", name.c_str(),
-                 path.c_str());
-  }
-
   ::signal(SIGPIPE, SIG_IGN);
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  g_listener = listener;
   struct sigaction action {};
   action.sa_handler = HandleStopSignal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    std::perror("bind");
-    return 1;
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
-  if (::listen(listener, 64) < 0) {
-    std::perror("listen");
-    return 1;
-  }
-  std::printf("LISTENING %d\n", ntohs(addr.sin_port));
-  std::fflush(stdout);
 
-  const ServerContext ctx{&svc, &registry};
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (g_stop) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    std::thread(ServeConnection, fd, ctx).detach();
-  }
-  ::close(listener);
+  obs::MetricsRegistry registry;
+  obs::RegisterProcessCounters(&registry);
 
-  // Graceful shutdown: drain in-flight queries (Shutdown joins the
-  // sessions and closes the slow-query log), then write the final
-  // observability artifacts.
-  std::fprintf(stderr, "shutting down: draining in-flight queries\n");
-  svc.Shutdown();
-  if (!metrics_dump_path.empty()) {
-    const std::string text = registry.RenderText();
-    if (std::FILE* file = std::fopen(metrics_dump_path.c_str(), "w")) {
-      std::fwrite(text.data(), 1, text.size(), file);
-      std::fclose(file);
-      std::fprintf(stderr, "wrote final metrics to %s\n",
-                   metrics_dump_path.c_str());
-    } else {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   metrics_dump_path.c_str());
+  // Final observability artifacts. Must run while the service object whose
+  // histograms back the registry's summaries is still alive, i.e. inside
+  // the role branch, before svc/coordinator go out of scope.
+  const auto write_final_artifacts = [&] {
+    if (!metrics_dump_path.empty()) {
+      const std::string text = registry.RenderText();
+      if (std::FILE* file = std::fopen(metrics_dump_path.c_str(), "w")) {
+        std::fwrite(text.data(), 1, text.size(), file);
+        std::fclose(file);
+        std::fprintf(stderr, "wrote final metrics to %s\n",
+                     metrics_dump_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_dump_path.c_str());
+      }
     }
-  }
-  if (!trace_path.empty()) {
-    Status written = obs::Tracer::Get().WriteChromeTrace(trace_path);
-    if (written.ok()) {
-      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
-    } else {
-      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    if (!trace_path.empty()) {
+      Status written = obs::Tracer::Get().WriteChromeTrace(trace_path);
+      if (written.ok()) {
+        std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      }
     }
+  };
+
+  if (coordinator_mode) {
+    if (sessions_set) {
+      coordinator_options.max_concurrent_queries = options.num_sessions;
+    }
+    if (queue_set) coordinator_options.max_queued_queries = options.max_queued;
+    dist::Coordinator coordinator(coordinator_options);
+    coordinator.RegisterMetrics(&registry);
+    for (const auto& [name, path] : tables) {
+      StatusOr<Table> table = ReadCsvFile(path);
+      if (!table.ok()) {
+        std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                     table.status().ToString().c_str());
+        return service::ExitCodeForStatus(table.status());
+      }
+      std::vector<std::string> shard_key;
+      for (const auto& [key_table, columns] : shard_keys) {
+        if (key_table == name) shard_key = SplitCommas(columns);
+      }
+      Status registered = coordinator.RegisterTable(name, *table, shard_key);
+      if (!registered.ok()) {
+        std::fprintf(stderr, "error registering %s: %s\n", name.c_str(),
+                     registered.ToString().c_str());
+        return service::ExitCodeForStatus(registered);
+      }
+      std::fprintf(stderr, "registered table %s from %s across %zu worker(s)\n",
+                   name.c_str(), path.c_str(), coordinator.num_workers());
+    }
+
+    service::TcpServer server(
+        [&](int fd) { ServeCoordinatorConnection(fd, &coordinator, &registry); },
+        /*detach_connections=*/true);
+    StatusOr<int> bound = server.Listen(port);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "error: %s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    g_listener = server.listener_fd();
+    std::printf("LISTENING %d\n", *bound);
+    std::fflush(stdout);
+    server.AcceptLoop();
+    std::fprintf(stderr, "shutting down coordinator\n");
+    write_final_artifacts();
+  } else {
+    service::QueryService svc(options);
+    svc.RegisterMetrics(&registry);
+    for (const auto& [name, path] : tables) {
+      StatusOr<Table> table = ReadCsvFile(path);
+      if (!table.ok()) {
+        std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                     table.status().ToString().c_str());
+        return service::ExitCodeForStatus(table.status());
+      }
+      std::string key_column;
+      for (const auto& [key_table, column] : keys) {
+        if (key_table == name) key_column = column;
+      }
+      if (key_column.empty()) {
+        svc.RegisterTable(name, std::move(*table));
+      } else {
+        StatusOr<uint64_t> registered =
+            svc.RegisterTable(name, std::move(*table), key_column);
+        if (!registered.ok()) {
+          std::fprintf(stderr, "error registering %s: %s\n", name.c_str(),
+                       registered.status().ToString().c_str());
+          return service::ExitCodeForStatus(registered.status());
+        }
+      }
+      std::fprintf(stderr, "registered table %s from %s\n", name.c_str(),
+                   path.c_str());
+    }
+    if (tables.empty()) {
+      std::fprintf(stderr,
+                   "no tables registered; waiting for REGISTER commands\n");
+    }
+
+    service::TcpServer server(
+        [&](int fd) { service::ServeServiceConnection(fd, &svc, &registry); },
+        /*detach_connections=*/true);
+    StatusOr<int> bound = server.Listen(port);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "error: %s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    g_listener = server.listener_fd();
+    std::printf("LISTENING %d\n", *bound);
+    std::fflush(stdout);
+    server.AcceptLoop();
+
+    // Graceful shutdown: drain in-flight queries (Shutdown joins the
+    // sessions and closes the slow-query log), then write the final
+    // observability artifacts.
+    std::fprintf(stderr, "shutting down: draining in-flight queries\n");
+    svc.Shutdown();
+    write_final_artifacts();
   }
   return 0;
 }

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# End-to-end smoke of sharded scatter/gather execution: starts two plain
+# hwf_serve workers and one coordinator sharding a table across them by
+# PARTITION BY key, byte-diffs a grid of scattered window queries (plus a
+# non-covering fallback query) against a single-process server over the
+# same CSV, routes an APPEND batch through the coordinator and re-diffs,
+# checks the hwf_shard_* metrics surface and the EXPLAIN regime line, and
+# finally kill -9's a worker to verify the retry-then-clean-failure path:
+# the client gets the mapped ResourceExhausted exit code promptly, and the
+# coordinator survives to answer STATS with the failure recorded.
+#
+# Usage: tools/shard_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+SERVE=$BUILD/tools/hwf_serve
+CLIENT=$BUILD/tools/hwf_client
+TOOLS=$(dirname "$0")
+WORK=$(mktemp -d)
+PIDS_TO_KILL=()
+cleanup() {
+  for pid in "${PIDS_TO_KILL[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+start_server() {  # start_server OUT_FILE ARGS... ; echoes "pid port"
+  local out=$1; shift
+  "$SERVE" --port 0 "$@" >"$out" 2>"$out.err" &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(awk '/^LISTENING/{print $2; exit}' "$out" 2>/dev/null || true)
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "server exited: $(cat "$out.err")"
+    sleep 0.1
+  done
+  [ -n "$port" ] || fail "server did not report a port"
+  echo "$pid $port"
+}
+
+# --- data -----------------------------------------------------------------
+python3 - "$WORK/t.csv" <<'EOF'
+import random, sys
+random.seed(19)
+with open(sys.argv[1], "w") as f:
+    f.write("grp,ord,val,price\n")
+    for _ in range(60000):
+        f.write("%d,%d,%d,%.6f\n" % (random.randrange(8),
+                random.randrange(1 << 20), random.randrange(50000),
+                random.random() * 1000))
+EOF
+
+# --- fleet: two workers, one coordinator, one reference -------------------
+read -r W1_PID W1_PORT < <(start_server "$WORK/w1.out")
+read -r W2_PID W2_PORT < <(start_server "$WORK/w2.out")
+PIDS_TO_KILL+=("$W1_PID" "$W2_PID")
+read -r COORD_PID COORD_PORT < <(start_server "$WORK/coord.out" \
+  --coordinator --worker "127.0.0.1:$W1_PORT" --worker "127.0.0.1:$W2_PORT" \
+  --table "t=$WORK/t.csv" --shard_key t=grp --shard_retries 2 \
+  --metrics_dump "$WORK/coord_final.prom")
+PIDS_TO_KILL+=("$COORD_PID")
+read -r REF_PID REF_PORT < <(start_server "$WORK/ref.out" \
+  --table "t=$WORK/t.csv")
+PIDS_TO_KILL+=("$REF_PID")
+echo "workers on $W1_PORT/$W2_PORT, coordinator on $COORD_PORT, reference on $REF_PORT"
+
+# --- scattered queries byte-identical to single-process -------------------
+# Every spec partitions by the shard key, so the whole grid scatters;
+# the mix covers holistic, distinct, rank, value and offset kinds plus a
+# multi-call statement with FILTER.
+QUERIES=(
+  "select median(price) over (partition by grp order by ord rows between 200 preceding and current row) from t"
+  "select count(distinct val) over (partition by grp order by ord rows between 150 preceding and current row) from t"
+  "select rank() over (partition by grp order by val rows between 100 preceding and current row) from t"
+  "select percentile_disc(0.9 order by price) over (partition by grp order by ord rows between 300 preceding and current row) from t"
+  "select lead(val, 2) over (partition by grp order by ord, val) from t"
+  "select sum(price) filter (where val) over (partition by grp order by ord rows between 50 preceding and 50 following), first_value(val) over (partition by grp order by ord rows between 10 preceding and 10 following) from t"
+)
+for i in "${!QUERIES[@]}"; do
+  "$CLIENT" --port "$COORD_PORT" "${QUERIES[$i]}" >"$WORK/sc$i.csv" \
+    || fail "scattered query $i failed"
+  "$CLIENT" --port "$REF_PORT" "${QUERIES[$i]}" >"$WORK/ref$i.csv" \
+    || fail "reference query $i failed"
+  cmp "$WORK/sc$i.csv" "$WORK/ref$i.csv" \
+    || fail "scattered query $i differs from single-process result"
+done
+echo "scatter differential: ${#QUERIES[@]} queries byte-identical"
+
+# --- fallback regime ------------------------------------------------------
+FALLBACK_SQL="select sum(val) over (order by ord rows between 100 preceding and current row) from t"
+"$CLIENT" --port "$COORD_PORT" "$FALLBACK_SQL" >"$WORK/fb.csv" \
+  || fail "fallback query failed"
+"$CLIENT" --port "$REF_PORT" "$FALLBACK_SQL" >"$WORK/fb_ref.csv"
+cmp "$WORK/fb.csv" "$WORK/fb_ref.csv" \
+  || fail "fallback result differs from single-process result"
+
+"$CLIENT" --port "$COORD_PORT" --explain "${QUERIES[0]}" >"$WORK/plan_sc.txt"
+grep -q '^regime: scatter(2)' "$WORK/plan_sc.txt" \
+  || fail "scatter plan missing regime line: $(cat "$WORK/plan_sc.txt")"
+"$CLIENT" --port "$COORD_PORT" --explain "$FALLBACK_SQL" >"$WORK/plan_fb.txt"
+grep -q '^regime: fallback' "$WORK/plan_fb.txt" \
+  || fail "fallback plan missing regime line: $(cat "$WORK/plan_fb.txt")"
+echo "explain: regimes reported (scatter(2), fallback)"
+
+# --- APPEND routed through the coordinator --------------------------------
+python3 - "$WORK/delta.csv" <<'EOF'
+import random, sys
+random.seed(23)
+with open(sys.argv[1], "w") as f:
+    f.write("grp,ord,val,price\n")
+    for _ in range(3000):
+        f.write("%d,%d,%d,%.6f\n" % (random.randrange(8),
+                random.randrange(1 << 20), random.randrange(50000),
+                random.random() * 1000))
+EOF
+"$CLIENT" --port "$COORD_PORT" --append t --data "$WORK/delta.csv" \
+  >"$WORK/append.out" || fail "coordinator append failed: $(cat "$WORK/append.out")"
+grep -q '^ROWS 3000' "$WORK/append.out" \
+  || fail "unexpected append response: $(cat "$WORK/append.out")"
+"$CLIENT" --port "$REF_PORT" --append t --data "$WORK/delta.csv" >/dev/null \
+  || fail "reference append failed"
+"$CLIENT" --port "$COORD_PORT" "${QUERIES[0]}" >"$WORK/post_append.csv"
+"$CLIENT" --port "$REF_PORT" "${QUERIES[0]}" >"$WORK/post_append_ref.csv"
+cmp "$WORK/post_append.csv" "$WORK/post_append_ref.csv" \
+  || fail "post-append scattered result differs from single-process"
+rows=$(($(wc -l <"$WORK/post_append.csv") - 1))
+[ "$rows" -eq 63000 ] || fail "post-append query saw $rows rows, want 63000"
+echo "append: batch routed to shards, still byte-identical"
+
+# --- shard metrics surface ------------------------------------------------
+"$CLIENT" --port "$COORD_PORT" --metrics >"$WORK/metrics.prom"
+python3 "$TOOLS/validate_metrics.py" \
+  --require-nonzero hwf_shard_scatter_total \
+  --require-nonzero hwf_shard_fallback_total \
+  --require-nonzero hwf_shard_subqueries_total \
+  --require-nonzero hwf_shard_workers \
+  --require hwf_shard_retries_total \
+  --require hwf_shard_failed_total \
+  --require hwf_shard_latency_seconds \
+  --require hwf_shard_straggler_seconds \
+  "$WORK/metrics.prom" || fail "coordinator metrics failed validation"
+echo "metrics: hwf_shard_* families present, scatter/fallback counted"
+
+# --- kill a worker: retry, then clean failure, coordinator survives -------
+kill -9 "$W2_PID"
+START=$(date +%s)
+set +e
+"$CLIENT" --port "$COORD_PORT" "${QUERIES[0]}" >"$WORK/killed.out" 2>&1
+KILL_RC=$?
+set -e
+ELAPSED=$(($(date +%s) - START))
+[ "$KILL_RC" -eq 8 ] || fail "query after worker kill exited $KILL_RC, want 8 ($(head -c 300 "$WORK/killed.out"))"
+[ "$ELAPSED" -le 30 ] || fail "failure took ${ELAPSED}s — retry loop not bounded"
+grep -qi "unavailable after" "$WORK/killed.out" \
+  || fail "error does not name the exhausted retries: $(cat "$WORK/killed.out")"
+
+# The coordinator must still be alive and report the failure; the healthy
+# worker's fallback copy is gone with worker choice fixed, but STATS and
+# fallback-eligible tables must still answer.
+"$CLIENT" --port "$COORD_PORT" --stats >"$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats["failed_shards"] >= 1, stats
+assert stats["retries"] >= 1, stats
+workers = {w["endpoint"]: w for w in stats["workers"]}
+assert any(not w["healthy"] for w in workers.values()), stats
+EOF
+echo "worker kill: clean ResourceExhausted in ${ELAPSED}s, failure recorded in stats"
+
+echo "shard smoke: PASS"
